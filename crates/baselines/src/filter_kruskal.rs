@@ -1,0 +1,165 @@
+//! Filter-Kruskal (Osipov, Sanders, Singler 2009) and its precursor,
+//! Brennan's qKruskal (1982).
+//!
+//! [`filter_kruskal`]: recursive quicksort-flavored Kruskal — below a
+//! base-case size, sort and run plain Kruskal; otherwise partition around a
+//! random pivot weight, recurse on the light half, then *filter* the heavy
+//! half — dropping every edge whose endpoints the partial forest already
+//! connects — before recursing on what remains. ECL-MST borrows the
+//! filtering idea (§2).
+//!
+//! [`qkruskal`]: the same partition-first idea *without* filtering
+//! ("partitioning the edge list into a lighter and a heavier part, sorting
+//! the light part, and only sorting the heavy part if the tree is not
+//! complete after processing the light part"); §2 notes Osipov et al.
+//! showed this stops paying off when heavy edges are needed.
+
+use ecl_dsu::SeqDsu;
+use ecl_graph::CsrGraph;
+use ecl_mst::{pack, unpack, MstResult};
+use rand::{Rng, SeedableRng};
+
+/// Below this many edges, sort and run the Kruskal base case.
+const BASE_CASE: usize = 1024;
+
+/// Computes the MSF with Filter-Kruskal.
+pub fn filter_kruskal(g: &CsrGraph) -> MstResult {
+    let mut edges: Vec<(u64, u32, u32)> =
+        g.edges().map(|e| (pack(e.weight, e.id), e.src, e.dst)).collect();
+    let mut dsu = SeqDsu::new(g.num_vertices());
+    let mut in_mst = vec![false; g.num_edges()];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF1_7E12);
+    let mut picked = 0usize;
+    recurse(&mut edges, &mut dsu, &mut in_mst, &mut rng, &mut picked);
+    MstResult::from_bitmap(g, in_mst)
+}
+
+fn recurse(
+    edges: &mut Vec<(u64, u32, u32)>,
+    dsu: &mut SeqDsu,
+    in_mst: &mut [bool],
+    rng: &mut rand::rngs::StdRng,
+    picked: &mut usize,
+) {
+    if edges.is_empty() {
+        return;
+    }
+    if edges.len() <= BASE_CASE {
+        edges.sort_unstable();
+        for &(val, u, v) in edges.iter() {
+            if dsu.union(u, v) {
+                in_mst[unpack(val).1 as usize] = true;
+                *picked += 1;
+            }
+        }
+        return;
+    }
+    // Random pivot; partition by packed value (ties impossible: ids differ).
+    let pivot = edges[rng.gen_range(0..edges.len())].0;
+    let (mut light, mut heavy): (Vec<_>, Vec<_>) =
+        edges.drain(..).partition(|&(val, _, _)| val <= pivot);
+    recurse(&mut light, dsu, in_mst, rng, picked);
+    // Filter: cheap cycle checks remove heavy edges the forest already spans.
+    heavy.retain(|&(_, u, v)| dsu.root_of(u) != dsu.root_of(v));
+    recurse(&mut heavy, dsu, in_mst, rng, picked);
+}
+
+/// Computes the MSF with qKruskal: one pivot partition, sort and process
+/// the light part, and only sort/process the heavy part if the forest is
+/// still incomplete.
+pub fn qkruskal(g: &CsrGraph) -> MstResult {
+    let mut edges: Vec<(u64, u32, u32)> =
+        g.edges().map(|e| (pack(e.weight, e.id), e.src, e.dst)).collect();
+    let mut dsu = SeqDsu::new(g.num_vertices());
+    let mut in_mst = vec![false; g.num_edges()];
+    let mut picked = 0usize;
+
+    let process = |chunk: &mut Vec<(u64, u32, u32)>,
+                       dsu: &mut SeqDsu,
+                       in_mst: &mut [bool],
+                       picked: &mut usize| {
+        chunk.sort_unstable();
+        for &(val, u, v) in chunk.iter() {
+            if dsu.union(u, v) {
+                in_mst[unpack(val).1 as usize] = true;
+                *picked += 1;
+            }
+        }
+    };
+
+    if edges.is_empty() {
+        return MstResult::from_bitmap(g, in_mst);
+    }
+    // Median-of-three pivot on packed values.
+    let pivot = {
+        let a = edges[0].0;
+        let b = edges[edges.len() / 2].0;
+        let c = edges[edges.len() - 1].0;
+        a.max(b.min(c)).min(b.max(c))
+    };
+    let (mut light, mut heavy): (Vec<_>, Vec<_>) =
+        edges.drain(..).partition(|&(val, _, _)| val <= pivot);
+    process(&mut light, &mut dsu, &mut in_mst, &mut picked);
+    // Only sort and process the heavy part if the forest is incomplete:
+    // a forest is complete when the disjoint sets match the graph's
+    // connected components.
+    if dsu.num_sets() > ecl_graph::stats::connected_components(g) {
+        process(&mut heavy, &mut dsu, &mut in_mst, &mut picked);
+    }
+    let _ = picked;
+    MstResult::from_bitmap(g, in_mst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::generators::*;
+    use ecl_graph::GraphBuilder;
+    use ecl_mst::serial_kruskal;
+
+    fn check(g: &CsrGraph) {
+        let expected = serial_kruskal(g);
+        let got = filter_kruskal(g);
+        assert_eq!(got.total_weight, expected.total_weight);
+        assert_eq!(got.in_mst, expected.in_mst);
+        let q = qkruskal(g);
+        assert_eq!(q.in_mst, expected.in_mst, "qkruskal edge set");
+    }
+
+    #[test]
+    fn grid() {
+        check(&grid2d(14, 2));
+    }
+
+    #[test]
+    fn random_above_base_case() {
+        check(&uniform_random(2000, 8.0, 3));
+    }
+
+    #[test]
+    fn msf() {
+        check(&rmat(9, 5, 4));
+    }
+
+    #[test]
+    fn dense() {
+        check(&copapers(300, 16, 5));
+    }
+
+    #[test]
+    fn trivial() {
+        check(&GraphBuilder::new(0).build());
+        check(&GraphBuilder::new(2).build());
+    }
+
+    #[test]
+    fn equal_weights() {
+        let mut b = GraphBuilder::new(40);
+        for u in 0..40u32 {
+            for v in (u + 1)..40 {
+                b.add_edge(u, v, 3);
+            }
+        }
+        check(&b.build());
+    }
+}

@@ -1,0 +1,162 @@
+//! Gunrock-style GPU MST: vertex-centric, **topology-driven** Borůvka that
+//! "checks all vertices and evaluates an edge if its source and destination
+//! do not belong to the same connected component" (§2). Like Jucele it
+//! "relies on the input having only a single connected component and,
+//! therefore, cannot generate an MSF".
+//!
+//! No worklist and no contraction: every round rescans the full CSR, with
+//! one thread per vertex walking its whole row — the two costs (full
+//! rescans, hub-serialized rows) ECL-MST's data-driven edge-centric design
+//! removes.
+
+use crate::GpuBaselineRun;
+use ecl_graph::stats::connected_components;
+use ecl_graph::CsrGraph;
+use ecl_gpu_sim::{BufU32, BufU64, ConstBuf, Device, GpuProfile, TaskCtx};
+use ecl_mst::{pack, unpack, MstError, MstResult, EMPTY};
+
+/// Gunrock GPU: topology-driven DSU Borůvka. Errors with
+/// [`MstError::NotConnected`] on multi-component inputs.
+pub fn gunrock_gpu(g: &CsrGraph, profile: GpuProfile) -> Result<GpuBaselineRun, MstError> {
+    if g.num_vertices() > 1 && connected_components(g) != 1 {
+        return Err(MstError::NotConnected);
+    }
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let mut dev = Device::new(profile);
+
+    let row_starts = ConstBuf::from_slice(g.row_starts());
+    let adjacency = ConstBuf::from_slice(g.adjacency());
+    let arc_weights = ConstBuf::from_slice(g.arc_weights());
+    let arc_edge_ids = ConstBuf::from_slice(g.arc_edge_ids());
+    // id -> endpoints table for the merge kernel.
+    let mut ep_u = vec![0u32; m];
+    let mut ep_v = vec![0u32; m];
+    for e in g.edges() {
+        ep_u[e.id as usize] = e.src;
+        ep_v[e.id as usize] = e.dst;
+    }
+    let ep_u = ConstBuf::from_slice(&ep_u);
+    let ep_v = ConstBuf::from_slice(&ep_v);
+    dev.memcpy_h2d(
+        row_starts.size_bytes()
+            + adjacency.size_bytes()
+            + arc_weights.size_bytes()
+            + arc_edge_ids.size_bytes()
+            + ep_u.size_bytes()
+            + ep_v.size_bytes(),
+    );
+
+    let parent = BufU32::from_slice(&(0..n.max(1) as u32).collect::<Vec<_>>());
+    let min_edge = BufU64::new(n.max(1), EMPTY);
+    let in_mst = BufU32::new(m.max(1), 0);
+    let progress = BufU32::new(1, 0);
+
+    let find = |ctx: &mut TaskCtx, mut x: u32| -> u32 {
+        loop {
+            let p = parent.ld_gather(ctx, x as usize);
+            if p == x {
+                return x;
+            }
+            let gp = parent.ld_gather(ctx, p as usize);
+            if gp != p {
+                parent.st_scatter(ctx, x as usize, gp);
+            }
+            x = gp;
+        }
+    };
+
+    loop {
+        progress.host_write(0, 0);
+        // Kernel: every vertex rescans its whole row for the lightest
+        // crossing edge (vertex-centric: hub rows serialize on one thread).
+        dev.launch("find_light", n, |v, ctx| {
+            let rv = find(ctx, v as u32);
+            let lo = row_starts.ld(ctx, v) as usize;
+            let hi = row_starts.ld(ctx, v + 1) as usize;
+            let mut best = EMPTY;
+            for a in lo..hi {
+                let d = adjacency.ld_row(ctx, a, lo);
+                if find(ctx, d) != rv {
+                    let w = arc_weights.ld_row(ctx, a, lo);
+                    let id = arc_edge_ids.ld_row(ctx, a, lo);
+                    best = best.min(pack(w, id));
+                }
+            }
+            if best != EMPTY {
+                min_edge.atomic_min(ctx, rv as usize, best);
+                progress.st(ctx, 0, 1);
+            }
+        });
+        dev.sync_read();
+        if progress.host_read(0) == 0 {
+            break;
+        }
+        // Kernel: merge along the recorded edges.
+        dev.launch("merge", n, |r, ctx| {
+            let val = min_edge.ld(ctx, r);
+            if val == EMPTY {
+                return;
+            }
+            min_edge.st(ctx, r, EMPTY);
+            let (_, id) = unpack(val);
+            let u = ep_u.ld_gather(ctx, id as usize);
+            let v = ep_v.ld_gather(ctx, id as usize);
+            let mut ru = find(ctx, u);
+            let mut rv = find(ctx, v);
+            loop {
+                if ru == rv {
+                    break;
+                }
+                let (lo_r, hi_r) = (ru.min(rv), ru.max(rv));
+                match parent.atomic_cas(ctx, lo_r as usize, lo_r, hi_r) {
+                    Ok(_) => break,
+                    Err(_) => {
+                        ru = find(ctx, lo_r);
+                        rv = find(ctx, hi_r);
+                    }
+                }
+            }
+            in_mst.st_scatter(ctx, id as usize, 1);
+        });
+    }
+
+    dev.memcpy_d2h(in_mst.size_bytes());
+    let bitmap: Vec<bool> =
+        in_mst.to_vec().into_iter().take(m).map(|x| x != 0).collect();
+    Ok(GpuBaselineRun {
+        result: MstResult::from_bitmap(g, bitmap),
+        kernel_seconds: dev.kernel_seconds(),
+        memcpy_seconds: dev.memcpy_seconds(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::generators::*;
+    use ecl_mst::serial_kruskal;
+
+    #[test]
+    fn matches_reference() {
+        let g = grid2d(11, 3);
+        let run = gunrock_gpu(&g, GpuProfile::TITAN_V).unwrap();
+        assert_eq!(run.result.in_mst, serial_kruskal(&g).in_mst);
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let g = rmat(8, 4, 1);
+        assert_eq!(
+            gunrock_gpu(&g, GpuProfile::TITAN_V).unwrap_err(),
+            MstError::NotConnected
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_scale_free() {
+        let g = preferential_attachment(500, 6, 1, 7);
+        let run = gunrock_gpu(&g, GpuProfile::TITAN_V).unwrap();
+        assert_eq!(run.result.in_mst, serial_kruskal(&g).in_mst);
+    }
+}

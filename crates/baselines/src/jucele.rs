@@ -1,0 +1,206 @@
+//! Jucele (Vasconcellos et al.) style GPU Borůvka: data-driven,
+//! atomic-operation based, and a **pure MST code** — it assumes a single
+//! connected component and cannot produce a forest (the paper reports "NC"
+//! for it on every multi-component input).
+//!
+//! Per round (§2): a kernel finds the lightest edge of each supervertex,
+//! another marks it; then the code "contracts the graph and recalculates
+//! the connected components" — here an edge-parallel min-reservation pass,
+//! a pick/mark pass, mirror-break + pointer-jump relabeling, and a
+//! compaction of the edge list to the surviving inter-component edges (the
+//! data-driven part: later rounds only touch the shrinking list). The
+//! balanced edge-parallel kernels are why this is the fastest prior GPU
+//! code; the per-round contraction is why ECL-MST still beats it.
+
+use crate::GpuBaselineRun;
+use ecl_graph::stats::connected_components;
+use ecl_graph::CsrGraph;
+use ecl_gpu_sim::{BufU32, BufU64, ConstBuf, Device, GpuProfile};
+use ecl_mst::{pack, MstError, MstResult, EMPTY};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Jucele GPU: data-driven contraction Borůvka. Errors with
+/// [`MstError::NotConnected`] on multi-component inputs (a pure MST code).
+pub fn jucele_gpu(g: &CsrGraph, profile: GpuProfile) -> Result<GpuBaselineRun, MstError> {
+    if g.num_vertices() > 1 && connected_components(g) != 1 {
+        return Err(MstError::NotConnected);
+    }
+    Ok(contraction_boruvka_gpu(g, profile))
+}
+
+/// Edge-list contraction Borůvka with balanced edge-parallel kernels.
+pub(crate) fn contraction_boruvka_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
+    let mut dev = Device::new(profile);
+    // Edge-list upload (u, v, w, id).
+    dev.memcpy_h2d(4 * 4 * g.num_edges() as u64);
+
+    let mut in_mst = vec![false; g.num_edges()];
+    // Like the original, the code starts from both directed arcs of every
+    // edge ("It starts by finding the minimum weighted edge of each vertex
+    // ... It then removes the mirrored edges"): 2|E| entries.
+    let mut edges: Vec<[u32; 4]> = (0..g.num_vertices() as u32)
+        .flat_map(|v| g.neighbors(v).map(move |e| [v, e.dst, e.weight, e.id]))
+        .collect();
+    let mut n = g.num_vertices();
+
+    while !edges.is_empty() {
+        let e_cnt = edges.len();
+        let eu = ConstBuf::from_slice(&edges.iter().map(|e| e[0]).collect::<Vec<_>>());
+        let ev = ConstBuf::from_slice(&edges.iter().map(|e| e[1]).collect::<Vec<_>>());
+        let ew = ConstBuf::from_slice(&edges.iter().map(|e| e[2]).collect::<Vec<_>>());
+        let eid = ConstBuf::from_slice(&edges.iter().map(|e| e[3]).collect::<Vec<_>>());
+        let min_at = BufU64::new(n, EMPTY);
+        let succ = BufU32::from_slice(&(0..n as u32).collect::<Vec<_>>());
+
+        // Kernel: lightest edge per supervertex (edge-parallel, balanced).
+        dev.launch("find_light", e_cnt, |i, ctx| {
+            let u = eu.ld(ctx, i);
+            let v = ev.ld(ctx, i);
+            let val = pack(ew.ld(ctx, i), eid.ld(ctx, i));
+            min_at.atomic_min(ctx, u as usize, val);
+            min_at.atomic_min(ctx, v as usize, val);
+        });
+        // Kernel: mark winners and record successors.
+        let marked: Vec<AtomicBool> =
+            (0..g.num_edges()).map(|_| AtomicBool::new(false)).collect();
+        dev.launch("mark", e_cnt, |i, ctx| {
+            let u = eu.ld(ctx, i);
+            let v = ev.ld(ctx, i);
+            let val = pack(ew.ld(ctx, i), eid.ld(ctx, i));
+            let mu = min_at.ld_gather(ctx, u as usize);
+            let mv = min_at.ld_gather(ctx, v as usize);
+            if mu == val {
+                succ.st_scatter(ctx, u as usize, v);
+            }
+            if mv == val {
+                succ.st_scatter(ctx, v as usize, u);
+            }
+            if mu == val || mv == val {
+                let id = eid.ld(ctx, i);
+                marked[id as usize].store(true, Ordering::Release);
+                ctx.charge_gather(); // scattered MST-flag store
+            }
+        });
+        for (i, b) in marked.iter().enumerate() {
+            if b.load(Ordering::Acquire) {
+                in_mst[i] = true;
+            }
+        }
+        // Kernel: break mutual picks (smaller index becomes the root).
+        let color = BufU32::new(n, 0);
+        dev.launch("mirror_break", n, |v, ctx| {
+            let s = succ.ld(ctx, v);
+            let ss = succ.ld_gather(ctx, s as usize);
+            let c = if ss == v as u32 && (v as u32) < s { v as u32 } else { s };
+            color.st(ctx, v, c);
+        });
+        // Kernels: recalculate the connected components (pointer jumping).
+        loop {
+            let changed = BufU32::new(1, 0);
+            dev.launch("relabel", n, |v, ctx| {
+                let c = color.ld(ctx, v);
+                let cc = color.ld_gather(ctx, c as usize);
+                if cc != c {
+                    color.st(ctx, v, cc);
+                    changed.st(ctx, 0, 1);
+                }
+            });
+            dev.sync_read();
+            if changed.host_read(0) == 0 {
+                break;
+            }
+        }
+        // Renumber the roots densely (host mirror of a device scan).
+        let colors = color.to_vec();
+        let mut new_id = vec![u32::MAX; n];
+        let mut k = 0u32;
+        for v in 0..n {
+            if colors[v] == v as u32 {
+                new_id[v] = k;
+                k += 1;
+            }
+        }
+        dev.launch("renumber", n, |v, ctx| {
+            let _ = color.ld(ctx, v);
+            ctx.charge_coalesced(8);
+        });
+        // Kernel: contract — compact the edge list to inter-component edges.
+        let next_cnt = BufU32::new(1, 0);
+        let out = BufU32::new(4 * e_cnt, 0);
+        {
+            let new_id = &new_id;
+            dev.launch("contract", e_cnt, |i, ctx| {
+                let u = eu.ld(ctx, i);
+                let v = ev.ld(ctx, i);
+                let cu = new_id[color.ld_gather(ctx, u as usize) as usize];
+                let cv = new_id[color.ld_gather(ctx, v as usize) as usize];
+                if cu != cv {
+                    let slot = next_cnt.atomic_add_aggregated(ctx, 0, 1) as usize;
+                    let w = ew.ld(ctx, i);
+                    let id = eid.ld(ctx, i);
+                    out.st4(ctx, 4 * slot, [cu, cv, w, id]);
+                }
+            });
+        }
+        dev.sync_read();
+        let cnt = next_cnt.host_read(0) as usize;
+        let flat = out.to_vec();
+        edges = (0..cnt)
+            .map(|i| [flat[4 * i], flat[4 * i + 1], flat[4 * i + 2], flat[4 * i + 3]])
+            .collect();
+        n = k as usize;
+    }
+
+    dev.memcpy_d2h(4 * g.num_edges() as u64);
+    GpuBaselineRun {
+        result: MstResult::from_bitmap(g, in_mst),
+        kernel_seconds: dev.kernel_seconds(),
+        memcpy_seconds: dev.memcpy_seconds(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::generators::*;
+    use ecl_mst::serial_kruskal;
+
+    #[test]
+    fn matches_reference_on_grid() {
+        let g = grid2d(12, 1);
+        let run = jucele_gpu(&g, GpuProfile::TITAN_V).unwrap();
+        assert_eq!(run.result.in_mst, serial_kruskal(&g).in_mst);
+        assert!(run.kernel_seconds > 0.0);
+    }
+
+    #[test]
+    fn matches_reference_on_scale_free() {
+        let g = preferential_attachment(600, 6, 1, 2);
+        let run = jucele_gpu(&g, GpuProfile::RTX_3080_TI).unwrap();
+        assert_eq!(run.result.in_mst, serial_kruskal(&g).in_mst);
+    }
+
+    #[test]
+    fn rejects_disconnected_input() {
+        let g = rmat(9, 4, 3);
+        assert_eq!(
+            jucele_gpu(&g, GpuProfile::TITAN_V).unwrap_err(),
+            MstError::NotConnected
+        );
+    }
+
+    #[test]
+    fn handles_equal_weights() {
+        let g = {
+            let mut b = ecl_graph::GraphBuilder::new(9);
+            for u in 0..9u32 {
+                for v in (u + 1)..9 {
+                    b.add_edge(u, v, 4);
+                }
+            }
+            b.build()
+        };
+        let run = jucele_gpu(&g, GpuProfile::TITAN_V).unwrap();
+        assert_eq!(run.result.in_mst, serial_kruskal(&g).in_mst);
+    }
+}

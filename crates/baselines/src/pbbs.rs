@@ -1,0 +1,262 @@
+//! PBBS-style MST codes (Blelloch et al., "Internally deterministic
+//! parallel algorithms can be fast").
+//!
+//! * [`pbbs_serial`] — the suite's sequential reference: sort the whole edge
+//!   list, then plain Kruskal.
+//! * [`pbbs_parallel`] — the parallel algorithm §2 describes: estimate the
+//!   `k = min(|V|, 5|E|/4)`-th lightest weight from a `√|E|`-sized sample,
+//!   sort and process only that prefix with **deterministic reservations**
+//!   (speculative rounds where an edge reserves both endpoints with its
+//!   sorted position and commits when it holds *either* reservation — the
+//!   same deterministic-reservation rule ECL-MST adopts, which under the
+//!   total `(weight, id)` order still yields the unique reference MSF),
+//!   then filter the remainder through the partial forest and process what
+//!   survives.
+
+use ecl_dsu::SeqDsu;
+use ecl_graph::CsrGraph;
+use ecl_mst::{pack, unpack, MstResult};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Block size for the speculative-for over sorted edges.
+const BLOCK: usize = 65_536;
+
+/// Sequential full-sort Kruskal (the paper's "PBBS Ser." column).
+pub fn pbbs_serial(g: &CsrGraph) -> MstResult {
+    let mut edges: Vec<(u64, u32, u32)> =
+        g.edges().map(|e| (pack(e.weight, e.id), e.src, e.dst)).collect();
+    edges.sort_unstable();
+    let mut dsu = SeqDsu::new(g.num_vertices());
+    let mut in_mst = vec![false; g.num_edges()];
+    for (val, u, v) in edges {
+        if dsu.union(u, v) {
+            in_mst[unpack(val).1 as usize] = true;
+        }
+    }
+    MstResult::from_bitmap(g, in_mst)
+}
+
+/// Parallel PBBS MST: sampled prefix + deterministic reservations + filter.
+pub fn pbbs_parallel(g: &CsrGraph) -> MstResult {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let mut in_mst = vec![false; m];
+    if m == 0 {
+        return MstResult::from_bitmap(g, in_mst);
+    }
+    let mut edges: Vec<(u64, u32, u32)> =
+        g.edges().map(|e| (pack(e.weight, e.id), e.src, e.dst)).collect();
+
+    // Estimate the k-th lightest weight from a sqrt(m) sample.
+    let k = n.min(5 * m / 4);
+    let threshold = if k >= m {
+        u64::MAX
+    } else {
+        let sample_size = ((m as f64).sqrt() as usize).max(1);
+        let stride = (m / sample_size).max(1);
+        let mut sample: Vec<u64> = edges.iter().step_by(stride).map(|&(v, _, _)| v).collect();
+        sample.sort_unstable();
+        let idx = ((k as f64 / m as f64) * sample.len() as f64) as usize;
+        sample[idx.min(sample.len() - 1)]
+    };
+
+    // Split into the light prefix and the heavy remainder.
+    let (mut light, mut heavy): (Vec<_>, Vec<_>) =
+        edges.drain(..).partition(|&(v, _, _)| v <= threshold);
+    light.par_sort_unstable();
+
+    let reservations: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let union_find = UnionFind::new(n);
+    let marked: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
+
+    process_sorted(&light, &union_find, &reservations, &marked);
+
+    // Filter the heavy remainder through the partial forest, then finish.
+    heavy.retain(|&(_, u, v)| union_find.find(u) != union_find.find(v));
+    heavy.par_sort_unstable();
+    process_sorted(&heavy, &union_find, &reservations, &marked);
+
+    for (i, b) in marked.iter().enumerate() {
+        in_mst[i] = b.load(Ordering::Acquire);
+    }
+    MstResult::from_bitmap(g, in_mst)
+}
+
+/// Processes a sorted edge slice in blocks with deterministic reservations:
+/// within a block, parallel rounds reserve both endpoints with the edge's
+/// block index; an edge commits when it holds either endpoint (one winner
+/// per component per round, so a block finishes in O(log) rounds even on
+/// hub-centered conflict chains).
+fn process_sorted(
+    sorted: &[(u64, u32, u32)],
+    uf: &UnionFind,
+    reservations: &[AtomicU64],
+    marked: &[AtomicBool],
+) {
+    /// Below this many live edges, rayon dispatch costs more than the work.
+    const PAR_CUTOFF: usize = 2048;
+    for block in sorted.chunks(BLOCK) {
+        // `live` holds (block index, val, u, v); indices give priority.
+        let mut live: Vec<(u64, u64, u32, u32)> = block
+            .iter()
+            .enumerate()
+            .map(|(i, &(val, u, v))| (i as u64, val, u, v))
+            .collect();
+        while !live.is_empty() {
+            let reserve = |&(idx, _, u, v): &(u64, u64, u32, u32)| {
+                let ru = uf.find(u);
+                let rv = uf.find(v);
+                if ru != rv {
+                    reservations[ru as usize].fetch_min(idx, Ordering::AcqRel);
+                    reservations[rv as usize].fetch_min(idx, Ordering::AcqRel);
+                }
+            };
+            let commit = |&(idx, val, u, v): &(u64, u64, u32, u32)| {
+                let ru = uf.find(u);
+                let rv = uf.find(v);
+                if ru == rv {
+                    return None; // cycle: drop
+                }
+                if reservations[ru as usize].load(Ordering::Acquire) == idx
+                    || reservations[rv as usize].load(Ordering::Acquire) == idx
+                {
+                    uf.union(ru, rv);
+                    marked[unpack(val).1 as usize].store(true, Ordering::Release);
+                    None
+                } else {
+                    Some((idx, val, u, v)) // lost both reservations: retry
+                }
+            };
+            let reset = |&(_, _, u, v): &(u64, u64, u32, u32)| {
+                reservations[uf.find(u) as usize].store(u64::MAX, Ordering::Release);
+                reservations[uf.find(v) as usize].store(u64::MAX, Ordering::Release);
+            };
+            let survivors: Vec<(u64, u64, u32, u32)> = if live.len() >= PAR_CUTOFF {
+                live.par_iter().for_each(reserve);
+                let s = live.par_iter().filter_map(commit).collect();
+                live.par_iter().for_each(reset);
+                s
+            } else {
+                live.iter().for_each(reserve);
+                let s = live.iter().filter_map(commit).collect();
+                live.iter().for_each(reset);
+                s
+            };
+            live = survivors;
+        }
+    }
+}
+
+/// Minimal lock-free union-find for the reservation loop (PBBS uses its own
+/// concurrent structure; find-only races are benign here because unions are
+/// only applied by uncontended reservation winners).
+struct UnionFind {
+    parent: Vec<std::sync::atomic::AtomicU32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).map(std::sync::atomic::AtomicU32::new).collect() }
+    }
+
+    fn find(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize].load(Ordering::Relaxed);
+            if p == x {
+                return x;
+            }
+            // Path halving (benign race).
+            let gp = self.parent[p as usize].load(Ordering::Relaxed);
+            if gp != p {
+                self.parent[x as usize].store(gp, Ordering::Relaxed);
+            }
+            x = gp;
+        }
+    }
+
+    fn union(&self, x: u32, y: u32) {
+        // Either-endpoint winners may contend on a shared vertex, so re-run
+        // the root discovery after every failed CAS.
+        let mut rx = self.find(x);
+        let mut ry = self.find(y);
+        loop {
+            if rx == ry {
+                return;
+            }
+            let (lo, hi) = (rx.min(ry), rx.max(ry));
+            match self.parent[lo as usize].compare_exchange(
+                lo,
+                hi,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(_) => {
+                    rx = self.find(lo);
+                    ry = self.find(hi);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::generators::*;
+    use ecl_graph::GraphBuilder;
+    use ecl_mst::serial_kruskal;
+
+    fn check(g: &CsrGraph) {
+        let expected = serial_kruskal(g);
+        let ser = pbbs_serial(g);
+        assert_eq!(ser.in_mst, expected.in_mst, "pbbs_serial edge set");
+        let par = pbbs_parallel(g);
+        assert_eq!(par.total_weight, expected.total_weight, "pbbs_parallel weight");
+        assert_eq!(par.in_mst, expected.in_mst, "pbbs_parallel edge set");
+    }
+
+    #[test]
+    fn grid() {
+        check(&grid2d(14, 1));
+    }
+
+    #[test]
+    fn scale_free() {
+        check(&preferential_attachment(900, 7, 1, 2));
+    }
+
+    #[test]
+    fn disconnected_msf() {
+        check(&rmat(9, 4, 3));
+    }
+
+    #[test]
+    fn dense_communities() {
+        check(&copapers(400, 14, 4));
+    }
+
+    #[test]
+    fn trivial() {
+        check(&GraphBuilder::new(0).build());
+        check(&GraphBuilder::new(4).build());
+    }
+
+    #[test]
+    fn all_equal_weights() {
+        let mut b = GraphBuilder::new(6);
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                b.add_edge(u, v, 5);
+            }
+        }
+        check(&b.build());
+    }
+
+    #[test]
+    fn block_boundary_sizes() {
+        // More edges than one block to exercise the block loop.
+        check(&uniform_random(3000, 6.0, 7));
+    }
+}

@@ -1,0 +1,86 @@
+//! Classic serial Prim (binary heap, lazy deletion), generalized to forests
+//! by restarting from every unvisited vertex.
+
+use ecl_graph::CsrGraph;
+use ecl_mst::{pack, unpack, MstResult};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Computes the MSF with Prim's algorithm.
+///
+/// Ties are broken by edge id (the shared packed ordering), so the result
+/// equals the unique reference MSF of this workspace.
+pub fn serial_prim(g: &CsrGraph) -> MstResult {
+    let n = g.num_vertices();
+    let mut visited = vec![false; n];
+    let mut in_mst = vec![false; g.num_edges()];
+    // Heap entries: (packed weight:id, destination vertex).
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+
+    for start in 0..n as u32 {
+        if visited[start as usize] {
+            continue;
+        }
+        visited[start as usize] = true;
+        for e in g.neighbors(start) {
+            heap.push(Reverse((pack(e.weight, e.id), e.dst)));
+        }
+        while let Some(Reverse((val, dst))) = heap.pop() {
+            if visited[dst as usize] {
+                continue; // lazy deletion
+            }
+            visited[dst as usize] = true;
+            let (_, id) = unpack(val);
+            in_mst[id as usize] = true;
+            for e in g.neighbors(dst) {
+                if !visited[e.dst as usize] {
+                    heap.push(Reverse((pack(e.weight, e.id), e.dst)));
+                }
+            }
+        }
+    }
+    MstResult::from_bitmap(g, in_mst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::generators::*;
+    use ecl_graph::GraphBuilder;
+    use ecl_mst::serial_kruskal;
+
+    #[test]
+    fn matches_kruskal_on_grid() {
+        let g = grid2d(15, 1);
+        assert_eq!(serial_prim(&g).in_mst, serial_kruskal(&g).in_mst);
+    }
+
+    #[test]
+    fn matches_kruskal_on_forest_input() {
+        let g = rmat(9, 4, 2);
+        let p = serial_prim(&g);
+        let k = serial_kruskal(&g);
+        assert_eq!(p.total_weight, k.total_weight);
+        assert_eq!(p.in_mst, k.in_mst);
+    }
+
+    #[test]
+    fn matches_kruskal_with_ties() {
+        let mut b = GraphBuilder::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v, 9);
+            }
+        }
+        let g = b.build();
+        assert_eq!(serial_prim(&g).in_mst, serial_kruskal(&g).in_mst);
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(serial_prim(&g).num_edges, 0);
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(serial_prim(&g).num_edges, 0);
+    }
+}

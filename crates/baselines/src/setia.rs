@@ -1,0 +1,258 @@
+//! Setia et al. style parallel Prim (§2: "worker threads that start at a
+//! different random vertex and build a tree from that vertex outward. When
+//! the threads collide, the thread with the higher ID is killed and its
+//! tree is merged with that of the thread with the lower ID. The algorithm
+//! takes advantage of the cut property to merge the trees correctly").
+//!
+//! Execution proceeds in rounds. Within a round every live tree grows Prim-
+//! style into unclaimed territory and **stops at its first collision** with
+//! another tree; at the round barrier the collided trees merge (the
+//! higher-id root dies, per the original's rule) and the survivor inherits
+//! the stopped workers' frontier heaps. The stop-at-collision rule is what
+//! makes every recorded edge provably minimum across its tree's cut: all
+//! lighter frontier edges were popped earlier in the round, and each such
+//! pop either grew the same tree (internal ever after) or would itself have
+//! been the first collision. With the workspace's total `(weight, id)`
+//! order the result is therefore the unique reference MSF.
+
+use ecl_graph::CsrGraph;
+use ecl_mst::{pack, unpack, MstResult};
+use ecl_dsu::SeqDsu;
+use rand::{seq::SliceRandom, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+const UNCLAIMED: u32 = u32::MAX;
+
+type Frontier = BinaryHeap<Reverse<(u64, u32)>>;
+
+/// Outcome of one worker's round.
+struct RoundResult {
+    /// Worker/tree root id.
+    root: u32,
+    /// Unprocessed frontier at stop time.
+    heap: Frontier,
+    /// The tree this worker collided with, if any.
+    collided_with: Option<u32>,
+}
+
+/// Computes the MSF with collision-merging parallel Prim.
+///
+/// `threads` is the number of initial worker trees (the original's thread
+/// count); `seed` randomizes the starting vertices.
+pub fn setia_prim(g: &CsrGraph, threads: usize, seed: u64) -> MstResult {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    if n == 0 {
+        return MstResult::from_bitmap(g, vec![]);
+    }
+    let threads = threads.clamp(1, n);
+
+    // owner[v]: the original worker id that claimed v (UNCLAIMED if none).
+    let owner: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCLAIMED)).collect();
+    let in_mst: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
+    // Tree-merge bookkeeping over worker ids, applied only between rounds.
+    let mut forest = SeqDsu::new(threads + n); // room for restart workers
+
+    // Random distinct starts.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+
+    let mut next_wid = 0u32;
+    fn spawn(
+        g: &CsrGraph,
+        next_wid: &mut u32,
+        start: u32,
+        owner: &[AtomicU32],
+    ) -> Option<(u32, Frontier)> {
+        let wid = *next_wid;
+        if owner[start as usize]
+            .compare_exchange(UNCLAIMED, wid, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return None;
+        }
+        *next_wid += 1;
+        let heap: Frontier = g
+            .neighbors(start)
+            .map(|e| Reverse((pack(e.weight, e.id), e.dst)))
+            .collect();
+        Some((wid, heap))
+    }
+
+    // Initial workers.
+    let mut live: Vec<(u32, Frontier)> = order
+        .iter()
+        .take(threads)
+        .filter_map(|&s| spawn(g, &mut next_wid, s, &owner))
+        .collect();
+
+    loop {
+        while !live.is_empty() {
+            // Snapshot of the merge table: read-only during the round, so
+            // workers run without locks.
+            let labels: Vec<u32> =
+                (0..next_wid).map(|w| forest.find(w)).collect();
+            let results = run_round(g, &owner, &in_mst, &labels, live);
+            // Round barrier: apply merges, pool frontiers per survivor.
+            let mut collided_roots: Vec<(u32, Option<u32>, Frontier)> = Vec::new();
+            for r in results {
+                if let Some(other) = r.collided_with {
+                    forest.union(r.root, other);
+                }
+                collided_roots.push((r.root, r.collided_with, r.heap));
+            }
+            // Workers that neither collided nor have frontier left are done.
+            let mut pools: std::collections::HashMap<u32, Frontier> =
+                std::collections::HashMap::new();
+            for (root, collided, heap) in collided_roots {
+                if collided.is_none() && heap.is_empty() {
+                    continue; // tree finished its component
+                }
+                let survivor = forest.find(root);
+                let pool = pools.entry(survivor).or_default();
+                if pool.is_empty() {
+                    *pool = heap;
+                } else {
+                    pool.extend(heap);
+                }
+            }
+            live = pools.into_iter().collect();
+        }
+        // Restart on any unclaimed component (MSF inputs).
+        let Some(start) = (0..n as u32)
+            .find(|&v| owner[v as usize].load(Ordering::Acquire) == UNCLAIMED)
+        else {
+            break;
+        };
+        live = spawn(g, &mut next_wid, start, &owner).into_iter().collect();
+    }
+
+    let bitmap: Vec<bool> = in_mst.iter().map(|b| b.load(Ordering::Acquire)).collect();
+    MstResult::from_bitmap(g, bitmap)
+}
+
+/// Runs one round: every live tree grows until it empties its frontier or
+/// hits its first collision.
+fn run_round(
+    g: &CsrGraph,
+    owner: &[AtomicU32],
+    in_mst: &[AtomicBool],
+    labels: &[u32],
+    live: Vec<(u32, Frontier)>,
+) -> Vec<RoundResult> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = live
+            .into_iter()
+            .map(|(wid, mut heap)| {
+                scope.spawn(move || {
+                    let my_label = labels[wid as usize];
+                    let mut collided_with = None;
+                    while let Some(Reverse((val, dst))) = heap.pop() {
+                        match owner[dst as usize].compare_exchange(
+                            UNCLAIMED,
+                            wid,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => {
+                                // Min frontier edge into fresh territory:
+                                // an MST edge by the cut property.
+                                let (_, id) = unpack(val);
+                                in_mst[id as usize].store(true, Ordering::Release);
+                                for e in g.neighbors(dst) {
+                                    heap.push(Reverse((pack(e.weight, e.id), e.dst)));
+                                }
+                            }
+                            Err(other_wid) => {
+                                // Claimed during a previous round by our own
+                                // (merged) tree: internal edge, skip.
+                                if (other_wid as usize) < labels.len()
+                                    && labels[other_wid as usize] == my_label
+                                {
+                                    continue;
+                                }
+                                // First contact with a foreign tree: the min
+                                // crossing edge of our cut joins the MST and
+                                // this worker stops (merge at the barrier).
+                                // A claim from *this* round always belongs
+                                // to a foreign live tree (one worker per
+                                // merged tree), so no same-label check races.
+                                let (_, id) = unpack(val);
+                                in_mst[id as usize].store(true, Ordering::Release);
+                                collided_with = Some(other_wid);
+                                break;
+                            }
+                        }
+                    }
+                    RoundResult { root: wid, heap, collided_with }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::generators::*;
+    use ecl_mst::serial_kruskal;
+
+    #[test]
+    fn single_thread_matches_reference() {
+        let g = grid2d(10, 1);
+        let r = setia_prim(&g, 1, 7);
+        assert_eq!(r.in_mst, serial_kruskal(&g).in_mst);
+    }
+
+    #[test]
+    fn many_threads_match_reference() {
+        for threads in [2, 4, 8] {
+            let g = uniform_random(600, 6.0, 3);
+            let r = setia_prim(&g, threads, 11);
+            assert_eq!(r.in_mst, serial_kruskal(&g).in_mst, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_all_correct() {
+        // The schedule varies run to run; the unique MSF must not.
+        let g = preferential_attachment(500, 6, 1, 4);
+        let expected = serial_kruskal(&g);
+        for seed in 0..10 {
+            let r = setia_prim(&g, 6, seed);
+            assert_eq!(r.in_mst, expected.in_mst, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn msf_input() {
+        let g = rmat(8, 4, 5);
+        let r = setia_prim(&g, 4, 13);
+        assert_eq!(r.in_mst, serial_kruskal(&g).in_mst);
+    }
+
+    #[test]
+    fn more_threads_than_vertices() {
+        let g = grid2d(3, 2);
+        let r = setia_prim(&g, 64, 1);
+        assert_eq!(r.in_mst, serial_kruskal(&g).in_mst);
+    }
+
+    #[test]
+    fn dense_graph_many_collisions() {
+        let g = copapers(400, 16, 9);
+        let r = setia_prim(&g, 8, 2);
+        assert_eq!(r.in_mst, serial_kruskal(&g).in_mst);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = ecl_graph::GraphBuilder::new(0).build();
+        assert_eq!(setia_prim(&g, 4, 1).num_edges, 0);
+        let g = ecl_graph::GraphBuilder::new(9).build();
+        assert_eq!(setia_prim(&g, 4, 1).num_edges, 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the disjoint-set substrates: the paper's
+//! find/union mix under the different compression policies (§3.2 studies
+//! exactly this design space).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_dsu::{AtomicDsu, Compression, FindPolicy, SeqDsu, UnionPolicy};
+use rand::{Rng, SeedableRng};
+
+fn random_ops(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..m).map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))).collect()
+}
+
+fn bench_seq(c: &mut Criterion) {
+    let n = 100_000;
+    let ops = random_ops(n, 200_000, 1);
+    let mut group = c.benchmark_group("seq_dsu");
+    for compression in [
+        Compression::Full,
+        Compression::Halving,
+        Compression::Splitting,
+        Compression::None,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("union_find", format!("{compression:?}")),
+            &ops,
+            |b, ops| {
+                b.iter(|| {
+                    let mut d = SeqDsu::with_policies(n, compression, UnionPolicy::ByRank);
+                    for &(x, y) in ops {
+                        d.union(x, y);
+                    }
+                    d.num_sets()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_atomic(c: &mut Criterion) {
+    let n = 100_000;
+    let ops = random_ops(n, 200_000, 2);
+    let mut group = c.benchmark_group("atomic_dsu");
+    for policy in [
+        FindPolicy::NoCompression,
+        FindPolicy::Halving,
+        FindPolicy::IntermediatePointerJumping,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("union_find", format!("{policy:?}")),
+            &ops,
+            |b, ops| {
+                b.iter(|| {
+                    let d = AtomicDsu::new(n);
+                    for &(x, y) in ops {
+                        d.union(x, y, policy);
+                    }
+                    d.num_sets()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_seq, bench_atomic
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the graph substrate: generator throughput
+//! and CSR construction cost (the experiment binaries regenerate the suite
+//! per run, so this cost bounds their turnaround).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecl_graph::generators::*;
+use ecl_graph::io;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.bench_function("grid2d_128", |b| b.iter(|| grid2d(128, 1)));
+    group.bench_function("uniform_random_16k_d8", |b| b.iter(|| uniform_random(16_384, 8.0, 2)));
+    group.bench_function("rmat_s14_e8", |b| b.iter(|| rmat(14, 8, 3)));
+    group.bench_function("kronecker_s12_e16", |b| b.iter(|| kronecker(12, 16, 4)));
+    group.bench_function("road_map_128", |b| b.iter(|| road_map(128, 2.4, 5)));
+    group.bench_function("preferential_16k_m8", |b| {
+        b.iter(|| preferential_attachment(16_384, 8, 1, 6))
+    });
+    group.bench_function("copapers_8k", |b| b.iter(|| copapers(8_192, 28, 7)));
+    group.finish();
+}
+
+fn bench_io(c: &mut Criterion) {
+    let g = uniform_random(16_384, 8.0, 1);
+    let bytes = io::to_binary(&g);
+    let mut group = c.benchmark_group("io");
+    group.bench_function("to_binary_16k", |b| b.iter(|| io::to_binary(&g)));
+    group.bench_function("from_binary_16k", |b| b.iter(|| io::from_binary(&bytes).unwrap()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_generators, bench_io
+}
+criterion_main!(benches);

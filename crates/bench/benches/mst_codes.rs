@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of every MST code on representative twins —
+//! statistically robust wall-clock for the CPU codes plus host-side cost of
+//! driving the simulated GPU codes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_baselines::*;
+use ecl_graph::generators::{copapers, grid2d, preferential_attachment, road_map};
+use ecl_graph::CsrGraph;
+use ecl_gpu_sim::GpuProfile;
+use ecl_mst::{ecl_mst_cpu, serial_kruskal};
+
+fn inputs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("grid-64", grid2d(64, 1)),
+        ("road-64", road_map(64, 2.4, 2)),
+        ("scale-free-4k", preferential_attachment(4096, 8, 1, 3)),
+        ("copapers-2k", copapers(2048, 24, 4)),
+    ]
+}
+
+fn bench_cpu_codes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_codes");
+    for (name, g) in inputs() {
+        group.bench_with_input(BenchmarkId::new("ecl_mst_cpu", name), &g, |b, g| {
+            b.iter(|| ecl_mst_cpu(g))
+        });
+        group.bench_with_input(BenchmarkId::new("serial_kruskal", name), &g, |b, g| {
+            b.iter(|| serial_kruskal(g))
+        });
+        group.bench_with_input(BenchmarkId::new("pbbs_parallel", name), &g, |b, g| {
+            b.iter(|| pbbs_parallel(g))
+        });
+        group.bench_with_input(BenchmarkId::new("filter_kruskal", name), &g, |b, g| {
+            b.iter(|| filter_kruskal(g))
+        });
+        group.bench_with_input(BenchmarkId::new("lonestar_cpu", name), &g, |b, g| {
+            b.iter(|| lonestar_cpu(g))
+        });
+        group.bench_with_input(BenchmarkId::new("uminho_cpu", name), &g, |b, g| {
+            b.iter(|| uminho_cpu(g))
+        });
+        group.bench_with_input(BenchmarkId::new("serial_prim", name), &g, |b, g| {
+            b.iter(|| serial_prim(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gpu_sim_host_cost(c: &mut Criterion) {
+    // Host-side cost of executing the simulator (not simulated time): keeps
+    // the simulation itself fast enough for the sweep binaries.
+    let g = grid2d(48, 5);
+    c.bench_function("gpu_sim_ecl_mst_grid48", |b| {
+        b.iter(|| ecl_mst::ecl_mst_gpu(&g, GpuProfile::TITAN_V))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_cpu_codes, bench_gpu_sim_host_cost
+}
+criterion_main!(benches);

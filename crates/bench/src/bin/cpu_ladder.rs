@@ -1,0 +1,51 @@
+//! CPU-backend counterpart of Table 5: the de-optimization ladder measured
+//! as real wall-clock of the rayon implementation (the same `OptConfig`
+//! toggles drive both backends). On a many-core host this shows which of
+//! the paper's GPU optimizations also pay off on CPUs; on a single-core
+//! host it mainly isolates the algorithmic-work effects (one-direction
+//! processing, filtering, data-driven worklists).
+//!
+//! Usage: `cpu_ladder [--scale tiny|small|medium] [--repeats N]`
+
+use ecl_graph::suite;
+use ecl_mst::{deopt_ladder, ecl_mst_cpu_with};
+use ecl_mst_bench::runner::{geomean, median_time, scale_from_args, wall, Repeats};
+use ecl_mst_bench::table::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let repeats = Repeats::from_args(&args);
+    let ladder = deopt_ladder();
+
+    let entries: Vec<_> = suite(scale).into_iter().filter(|e| e.is_mst_input()).collect();
+
+    let mut header = vec!["Input".to_string()];
+    header.extend(ladder.iter().map(|(name, _)| name.to_string()));
+    let mut t = Table::new(header);
+    let mut per: Vec<Vec<f64>> = vec![Vec::new(); ladder.len()];
+    for e in &entries {
+        eprintln!("measuring {} ...", e.name);
+        let mut cells = vec![e.name.to_string()];
+        for (k, (_, cfg)) in ladder.iter().enumerate() {
+            let s = median_time(repeats, || {
+                Some(wall(|| ecl_mst_cpu_with(&e.graph, cfg)))
+            })
+            .expect("always succeeds");
+            per[k].push(s);
+            cells.push(format!("{:.1}", s * 1e3));
+        }
+        t.row(cells);
+    }
+    let mut cells = vec!["GeoMean (ms)".to_string()];
+    for times in &per {
+        cells.push(format!("{:.1}", geomean(times).expect("non-empty") * 1e3));
+    }
+    t.row(cells);
+
+    println!(
+        "CPU-backend de-optimization ladder, wall-clock milliseconds (scale {scale:?}, {} repeats)\n",
+        repeats.0
+    );
+    print!("{}", t.render());
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Figure 3** (System 1) and **Figure 4** (System 2):
+//! throughput in millions of edges per second for every code on every
+//! input, as bar charts plus the §5.2 geometric-mean summary.
+//!
+//! Usage: `fig3_4 --system 1|2 [--scale tiny|small|medium] [--repeats N]`
+
+use ecl_gpu_sim::GpuProfile;
+use ecl_mst_bench::run_throughput_figure;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let system = args
+        .iter()
+        .position(|a| a == "--system")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("1");
+    match system {
+        "1" => run_throughput_figure(
+            "Figure 3: System 1 (Titan V)",
+            GpuProfile::TITAN_V,
+            false,
+            &args,
+        ),
+        "2" => run_throughput_figure(
+            "Figure 4: System 2 (RTX 3080 Ti)",
+            GpuProfile::RTX_3080_TI,
+            true,
+            &args,
+        ),
+        other => panic!("unknown --system '{other}' (1|2)"),
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Figure 7** (relative distance from the target filtering
+//! threshold): for every input that filters, how far the 20-sample estimate
+//! lands from 3·|V| edges (the paper's stated aim), as a signed percentage.
+//!
+//! Usage: `fig7_threshold [--scale tiny|small|medium] [--seed N]`
+
+use ecl_graph::suite;
+use ecl_mst::filter::threshold_accuracy;
+use ecl_mst::OptConfig;
+use ecl_mst_bench::runner::scale_from_args;
+use ecl_mst_bench::table::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(OptConfig::full().seed);
+
+    let mut t = Table::new(["Input", "edges<thresh", "target 3|V|", "distance %"]);
+    let mut shown = 0;
+    for e in suite(scale) {
+        // c = 4 as in the code; accuracy measured against 3x as in §5.4.
+        // Inputs below the degree threshold do not filter and are skipped.
+        if let Some((below, target, pct)) = threshold_accuracy(&e.graph, 4, seed, 3) {
+            t.row([
+                e.name.to_string(),
+                below.to_string(),
+                target.to_string(),
+                format!("{pct:+.1}"),
+            ]);
+            shown += 1;
+        }
+    }
+    println!(
+        "Figure 7: relative distance from the 3x|V| filtering target (scale {scale:?}, seed {seed})\n"
+    );
+    print!("{}", t.render());
+    println!("\n{shown} of 17 inputs use filtering (average degree >= 4).");
+    println!("The paper: the estimate rarely lands more than 2x over or 0.5x under target.");
+}

@@ -1,0 +1,57 @@
+//! Regenerates the **§5.1 profiling claims**: per-kernel share of the total
+//! simulated runtime (the paper: init ≈ 40%, kernel 1 ≈ 35%, kernels 2–3
+//! ≈ 12% each) and per-input iteration counts (the paper: 4–15 launches of
+//! the computation kernels; init launched twice when filtering).
+//!
+//! Usage: `kernel_profile [--scale tiny|small|medium]`
+
+use ecl_gpu_sim::GpuProfile;
+use ecl_graph::suite;
+use ecl_mst::{ecl_mst_gpu_with, OptConfig};
+use ecl_mst_bench::runner::scale_from_args;
+use ecl_mst_bench::table::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let profile = GpuProfile::RTX_3080_TI;
+    let kernels = ["setup", "init", "kernel1", "kernel2", "kernel3"];
+
+    let mut t = Table::new([
+        "Input", "setup%", "init%", "kernel1%", "kernel2%", "kernel3%", "iters", "phases",
+    ]);
+    let mut sums = [0.0f64; 5];
+    let mut count = 0usize;
+    for e in suite(scale) {
+        let run = ecl_mst_gpu_with(&e.graph, &OptConfig::full(), profile);
+        let total: f64 = run.records.iter().map(|r| r.sim_seconds).sum();
+        let mut cells = vec![e.name.to_string()];
+        for (k, kernel) in kernels.iter().enumerate() {
+            let kt: f64 = run
+                .records
+                .iter()
+                .filter(|r| r.name == *kernel)
+                .map(|r| r.sim_seconds)
+                .sum();
+            let pct = 100.0 * kt / total;
+            sums[k] += pct;
+            cells.push(format!("{pct:.0}"));
+        }
+        cells.push(run.iterations.to_string());
+        cells.push(run.phases.to_string());
+        t.row(cells);
+        count += 1;
+    }
+    let mut mean_cells = vec!["MEAN".to_string()];
+    for s in sums {
+        mean_cells.push(format!("{:.0}", s / count as f64));
+    }
+    mean_cells.push("".to_string());
+    mean_cells.push("".to_string());
+    t.row(mean_cells);
+
+    println!("Kernel-time breakdown of ECL-MST, simulated {} (scale {scale:?})\n", profile.name);
+    print!("{}", t.render());
+    println!("\nPaper (§5.1): init ~40%, kernel1 ~35%, kernels 2 and 3 ~12% each;");
+    println!("4-15 computation-kernel launches; init launched twice when filtering.");
+}

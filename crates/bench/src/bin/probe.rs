@@ -1,0 +1,66 @@
+//! Cost-model calibration probe: prints simulated times per code and the
+//! per-kernel breakdown for a few suite graphs. Not part of the paper's
+//! experiment set — a development tool.
+
+use ecl_baselines::*;
+use ecl_graph::{suite, SuiteScale};
+use ecl_gpu_sim::GpuProfile;
+use ecl_mst::{deopt_ladder, ecl_mst_gpu_with, OptConfig};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("small") => SuiteScale::Small,
+        _ => SuiteScale::Tiny,
+    };
+    let prof = GpuProfile::TITAN_V;
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "graph", "ecl_us", "memcpy", "jucele", "gunrock", "cugraph", "uminho", "iters"
+    );
+    for e in suite(scale) {
+        let ecl = ecl_mst_gpu_with(&e.graph, &OptConfig::full(), prof);
+        let jucele = jucele_gpu(&e.graph, prof).map(|r| r.kernel_seconds).unwrap_or(f64::NAN);
+        let gunrock = gunrock_gpu(&e.graph, prof).map(|r| r.kernel_seconds).unwrap_or(f64::NAN);
+        let cg = cugraph_gpu(&e.graph, prof).kernel_seconds;
+        let um = uminho_gpu(&e.graph, prof).kernel_seconds;
+        println!(
+            "{:<18} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9}",
+            e.name,
+            ecl.kernel_seconds * 1e6,
+            ecl.memcpy_seconds * 1e6,
+            jucele * 1e6,
+            gunrock * 1e6,
+            cg * 1e6,
+            um * 1e6,
+            ecl.iterations,
+        );
+    }
+    // Kernel breakdown on one filtered + one unfiltered graph.
+    for pick in ["coPapersDBLP", "2d-2e20.sym", "r4-2e23.sym"] {
+        let e = suite(scale).into_iter().find(|e| e.name == pick).unwrap();
+        let run = ecl_mst_gpu_with(&e.graph, &OptConfig::full(), prof);
+        let total: f64 = run.records.iter().map(|r| r.sim_seconds).sum();
+        print!("{pick}: ");
+        let mut acc: Vec<(String, f64)> = Vec::new();
+        for r in &run.records {
+            match acc.iter_mut().find(|(n, _)| *n == r.name) {
+                Some((_, t)) => *t += r.sim_seconds,
+                None => acc.push((r.name.clone(), r.sim_seconds)),
+            }
+        }
+        for (name, t) in acc {
+            print!("{name}={:.0}% ", 100.0 * t / total);
+        }
+        println!();
+    }
+    // Deopt ladder geomean on MST inputs.
+    let entries: Vec<_> = suite(scale).into_iter().filter(|e| e.paper.ccs == 1).collect();
+    for (name, cfg) in deopt_ladder() {
+        let times: Vec<f64> = entries
+            .iter()
+            .map(|e| ecl_mst_gpu_with(&e.graph, &cfg, prof).kernel_seconds)
+            .collect();
+        let gm = (times.iter().map(|t| t.ln()).sum::<f64>() / times.len() as f64).exp();
+        println!("{name:<22} geomean {:.1} us", gm * 1e6);
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Table 2** (information about the input graphs): the
+//! properties of the synthetic twins side by side with the paper's
+//! reference values for the originals.
+//!
+//! Usage: `table2 [--scale tiny|small|medium]`
+
+use ecl_graph::stats::GraphStats;
+use ecl_graph::suite;
+use ecl_mst_bench::runner::scale_from_args;
+use ecl_mst_bench::table::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let mut t = Table::new([
+        "Graph Name",
+        "Edges",
+        "Vertices",
+        "Type",
+        "CCs",
+        "d-avg",
+        "d-max",
+        "paper-Edges",
+        "paper-CCs",
+        "paper-d-avg",
+    ]);
+    for e in suite(scale) {
+        let s = GraphStats::compute(&e.graph);
+        t.row([
+            e.name.to_string(),
+            s.arcs.to_string(),
+            s.vertices.to_string(),
+            e.kind.to_string(),
+            s.connected_components.to_string(),
+            format!("{:.1}", s.avg_degree),
+            s.max_degree.to_string(),
+            e.paper.arcs.to_string(),
+            e.paper.ccs.to_string(),
+            format!("{:.1}", e.paper.d_avg),
+        ]);
+    }
+    println!("Table 2: input graphs at scale {scale:?} (twin vs paper original)\n");
+    print!("{}", t.render());
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Table 3** (System 1 / Titan V computation times in
+//! seconds): every code of Table 1 on all 17 inputs, with the MSF and MST
+//! geometric-mean rows. GPU codes report simulated seconds from the Titan V
+//! cost profile; CPU codes report real wall-clock on this host.
+//!
+//! Usage: `table3 [--scale tiny|small|medium] [--repeats N] [--csv]`
+
+use ecl_gpu_sim::GpuProfile;
+use ecl_mst_bench::{run_system_table, SystemTableArgs};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_system_table(SystemTableArgs {
+        title: "Table 3: System 1 (Titan V) computation times in seconds",
+        profile: GpuProfile::TITAN_V,
+        with_cugraph: false, // "cuGraph is incompatible with System 1"
+        args,
+    });
+}

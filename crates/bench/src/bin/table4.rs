@@ -1,0 +1,18 @@
+//! Regenerates **Table 4** (System 2 / RTX 3080 Ti computation times in
+//! seconds), including the cuGraph column that only runs on System 2 in the
+//! paper.
+//!
+//! Usage: `table4 [--scale tiny|small|medium] [--repeats N] [--csv]`
+
+use ecl_gpu_sim::GpuProfile;
+use ecl_mst_bench::{run_system_table, SystemTableArgs};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_system_table(SystemTableArgs {
+        title: "Table 4: System 2 (RTX 3080 Ti) computation times in seconds",
+        profile: GpuProfile::RTX_3080_TI,
+        with_cugraph: true,
+        args,
+    });
+}

@@ -1,0 +1,74 @@
+//! Regenerates **Table 5** (computation times when gradually removing
+//! performance optimizations): the nine-rung cumulative de-optimization
+//! ladder on the single-component inputs, System 2 profile (the paper only
+//! presents System 2 "as it has the faster GPU").
+//!
+//! Usage: `table5 [--scale tiny|small|medium] [--repeats N] [--csv]`
+
+use ecl_gpu_sim::GpuProfile;
+use ecl_mst::{deopt_ladder, ecl_mst_gpu_with};
+use ecl_mst_bench::runner::{geomean, median_time, scale_from_args, Repeats};
+use ecl_mst_bench::table::Table;
+use ecl_graph::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let repeats = Repeats::from_args(&args);
+    let profile = GpuProfile::RTX_3080_TI;
+    let ladder = deopt_ladder();
+
+    let entries: Vec<_> = suite(scale)
+        .into_iter()
+        .filter(|e| e.is_mst_input()) // Table 5 shows only single-CC inputs
+        .collect();
+
+    let mut header = vec!["Input".to_string()];
+    header.extend(ladder.iter().map(|(name, _)| name.to_string()));
+    let mut t = Table::new(header);
+
+    let mut per_rung: Vec<Vec<f64>> = vec![Vec::new(); ladder.len()];
+    for e in &entries {
+        eprintln!("measuring {} ...", e.name);
+        let mut cells = vec![e.name.to_string()];
+        for (r, (_, cfg)) in ladder.iter().enumerate() {
+            let s = median_time(repeats, || {
+                Some(ecl_mst_gpu_with(&e.graph, cfg, profile).kernel_seconds)
+            })
+            .expect("deopt variants handle every input");
+            per_rung[r].push(s);
+            cells.push(format!("{s:.6}"));
+        }
+        t.row(cells);
+    }
+    let mut cells = vec!["MST GeoMean".to_string()];
+    for times in &per_rung {
+        cells.push(format!("{:.6}", geomean(times).expect("non-empty")));
+    }
+    t.row(cells);
+
+    println!(
+        "Table 5: de-optimization ladder, simulated {} (scale {scale:?}, {} repeats)\n",
+        profile.name, repeats.0
+    );
+    if args.iter().any(|x| x == "--csv") {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+
+    // §5.3-style per-step percentage summary.
+    println!("\nAdded runtime per removed optimization (geomean):");
+    let gm: Vec<f64> = per_rung.iter().map(|ts| geomean(ts).unwrap()).collect();
+    for i in 1..gm.len() {
+        println!(
+            "  {:<22} {:>+6.0}%",
+            ladder[i].0,
+            100.0 * (gm[i] / gm[i - 1] - 1.0)
+        );
+    }
+    println!(
+        "  all optimizations together: {:.1}x speedup",
+        gm[gm.len() - 1] / gm[0]
+    );
+}

@@ -1,0 +1,48 @@
+//! Worklist-decay analysis: §3.1 motivates the unified parallelization with
+//! Borůvka's "exponentially decreasing parallelism" and argues ECL-MST's
+//! chunked processing "either includes many edges in the MST or discards
+//! many edges from consideration in each iteration". This binary prints the
+//! per-iteration worklist sizes (the kernel-1 task counts from the device's
+//! kernel log) so that decay is visible input by input.
+//!
+//! Usage: `worklist_decay [--scale tiny|small|medium]`
+
+use ecl_gpu_sim::GpuProfile;
+use ecl_graph::suite;
+use ecl_mst::{ecl_mst_gpu_with, OptConfig};
+use ecl_mst_bench::chart::bar_chart;
+use ecl_mst_bench::runner::scale_from_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    println!("Worklist size per kernel-1 iteration (scale {scale:?})\n");
+    for e in suite(scale) {
+        let run = ecl_mst_gpu_with(&e.graph, &OptConfig::full(), GpuProfile::RTX_3080_TI);
+        let sizes: Vec<u64> = run
+            .records
+            .iter()
+            .filter(|r| r.name == "kernel1")
+            .map(|r| r.stats.tasks)
+            .collect();
+        println!(
+            "== {} ({} edges, {} phase{}) ==",
+            e.name,
+            e.graph.num_edges(),
+            run.phases,
+            if run.phases == 1 { "" } else { "s" }
+        );
+        let series: Vec<(String, f64)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (format!("iter {:>2}", i + 1), s as f64))
+            .collect();
+        print!("{}", bar_chart(&series, 46, "edges"));
+        // Per-iteration survival ratio: how much of the list lives on.
+        let ratios: Vec<String> = sizes
+            .windows(2)
+            .map(|w| format!("{:.0}%", 100.0 * w[1] as f64 / w[0].max(1) as f64))
+            .collect();
+        println!("survival per step: {}\n", ratios.join(" "));
+    }
+}

@@ -1,0 +1,111 @@
+//! ASCII bar charts and box plots for the figure regenerators (Figures 3–7
+//! are bar/box charts in the paper; the binaries render the same series as
+//! text so the output is self-contained).
+
+/// Renders a horizontal bar chart: one labeled bar per `(label, value)`,
+/// scaled to `width` characters at the maximum value.
+pub fn bar_chart(series: &[(String, f64)], width: usize, unit: &str) -> String {
+    let max = series.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let label_w = series.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in series {
+        let filled = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{:<label_w$} |{:<width$}| {:>10.1} {unit}\n",
+            label,
+            "#".repeat(filled.min(width)),
+            value,
+        ));
+    }
+    out
+}
+
+/// Five-number summary used by the box plots (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNum {
+    /// Minimum (bottom whisker).
+    pub min: f64,
+    /// First quartile (box bottom).
+    pub q1: f64,
+    /// Median (box line).
+    pub median: f64,
+    /// Third quartile (box top).
+    pub q3: f64,
+    /// Maximum (top whisker).
+    pub max: f64,
+}
+
+/// Computes the five-number summary of a non-empty sample.
+pub fn five_num(samples: &[f64]) -> FiveNum {
+    assert!(!samples.is_empty());
+    let mut xs = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q = |p: f64| -> f64 {
+        let idx = p * (xs.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        xs[lo] * (1.0 - frac) + xs[hi] * frac
+    };
+    FiveNum { min: xs[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: *xs.last().unwrap() }
+}
+
+/// Renders one box-plot row: `min [q1 | median | q3] max`.
+pub fn box_row(label: &str, f: &FiveNum, unit: &str) -> String {
+    format!(
+        "{label:<18} min {:>9.1}  q1 {:>9.1}  med {:>9.1}  q3 {:>9.1}  max {:>9.1} {unit}",
+        f.min, f.q1, f.median, f.q3, f.max
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = bar_chart(
+            &[("a".into(), 10.0), ("bb".into(), 5.0)],
+            20,
+            "Medges/s",
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].matches('#').count() == 20);
+        assert!(lines[1].matches('#').count() == 10);
+    }
+
+    #[test]
+    fn five_num_of_known_sample() {
+        let f = five_num(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.median, 3.0);
+        assert_eq!(f.max, 5.0);
+        assert_eq!(f.q1, 2.0);
+        assert_eq!(f.q3, 4.0);
+    }
+
+    #[test]
+    fn five_num_single_sample() {
+        let f = five_num(&[7.0]);
+        assert_eq!(f.min, 7.0);
+        assert_eq!(f.max, 7.0);
+        assert_eq!(f.median, 7.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn five_num_rejects_empty() {
+        five_num(&[]);
+    }
+
+    #[test]
+    fn box_row_contains_label() {
+        let f = five_num(&[1.0, 2.0]);
+        assert!(box_row("coPapersDBLP", &f, "Medges/s").contains("coPapersDBLP"));
+    }
+}

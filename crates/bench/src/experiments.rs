@@ -1,0 +1,211 @@
+//! Shared experiment drivers for the table/figure binaries.
+
+use crate::chart::bar_chart;
+use crate::registry::{all_codes, MstCode, Timing};
+use crate::runner::{geomean, median_time, scale_from_args, Repeats};
+use crate::table::{fmt_geomean, fmt_timing, Table};
+use ecl_graph::{suite, SuiteEntry};
+use ecl_gpu_sim::GpuProfile;
+
+/// Full measurement matrix: per input, per code, a [`Timing`].
+pub struct Matrix {
+    /// Suite entries, in Table 2 order.
+    pub entries: Vec<SuiteEntry>,
+    /// Code column names.
+    pub code_names: Vec<&'static str>,
+    /// `cells[input][code]`.
+    pub cells: Vec<Vec<Timing>>,
+}
+
+/// Measures every code on every suite input (median of `repeats`).
+pub fn measure_matrix(
+    profile: GpuProfile,
+    with_cugraph: bool,
+    scale: ecl_graph::SuiteScale,
+    repeats: Repeats,
+) -> Matrix {
+    let codes: Vec<MstCode> = all_codes(with_cugraph);
+    let entries = suite(scale);
+    let mut cells = Vec::with_capacity(entries.len());
+    for e in &entries {
+        eprintln!("measuring {} ...", e.name);
+        let row: Vec<Timing> = codes
+            .iter()
+            .map(|code| {
+                match median_time(repeats, || (code.run)(&e.graph, profile).ok()) {
+                    Some(s) => Timing::Seconds(s),
+                    None => Timing::NotConnected,
+                }
+            })
+            .collect();
+        cells.push(row);
+    }
+    Matrix {
+        entries,
+        code_names: codes.iter().map(|c| c.name).collect(),
+        cells,
+    }
+}
+
+impl Matrix {
+    /// Geometric mean over all inputs for a code column (`None` if any cell
+    /// is NC — matching the paper's "MSF GeoMean" NC cells).
+    pub fn msf_geomean(&self, code: usize) -> Option<f64> {
+        let times: Option<Vec<f64>> =
+            self.cells.iter().map(|row| row[code].seconds()).collect();
+        times.as_deref().and_then(geomean)
+    }
+
+    /// Geometric mean over the single-component (MST) inputs only.
+    pub fn mst_geomean(&self, code: usize) -> Option<f64> {
+        let times: Option<Vec<f64>> = self
+            .cells
+            .iter()
+            .zip(&self.entries)
+            .filter(|(_, e)| e.is_mst_input())
+            .map(|(row, _)| row[code].seconds())
+            .collect();
+        times.as_deref().and_then(geomean)
+    }
+}
+
+/// Arguments for the Table 3/4 binaries.
+pub struct SystemTableArgs {
+    /// Printed title.
+    pub title: &'static str,
+    /// GPU cost profile for the simulated codes.
+    pub profile: GpuProfile,
+    /// Include the cuGraph column (System 2 only in the paper).
+    pub with_cugraph: bool,
+    /// Raw CLI arguments.
+    pub args: Vec<String>,
+}
+
+/// Runs a full system comparison and prints the paper-style table.
+pub fn run_system_table(a: SystemTableArgs) {
+    let scale = scale_from_args(&a.args);
+    let repeats = Repeats::from_args(&a.args);
+    let m = measure_matrix(a.profile, a.with_cugraph, scale, repeats);
+
+    let mut header = vec!["Input".to_string()];
+    header.extend(m.code_names.iter().map(|s| s.to_string()));
+    let mut t = Table::new(header);
+    for (e, row) in m.entries.iter().zip(&m.cells) {
+        let mut cells = vec![e.name.to_string()];
+        cells.extend(row.iter().map(fmt_timing));
+        t.row(cells);
+    }
+    for (label, f) in [
+        ("MSF GeoMean", Matrix::msf_geomean as fn(&Matrix, usize) -> Option<f64>),
+        ("MST GeoMean", Matrix::mst_geomean),
+    ] {
+        let mut cells = vec![label.to_string()];
+        cells.extend((0..m.code_names.len()).map(|c| fmt_geomean(f(&m, c))));
+        t.row(cells);
+    }
+    println!("{} (scale {scale:?}, {} repeats)\n", a.title, repeats.0);
+    if a.args.iter().any(|x| x == "--csv") {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+    print_winner_summary(&m);
+}
+
+fn print_winner_summary(m: &Matrix) {
+    // Headline claims: ECL-MST fastest on every input; speedup factors.
+    let ecl = 0usize;
+    let mut wins = 0usize;
+    for row in &m.cells {
+        let ecl_t = row[ecl].seconds().expect("ECL handles every input");
+        let best_other = row
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != ecl)
+            .filter_map(|(_, t)| t.seconds())
+            .fold(f64::INFINITY, f64::min);
+        if ecl_t <= best_other {
+            wins += 1;
+        }
+    }
+    println!("\nECL-MST fastest on {wins}/{} inputs", m.cells.len());
+    for (c, name) in m.code_names.iter().enumerate().skip(1) {
+        if let (Some(ecl_g), Some(other_g)) = (m.msf_geomean(0), m.msf_geomean(c)) {
+            println!("  vs {name:<16} {:>6.1}x (MSF geomean)", other_g / ecl_g);
+        } else if let (Some(ecl_g), Some(other_g)) = (m.mst_geomean(0), m.mst_geomean(c)) {
+            println!("  vs {name:<16} {:>6.1}x (MST geomean; NC on MSF inputs)", other_g / ecl_g);
+        }
+    }
+}
+
+/// Runs the throughput figures (Figures 3 and 4): millions of edges per
+/// second per code per input, as labeled bar charts.
+pub fn run_throughput_figure(title: &str, profile: GpuProfile, with_cugraph: bool, args: &[String]) {
+    let scale = scale_from_args(args);
+    let repeats = Repeats::from_args(args);
+    let m = measure_matrix(profile, with_cugraph, scale, repeats);
+    println!("{title} (scale {scale:?}): throughput in millions of edges per second\n");
+    for (e, row) in m.entries.iter().zip(&m.cells) {
+        println!("== {} ({} arcs) ==", e.name, e.graph.num_arcs());
+        let series: Vec<(String, f64)> = m
+            .code_names
+            .iter()
+            .zip(row)
+            .filter_map(|(name, t)| {
+                t.seconds()
+                    .map(|s| (name.to_string(), e.graph.num_arcs() as f64 / s / 1e6))
+            })
+            .collect();
+        print!("{}", bar_chart(&series, 50, "Medges/s"));
+        println!();
+    }
+    // Geomean throughput summary like §5.2.
+    for (c, name) in m.code_names.iter().enumerate() {
+        let msf: Vec<f64> = m
+            .entries
+            .iter()
+            .zip(&m.cells)
+            .filter_map(|(e, row)| row[c].seconds().map(|s| e.graph.num_arcs() as f64 / s / 1e6))
+            .collect();
+        if msf.len() == m.entries.len() {
+            if let Some(g) = geomean(&msf) {
+                println!("{name:<16} geomean throughput {g:>10.1} Medges/s");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::SuiteScale;
+
+    #[test]
+    fn matrix_has_full_shape() {
+        let m = measure_matrix(GpuProfile::TITAN_V, true, SuiteScale::Tiny, Repeats(1));
+        assert_eq!(m.entries.len(), 17);
+        assert_eq!(m.code_names.len(), 10);
+        for row in &m.cells {
+            assert_eq!(row.len(), 10);
+        }
+    }
+
+    #[test]
+    fn nc_cells_exactly_on_msf_inputs() {
+        let m = measure_matrix(GpuProfile::TITAN_V, false, SuiteScale::Tiny, Repeats(1));
+        let jucele = m.code_names.iter().position(|n| *n == "Jucele GPU").unwrap();
+        for (e, row) in m.entries.iter().zip(&m.cells) {
+            let nc = row[jucele].seconds().is_none();
+            assert_eq!(nc, !e.is_mst_input(), "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn geomeans_defined_correctly() {
+        let m = measure_matrix(GpuProfile::TITAN_V, false, SuiteScale::Tiny, Repeats(1));
+        let jucele = m.code_names.iter().position(|n| *n == "Jucele GPU").unwrap();
+        assert!(m.msf_geomean(0).is_some(), "ECL has an MSF geomean");
+        assert!(m.msf_geomean(jucele).is_none(), "Jucele MSF geomean is NC");
+        assert!(m.mst_geomean(jucele).is_some(), "Jucele MST geomean exists");
+    }
+}

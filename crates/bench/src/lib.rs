@@ -1,0 +1,17 @@
+//! Experiment harness for the ECL-MST reproduction.
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index); this library holds the shared machinery: code registry, repeated
+//! timing with median selection ("We repeated each experiment 9 times ...
+//! and report the median computation time"), geometric means over MSF/MST
+//! inputs, and plain-text table/chart rendering.
+
+pub mod chart;
+pub mod experiments;
+pub mod registry;
+pub mod runner;
+pub mod table;
+
+pub use experiments::{measure_matrix, run_system_table, run_throughput_figure, Matrix, SystemTableArgs};
+pub use registry::{all_codes, CodeKind, MstCode, Timing};
+pub use runner::{geomean, median_time, wall, Repeats};

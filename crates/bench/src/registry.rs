@@ -1,0 +1,156 @@
+//! The registry of MST codes measured by the experiment binaries — the
+//! analogue of Table 1 plus our own code's two variants.
+
+use ecl_baselines as b;
+use ecl_graph::CsrGraph;
+use ecl_gpu_sim::GpuProfile;
+use ecl_mst::{ecl_mst_gpu_with, MstError, OptConfig};
+
+/// Execution domain of a code (determines how it is timed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeKind {
+    /// Simulated-GPU code: timed by the device's simulated clock.
+    Gpu,
+    /// Simulated-GPU code including graph/result transfer time.
+    GpuWithMemcpy,
+    /// Host code (parallel or serial): timed by real wall-clock.
+    Cpu,
+}
+
+/// Signature of a single timed run: input graph + GPU profile in, seconds
+/// out (or the paper's "NC").
+pub type RunFn = Box<dyn Fn(&CsrGraph, GpuProfile) -> Result<f64, MstError> + Sync>;
+
+/// A timing outcome for one (code, input) cell.
+#[derive(Debug, Clone, Copy)]
+pub enum Timing {
+    /// Seconds (simulated for GPU codes, measured for CPU codes).
+    Seconds(f64),
+    /// The paper's "NC": the code cannot handle multi-component inputs.
+    NotConnected,
+}
+
+impl Timing {
+    /// The seconds, if the run succeeded.
+    pub fn seconds(&self) -> Option<f64> {
+        match self {
+            Timing::Seconds(s) => Some(*s),
+            Timing::NotConnected => None,
+        }
+    }
+}
+
+/// One measurable MST code.
+pub struct MstCode {
+    /// Column name as it appears in the paper's tables.
+    pub name: &'static str,
+    /// Execution domain.
+    pub kind: CodeKind,
+    /// Runs the code once and returns its timing (verification happens in
+    /// the test suite, not the timed path — as in the paper).
+    pub run: RunFn,
+}
+
+/// Builds the full registry in the column order of Tables 3/4. `cugraph`
+/// toggles the cuGraph column (System 2 only in the paper).
+pub fn all_codes(cugraph: bool) -> Vec<MstCode> {
+    let mut codes: Vec<MstCode> = vec![
+        MstCode {
+            name: "ECL-MST",
+            kind: CodeKind::Gpu,
+            run: Box::new(|g, p| {
+                Ok(ecl_mst_gpu_with(g, &OptConfig::full(), p).kernel_seconds)
+            }),
+        },
+        MstCode {
+            name: "ECL-MST memcpy",
+            kind: CodeKind::GpuWithMemcpy,
+            run: Box::new(|g, p| {
+                let r = ecl_mst_gpu_with(g, &OptConfig::full(), p);
+                Ok(r.kernel_seconds + r.memcpy_seconds)
+            }),
+        },
+        MstCode {
+            name: "Jucele GPU",
+            kind: CodeKind::Gpu,
+            run: Box::new(|g, p| Ok(b::jucele_gpu(g, p)?.kernel_seconds)),
+        },
+        MstCode {
+            name: "Gunrock GPU",
+            kind: CodeKind::Gpu,
+            run: Box::new(|g, p| Ok(b::gunrock_gpu(g, p)?.kernel_seconds)),
+        },
+    ];
+    if cugraph {
+        codes.push(MstCode {
+            name: "cuGraph GPU",
+            kind: CodeKind::Gpu,
+            run: Box::new(|g, p| Ok(b::cugraph_gpu(g, p).kernel_seconds)),
+        });
+    }
+    codes.extend([
+        MstCode {
+            name: "UMinho GPU",
+            kind: CodeKind::Gpu,
+            run: Box::new(|g, p| Ok(b::uminho_gpu(g, p).kernel_seconds)),
+        },
+        MstCode {
+            name: "Lonestar CPU",
+            kind: CodeKind::Cpu,
+            run: Box::new(|g, _| Ok(crate::runner::wall(|| b::lonestar_cpu(g)))),
+        },
+        MstCode {
+            name: "PBBS CPU",
+            kind: CodeKind::Cpu,
+            run: Box::new(|g, _| Ok(crate::runner::wall(|| b::pbbs_parallel(g)))),
+        },
+        MstCode {
+            name: "UMinho CPU",
+            kind: CodeKind::Cpu,
+            run: Box::new(|g, _| Ok(crate::runner::wall(|| b::uminho_cpu(g)))),
+        },
+        MstCode {
+            name: "PBBS Ser.",
+            kind: CodeKind::Cpu,
+            run: Box::new(|g, _| Ok(crate::runner::wall(|| b::pbbs_serial(g)))),
+        },
+    ]);
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::generators::grid2d;
+
+    #[test]
+    fn registry_matches_table_columns() {
+        // Table 3 has 9 code columns; Table 4 adds cuGraph for 10.
+        assert_eq!(all_codes(false).len(), 9);
+        assert_eq!(all_codes(true).len(), 10);
+        assert_eq!(all_codes(true)[4].name, "cuGraph GPU");
+    }
+
+    #[test]
+    fn every_code_times_a_connected_graph() {
+        let g = grid2d(8, 1);
+        for code in all_codes(true) {
+            let t = (code.run)(&g, GpuProfile::TITAN_V)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", code.name));
+            assert!(t > 0.0, "{}", code.name);
+        }
+    }
+
+    #[test]
+    fn mst_only_codes_error_on_forests() {
+        let g = ecl_graph::generators::rmat(8, 4, 1);
+        for code in all_codes(true) {
+            let r = (code.run)(&g, GpuProfile::TITAN_V);
+            if code.name == "Jucele GPU" || code.name == "Gunrock GPU" {
+                assert!(r.is_err(), "{} should be NC", code.name);
+            } else {
+                assert!(r.is_ok(), "{} should handle MSF", code.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Timing helpers.
+
+use std::time::Instant;
+
+/// How many repetitions to run per (code, input) cell. The paper uses 9;
+/// the binaries accept `--repeats N` to trade accuracy for turnaround.
+#[derive(Debug, Clone, Copy)]
+pub struct Repeats(pub usize);
+
+impl Default for Repeats {
+    fn default() -> Self {
+        Repeats(9)
+    }
+}
+
+impl Repeats {
+    /// Parses `--repeats N` from an argument list (defaults to 9).
+    pub fn from_args(args: &[String]) -> Self {
+        args.iter()
+            .position(|a| a == "--repeats")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .map(Repeats)
+            .unwrap_or_default()
+    }
+}
+
+/// Parses `--scale tiny|small|medium` (default small) from arguments.
+pub fn scale_from_args(args: &[String]) -> ecl_graph::SuiteScale {
+    use ecl_graph::SuiteScale::*;
+    match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("tiny") => Tiny,
+        Some("medium") => Medium,
+        Some("small") | None => Small,
+        Some(other) => panic!("unknown --scale '{other}' (tiny|small|medium)"),
+    }
+}
+
+/// Wall-clock seconds of one invocation (for the real CPU codes).
+pub fn wall<T>(f: impl FnOnce() -> T) -> f64 {
+    let start = Instant::now();
+    let out = f();
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(out);
+    secs
+}
+
+/// Runs `f` `repeats` times and returns the median of the reported seconds
+/// (the paper's protocol), or `None` if any run declines (NC).
+pub fn median_time(repeats: Repeats, mut f: impl FnMut() -> Option<f64>) -> Option<f64> {
+    let mut times = Vec::with_capacity(repeats.0);
+    for _ in 0..repeats.0.max(1) {
+        times.push(f()?);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    Some(times[times.len() / 2])
+}
+
+/// Geometric mean of positive values; `None` when empty.
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_picks_middle() {
+        let mut seq = [5.0, 1.0, 3.0].into_iter();
+        let m = median_time(Repeats(3), || seq.next());
+        assert_eq!(m, Some(3.0));
+    }
+
+    #[test]
+    fn median_propagates_nc() {
+        let mut calls = 0;
+        let m = median_time(Repeats(5), || {
+            calls += 1;
+            None
+        });
+        assert_eq!(m, None);
+        assert_eq!(calls, 1, "should stop on first NC");
+    }
+
+    #[test]
+    fn geomean_of_known_values() {
+        let g = geomean(&[1.0, 100.0]).unwrap();
+        assert!((g - 10.0).abs() < 1e-9);
+        assert!(geomean(&[]).is_none());
+    }
+
+    #[test]
+    fn wall_measures_something() {
+        let t = wall(|| std::thread::sleep(std::time::Duration::from_millis(5)));
+        assert!(t >= 0.004);
+    }
+
+    #[test]
+    fn repeats_parses_args() {
+        let args: Vec<String> = ["--repeats", "3"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(Repeats::from_args(&args).0, 3);
+        assert_eq!(Repeats::from_args(&[]).0, 9);
+    }
+}

@@ -1,0 +1,122 @@
+//! Plain-text table rendering in the style of the paper's Tables 2–5, plus
+//! CSV output matching the artifact's `generate_*_tables.py` products.
+
+use crate::registry::Timing;
+
+/// A rendered table: header row plus body rows of equal arity.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders with aligned columns (first column left, rest right).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], out: &mut String| {
+            for (i, cell) in row.iter().enumerate() {
+                if i == 0 {
+                    out.push_str(&format!("{:<w$}", cell, w = widths[0]));
+                } else {
+                    out.push_str(&format!("  {:>w$}", cell, w = widths[i]));
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV (the artifact's output format).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a timing cell like the paper: seconds with 4 decimals, or "NC".
+pub fn fmt_timing(t: &Timing) -> String {
+    match t {
+        Timing::Seconds(s) => format!("{s:.6}"),
+        Timing::NotConnected => "NC".to_string(),
+    }
+}
+
+/// Formats an optional geomean cell ("NC" when a column had any NC input).
+pub fn fmt_geomean(g: Option<f64>) -> String {
+    match g {
+        Some(s) => format!("{s:.6}"),
+        None => "NC".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["Input", "A", "B"]);
+        t.row(["grid", "1.5", "22.25"]);
+        t.row(["road-very-long-name", "0.1", "3"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Input"));
+        assert!(lines[2].starts_with("grid"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_mismatched_rows() {
+        let mut t = Table::new(["A", "B"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new(["A", "B"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "A,B\n1,2\n");
+    }
+
+    #[test]
+    fn timing_formats() {
+        assert_eq!(fmt_timing(&Timing::NotConnected), "NC");
+        assert!(fmt_timing(&Timing::Seconds(0.5)).starts_with("0.5000"));
+        assert_eq!(fmt_geomean(None), "NC");
+    }
+}

@@ -1,0 +1,50 @@
+//! Property tests: the simulated-GPU connected components must agree with
+//! the host union-find labeling on arbitrary graphs.
+
+use ecl_cc::connected_components_gpu;
+use ecl_graph::stats::{component_labels, connected_components};
+use ecl_graph::{CsrGraph, GraphBuilder};
+use ecl_gpu_sim::GpuProfile;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (1usize..100).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..250).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v, 1);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn canonical(labels: &[u32]) -> Vec<u32> {
+    let mut rename = std::collections::HashMap::new();
+    labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| *rename.entry(l).or_insert(i as u32))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn gpu_cc_matches_host_partition(g in arb_graph()) {
+        let run = connected_components_gpu(&g, GpuProfile::TITAN_V);
+        prop_assert_eq!(run.num_components, connected_components(&g));
+        prop_assert_eq!(canonical(&run.labels), canonical(&component_labels(&g)));
+    }
+
+    #[test]
+    fn labels_are_component_minimum(g in arb_graph()) {
+        let run = connected_components_gpu(&g, GpuProfile::TITAN_V);
+        for (v, &l) in run.labels.iter().enumerate() {
+            // The label must be the smallest vertex id in the class.
+            prop_assert!(l as usize <= v);
+            prop_assert_eq!(run.labels[l as usize], l, "label of a label is itself");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Optimization toggles and the Table 5 de-optimization ladder.
+
+/// Which of the paper's eight performance optimizations are enabled.
+///
+/// The default configuration is the fully-optimized ECL-MST. Each field maps
+/// to one row of Table 5 / one bar group of Figure 5; the
+/// [`deopt_ladder`] function reproduces the paper's *cumulative* removal
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Check with a plain load whether an `atomicMin` could lower the value
+    /// before issuing it (removed in "No Atomic Guards").
+    pub atomic_guards: bool,
+    /// Hybrid parallelization: vertices with degree ≥ 4 are processed by a
+    /// whole warp, others by a single thread (removed in "Thread-Based").
+    pub hybrid_warp: bool,
+    /// Single filtering step for graphs with average degree ≥
+    /// [`Self::filter_c`] (removed in "No Filter").
+    pub filtering: bool,
+    /// Implicit path compression: worklist entries carry the representatives
+    /// instead of the original endpoints. When removed ("No Implicit Path
+    /// Compression"), endpoints stay raw and finds use explicit GPU
+    /// path halving.
+    pub implicit_compression: bool,
+    /// Process each undirected edge in only one direction (`v < n`);
+    /// removed in "Both Edge Directions".
+    pub one_direction: bool,
+    /// Store worklist entries as 16-byte 4-tuples (AoS) instead of four
+    /// separate arrays (removed in "No Tuples").
+    pub tuples: bool,
+    /// Data-driven: only edges on the worklist are processed. When removed
+    /// ("Topology-Driven"), every kernel rescans all graph edges each
+    /// iteration.
+    pub data_driven: bool,
+    /// Edge-centric work assignment (one edge per thread). When removed
+    /// ("Vertex-Centric"), each thread owns a vertex and processes all of
+    /// its edges.
+    pub edge_centric: bool,
+    /// The `c` in the filtering heuristic: aim to process the `c·|V|`
+    /// lightest edges in phase 1; no filtering below average degree `c`.
+    pub filter_c: u32,
+    /// Seed for the 20-edge filter-threshold sample (§5.4 varies this).
+    pub seed: u64,
+    /// Degree at which the hybrid init kernel hands a vertex to a whole
+    /// warp instead of a single thread (the paper's `d(v) < 4` branch).
+    pub warp_degree_threshold: usize,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        Self {
+            atomic_guards: true,
+            hybrid_warp: true,
+            filtering: true,
+            implicit_compression: true,
+            one_direction: true,
+            tuples: true,
+            data_driven: true,
+            edge_centric: true,
+            filter_c: 4,
+            seed: 0x1234_5678,
+            warp_degree_threshold: 4,
+        }
+    }
+}
+
+impl OptConfig {
+    /// Fully-optimized ECL-MST.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Same configuration with a different filter-sampling seed (Fig. 6).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The cumulative de-optimization ladder of Table 5 / Figure 5: each step
+/// removes one more optimization than the previous, in the paper's order.
+pub fn deopt_ladder() -> Vec<(&'static str, OptConfig)> {
+    let mut cfg = OptConfig::full();
+    let mut ladder = vec![("ECL-MST", cfg)];
+    cfg.atomic_guards = false;
+    ladder.push(("No Atomic Guards", cfg));
+    cfg.hybrid_warp = false;
+    ladder.push(("Thread-Based", cfg));
+    cfg.filtering = false;
+    ladder.push(("No Filter", cfg));
+    cfg.implicit_compression = false;
+    ladder.push(("No Impl. Path Compr.", cfg));
+    cfg.one_direction = false;
+    ladder.push(("Both Edge Dir.", cfg));
+    cfg.tuples = false;
+    ladder.push(("No Tuples", cfg));
+    cfg.data_driven = false;
+    ladder.push(("Topology-Driven", cfg));
+    cfg.edge_centric = false;
+    ladder.push(("Vertex-Centric", cfg));
+    ladder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fully_optimized() {
+        let c = OptConfig::default();
+        assert!(c.atomic_guards && c.hybrid_warp && c.filtering);
+        assert!(c.implicit_compression && c.one_direction && c.tuples);
+        assert!(c.data_driven && c.edge_centric);
+        assert_eq!(c.filter_c, 4);
+    }
+
+    #[test]
+    fn ladder_has_nine_rungs_matching_table5() {
+        let l = deopt_ladder();
+        assert_eq!(l.len(), 9);
+        assert_eq!(l[0].0, "ECL-MST");
+        assert_eq!(l[8].0, "Vertex-Centric");
+    }
+
+    #[test]
+    fn ladder_is_cumulative() {
+        let l = deopt_ladder();
+        // Each step keeps earlier removals: the last rung has everything off.
+        let last = l[8].1;
+        assert!(!last.atomic_guards && !last.hybrid_warp && !last.filtering);
+        assert!(!last.implicit_compression && !last.one_direction && !last.tuples);
+        assert!(!last.data_driven && !last.edge_centric);
+        // And intermediate steps retain prior removals.
+        assert!(!l[3].1.atomic_guards);
+        assert!(!l[3].1.hybrid_warp);
+        assert!(!l[3].1.filtering);
+        assert!(l[3].1.implicit_compression);
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let a = OptConfig::full();
+        let b = a.with_seed(99);
+        assert_eq!(b.seed, 99);
+        assert_eq!(a.atomic_guards, b.atomic_guards);
+        assert_eq!(a.filter_c, b.filter_c);
+    }
+}

@@ -1,0 +1,516 @@
+//! CPU-parallel ECL-MST backend.
+//!
+//! The same unified Kruskal/Borůvka algorithm as the GPU kernels (Algs. 1–2
+//! of the paper), executed with rayon work-stealing instead of CUDA blocks:
+//! lock-free [`AtomicDsu`] unions, 64-bit `fetch_min` deterministic
+//! reservations, and double-buffered worklists. All eight optimization
+//! toggles of [`OptConfig`] are honored so the de-optimization ladder can be
+//! measured as real CPU wall-clock, not just simulated GPU time.
+
+use crate::config::OptConfig;
+use crate::filter::{plan_filter, FilterPlan};
+use crate::result::{pack, MstResult, EMPTY};
+use ecl_dsu::{AtomicDsu, FindPolicy};
+use ecl_graph::{CsrGraph, Weight};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Degree at which the CPU backend switches a vertex's adjacency scan to
+/// nested parallelism (the analogue of the GPU's warp threshold of 4; higher
+/// here because spawning rayon tasks costs more than warp lanes).
+const CPU_WARP_THRESHOLD: usize = 2048;
+
+/// Outcome of a run plus the execution counters the paper reports in §5.1.
+#[derive(Debug)]
+pub struct CpuRun {
+    /// The computed MST/MSF.
+    pub result: MstResult,
+    /// Main-loop iterations (kernel-1 executions) across all phases.
+    pub iterations: usize,
+    /// 1 without filtering, 2 with.
+    pub phases: usize,
+}
+
+/// One worklist entry: ⟨source rep, destination rep, weight, edge id⟩.
+type Item = [u32; 4];
+
+/// Double-buffered worklist storage honoring the tuples/SoA toggle. The AoS
+/// form stores 16-byte items contiguously; the SoA form keeps four separate
+/// arrays (the paper's "No Tuples" variant).
+enum Worklist {
+    Aos(Vec<Item>),
+    Soa([Vec<u32>; 4]),
+}
+
+impl Worklist {
+    fn from_items(items: Vec<Item>, tuples: bool) -> Self {
+        if tuples {
+            Worklist::Aos(items)
+        } else {
+            let mut cols: [Vec<u32>; 4] = Default::default();
+            for c in &mut cols {
+                c.reserve_exact(items.len());
+            }
+            for it in &items {
+                for k in 0..4 {
+                    cols[k].push(it[k]);
+                }
+            }
+            Worklist::Soa(cols)
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Worklist::Aos(v) => v.len(),
+            Worklist::Soa(c) => c[0].len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Item {
+        match self {
+            Worklist::Aos(v) => v[i],
+            Worklist::Soa(c) => [c[0][i], c[1][i], c[2][i], c[3][i]],
+        }
+    }
+}
+
+struct State<'g> {
+    g: &'g CsrGraph,
+    cfg: OptConfig,
+    policy: FindPolicy,
+    dsu: AtomicDsu,
+    min_edge: Vec<AtomicU64>,
+    in_mst: Vec<AtomicBool>,
+    iterations: usize,
+}
+
+impl<'g> State<'g> {
+    fn new(g: &'g CsrGraph, cfg: OptConfig) -> Self {
+        let policy = if cfg.implicit_compression {
+            // Finds never write: compression happens implicitly because the
+            // next worklist carries representatives instead of endpoints.
+            FindPolicy::NoCompression
+        } else {
+            // The de-optimized variant compresses explicitly at use sites.
+            FindPolicy::Halving
+        };
+        Self {
+            g,
+            cfg,
+            policy,
+            dsu: AtomicDsu::new(g.num_vertices()),
+            min_edge: (0..g.num_vertices()).map(|_| AtomicU64::new(EMPTY)).collect(),
+            in_mst: (0..g.num_edges()).map(|_| AtomicBool::new(false)).collect(),
+            iterations: 0,
+        }
+    }
+
+    /// Guarded 64-bit atomicMin reservation (Lines 20–21 of Alg. 2).
+    #[inline]
+    fn reserve(&self, slot: u32, val: u64) {
+        let cell = &self.min_edge[slot as usize];
+        if self.cfg.atomic_guards && cell.load(Ordering::Relaxed) <= val {
+            return; // the atomic could not lower the value
+        }
+        cell.fetch_min(val, Ordering::AcqRel);
+    }
+
+    /// Populates a worklist from the graph (Lines 1–11 of Alg. 2).
+    ///
+    /// `phase2` inverts the threshold condition and maps endpoints through
+    /// `set()` (dropping intra-set edges — the actual filtering step).
+    fn populate(&self, threshold: Option<Weight>, phase2: bool) -> Vec<Item> {
+        let g = self.g;
+        let cfg = &self.cfg;
+        let admit = |w: Weight| match (threshold, phase2) {
+            (None, _) => true,
+            (Some(t), false) => w < t,
+            (Some(t), true) => w >= t,
+        };
+        let expand = |v: u32, a: usize| -> Option<Item> {
+            let n = g.arc_dst(a);
+            if cfg.one_direction && v >= n {
+                return None; // only process each edge in one direction
+            }
+            let w = g.arc_weight(a);
+            if !admit(w) {
+                return None;
+            }
+            let id = g.arc_edge_id(a);
+            if phase2 {
+                let p = self.dsu.find(v, self.policy);
+                let q = self.dsu.find(n, self.policy);
+                (p != q).then_some([p, q, w, id])
+            } else {
+                Some([v, n, w, id])
+            }
+        };
+
+        let nv = g.num_vertices() as u32;
+        if cfg.hybrid_warp {
+            // Hybrid scheme: low-degree vertices expand inside the vertex-
+            // parallel loop; high-degree vertices get their own nested
+            // parallel scan so one hub cannot serialize a worker.
+            let mut items: Vec<Item> = (0..nv)
+                .into_par_iter()
+                .filter(|&v| g.degree(v) < CPU_WARP_THRESHOLD)
+                .flat_map_iter(|v| g.arc_range(v).filter_map(move |a| expand(v, a)))
+                .collect();
+            let hubs: Vec<u32> =
+                (0..nv).filter(|&v| g.degree(v) >= CPU_WARP_THRESHOLD).collect();
+            for v in hubs {
+                items.par_extend(
+                    g.arc_range(v).into_par_iter().filter_map(|a| expand(v, a)),
+                );
+            }
+            items
+        } else {
+            // Thread-based: each vertex's whole adjacency is one unit of
+            // work, hubs and all.
+            (0..nv)
+                .into_par_iter()
+                .flat_map_iter(|v| g.arc_range(v).filter_map(move |a| expand(v, a)))
+                .collect()
+        }
+    }
+
+    /// Kernel 1 (Lines 14–23): cycle check, implicit path compression,
+    /// deterministic reservations. Consumes `wl1`, returns the next list.
+    fn reserve_kernel(&mut self, wl1: &Worklist) -> Vec<Item> {
+        self.iterations += 1;
+        (0..wl1.len())
+            .into_par_iter()
+            .filter_map(|i| {
+                let [v, n, w, id] = wl1.get(i);
+                let p = self.dsu.find(v, self.policy);
+                let q = self.dsu.find(n, self.policy);
+                if p == q {
+                    return None; // edge closes a cycle: discard
+                }
+                let val = pack(w, id);
+                self.reserve(p, val);
+                self.reserve(q, val);
+                Some(if self.cfg.implicit_compression {
+                    [p, q, w, id] // store representatives (impl. path compr.)
+                } else {
+                    [v, n, w, id]
+                })
+            })
+            .collect()
+    }
+
+    /// Kernel 2 (Lines 27–33): include reserved edges, union their sets.
+    fn select_kernel(&self, wl: &Worklist) {
+        (0..wl.len()).into_par_iter().for_each(|i| {
+            let [v, n, w, id] = wl.get(i);
+            let (p, q) = if self.cfg.implicit_compression {
+                (v, n) // entries already hold the reps recorded in kernel 1
+            } else {
+                (self.dsu.find(v, self.policy), self.dsu.find(n, self.policy))
+            };
+            let val = pack(w, id);
+            if self.min_edge[p as usize].load(Ordering::Acquire) == val
+                || self.min_edge[q as usize].load(Ordering::Acquire) == val
+            {
+                self.dsu.union(v, n, self.policy);
+                self.in_mst[id as usize].store(true, Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Kernel 3 (Lines 34–37): clear the touched reservation slots.
+    fn reset_kernel(&self, wl: &Worklist) {
+        (0..wl.len()).into_par_iter().for_each(|i| {
+            let [v, n, _, _] = wl.get(i);
+            let (p, q) = if self.cfg.implicit_compression {
+                (v, n)
+            } else {
+                (self.dsu.find(v, self.policy), self.dsu.find(n, self.policy))
+            };
+            self.min_edge[p as usize].store(EMPTY, Ordering::Release);
+            self.min_edge[q as usize].store(EMPTY, Ordering::Release);
+        });
+    }
+
+    /// The data-driven main loop (Lines 12–39) over one phase's worklist.
+    fn run_loop(&mut self, initial: Vec<Item>) {
+        let tuples = self.cfg.tuples;
+        let mut wl1 = Worklist::from_items(initial, tuples);
+        while !wl1.is_empty() {
+            let next = self.reserve_kernel(&wl1);
+            let wl2 = Worklist::from_items(next, tuples);
+            if wl2.is_empty() {
+                break;
+            }
+            self.select_kernel(&wl2);
+            self.reset_kernel(&wl2);
+            wl1 = wl2;
+        }
+    }
+
+    /// Topology-driven main loop: no worklists; every iteration rescans all
+    /// graph edges (edge-centric) or all vertices' adjacencies
+    /// (vertex-centric), until an iteration finds no crossing edge.
+    fn run_topology_driven(&mut self) {
+        let g = self.g;
+        let one_dir = self.cfg.one_direction;
+        // Edge-centric assignment needs arc -> source; build it once (the
+        // cost a real topology-driven edge-centric code pays up front).
+        let arc_src: Vec<u32> = if self.cfg.edge_centric {
+            let mut src = vec![0u32; g.num_arcs()];
+            for v in 0..g.num_vertices() as u32 {
+                for a in g.arc_range(v) {
+                    src[a] = v;
+                }
+            }
+            src
+        } else {
+            Vec::new()
+        };
+        loop {
+            self.iterations += 1;
+            let live = AtomicBool::new(false);
+            let reserve_arc = |v: u32, a: usize| {
+                let n = g.arc_dst(a);
+                if one_dir && v >= n {
+                    return;
+                }
+                let p = self.dsu.find(v, self.policy);
+                let q = self.dsu.find(n, self.policy);
+                if p != q {
+                    live.store(true, Ordering::Relaxed);
+                    let val = pack(g.arc_weight(a), g.arc_edge_id(a));
+                    self.reserve(p, val);
+                    self.reserve(q, val);
+                }
+            };
+            let select_arc = |v: u32, a: usize| {
+                let n = g.arc_dst(a);
+                if one_dir && v >= n {
+                    return;
+                }
+                let p = self.dsu.find(v, self.policy);
+                let q = self.dsu.find(n, self.policy);
+                if p == q {
+                    return;
+                }
+                let id = g.arc_edge_id(a);
+                let val = pack(g.arc_weight(a), id);
+                if self.min_edge[p as usize].load(Ordering::Acquire) == val
+                    || self.min_edge[q as usize].load(Ordering::Acquire) == val
+                {
+                    self.dsu.union(v, n, self.policy);
+                    self.in_mst[id as usize].store(true, Ordering::Relaxed);
+                }
+            };
+            if self.cfg.edge_centric {
+                // Edge-centric topology-driven: arcs are the unit of work
+                // (fine-grained splitting keeps hubs from serializing).
+                (0..g.num_arcs()).into_par_iter().for_each(|a| {
+                    reserve_arc(arc_src[a], a);
+                });
+                if !live.load(Ordering::Relaxed) {
+                    break;
+                }
+                (0..g.num_arcs()).into_par_iter().for_each(|a| {
+                    select_arc(arc_src[a], a);
+                });
+            } else {
+                // Vertex-centric: one task per vertex, whole row serial.
+                (0..g.num_vertices() as u32)
+                    .into_par_iter()
+                    .with_min_len(64)
+                    .for_each(|v| {
+                        for a in g.arc_range(v) {
+                            reserve_arc(v, a);
+                        }
+                    });
+                if !live.load(Ordering::Relaxed) {
+                    break;
+                }
+                (0..g.num_vertices() as u32)
+                    .into_par_iter()
+                    .with_min_len(64)
+                    .for_each(|v| {
+                        for a in g.arc_range(v) {
+                            select_arc(v, a);
+                        }
+                    });
+            }
+            // Reset all reservation slots (no worklist to scope the reset).
+            self.min_edge.par_iter().for_each(|s| s.store(EMPTY, Ordering::Release));
+        }
+    }
+
+    fn into_result(self) -> (MstResult, usize) {
+        let in_mst: Vec<bool> =
+            self.in_mst.iter().map(|b| b.load(Ordering::Acquire)).collect();
+        (MstResult::from_bitmap(self.g, in_mst), self.iterations)
+    }
+}
+
+/// Runs ECL-MST on the CPU with an explicit configuration.
+pub fn ecl_mst_cpu_with(g: &CsrGraph, cfg: &OptConfig) -> CpuRun {
+    let mut st = State::new(g, *cfg);
+    let mut phases = 1;
+
+    if !cfg.data_driven || !cfg.edge_centric {
+        // Topology-driven (and the vertex-centric rung below it) has no
+        // worklist to filter, so filtering does not apply.
+        st.run_topology_driven();
+    } else {
+        let plan = if cfg.filtering {
+            plan_filter(g, cfg.filter_c, cfg.seed)
+        } else {
+            FilterPlan::SinglePhase
+        };
+        match plan {
+            FilterPlan::SinglePhase => {
+                let wl = st.populate(None, false);
+                st.run_loop(wl);
+            }
+            FilterPlan::TwoPhase { threshold } => {
+                phases = 2;
+                let wl = st.populate(Some(threshold), false);
+                st.run_loop(wl);
+                let wl = st.populate(Some(threshold), true);
+                st.run_loop(wl);
+            }
+        }
+    }
+
+    let (result, iterations) = st.into_result();
+    CpuRun { result, iterations, phases }
+}
+
+/// Runs fully-optimized ECL-MST on the CPU.
+pub fn ecl_mst_cpu(g: &CsrGraph) -> MstResult {
+    ecl_mst_cpu_with(g, &OptConfig::full()).result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::deopt_ladder;
+    use crate::serial::serial_kruskal;
+    use ecl_graph::generators::*;
+    use ecl_graph::GraphBuilder;
+
+    fn check(g: &CsrGraph, cfg: &OptConfig) {
+        let expected = serial_kruskal(g);
+        let got = ecl_mst_cpu_with(g, cfg);
+        assert_eq!(got.result.total_weight, expected.total_weight, "weight mismatch");
+        assert_eq!(got.result.num_edges, expected.num_edges, "edge count mismatch");
+        // Packed-value tie-breaking makes the MSF unique: edge sets match.
+        assert_eq!(got.result.in_mst, expected.in_mst, "edge set mismatch");
+    }
+
+    #[test]
+    fn triangle() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 2);
+        b.add_edge(0, 2, 3);
+        check(&b.build(), &OptConfig::full());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        check(&GraphBuilder::new(0).build(), &OptConfig::full());
+        check(&GraphBuilder::new(1).build(), &OptConfig::full());
+        check(&GraphBuilder::new(10).build(), &OptConfig::full());
+    }
+
+    #[test]
+    fn grid_full_config() {
+        check(&grid2d(20, 1), &OptConfig::full());
+    }
+
+    #[test]
+    fn dense_graph_triggers_filtering() {
+        let g = copapers(800, 20, 2);
+        let run = ecl_mst_cpu_with(&g, &OptConfig::full());
+        assert_eq!(run.phases, 2, "dense graph should use two phases");
+        check(&g, &OptConfig::full());
+    }
+
+    #[test]
+    fn sparse_graph_single_phase() {
+        let g = road_map(15, 2.5, 3);
+        let run = ecl_mst_cpu_with(&g, &OptConfig::full());
+        assert_eq!(run.phases, 1);
+        check(&g, &OptConfig::full());
+    }
+
+    #[test]
+    fn msf_on_disconnected_input() {
+        let g = rmat(9, 4, 4);
+        check(&g, &OptConfig::full());
+    }
+
+    #[test]
+    fn scale_free_with_hubs() {
+        let g = preferential_attachment(1500, 8, 1, 5);
+        check(&g, &OptConfig::full());
+    }
+
+    #[test]
+    fn every_deopt_rung_is_correct() {
+        let graphs = [
+            grid2d(12, 1),
+            rmat(8, 6, 2),
+            copapers(300, 12, 3),
+            road_map(10, 2.8, 4),
+        ];
+        for g in &graphs {
+            for (name, cfg) in deopt_ladder() {
+                let expected = serial_kruskal(g);
+                let got = ecl_mst_cpu_with(g, &cfg);
+                assert_eq!(
+                    got.result.total_weight, expected.total_weight,
+                    "rung '{name}' wrong weight"
+                );
+                assert_eq!(
+                    got.result.in_mst, expected.in_mst,
+                    "rung '{name}' wrong edge set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_count_is_logarithmic() {
+        let g = grid2d(40, 2);
+        let run = ecl_mst_cpu_with(&g, &OptConfig::full());
+        // Paper: between 4 and 15 computation-kernel rounds on real inputs;
+        // allow generous slack but catch runaway loops.
+        assert!(run.iterations >= 2 && run.iterations <= 40, "{}", run.iterations);
+    }
+
+    #[test]
+    fn seeds_change_threshold_not_result() {
+        let g = copapers(600, 16, 6);
+        let expected = serial_kruskal(&g);
+        for seed in 0..8 {
+            let got = ecl_mst_cpu_with(&g, &OptConfig::full().with_seed(seed));
+            assert_eq!(got.result.in_mst, expected.in_mst, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn equal_weights_everywhere() {
+        let mut b = GraphBuilder::new(6);
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                b.add_edge(u, v, 42);
+            }
+        }
+        check(&b.build(), &OptConfig::full());
+    }
+}

@@ -1,0 +1,141 @@
+//! The filtering heuristic (§3.2, §5.4).
+//!
+//! For graphs with average degree ≥ `c`, ECL-MST runs two phases: phase 1
+//! processes only edges lighter than a threshold, phase 2 filters the rest
+//! through the partially built forest. The threshold is estimated from a
+//! random sample of just **20 edge weights**: it aims at the weight of the
+//! `c·|V|`-th lightest edge so that phase 1 sees most of the eventual tree
+//! (an MST has `|V| − 1` edges, hence values of `c` between 2 and 4 work
+//! well; the paper uses `c = 4` and evaluates the estimate's accuracy
+//! against a target of 3·|V| in Figure 7).
+
+use ecl_graph::{CsrGraph, Weight};
+use rand::{Rng, SeedableRng};
+
+/// Number of edge weights sampled, per the paper.
+pub const SAMPLE_SIZE: usize = 20;
+
+/// Decision produced by [`plan_filter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterPlan {
+    /// Average degree below `c`: single phase over all edges.
+    SinglePhase,
+    /// Two phases split at this weight: phase 1 takes `weight < threshold`,
+    /// phase 2 takes the rest.
+    TwoPhase {
+        /// The estimated weight of the `c·|V|`-th lightest edge.
+        threshold: Weight,
+    },
+}
+
+/// Samples 20 edge weights and estimates the phase-1 threshold.
+///
+/// Returns [`FilterPlan::SinglePhase`] when the graph's average degree is
+/// below `c` (the paper: "no filtering occurs for graphs with an average
+/// degree below 4") or when the quantile estimate covers every edge anyway.
+pub fn plan_filter(g: &CsrGraph, c: u32, seed: u64) -> FilterPlan {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    if m == 0 || g.average_degree() < c as f64 {
+        return FilterPlan::SinglePhase;
+    }
+    // Target quantile: the c·|V| lightest of the m undirected edges.
+    let q = (c as f64 * n as f64) / m as f64;
+    if q >= 1.0 {
+        return FilterPlan::SinglePhase;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut samples: Vec<Weight> = (0..SAMPLE_SIZE)
+        .map(|_| {
+            // Sample an undirected edge uniformly by drawing an arc: every
+            // edge has exactly two arcs, so arc-uniform = edge-uniform.
+            let a = rng.gen_range(0..g.num_arcs());
+            g.arc_weight(a)
+        })
+        .collect();
+    samples.sort_unstable();
+    // The ceil(q·20)-th smallest sample estimates the q-quantile.
+    let idx = ((q * SAMPLE_SIZE as f64).ceil() as usize).clamp(1, SAMPLE_SIZE) - 1;
+    FilterPlan::TwoPhase { threshold: samples[idx] }
+}
+
+/// Measures how far the sampled threshold lands from the `target·|V|`
+/// lightest edges (Figure 7 reports the percentage distance from 3·|V|).
+///
+/// Returns `(edges_below_threshold, target_edges, percent_difference)`, or
+/// `None` when the graph does not filter.
+pub fn threshold_accuracy(g: &CsrGraph, c: u32, seed: u64, target_factor: u32) -> Option<(usize, usize, f64)> {
+    match plan_filter(g, c, seed) {
+        FilterPlan::SinglePhase => None,
+        FilterPlan::TwoPhase { threshold } => {
+            let below = g.edges().filter(|e| e.weight < threshold).count();
+            let target = (target_factor as usize) * g.num_vertices();
+            let pct = 100.0 * (below as f64 - target as f64) / target as f64;
+            Some((below, target, pct))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::generators::{copapers, grid2d, uniform_random};
+
+    #[test]
+    fn sparse_graphs_skip_filtering() {
+        let g = grid2d(30, 1); // avg degree < 4
+        assert_eq!(plan_filter(&g, 4, 1), FilterPlan::SinglePhase);
+    }
+
+    #[test]
+    fn dense_graphs_filter() {
+        let g = copapers(2000, 30, 2); // avg degree >> 4
+        match plan_filter(&g, 4, 1) {
+            FilterPlan::TwoPhase { threshold } => assert!(threshold > 0),
+            other => panic!("expected TwoPhase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threshold_is_deterministic_per_seed() {
+        let g = copapers(1000, 20, 3);
+        assert_eq!(plan_filter(&g, 4, 7), plan_filter(&g, 4, 7));
+    }
+
+    #[test]
+    fn different_seeds_can_differ() {
+        let g = copapers(1000, 20, 3);
+        let distinct: std::collections::HashSet<_> = (0..20)
+            .map(|s| match plan_filter(&g, 4, s) {
+                FilterPlan::TwoPhase { threshold } => threshold,
+                _ => 0,
+            })
+            .collect();
+        assert!(distinct.len() > 1, "20 seeds should produce varied thresholds");
+    }
+
+    #[test]
+    fn quantile_estimate_is_sane() {
+        // On a large uniform-random graph the 20-sample estimate should land
+        // within a factor of ~4 of the target count (Fig. 7 shows rarely
+        // more than 2x off; leave slack for sampling noise).
+        let g = uniform_random(5000, 16.0, 5);
+        let (below, target, _) = threshold_accuracy(&g, 4, 1, 4).unwrap();
+        assert!(below > target / 5, "below={below}, target={target}");
+        assert!(below < target * 5, "below={below}, target={target}");
+    }
+
+    #[test]
+    fn accuracy_none_when_not_filtering() {
+        let g = grid2d(20, 1);
+        assert!(threshold_accuracy(&g, 4, 1, 3).is_none());
+    }
+
+    #[test]
+    fn single_phase_when_quantile_covers_everything() {
+        // avg degree exactly c=4 on a graph where c*n >= m.
+        let g = uniform_random(500, 5.0, 2);
+        // c*n = 2000 >= m = 1250: quantile >= 1 -> single phase.
+        assert_eq!(plan_filter(&g, 4, 1), FilterPlan::SinglePhase);
+    }
+}

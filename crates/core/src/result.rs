@@ -1,0 +1,127 @@
+//! MST/MSF computation results.
+
+use ecl_graph::CsrGraph;
+
+/// Packs an edge's weight and id into the 64-bit reservation word the paper
+/// uses for `atomicMin`: weight in the most-significant half (so comparison
+/// orders by weight first) and the edge id in the least-significant half
+/// (deterministic tie-breaker + identifies the winning edge).
+///
+/// Edge ids are dense (`id < |E| ≤ 2^31`), so a packed word can never equal
+/// the [`EMPTY`] sentinel `u64::MAX` (that would require `id == u32::MAX`).
+#[inline]
+pub fn pack(weight: u32, edge_id: u32) -> u64 {
+    ((weight as u64) << 32) | edge_id as u64
+}
+
+/// Inverse of [`pack`]: `(weight, edge_id)`.
+#[inline]
+pub fn unpack(val: u64) -> (u32, u32) {
+    ((val >> 32) as u32, val as u32)
+}
+
+/// Sentinel for "no reservation yet" (larger than any packed edge).
+pub const EMPTY: u64 = u64::MAX;
+
+/// A computed minimum spanning tree/forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MstResult {
+    /// `in_mst[id]` is true when undirected edge `id` is in the MST/MSF.
+    pub in_mst: Vec<bool>,
+    /// Total weight of the selected edges.
+    pub total_weight: u64,
+    /// Number of selected edges.
+    pub num_edges: usize,
+}
+
+impl MstResult {
+    /// Builds a result from the per-edge selection bitmap.
+    pub fn from_bitmap(g: &CsrGraph, in_mst: Vec<bool>) -> Self {
+        assert_eq!(in_mst.len(), g.num_edges());
+        let total_weight = g.edge_set_weight(&in_mst);
+        let num_edges = in_mst.iter().filter(|&&b| b).count();
+        Self { in_mst, total_weight, num_edges }
+    }
+
+    /// Ids of the selected edges, ascending.
+    pub fn edge_ids(&self) -> Vec<u32> {
+        self.in_mst
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i as u32))
+            .collect()
+    }
+}
+
+/// Failure modes of MST codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MstError {
+    /// The code only supports single-component inputs (the paper's "NC"
+    /// cells for Jucele and Gunrock: "can compute MSTs but not MSFs").
+    NotConnected,
+}
+
+impl std::fmt::Display for MstError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MstError::NotConnected => {
+                write!(f, "input has multiple connected components (MST-only code)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MstError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::GraphBuilder;
+
+    #[test]
+    fn pack_orders_by_weight_then_id() {
+        assert!(pack(1, 999) < pack(2, 0));
+        assert!(pack(5, 1) < pack(5, 2));
+        assert!(pack(0, 0) < EMPTY);
+        // Dense edge ids never reach u32::MAX, so EMPTY is unambiguous even
+        // at the maximum weight.
+        assert!(pack(u32::MAX, u32::MAX - 1) < EMPTY);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (w, id) in [(0, 0), (1, 2), (u32::MAX, 7), (123_456, u32::MAX)] {
+            assert_eq!(unpack(pack(w, id)), (w, id));
+        }
+    }
+
+    #[test]
+    fn from_bitmap_computes_totals() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 2, 20);
+        b.add_edge(0, 2, 30);
+        let g = b.build();
+        // Select the two lightest edges by id lookup.
+        let mut in_mst = vec![false; 3];
+        for e in g.edges().filter(|e| e.weight < 30) {
+            in_mst[e.id as usize] = true;
+        }
+        let r = MstResult::from_bitmap(&g, in_mst);
+        assert_eq!(r.num_edges, 2);
+        assert_eq!(r.total_weight, 30);
+        assert_eq!(r.edge_ids().len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_bitmap_rejects_wrong_length() {
+        let g = GraphBuilder::new(2).build();
+        let _ = MstResult::from_bitmap(&g, vec![false; 5]);
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(MstError::NotConnected.to_string().contains("connected"));
+    }
+}

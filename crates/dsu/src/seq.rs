@@ -1,0 +1,289 @@
+//! Sequential union-find.
+
+/// Path-compression scheme applied during [`SeqDsu::find`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Full two-pass path compression (every node on the path points at the
+    /// root afterwards).
+    #[default]
+    Full,
+    /// Path halving: every node points at its grandparent.
+    Halving,
+    /// Path splitting: every node on the path points at its grandparent,
+    /// walking one step at a time.
+    Splitting,
+    /// No compression (useful for measuring chain lengths).
+    None,
+}
+
+/// Union policy deciding which root absorbs the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnionPolicy {
+    /// Union by rank (tree height bound).
+    #[default]
+    ByRank,
+    /// Union by size (subtree cardinality).
+    BySize,
+    /// The lower-id root points at the higher-id root — the policy the
+    /// lock-free GPU code uses ("e.g., the vertex with the highest ID in the
+    /// set" becomes the representative), kept here so sequential and atomic
+    /// structures can be compared representative-for-representative.
+    ByIndex,
+}
+
+/// Sequential disjoint-set forest.
+///
+/// ```
+/// use ecl_dsu::SeqDsu;
+/// let mut d = SeqDsu::new(4);
+/// assert!(d.union(0, 1));      // merged: a tree edge
+/// assert!(!d.union(1, 0));     // already joined: a cycle edge
+/// assert!(d.same(0, 1));
+/// assert_eq!(d.num_sets(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqDsu {
+    parent: Vec<u32>,
+    /// rank (ByRank) or size (BySize); unused for ByIndex.
+    aux: Vec<u32>,
+    compression: Compression,
+    policy: UnionPolicy,
+    num_sets: usize,
+}
+
+impl SeqDsu {
+    /// Creates `n` singleton sets with default policies.
+    pub fn new(n: usize) -> Self {
+        Self::with_policies(n, Compression::default(), UnionPolicy::default())
+    }
+
+    /// Creates `n` singleton sets with explicit policies.
+    pub fn with_policies(n: usize, compression: Compression, policy: UnionPolicy) -> Self {
+        assert!(n <= u32::MAX as usize);
+        Self {
+            parent: (0..n as u32).collect(),
+            aux: vec![if policy == UnionPolicy::BySize { 1 } else { 0 }; n],
+            compression,
+            policy,
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently represented.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Finds the representative of `x`, applying the configured compression.
+    pub fn find(&mut self, x: u32) -> u32 {
+        match self.compression {
+            Compression::Full => {
+                let root = self.root_of(x);
+                let mut cur = x;
+                while self.parent[cur as usize] != root {
+                    let next = self.parent[cur as usize];
+                    self.parent[cur as usize] = root;
+                    cur = next;
+                }
+                root
+            }
+            Compression::Halving => {
+                let mut cur = x;
+                while self.parent[cur as usize] != cur {
+                    let grand = self.parent[self.parent[cur as usize] as usize];
+                    self.parent[cur as usize] = grand;
+                    cur = grand;
+                }
+                cur
+            }
+            Compression::Splitting => {
+                let mut cur = x;
+                while self.parent[cur as usize] != cur {
+                    let next = self.parent[cur as usize];
+                    let grand = self.parent[next as usize];
+                    self.parent[cur as usize] = grand;
+                    cur = next;
+                }
+                cur
+            }
+            Compression::None => self.root_of(x),
+        }
+    }
+
+    /// Finds the representative without mutating (no compression).
+    pub fn root_of(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// True when `x` and `y` are in the same set.
+    pub fn same(&mut self, x: u32, y: u32) -> bool {
+        self.find(x) == self.find(y)
+    }
+
+    /// Merges the sets of `x` and `y`. Returns `true` when they were
+    /// previously disjoint (i.e. an edge between them is a tree edge).
+    pub fn union(&mut self, x: u32, y: u32) -> bool {
+        let (rx, ry) = (self.find(x), self.find(y));
+        if rx == ry {
+            return false;
+        }
+        let (winner, loser) = match self.policy {
+            UnionPolicy::ByRank => {
+                let (hx, hy) = (self.aux[rx as usize], self.aux[ry as usize]);
+                if hx == hy {
+                    self.aux[rx as usize] += 1;
+                    (rx, ry)
+                } else if hx > hy {
+                    (rx, ry)
+                } else {
+                    (ry, rx)
+                }
+            }
+            UnionPolicy::BySize => {
+                let (sx, sy) = (self.aux[rx as usize], self.aux[ry as usize]);
+                let (w, l) = if sx >= sy { (rx, ry) } else { (ry, rx) };
+                self.aux[w as usize] = sx + sy;
+                (w, l)
+            }
+            UnionPolicy::ByIndex => (rx.max(ry), rx.min(ry)),
+        };
+        self.parent[loser as usize] = winner;
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Length of the parent chain from `x` to its root (0 when `x` is a
+    /// root) — used by tests and the path-compression ablation.
+    pub fn chain_length(&self, mut x: u32) -> usize {
+        let mut hops = 0;
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+            hops += 1;
+        }
+        hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_COMPRESSIONS: [Compression; 4] = [
+        Compression::Full,
+        Compression::Halving,
+        Compression::Splitting,
+        Compression::None,
+    ];
+    const ALL_POLICIES: [UnionPolicy; 3] =
+        [UnionPolicy::ByRank, UnionPolicy::BySize, UnionPolicy::ByIndex];
+
+    #[test]
+    fn singletons_are_their_own_reps() {
+        let mut d = SeqDsu::new(5);
+        for x in 0..5 {
+            assert_eq!(d.find(x), x);
+        }
+        assert_eq!(d.num_sets(), 5);
+    }
+
+    #[test]
+    fn union_merges_and_reports() {
+        let mut d = SeqDsu::new(4);
+        assert!(d.union(0, 1));
+        assert!(!d.union(0, 1));
+        assert!(d.same(0, 1));
+        assert!(!d.same(0, 2));
+        assert_eq!(d.num_sets(), 3);
+    }
+
+    #[test]
+    fn transitivity_via_chain() {
+        for c in ALL_COMPRESSIONS {
+            for p in ALL_POLICIES {
+                let mut d = SeqDsu::with_policies(10, c, p);
+                for i in 0..9 {
+                    d.union(i, i + 1);
+                }
+                assert!(d.same(0, 9), "{c:?}/{p:?}");
+                assert_eq!(d.num_sets(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn by_index_picks_highest_id_rep() {
+        let mut d = SeqDsu::with_policies(5, Compression::Full, UnionPolicy::ByIndex);
+        d.union(0, 3);
+        assert_eq!(d.find(0), 3);
+        d.union(3, 1);
+        assert_eq!(d.find(1), 3);
+        d.union(4, 0);
+        assert_eq!(d.find(0), 4);
+    }
+
+    #[test]
+    fn full_compression_flattens() {
+        let mut d = SeqDsu::with_policies(8, Compression::Full, UnionPolicy::ByIndex);
+        for i in 0..7 {
+            d.union(i, i + 1);
+        }
+        let _ = d.find(0);
+        assert!(d.chain_length(0) <= 1);
+    }
+
+    #[test]
+    fn halving_shortens_chains() {
+        let mut d = SeqDsu::with_policies(16, Compression::None, UnionPolicy::ByIndex);
+        for i in 0..15 {
+            d.union(i, i + 1);
+        }
+        // Manually build a long chain, then halve.
+        let before = d.chain_length(0);
+        let mut h = d.clone();
+        h.compression = Compression::Halving;
+        let _ = h.find(0);
+        assert!(h.chain_length(0) < before.max(1));
+    }
+
+    #[test]
+    fn no_compression_never_mutates() {
+        let mut d = SeqDsu::with_policies(8, Compression::None, UnionPolicy::ByIndex);
+        for i in 0..7 {
+            d.union(i, i + 1);
+        }
+        let parents_before = d.parent.clone();
+        let _ = d.find(0);
+        assert_eq!(d.parent, parents_before);
+    }
+
+    #[test]
+    fn num_sets_tracks_all_policies() {
+        for p in ALL_POLICIES {
+            let mut d = SeqDsu::with_policies(6, Compression::Full, p);
+            d.union(0, 1);
+            d.union(2, 3);
+            d.union(0, 2);
+            assert_eq!(d.num_sets(), 3, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn empty_structure() {
+        let d = SeqDsu::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.num_sets(), 0);
+    }
+}

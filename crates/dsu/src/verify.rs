@@ -1,0 +1,111 @@
+//! Partition-equivalence checks between union-find implementations.
+//!
+//! Two disjoint-set structures are equivalent when they induce the same
+//! partition of `0..n`, regardless of which member each picked as
+//! representative. These helpers normalize label vectors so partitions can
+//! be compared directly; the workspace's property tests use them to check
+//! every DSU variant against a naive reference.
+
+use std::collections::HashMap;
+
+/// Canonicalizes a label vector: each partition class is renamed to the
+/// smallest element index at which it first appears.
+pub fn canonical_partition(labels: &[u32]) -> Vec<u32> {
+    let mut rename: HashMap<u32, u32> = HashMap::new();
+    labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| *rename.entry(l).or_insert(i as u32))
+        .collect()
+}
+
+/// True when two label vectors describe the same partition.
+pub fn same_partition(a: &[u32], b: &[u32]) -> bool {
+    a.len() == b.len() && canonical_partition(a) == canonical_partition(b)
+}
+
+/// Naive reference partition: repeatedly relabels until fixpoint. O(n·m)
+/// but obviously correct; only for tests on small inputs.
+pub fn naive_partition(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    loop {
+        let mut changed = false;
+        for &(x, y) in edges {
+            let (lx, ly) = (label[x as usize], label[y as usize]);
+            let m = lx.min(ly);
+            if lx != m {
+                label[x as usize] = m;
+                changed = true;
+            }
+            if ly != m {
+                label[y as usize] = m;
+                changed = true;
+            }
+        }
+        if !changed {
+            return label;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AtomicDsu, FindPolicy, SeqDsu};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let labels = vec![5, 5, 2, 2, 9];
+        let c = canonical_partition(&labels);
+        assert_eq!(canonical_partition(&c), c);
+        assert_eq!(c, vec![0, 0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn same_partition_ignores_representative_choice() {
+        assert!(same_partition(&[7, 7, 3], &[0, 0, 9]));
+        assert!(!same_partition(&[1, 1, 1], &[0, 0, 2]));
+        assert!(!same_partition(&[0, 0], &[0, 0, 0]));
+    }
+
+    #[test]
+    fn naive_partition_handles_cycles() {
+        let labels = naive_partition(4, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn all_structures_agree_with_naive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for trial in 0..20 {
+            let n = rng.gen_range(1..80usize);
+            let m = rng.gen_range(0..150usize);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+                .collect();
+            let reference = naive_partition(n, &edges);
+
+            let mut seq = SeqDsu::new(n);
+            for &(x, y) in &edges {
+                seq.union(x, y);
+            }
+            let seq_labels: Vec<u32> = (0..n as u32).map(|v| seq.find(v)).collect();
+            assert!(
+                same_partition(&seq_labels, &reference),
+                "trial {trial}: SeqDsu diverges from naive"
+            );
+
+            let atomic = AtomicDsu::new(n);
+            for &(x, y) in &edges {
+                atomic.union(x, y, FindPolicy::Halving);
+            }
+            assert!(
+                same_partition(&atomic.labels(FindPolicy::NoCompression), &reference),
+                "trial {trial}: AtomicDsu diverges from naive"
+            );
+        }
+    }
+}

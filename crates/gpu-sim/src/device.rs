@@ -1,0 +1,413 @@
+//! The simulated device: kernel launches, the simulated clock, and the
+//! kernel log.
+
+use crate::counters::{KernelRecord, LaunchStats, TaskCtx};
+use crate::profile::GpuProfile;
+use crate::warp::{WarpCtx, WARP_SIZE};
+use rayon::prelude::*;
+
+/// Minimum tasks per rayon work item when executing a launch host-parallel.
+const HOST_CHUNK: usize = 4096;
+
+/// A simulated GPU.
+///
+/// The device executes kernels (really — the closures run and mutate device
+/// buffers) and advances a simulated clock according to the profile's cost
+/// model. Kernel execution uses the host's cores through rayon; the
+/// *simulated* time is unrelated to host wall-clock.
+///
+/// ```
+/// use ecl_gpu_sim::{BufU32, Device, GpuProfile};
+/// let mut dev = Device::new(GpuProfile::TITAN_V);
+/// let counter = BufU32::new(1, 0);
+/// dev.launch("increment", 1000, |_, ctx| {
+///     counter.atomic_add(ctx, 0, 1);
+/// });
+/// assert_eq!(counter.host_read(0), 1000);
+/// assert!(dev.kernel_seconds() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Device {
+    profile: GpuProfile,
+    kernel_seconds: f64,
+    memcpy_seconds: f64,
+    records: Vec<KernelRecord>,
+    sequential: bool,
+}
+
+impl Device {
+    /// Creates a device with the given profile.
+    pub fn new(profile: GpuProfile) -> Self {
+        Self {
+            profile,
+            kernel_seconds: 0.0,
+            memcpy_seconds: 0.0,
+            records: Vec::new(),
+            sequential: false,
+        }
+    }
+
+    /// Forces kernels to execute on one host thread (deterministic event
+    /// counts; useful in tests).
+    pub fn set_sequential(&mut self, seq: bool) {
+        self.sequential = seq;
+    }
+
+    /// The device's cost profile.
+    pub fn profile(&self) -> &GpuProfile {
+        &self.profile
+    }
+
+    /// Launches a thread-granularity kernel of `tasks` logical threads.
+    ///
+    /// `f(task_index, ctx)` runs once per task; accesses metered through
+    /// `ctx` drive the simulated duration. Returns the launch statistics.
+    pub fn launch<F>(&mut self, name: &str, tasks: usize, f: F) -> LaunchStats
+    where
+        F: Fn(usize, &mut TaskCtx) + Sync,
+    {
+        let profile = self.profile;
+        let traffic = |c: &TaskCtx| {
+            c.traffic_bytes(
+                profile.sector_bytes,
+                profile.atomic_penalty_bytes,
+                profile.cas_retry_penalty_bytes,
+                profile.access_overhead_bytes,
+            )
+        };
+        let stats = if self.sequential {
+            let mut totals = TaskCtx::new();
+            let mut critical = 0u64;
+            for i in 0..tasks {
+                let mut ctx = TaskCtx::new();
+                f(i, &mut ctx);
+                critical = critical.max(traffic(&ctx));
+                totals.merge(&ctx);
+            }
+            LaunchStats { totals, critical_bytes: critical, tasks: tasks as u64 }
+        } else {
+            let (totals, critical) = (0..tasks)
+                .into_par_iter()
+                .with_min_len(HOST_CHUNK)
+                .fold(
+                    || (TaskCtx::new(), 0u64),
+                    |(mut acc, mut crit), i| {
+                        let mut ctx = TaskCtx::new();
+                        f(i, &mut ctx);
+                        crit = crit.max(traffic(&ctx));
+                        acc.merge(&ctx);
+                        (acc, crit)
+                    },
+                )
+                .reduce(
+                    || (TaskCtx::new(), 0u64),
+                    |(mut a, ca), (b, cb)| {
+                        a.merge(&b);
+                        (a, ca.max(cb))
+                    },
+                );
+            LaunchStats { totals, critical_bytes: critical, tasks: tasks as u64 }
+        };
+        self.record(name, stats);
+        stats
+    }
+
+    /// Launches a warp-capable kernel of `tasks` logical warps.
+    ///
+    /// Each task owns a [`WarpCtx`]; traffic metered on
+    /// [`WarpCtx::parallel`] counts toward the task's critical path at
+    /// 1/32 (the lanes share it), traffic on [`WarpCtx::serial`] in full.
+    pub fn launch_warps<F>(&mut self, name: &str, tasks: usize, f: F) -> LaunchStats
+    where
+        F: Fn(usize, &mut WarpCtx) + Sync,
+    {
+        let profile = self.profile;
+        let traffic = |c: &TaskCtx| {
+            c.traffic_bytes(
+                profile.sector_bytes,
+                profile.atomic_penalty_bytes,
+                profile.cas_retry_penalty_bytes,
+                profile.access_overhead_bytes,
+            )
+        };
+        let run_task = |i: usize| -> (TaskCtx, u64) {
+            let mut w = WarpCtx::new();
+            f(i, &mut w);
+            let crit = traffic(&w.serial) + traffic(&w.parallel) / WARP_SIZE as u64;
+            let mut merged = w.serial;
+            merged.merge(&w.parallel);
+            (merged, crit)
+        };
+        let stats = if self.sequential {
+            let mut totals = TaskCtx::new();
+            let mut critical = 0u64;
+            for i in 0..tasks {
+                let (ctx, crit) = run_task(i);
+                critical = critical.max(crit);
+                totals.merge(&ctx);
+            }
+            LaunchStats { totals, critical_bytes: critical, tasks: tasks as u64 }
+        } else {
+            let (totals, critical) = (0..tasks)
+                .into_par_iter()
+                .with_min_len(HOST_CHUNK / WARP_SIZE)
+                .fold(
+                    || (TaskCtx::new(), 0u64),
+                    |(mut acc, mut crit), i| {
+                        let (ctx, c) = run_task(i);
+                        crit = crit.max(c);
+                        acc.merge(&ctx);
+                        (acc, crit)
+                    },
+                )
+                .reduce(
+                    || (TaskCtx::new(), 0u64),
+                    |(mut a, ca), (b, cb)| {
+                        a.merge(&b);
+                        (a, ca.max(cb))
+                    },
+                );
+            LaunchStats { totals, critical_bytes: critical, tasks: tasks as u64 }
+        };
+        self.record(name, stats);
+        stats
+    }
+
+    fn record(&mut self, name: &str, stats: LaunchStats) {
+        let total = stats.totals.traffic_bytes(
+            self.profile.sector_bytes,
+            self.profile.atomic_penalty_bytes,
+            self.profile.cas_retry_penalty_bytes,
+            self.profile.access_overhead_bytes,
+        );
+        let secs = self.profile.kernel_time(total, stats.critical_bytes);
+        self.kernel_seconds += secs;
+        self.records.push(KernelRecord { name: name.to_string(), stats, sim_seconds: secs });
+    }
+
+    /// Meters a host-to-device copy of `bytes`.
+    pub fn memcpy_h2d(&mut self, bytes: u64) {
+        self.memcpy_seconds += self.profile.memcpy_time(bytes);
+    }
+
+    /// Meters a device-to-host copy of `bytes`.
+    pub fn memcpy_d2h(&mut self, bytes: u64) {
+        self.memcpy_seconds += self.profile.memcpy_time(bytes);
+    }
+
+    /// Meters a loop-control synchronization: the `cudaMemcpy`-inside-a-
+    /// `while` pattern (§2, Pai & Pingali) where the host reads a few bytes
+    /// to decide whether to launch another round. Unlike bulk transfers,
+    /// this stalls the computation itself, so it accrues to **kernel**
+    /// time — codes with nested convergence loops (pointer jumping, color
+    /// flooding) pay it once per inner iteration.
+    pub fn sync_read(&mut self) {
+        self.kernel_seconds += self.profile.memcpy_time(4);
+    }
+
+    /// Simulated seconds spent in kernels so far.
+    pub fn kernel_seconds(&self) -> f64 {
+        self.kernel_seconds
+    }
+
+    /// Simulated seconds spent in host↔device copies so far.
+    pub fn memcpy_seconds(&self) -> f64 {
+        self.memcpy_seconds
+    }
+
+    /// Simulated kernel + memcpy seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.kernel_seconds + self.memcpy_seconds
+    }
+
+    /// The per-launch log, in launch order.
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// Number of kernel launches so far.
+    pub fn launches(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Resets the clock and the kernel log (buffers are untouched).
+    pub fn reset(&mut self) {
+        self.kernel_seconds = 0.0;
+        self.memcpy_seconds = 0.0;
+        self.records.clear();
+    }
+
+    /// Sums simulated seconds per kernel name — the §5.1 profiling claim
+    /// ("the initialization kernel takes about 40% of the total runtime")
+    /// is checked against this.
+    pub fn time_by_kernel(&self) -> Vec<(String, f64)> {
+        let mut acc: Vec<(String, f64)> = Vec::new();
+        for r in &self.records {
+            match acc.iter_mut().find(|(n, _)| *n == r.name) {
+                Some((_, t)) => *t += r.sim_seconds,
+                None => acc.push((r.name.clone(), r.sim_seconds)),
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{BufU32, ConstBuf};
+
+    #[test]
+    fn launch_runs_every_task() {
+        let mut dev = Device::new(GpuProfile::TITAN_V);
+        let out = BufU32::new(100, 0);
+        dev.launch("mark", 100, |i, ctx| {
+            out.st(ctx, i, i as u32 + 1);
+        });
+        for i in 0..100 {
+            assert_eq!(out.host_read(i), i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn clock_advances_per_launch() {
+        let mut dev = Device::new(GpuProfile::TITAN_V);
+        dev.launch("noop", 0, |_, _| {});
+        let t1 = dev.kernel_seconds();
+        assert!(t1 >= GpuProfile::TITAN_V.launch_overhead);
+        dev.launch("noop", 0, |_, _| {});
+        assert!(dev.kernel_seconds() > t1);
+        assert_eq!(dev.launches(), 2);
+    }
+
+    #[test]
+    fn traffic_increases_time() {
+        let data: Vec<u32> = (0..100_000).collect();
+        let buf = ConstBuf::from_slice(&data);
+        let mut light = Device::new(GpuProfile::TITAN_V);
+        light.launch("read1", 1000, |i, ctx| {
+            let _ = buf.ld(ctx, i);
+        });
+        let mut heavy = Device::new(GpuProfile::TITAN_V);
+        heavy.launch("read100", 1000, |i, ctx| {
+            for k in 0..100 {
+                let _ = buf.ld(ctx, i * 100 + k);
+            }
+        });
+        assert!(heavy.kernel_seconds() > light.kernel_seconds());
+    }
+
+    #[test]
+    fn imbalanced_thread_kernel_slower_than_balanced() {
+        // Same total traffic, one task hogging it vs spread out.
+        let data: Vec<u32> = (0..1 << 16).collect();
+        let buf = ConstBuf::from_slice(&data);
+        let mut balanced = Device::new(GpuProfile::TITAN_V);
+        balanced.launch("balanced", 1 << 12, |i, ctx| {
+            for k in 0..16 {
+                let _ = buf.ld_gather(ctx, (i * 16 + k) % data.len());
+            }
+        });
+        let mut skewed = Device::new(GpuProfile::TITAN_V);
+        skewed.launch("skewed", 1 << 12, |i, ctx| {
+            if i == 0 {
+                for k in 0..(1 << 16) {
+                    let _ = buf.ld_gather(ctx, k % data.len());
+                }
+            }
+        });
+        assert!(skewed.kernel_seconds() > balanced.kernel_seconds());
+    }
+
+    #[test]
+    fn warp_parallel_traffic_shrinks_critical_path() {
+        let data: Vec<u32> = (0..1 << 16).collect();
+        let buf = ConstBuf::from_slice(&data);
+        // One hub task with lots of traffic: warp-parallel metering should
+        // yield a smaller simulated time than serial metering.
+        let mut as_serial = Device::new(GpuProfile::TITAN_V);
+        as_serial.launch_warps("serial-hub", 64, |i, w| {
+            if i == 0 {
+                for k in 0..(1 << 16) {
+                    let _ = buf.ld(&mut w.serial, k);
+                }
+            }
+        });
+        let mut as_parallel = Device::new(GpuProfile::TITAN_V);
+        as_parallel.launch_warps("warp-hub", 64, |i, w| {
+            if i == 0 {
+                for k in 0..(1 << 16) {
+                    let _ = buf.ld(&mut w.parallel, k);
+                }
+            }
+        });
+        assert!(as_parallel.kernel_seconds() < as_serial.kernel_seconds());
+    }
+
+    #[test]
+    fn sequential_mode_matches_parallel_results() {
+        let run = |seq: bool| -> (Vec<u32>, u64) {
+            let mut dev = Device::new(GpuProfile::TITAN_V);
+            dev.set_sequential(seq);
+            let out = BufU32::new(64, 0);
+            let stats = dev.launch("sq", 64, |i, ctx| {
+                out.st(ctx, i, (i * i) as u32);
+            });
+            (out.to_vec(), stats.totals.coalesced_bytes)
+        };
+        let (a, ta) = run(true);
+        let (b, tb) = run(false);
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn memcpy_metering() {
+        let mut dev = Device::new(GpuProfile::TITAN_V);
+        assert_eq!(dev.memcpy_seconds(), 0.0);
+        dev.memcpy_h2d(1 << 20);
+        let t = dev.memcpy_seconds();
+        assert!(t > 0.0);
+        dev.memcpy_d2h(1 << 20);
+        assert!(dev.memcpy_seconds() > t);
+        assert!(dev.total_seconds() >= dev.memcpy_seconds());
+    }
+
+    #[test]
+    fn reset_clears_clock_and_log() {
+        let mut dev = Device::new(GpuProfile::TITAN_V);
+        dev.launch("k", 1, |_, ctx| ctx.charge_coalesced(4));
+        dev.memcpy_h2d(1024);
+        dev.reset();
+        assert_eq!(dev.kernel_seconds(), 0.0);
+        assert_eq!(dev.memcpy_seconds(), 0.0);
+        assert!(dev.records().is_empty());
+    }
+
+    #[test]
+    fn time_by_kernel_groups_names() {
+        let mut dev = Device::new(GpuProfile::TITAN_V);
+        dev.launch("a", 1, |_, _| {});
+        dev.launch("b", 1, |_, _| {});
+        dev.launch("a", 1, |_, _| {});
+        let by = dev.time_by_kernel();
+        assert_eq!(by.len(), 2);
+        let a = by.iter().find(|(n, _)| n == "a").unwrap().1;
+        let b = by.iter().find(|(n, _)| n == "b").unwrap().1;
+        assert!(a > b);
+    }
+
+    #[test]
+    fn atomics_cost_more_than_loads() {
+        let buf = BufU32::new(1 << 12, 0);
+        let mut loads = Device::new(GpuProfile::TITAN_V);
+        loads.launch("loads", 1 << 12, |i, ctx| {
+            let _ = buf.ld(ctx, i);
+        });
+        let mut atomics = Device::new(GpuProfile::TITAN_V);
+        atomics.launch("atomics", 1 << 12, |i, ctx| {
+            let _ = buf.atomic_add(ctx, i, 1);
+        });
+        assert!(atomics.kernel_seconds() > loads.kernel_seconds());
+    }
+}

@@ -1,0 +1,435 @@
+//! Device-memory buffers with metered access.
+//!
+//! Three buffer kinds cover everything the MST kernels need:
+//!
+//! * [`ConstBuf`] — read-only device data (the CSR arrays). Plain `Vec<u32>`
+//!   inside; reads are metered.
+//! * [`BufU32`] — mutable 32-bit words with `atomicAdd`/`atomicCAS`
+//!   (worklist cursors, parent arrays, per-edge MST flags).
+//! * [`BufU64`] — mutable 64-bit words with `atomicMin` (the packed
+//!   `weight:edge_id` reservation words).
+//!
+//! Every access takes a [`TaskCtx`] and self-classifies as *coalesced*
+//! (consecutive lanes touch consecutive addresses — worklist reads/writes,
+//! adjacency scans) or *gather* (data-dependent random address — parent
+//! chains, per-vertex reservation words). Kernel authors choose the accessor
+//! matching the actual access pattern, exactly the distinction an Nsight
+//! profile of the CUDA code would surface.
+
+use crate::counters::TaskCtx;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Read-only device buffer of `u32` (the graph's CSR arrays).
+#[derive(Debug, Clone)]
+pub struct ConstBuf {
+    data: Vec<u32>,
+}
+
+impl ConstBuf {
+    /// Uploads a host slice (metering of the H2D copy is the device's job).
+    pub fn from_slice(data: &[u32]) -> Self {
+        Self { data: data.to_vec() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes (for memcpy metering).
+    pub fn size_bytes(&self) -> u64 {
+        4 * self.data.len() as u64
+    }
+
+    /// Coalesced read (sequential scan patterns).
+    #[inline]
+    pub fn ld(&self, ctx: &mut TaskCtx, i: usize) -> u32 {
+        ctx.charge_coalesced(4);
+        self.data[i]
+    }
+
+    /// Random-address read (data-dependent indexing).
+    #[inline]
+    pub fn ld_gather(&self, ctx: &mut TaskCtx, i: usize) -> u32 {
+        ctx.charge_gather();
+        self.data[i]
+    }
+
+    /// Warp-coalesced span read: 32 lanes issue one load instruction that
+    /// covers `len` consecutive words (one access, `4·len` bytes). Models a
+    /// warp cooperatively scanning an adjacency-list chunk.
+    #[inline]
+    pub fn ld_span(&self, ctx: &mut TaskCtx, start: usize, len: usize) -> &[u32] {
+        ctx.charge_coalesced(4 * len as u64);
+        &self.data[start..start + len]
+    }
+
+    /// Single-thread row read with sector reuse: a thread walking its own
+    /// row sequentially pays one 32-byte sector fetch per 8 words and rides
+    /// the sector for the rest. Charges a gather only on sector boundaries
+    /// relative to `row_start`.
+    #[inline]
+    pub fn ld_row(&self, ctx: &mut TaskCtx, i: usize, row_start: usize) -> u32 {
+        if (i - row_start).is_multiple_of(8) {
+            ctx.charge_gather();
+        }
+        self.data[i]
+    }
+}
+
+/// Mutable device buffer of 32-bit words.
+#[derive(Debug)]
+pub struct BufU32 {
+    data: Vec<AtomicU32>,
+}
+
+impl BufU32 {
+    /// Allocates `len` words initialized to `init`.
+    pub fn new(len: usize, init: u32) -> Self {
+        Self {
+            data: (0..len).map(|_| AtomicU32::new(init)).collect(),
+        }
+    }
+
+    /// Uploads a host slice.
+    pub fn from_slice(data: &[u32]) -> Self {
+        Self {
+            data: data.iter().map(|&x| AtomicU32::new(x)).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes (for memcpy metering).
+    pub fn size_bytes(&self) -> u64 {
+        4 * self.data.len() as u64
+    }
+
+    /// Coalesced read.
+    #[inline]
+    pub fn ld(&self, ctx: &mut TaskCtx, i: usize) -> u32 {
+        ctx.charge_coalesced(4);
+        self.data[i].load(Ordering::Relaxed)
+    }
+
+    /// Random-address read.
+    #[inline]
+    pub fn ld_gather(&self, ctx: &mut TaskCtx, i: usize) -> u32 {
+        ctx.charge_gather();
+        self.data[i].load(Ordering::Relaxed)
+    }
+
+    /// Coalesced write.
+    #[inline]
+    pub fn st(&self, ctx: &mut TaskCtx, i: usize, v: u32) {
+        ctx.charge_coalesced(4);
+        self.data[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Random-address write.
+    #[inline]
+    pub fn st_scatter(&self, ctx: &mut TaskCtx, i: usize, v: u32) {
+        ctx.charge_gather();
+        self.data[i].store(v, Ordering::Relaxed);
+    }
+
+    /// `atomicAdd`: returns the previous value (worklist slot allocation).
+    #[inline]
+    pub fn atomic_add(&self, ctx: &mut TaskCtx, i: usize, v: u32) -> u32 {
+        ctx.charge_atomic();
+        self.data[i].fetch_add(v, Ordering::AcqRel)
+    }
+
+    /// Warp-aggregated `atomicAdd` on a shared counter: when every thread
+    /// of a warp increments the *same address* (worklist cursors), the
+    /// hardware coalesces the warp into a single atomic, so the amortized
+    /// per-thread cost is a register shuffle plus 1/32 of an atomic —
+    /// modeled as one cheap coalesced access.
+    #[inline]
+    pub fn atomic_add_aggregated(&self, ctx: &mut TaskCtx, i: usize, v: u32) -> u32 {
+        ctx.charge_coalesced(4);
+        self.data[i].fetch_add(v, Ordering::AcqRel)
+    }
+
+    /// `atomicCAS`: returns `Ok(previous)` on success, `Err(actual)` on
+    /// failure; a failure is charged as a retry.
+    #[inline]
+    pub fn atomic_cas(&self, ctx: &mut TaskCtx, i: usize, expect: u32, new: u32) -> Result<u32, u32> {
+        ctx.charge_atomic();
+        match self.data[i].compare_exchange(expect, new, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(p) => Ok(p),
+            Err(a) => {
+                ctx.charge_cas_retry();
+                Err(a)
+            }
+        }
+    }
+
+    /// `atomicMin` on 32-bit words.
+    #[inline]
+    pub fn atomic_min(&self, ctx: &mut TaskCtx, i: usize, v: u32) -> u32 {
+        ctx.charge_atomic();
+        self.data[i].fetch_min(v, Ordering::AcqRel)
+    }
+
+    /// Vectorized coalesced load of 4 consecutive words (CUDA `int4`):
+    /// one access instruction for 16 bytes — the AoS 4-tuple read.
+    #[inline]
+    pub fn ld4(&self, ctx: &mut TaskCtx, base: usize) -> [u32; 4] {
+        ctx.charge_coalesced(16);
+        [
+            self.data[base].load(Ordering::Relaxed),
+            self.data[base + 1].load(Ordering::Relaxed),
+            self.data[base + 2].load(Ordering::Relaxed),
+            self.data[base + 3].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Vectorized coalesced store of 4 consecutive words (one access).
+    #[inline]
+    pub fn st4(&self, ctx: &mut TaskCtx, base: usize, v: [u32; 4]) {
+        ctx.charge_coalesced(16);
+        for (k, x) in v.into_iter().enumerate() {
+            self.data[base + k].store(x, Ordering::Relaxed);
+        }
+    }
+
+    /// Unmetered host-side read (after a simulated D2H copy).
+    pub fn host_read(&self, i: usize) -> u32 {
+        self.data[i].load(Ordering::Acquire)
+    }
+
+    /// Unmetered host-side write (before a simulated H2D copy).
+    pub fn host_write(&self, i: usize, v: u32) {
+        self.data[i].store(v, Ordering::Release)
+    }
+
+    /// Unmetered host-side snapshot.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.data.iter().map(|x| x.load(Ordering::Acquire)).collect()
+    }
+
+    /// Unmetered host-side fill (cudaMemset analogue; meter it via the
+    /// device if the fill is part of the measured region).
+    pub fn fill(&self, v: u32) {
+        for x in &self.data {
+            x.store(v, Ordering::Release);
+        }
+    }
+}
+
+/// Mutable device buffer of 64-bit words (packed `weight:edge_id`
+/// reservations).
+#[derive(Debug)]
+pub struct BufU64 {
+    data: Vec<AtomicU64>,
+}
+
+impl BufU64 {
+    /// Allocates `len` words initialized to `init`.
+    pub fn new(len: usize, init: u64) -> Self {
+        Self {
+            data: (0..len).map(|_| AtomicU64::new(init)).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes (for memcpy metering).
+    pub fn size_bytes(&self) -> u64 {
+        8 * self.data.len() as u64
+    }
+
+    /// Coalesced read.
+    #[inline]
+    pub fn ld(&self, ctx: &mut TaskCtx, i: usize) -> u64 {
+        ctx.charge_coalesced(8);
+        self.data[i].load(Ordering::Relaxed)
+    }
+
+    /// Random-address read (e.g. the guard load before an atomicMin).
+    #[inline]
+    pub fn ld_gather(&self, ctx: &mut TaskCtx, i: usize) -> u64 {
+        ctx.charge_gather();
+        self.data[i].load(Ordering::Relaxed)
+    }
+
+    /// Coalesced write.
+    #[inline]
+    pub fn st(&self, ctx: &mut TaskCtx, i: usize, v: u64) {
+        ctx.charge_coalesced(8);
+        self.data[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Random-address write.
+    #[inline]
+    pub fn st_scatter(&self, ctx: &mut TaskCtx, i: usize, v: u64) {
+        ctx.charge_gather();
+        self.data[i].store(v, Ordering::Relaxed);
+    }
+
+    /// 64-bit `atomicMin` — the deterministic-reservation primitive.
+    #[inline]
+    pub fn atomic_min(&self, ctx: &mut TaskCtx, i: usize, v: u64) -> u64 {
+        ctx.charge_atomic();
+        self.data[i].fetch_min(v, Ordering::AcqRel)
+    }
+
+    /// Cache-resident random read: the reservation words are touched by
+    /// every edge of a component, so guard loads overwhelmingly hit L2.
+    /// Charged as a cheap 8-byte access instead of a DRAM sector — this is
+    /// what makes the paper's atomic-guard optimization profitable.
+    #[inline]
+    pub fn ld_cached(&self, ctx: &mut TaskCtx, i: usize) -> u64 {
+        ctx.charge_coalesced(8);
+        self.data[i].load(Ordering::Relaxed)
+    }
+
+    /// Unmetered host-side read.
+    pub fn host_read(&self, i: usize) -> u64 {
+        self.data[i].load(Ordering::Acquire)
+    }
+
+    /// Unmetered host-side fill.
+    pub fn fill(&self, v: u64) {
+        for x in &self.data {
+            x.store(v, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_buf_reads_meter() {
+        let b = ConstBuf::from_slice(&[10, 20, 30]);
+        let mut ctx = TaskCtx::new();
+        assert_eq!(b.ld(&mut ctx, 1), 20);
+        assert_eq!(b.ld_gather(&mut ctx, 2), 30);
+        assert_eq!(ctx.coalesced_bytes, 4);
+        assert_eq!(ctx.gather_accesses, 1);
+        assert_eq!(b.size_bytes(), 12);
+    }
+
+    #[test]
+    fn ld_span_is_one_access() {
+        let b = ConstBuf::from_slice(&(0..64).collect::<Vec<u32>>());
+        let mut ctx = TaskCtx::new();
+        let s = b.ld_span(&mut ctx, 8, 32);
+        assert_eq!(s[0], 8);
+        assert_eq!(s.len(), 32);
+        assert_eq!(ctx.accesses, 1);
+        assert_eq!(ctx.coalesced_bytes, 128);
+    }
+
+    #[test]
+    fn ld_row_charges_per_sector() {
+        let b = ConstBuf::from_slice(&(0..64).collect::<Vec<u32>>());
+        let mut ctx = TaskCtx::new();
+        for i in 10..30 {
+            let _ = b.ld_row(&mut ctx, i, 10);
+        }
+        // 20 words starting at the row origin: sectors at offsets 0, 8, 16.
+        assert_eq!(ctx.gather_accesses, 3);
+    }
+
+    #[test]
+    fn buf_u32_atomic_add_allocates_slots() {
+        let b = BufU32::new(1, 0);
+        let mut ctx = TaskCtx::new();
+        assert_eq!(b.atomic_add(&mut ctx, 0, 1), 0);
+        assert_eq!(b.atomic_add(&mut ctx, 0, 1), 1);
+        assert_eq!(b.host_read(0), 2);
+        assert_eq!(ctx.atomics, 2);
+    }
+
+    #[test]
+    fn buf_u32_cas_success_and_failure() {
+        let b = BufU32::new(1, 5);
+        let mut ctx = TaskCtx::new();
+        assert_eq!(b.atomic_cas(&mut ctx, 0, 5, 9), Ok(5));
+        assert_eq!(b.atomic_cas(&mut ctx, 0, 5, 7), Err(9));
+        assert_eq!(ctx.cas_retries, 1);
+        assert_eq!(ctx.atomics, 2);
+    }
+
+    #[test]
+    fn buf_u64_atomic_min_keeps_minimum() {
+        let b = BufU64::new(2, u64::MAX);
+        let mut ctx = TaskCtx::new();
+        b.atomic_min(&mut ctx, 0, 100);
+        b.atomic_min(&mut ctx, 0, 50);
+        b.atomic_min(&mut ctx, 0, 80);
+        assert_eq!(b.host_read(0), 50);
+        assert_eq!(b.host_read(1), u64::MAX);
+    }
+
+    #[test]
+    fn stores_and_loads_roundtrip() {
+        let b = BufU32::new(4, 0);
+        let mut ctx = TaskCtx::new();
+        b.st(&mut ctx, 2, 42);
+        b.st_scatter(&mut ctx, 3, 43);
+        assert_eq!(b.ld(&mut ctx, 2), 42);
+        assert_eq!(b.ld_gather(&mut ctx, 3), 43);
+    }
+
+    #[test]
+    fn fill_resets_all() {
+        let b = BufU64::new(3, 7);
+        b.fill(u64::MAX);
+        for i in 0..3 {
+            assert_eq!(b.host_read(i), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn vectorized_tuple_roundtrip_is_one_access() {
+        let b = BufU32::new(8, 0);
+        let mut ctx = TaskCtx::new();
+        b.st4(&mut ctx, 4, [1, 2, 3, 4]);
+        assert_eq!(b.ld4(&mut ctx, 4), [1, 2, 3, 4]);
+        assert_eq!(ctx.accesses, 2);
+        assert_eq!(ctx.coalesced_bytes, 32);
+    }
+
+    #[test]
+    fn concurrent_atomic_min_is_exact() {
+        let b = BufU64::new(1, u64::MAX);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let b = &b;
+                s.spawn(move || {
+                    let mut ctx = TaskCtx::new();
+                    for k in 0..1000u64 {
+                        b.atomic_min(&mut ctx, 0, (t + 1) * 1_000_000 - k);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.host_read(0), 1_000_000 - 999);
+    }
+}

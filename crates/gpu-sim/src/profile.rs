@@ -1,0 +1,136 @@
+//! Cost-model parameters for the simulated GPUs.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order performance description of a GPU plus the event weights of
+/// the cost model. Two built-in profiles describe the paper's test GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuProfile {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Sustained device-memory bandwidth in bytes/second.
+    pub mem_bw: f64,
+    /// Bandwidth available to a single warp chasing a critical path, in
+    /// bytes/second. Divides the device bandwidth by the number of warps
+    /// needed to saturate it; this term models load imbalance (a hub vertex
+    /// processed by one thread/warp bottlenecks the whole kernel).
+    pub warp_bw: f64,
+    /// Fixed kernel-launch overhead in seconds (driver + dispatch).
+    pub launch_overhead: f64,
+    /// DRAM sector size in bytes; a random (uncoalesced) access always
+    /// transfers a full sector.
+    pub sector_bytes: u64,
+    /// Byte-equivalent surcharge per atomic operation (L2 serialization).
+    pub atomic_penalty_bytes: u64,
+    /// Byte-equivalent surcharge per failed CAS (retry round trip).
+    pub cas_retry_penalty_bytes: u64,
+    /// Byte-equivalent issue/transaction overhead per access instruction
+    /// (what a vectorized 16-byte tuple load saves over four scalar loads).
+    pub access_overhead_bytes: u64,
+    /// Host-to-device / device-to-host effective transfer bandwidth in
+    /// bytes/s. The paper's memcpy columns imply ~6-8 GB/s (pageable host
+    /// memory), well under the PCIe link peak.
+    pub pcie_bw: f64,
+    /// Fixed latency per memcpy call in seconds.
+    pub memcpy_latency: f64,
+}
+
+impl GpuProfile {
+    /// NVIDIA Titan V (System 1 of the paper): Volta, 80 SMs, 5,120 lanes,
+    /// HBM2 at ~650 GB/s sustained, PCIe 3.0 x16.
+    ///
+    /// The launch overhead is scaled down ~8× from the physical ~3 µs: the
+    /// reproduction's input suite is ~30–100× smaller than the paper's
+    /// graphs, and keeping the physical value would make dispatch dominate
+    /// every code equally, erasing the traffic differences the paper
+    /// actually measures. Scaling the overhead with the inputs preserves
+    /// the paper's overhead-to-traffic regime.
+    pub const TITAN_V: GpuProfile = GpuProfile {
+        name: "Titan V",
+        mem_bw: 550.0e9,
+        warp_bw: 550.0e9 / 512.0,
+        launch_overhead: 0.4e-6,
+        sector_bytes: 32,
+        atomic_penalty_bytes: 24,
+        cas_retry_penalty_bytes: 48,
+        access_overhead_bytes: 10,
+        pcie_bw: 7.0e9,
+        memcpy_latency: 2.0e-6,
+    };
+
+    /// NVIDIA RTX 3080 Ti (System 2): Ampere, 80 SMs, 10,240 lanes, GDDR6X
+    /// at ~912 GB/s peak (~760 sustained), PCIe 4.0 x16. Launch overhead
+    /// scaled as for [`Self::TITAN_V`].
+    pub const RTX_3080_TI: GpuProfile = GpuProfile {
+        name: "RTX 3080 Ti",
+        mem_bw: 760.0e9,
+        warp_bw: 760.0e9 / 512.0,
+        launch_overhead: 0.3e-6,
+        sector_bytes: 32,
+        atomic_penalty_bytes: 18,
+        cas_retry_penalty_bytes: 36,
+        access_overhead_bytes: 10,
+        pcie_bw: 8.5e9,
+        memcpy_latency: 1.6e-6,
+    };
+
+    /// Simulated duration of a kernel launch given aggregate statistics.
+    ///
+    /// `total_bytes` is all metered traffic; `critical_bytes` is the largest
+    /// single task's traffic (a warp task divides its traffic by the 32
+    /// cooperating lanes before reporting it).
+    pub fn kernel_time(&self, total_bytes: u64, critical_bytes: u64) -> f64 {
+        let throughput_bound = total_bytes as f64 / self.mem_bw;
+        let critical_bound = critical_bytes as f64 / self.warp_bw;
+        self.launch_overhead + throughput_bound.max(critical_bound)
+    }
+
+    /// Simulated duration of one host↔device copy of `bytes`.
+    pub fn memcpy_time(&self, bytes: u64) -> f64 {
+        self.memcpy_latency + bytes as f64 / self.pcie_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // guards future profile edits
+    fn profiles_differ() {
+        assert!(GpuProfile::RTX_3080_TI.mem_bw > GpuProfile::TITAN_V.mem_bw);
+        assert!(GpuProfile::RTX_3080_TI.pcie_bw > GpuProfile::TITAN_V.pcie_bw);
+    }
+
+    #[test]
+    fn kernel_time_includes_overhead() {
+        let p = GpuProfile::TITAN_V;
+        assert!(p.kernel_time(0, 0) >= p.launch_overhead);
+    }
+
+    #[test]
+    fn kernel_time_scales_with_traffic() {
+        let p = GpuProfile::TITAN_V;
+        let t1 = p.kernel_time(1 << 20, 0);
+        let t2 = p.kernel_time(1 << 24, 0);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn critical_path_dominates_imbalanced_kernels() {
+        let p = GpuProfile::TITAN_V;
+        // A kernel whose traffic all sits in one task is bound by warp
+        // bandwidth, not device bandwidth.
+        let balanced = p.kernel_time(1 << 24, 32);
+        let imbalanced = p.kernel_time(1 << 24, 1 << 24);
+        assert!(imbalanced > 10.0 * balanced);
+    }
+
+    #[test]
+    fn memcpy_faster_on_system2() {
+        let bytes = 1 << 26;
+        assert!(
+            GpuProfile::RTX_3080_TI.memcpy_time(bytes) < GpuProfile::TITAN_V.memcpy_time(bytes)
+        );
+    }
+}

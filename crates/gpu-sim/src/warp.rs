@@ -1,0 +1,130 @@
+//! Warp-level execution context.
+//!
+//! CUDA warps execute 32 lanes in lockstep and exchange data with `ballot`
+//! and `shfl`. The simulator models a warp-capable task as a [`WarpCtx`]
+//! holding **two** metering contexts:
+//!
+//! * [`WarpCtx::serial`] — accesses performed by a single lane (the
+//!   thread-granularity path of the paper's hybrid scheme, used for
+//!   low-degree vertices). These bytes sit on the task's critical path in
+//!   full.
+//! * [`WarpCtx::parallel`] — accesses spread across the 32 cooperating
+//!   lanes (the warp-granularity path for high-degree vertices). The
+//!   device divides this traffic by [`WARP_SIZE`] when computing the task's
+//!   critical-path contribution, which is exactly the benefit of the
+//!   paper's hybrid parallelization.
+//!
+//! Kernels choose per-vertex which context to meter against, mirroring the
+//! `d(v) < 4` branch on the GPU.
+
+use crate::counters::TaskCtx;
+
+/// Number of lanes in a warp.
+pub const WARP_SIZE: usize = 32;
+
+/// Execution context of one warp-capable task.
+#[derive(Debug, Default)]
+pub struct WarpCtx {
+    /// Metering context for single-lane (thread-granularity) work.
+    pub serial: TaskCtx,
+    /// Metering context for lane-parallel (warp-granularity) work.
+    pub parallel: TaskCtx,
+}
+
+impl WarpCtx {
+    /// Fresh context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `__ballot_sync` analogue: evaluates up to 32 lane predicates and
+    /// packs them into a mask (lane 0 = bit 0). Register-only: free in the
+    /// cost model.
+    pub fn ballot<I: IntoIterator<Item = bool>>(&self, lanes: I) -> u32 {
+        let mut mask = 0u32;
+        for (lane, pred) in lanes.into_iter().enumerate() {
+            assert!(lane < WARP_SIZE, "ballot takes at most {WARP_SIZE} lanes");
+            if pred {
+                mask |= 1 << lane;
+            }
+        }
+        mask
+    }
+
+    /// `__shfl_sync` analogue: every lane reads `values[src_lane]`.
+    /// Register-only: free in the cost model.
+    pub fn shfl(&self, values: &[u64], src_lane: usize) -> u64 {
+        assert!(values.len() <= WARP_SIZE);
+        values[src_lane]
+    }
+
+    /// Warp-wide minimum via butterfly shuffles (register-only).
+    pub fn reduce_min(&self, values: &[u64]) -> Option<u64> {
+        assert!(values.len() <= WARP_SIZE);
+        values.iter().copied().min()
+    }
+
+    /// Iterates a range in lockstep rounds of up to 32 items, as warp
+    /// threads striding an adjacency list do. Yields `(start, len)` per
+    /// round.
+    pub fn rounds(&self, len: usize) -> impl Iterator<Item = (usize, usize)> {
+        (0..len).step_by(WARP_SIZE).map(move |s| (s, WARP_SIZE.min(len - s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_packs_bits() {
+        let w = WarpCtx::new();
+        let mask = w.ballot([true, false, true, true]);
+        assert_eq!(mask, 0b1101);
+        assert_eq!(mask.count_ones(), 3);
+    }
+
+    #[test]
+    fn ballot_empty_is_zero() {
+        let w = WarpCtx::new();
+        assert_eq!(w.ballot(std::iter::empty()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn ballot_rejects_33_lanes() {
+        let w = WarpCtx::new();
+        let _ = w.ballot(std::iter::repeat_n(true, 33));
+    }
+
+    #[test]
+    fn shfl_broadcasts() {
+        let w = WarpCtx::new();
+        assert_eq!(w.shfl(&[9, 8, 7], 1), 8);
+    }
+
+    #[test]
+    fn reduce_min_finds_minimum() {
+        let w = WarpCtx::new();
+        assert_eq!(w.reduce_min(&[5, 2, 9]), Some(2));
+        assert_eq!(w.reduce_min(&[]), None);
+    }
+
+    #[test]
+    fn rounds_cover_range_in_warp_chunks() {
+        let w = WarpCtx::new();
+        let r: Vec<_> = w.rounds(70).collect();
+        assert_eq!(r, vec![(0, 32), (32, 32), (64, 6)]);
+        assert_eq!(w.rounds(0).count(), 0);
+        assert_eq!(w.rounds(32).collect::<Vec<_>>(), vec![(0, 32)]);
+    }
+
+    #[test]
+    fn contexts_meter_independently() {
+        let mut w = WarpCtx::new();
+        w.serial.charge_coalesced(4);
+        w.parallel.charge_coalesced(128);
+        assert_eq!(w.serial.coalesced_bytes, 4);
+        assert_eq!(w.parallel.coalesced_bytes, 128);
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration tests of the simulator's execution semantics: results must
+//! not depend on host parallelism, clocks must be reproducible, and the
+//! cost model must order workloads sensibly.
+
+use ecl_gpu_sim::{BufU32, BufU64, ConstBuf, Device, GpuProfile};
+
+#[test]
+fn parallel_and_sequential_execution_agree_on_state_and_traffic() {
+    let run = |seq: bool| {
+        let mut dev = Device::new(GpuProfile::TITAN_V);
+        dev.set_sequential(seq);
+        let data: Vec<u32> = (0..10_000).collect();
+        let input = ConstBuf::from_slice(&data);
+        let acc = BufU32::new(1, 0);
+        let out = BufU32::new(10_000, 0);
+        let stats = dev.launch("mix", 10_000, |i, ctx| {
+            let x = input.ld(ctx, i);
+            out.st(ctx, i, x * 2);
+            if x.is_multiple_of(97) {
+                acc.atomic_add(ctx, 0, 1);
+            }
+        });
+        (out.to_vec(), acc.host_read(0), stats.totals, dev.kernel_seconds())
+    };
+    let (o1, a1, t1, k1) = run(true);
+    let (o2, a2, t2, k2) = run(false);
+    assert_eq!(o1, o2);
+    assert_eq!(a1, a2);
+    assert_eq!(t1, t2, "event totals must not depend on host scheduling");
+    assert!((k1 - k2).abs() < 1e-12);
+}
+
+#[test]
+fn simulated_clock_is_reproducible() {
+    let run = || {
+        let mut dev = Device::new(GpuProfile::RTX_3080_TI);
+        let buf = BufU64::new(512, u64::MAX);
+        dev.launch("mins", 4096, |i, ctx| {
+            buf.atomic_min(ctx, i % 512, i as u64);
+        });
+        dev.sync_read();
+        dev.memcpy_d2h(buf.size_bytes());
+        (dev.kernel_seconds(), dev.memcpy_seconds())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn gather_heavy_kernel_slower_than_coalesced() {
+    let data: Vec<u32> = (0..1 << 16).collect();
+    let buf = ConstBuf::from_slice(&data);
+    let time = |gather: bool| {
+        let mut dev = Device::new(GpuProfile::TITAN_V);
+        dev.launch("scan", 1 << 14, |i, ctx| {
+            for k in 0..4 {
+                let idx = (i * 4 + k) % data.len();
+                if gather {
+                    buf.ld_gather(ctx, idx);
+                } else {
+                    buf.ld(ctx, idx);
+                }
+            }
+        });
+        dev.kernel_seconds()
+    };
+    assert!(time(true) > 2.0 * time(false));
+}
+
+#[test]
+fn sync_read_accrues_to_kernel_time() {
+    let mut dev = Device::new(GpuProfile::TITAN_V);
+    let before = dev.kernel_seconds();
+    dev.sync_read();
+    assert!(dev.kernel_seconds() > before);
+    assert_eq!(dev.memcpy_seconds(), 0.0);
+}
+
+#[test]
+fn concurrent_kernel_atomics_are_exact() {
+    // 64k increments across tasks must sum exactly regardless of host
+    // scheduling.
+    let mut dev = Device::new(GpuProfile::TITAN_V);
+    let counter = BufU32::new(1, 0);
+    dev.launch("count", 1 << 16, |_, ctx| {
+        counter.atomic_add(ctx, 0, 1);
+    });
+    assert_eq!(counter.host_read(0), 1 << 16);
+}
+
+#[test]
+fn records_preserve_launch_order() {
+    let mut dev = Device::new(GpuProfile::TITAN_V);
+    for name in ["a", "b", "c", "b"] {
+        dev.launch(name, 1, |_, _| {});
+    }
+    let names: Vec<&str> = dev.records().iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(names, vec!["a", "b", "c", "b"]);
+}

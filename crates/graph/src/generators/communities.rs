@@ -1,0 +1,168 @@
+//! Community-structured generators — twins of `coPapersDBLP` (co-authorship
+//! near-cliques, average degree 56.4), `citationCiteseer` / `cit-Patents`
+//! (citation networks), and `in-2004` (web-crawl host clusters with a
+//! moderate number of connected components).
+
+use crate::weights::WeightGen;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+/// Co-authorship twin (`coPapersDBLP`): vertices grouped into communities of
+/// geometric size; each community is a clique (papers induce author
+/// cliques), and communities are chained to keep one connected component.
+///
+/// `mean_community` around 25–60 reproduces the original's very high average
+/// degree — the input where the paper's throughput peaks and where the
+/// filter-seed variance is largest.
+pub fn copapers(n: usize, mean_community: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2 && mean_community >= 2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut wg = WeightGen::new(seed ^ 0xC0FA);
+    let mut b = GraphBuilder::with_capacity(n, n * mean_community / 2);
+    let mut start = 0usize;
+    let mut prev_member: Option<VertexId> = None;
+    while start < n {
+        // Geometric-ish community size in [2, 3 * mean].
+        let size = (2 + rng.gen_range(0..(2 * mean_community - 1))).min(n - start).max(1);
+        let end = start + size;
+        for i in start..end {
+            for j in (i + 1)..end {
+                b.add_edge(i as VertexId, j as VertexId, wg.next());
+            }
+        }
+        // Chain to the previous community through one shared-author edge.
+        if let Some(p) = prev_member {
+            b.add_edge(p, start as VertexId, wg.next());
+        }
+        prev_member = Some((end - 1) as VertexId);
+        start = end;
+    }
+    b.build()
+}
+
+/// Citation-network twin (`citationCiteseer`, `cit-Patents`): each vertex
+/// cites `cites` earlier vertices with a recency window, which yields the
+/// originals' moderate degree skew. `components > 1` splits the range into
+/// independent citation universes (cit-Patents has 3,627 components).
+pub fn citation(n: usize, cites: usize, components: usize, seed: u64) -> CsrGraph {
+    let components = components.max(1);
+    assert!(n >= 2 * components, "need at least two vertices per component");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut wg = WeightGen::new(seed ^ 0xC17E);
+    let mut b = GraphBuilder::with_capacity(n, n * cites);
+    let base = n / components;
+    let mut start = 0usize;
+    for comp in 0..components {
+        let len = if comp == components - 1 { n - start } else { base };
+        for i in 1..len {
+            let v = (start + i) as VertexId;
+            // Recency bias: cite within a window growing with sqrt(i).
+            let window = ((i as f64).sqrt() as usize * 8 + 4).min(i);
+            let k = cites.min(i);
+            for _ in 0..k {
+                let back = rng.gen_range(1..=window);
+                let t = (start + i - back) as VertexId;
+                b.add_edge(v, t, wg.next());
+            }
+        }
+        start += len;
+    }
+    b.build()
+}
+
+/// Web-crawl twin (`in-2004`): host-sized clusters where pages attach
+/// preferentially within their host (site hub pages become high-degree),
+/// a few inter-host links, and `components` separate crawls.
+pub fn webcrawl(n: usize, edges_per_vertex: usize, components: usize, seed: u64) -> CsrGraph {
+    let components = components.max(1);
+    assert!(n >= components * (edges_per_vertex + 1));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut wg = WeightGen::new(seed ^ 0x3EB);
+    let mut b = GraphBuilder::with_capacity(n, n * edges_per_vertex);
+    let base = n / components;
+    let mut start = 0usize;
+    for comp in 0..components {
+        let len = if comp == components - 1 { n - start } else { base };
+        // Within a crawl: hosts of ~geometric size, preferential inside.
+        let mut host_start = start;
+        let mut prev_host_hub: Option<VertexId> = None;
+        while host_start < start + len {
+            let host_len = (rng.gen_range(2..200)).min(start + len - host_start);
+            let hub = host_start as VertexId;
+            let mut urn: Vec<VertexId> = vec![hub];
+            for i in 1..host_len {
+                let v = (host_start + i) as VertexId;
+                let k = edges_per_vertex.min(i);
+                for _ in 0..k {
+                    let t = urn[rng.gen_range(0..urn.len())];
+                    if t != v {
+                        b.add_edge(v, t, wg.next());
+                    }
+                }
+                urn.push(v);
+                urn.push(hub); // hub bias: site navigation links
+            }
+            if let Some(p) = prev_host_hub {
+                b.add_edge(p, hub, wg.next());
+            }
+            prev_host_hub = Some(hub);
+            host_start += host_len;
+        }
+        start += len;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    #[test]
+    fn copapers_high_average_degree() {
+        let g = copapers(3000, 30, 1);
+        assert!(g.average_degree() > 20.0, "avg {}", g.average_degree());
+        assert_eq!(connected_components(&g), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn copapers_chained_single_component() {
+        let g = copapers(500, 8, 2);
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn citation_single_component_has_one_cc() {
+        let g = citation(2000, 4, 1, 3);
+        assert_eq!(connected_components(&g), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn citation_component_count() {
+        let g = citation(3000, 4, 25, 4);
+        assert_eq!(connected_components(&g), 25);
+    }
+
+    #[test]
+    fn citation_degree_regime() {
+        let g = citation(4000, 4, 1, 5);
+        assert!((g.average_degree() - 8.0).abs() < 2.0, "avg {}", g.average_degree());
+    }
+
+    #[test]
+    fn webcrawl_components_and_hubs() {
+        let g = webcrawl(6000, 8, 5, 6);
+        assert_eq!(connected_components(&g), 5);
+        assert!(g.max_degree() > 10 * g.average_degree() as usize);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(copapers(400, 10, 9), copapers(400, 10, 9));
+        assert_eq!(citation(400, 3, 2, 9), citation(400, 3, 2, 9));
+        assert_eq!(webcrawl(400, 3, 2, 9), webcrawl(400, 3, 2, 9));
+    }
+}

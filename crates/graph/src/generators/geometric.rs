@@ -1,0 +1,98 @@
+//! Random geometric graph generator — extra workload: points in the unit
+//! square connected within a radius, with Euclidean-derived weights. The
+//! closest synthetic analogue to sensor networks and mesh-like inputs, and
+//! the natural setting for the paper's power-grid motivation (§1).
+
+use crate::{CsrGraph, GraphBuilder, VertexId, Weight};
+use rand::{Rng, SeedableRng};
+
+/// Generates a random geometric graph: `n` points uniform in the unit
+/// square, an edge between every pair within distance `radius`, weighted by
+/// the scaled squared Euclidean distance (shorter line = cheaper).
+///
+/// Uses a uniform grid of cell size `radius` so generation is
+/// O(n · expected-degree) instead of O(n²).
+pub fn geometric(n: usize, radius: f64, seed: u64) -> CsrGraph {
+    assert!(n >= 1);
+    assert!(radius > 0.0 && radius <= 1.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+
+    // Bucket points into radius-sized cells.
+    let cells = ((1.0 / radius).floor() as usize).max(1);
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        grid[cell_of(y) * cells + cell_of(x)].push(i as u32);
+    }
+
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = (cell_of(x), cell_of(y));
+        for dy in cy.saturating_sub(1)..=(cy + 1).min(cells - 1) {
+            for dx in cx.saturating_sub(1)..=(cx + 1).min(cells - 1) {
+                for &j in &grid[dy * cells + dx] {
+                    if j as usize <= i {
+                        continue; // one direction; builder mirrors
+                    }
+                    let (px, py) = pts[j as usize];
+                    let d2 = (x - px) * (x - px) + (y - py) * (y - py);
+                    if d2 <= r2 {
+                        // Scaled squared distance as the line cost; +1
+                        // keeps weights positive, and adding the pair hash
+                        // via the builder's id tie-break keeps MSTs unique.
+                        let w = (d2 / r2 * 1_000_000.0) as Weight + 1;
+                        b.add_edge(i as VertexId, j, w);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    #[test]
+    fn radius_controls_density() {
+        let sparse = geometric(500, 0.03, 1);
+        let dense = geometric(500, 0.12, 1);
+        assert!(dense.num_edges() > 4 * sparse.num_edges());
+        dense.validate().unwrap();
+        sparse.validate().unwrap();
+    }
+
+    #[test]
+    fn above_connectivity_threshold_is_connected() {
+        // r ~ sqrt(ln n / (pi n)) is the threshold; 3x above it.
+        let n = 800;
+        let r = 3.0 * ((n as f64).ln() / (std::f64::consts::PI * n as f64)).sqrt();
+        let g = geometric(n, r, 2);
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn weights_reflect_distance() {
+        let g = geometric(300, 0.2, 3);
+        // All weights within the scaled range.
+        for e in g.edges() {
+            assert!(e.weight >= 1 && e.weight <= 1_000_001);
+        }
+    }
+
+    #[test]
+    fn single_point() {
+        let g = geometric(1, 0.5, 4);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(geometric(200, 0.1, 7), geometric(200, 0.1, 7));
+    }
+}

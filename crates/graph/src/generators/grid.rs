@@ -1,0 +1,75 @@
+//! 2D grid generator — twin of `2d-2e20.sym` (type "grid", average degree
+//! 4.0, maximum degree 4, single connected component).
+
+use crate::weights::WeightGen;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Generates a `side × side` 4-connected grid with uniform random weights.
+///
+/// Properties: `side²` vertices, `2·side·(side−1)` edges, average degree just
+/// under 4 (so, like the original, **no filtering phase** is triggered),
+/// maximum degree 4, one connected component.
+///
+/// ```
+/// let g = ecl_graph::generators::grid2d(8, 42);
+/// assert_eq!(g.num_vertices(), 64);
+/// assert_eq!(g.num_edges(), 2 * 8 * 7);
+/// assert_eq!(g.max_degree(), 4);
+/// ```
+pub fn grid2d(side: usize, seed: u64) -> CsrGraph {
+    assert!(side >= 1, "grid needs at least one vertex per side");
+    let n = side * side;
+    let mut wg = WeightGen::new(seed);
+    let mut b = GraphBuilder::with_capacity(n, 2 * side * (side - 1));
+    let at = |r: usize, c: usize| (r * side + c) as VertexId;
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                b.add_edge(at(r, c), at(r, c + 1), wg.next());
+            }
+            if r + 1 < side {
+                b.add_edge(at(r, c), at(r + 1, c), wg.next());
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    #[test]
+    fn counts_match_formula() {
+        let g = grid2d(10, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 2 * 10 * 9);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degrees_bounded_by_four() {
+        let g = grid2d(8, 2);
+        assert_eq!(g.max_degree(), 4);
+        assert!(g.average_degree() < 4.0);
+    }
+
+    #[test]
+    fn single_component() {
+        let g = grid2d(16, 3);
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn single_vertex_grid() {
+        let g = grid2d(1, 0);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(grid2d(6, 9), grid2d(6, 9));
+    }
+}

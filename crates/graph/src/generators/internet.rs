@@ -1,0 +1,78 @@
+//! Internet-topology generator — twin of `internet` (average degree 3.1,
+//! maximum degree ~151, single component): router-level topologies are
+//! sparse trees-with-shortcuts whose few exchange points have high degree.
+
+use crate::weights::WeightGen;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+/// Generates a sparse preferential-attachment **tree** plus a sprinkle of
+/// extra degree-biased shortcut edges, reaching the target `avg_degree`
+/// (must be in `[2, 4)` so that, like the original, filtering is skipped).
+pub fn internet_topo(n: usize, avg_degree: f64, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    assert!((2.0..4.0).contains(&avg_degree), "internet twin is sparse (< 4)");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut wg = WeightGen::new(seed ^ 0x1_7e7);
+    let mut b = GraphBuilder::with_capacity(n, (n as f64 * avg_degree / 2.0) as usize + 1);
+
+    // Preferential-attachment tree: the urn trick again, starting from a
+    // single root edge.
+    let mut urn: Vec<VertexId> = vec![0, 1];
+    b.add_edge(0, 1, wg.next());
+    for v in 2..n as VertexId {
+        let t = urn[rng.gen_range(0..urn.len())];
+        b.add_edge(v, t, wg.next());
+        urn.push(v);
+        urn.push(t);
+    }
+    // Shortcuts: degree-biased pairs until the average-degree target.
+    let target_edges = (n as f64 * avg_degree / 2.0) as usize;
+    let extra = target_edges.saturating_sub(n - 1);
+    for _ in 0..extra {
+        let u = urn[rng.gen_range(0..urn.len())];
+        let v = urn[rng.gen_range(0..urn.len())];
+        if u != v {
+            b.add_edge(u, v, wg.next());
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    #[test]
+    fn sparse_and_connected() {
+        let g = internet_topo(3000, 3.1, 1);
+        assert_eq!(connected_components(&g), 1);
+        assert!(g.average_degree() < 4.0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn has_high_degree_exchange_points() {
+        let g = internet_topo(5000, 3.1, 2);
+        assert!(
+            g.max_degree() > 20 * g.average_degree() as usize,
+            "expected hubs, max degree {}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn nearly_a_tree_at_degree_two() {
+        // avg_degree = 2 targets n edges: tree (n - 1) plus at most one
+        // shortcut (which may collapse as a duplicate).
+        let g = internet_topo(100, 2.0, 3);
+        assert!(g.num_edges() >= 99 && g.num_edges() <= 100);
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(internet_topo(200, 3.0, 4), internet_topo(200, 3.0, 4));
+    }
+}

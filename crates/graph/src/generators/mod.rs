@@ -1,0 +1,32 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on 17 downloaded graphs (Table 2). Those datasets are
+//! not available offline, so each generator here produces a *structural twin*
+//! of one input class: same degree regime (the filtering heuristic keys on
+//! average degree ≥ 4), same skew (scale-free vs bounded-degree), same
+//! connected-component structure (MST vs MSF inputs), and a CPU-feasible
+//! size. The twin-to-original mapping lives in [`crate::suite()`].
+//!
+//! All generators are deterministic in their seed.
+
+pub mod communities;
+pub mod geometric;
+pub mod grid;
+pub mod internet;
+pub mod planar;
+pub mod preferential;
+pub mod random;
+pub mod rmat;
+pub mod road;
+pub mod smallworld;
+
+pub use communities::{citation, copapers, webcrawl};
+pub use geometric::geometric;
+pub use grid::grid2d;
+pub use internet::internet_topo;
+pub use planar::delaunay_like;
+pub use preferential::preferential_attachment;
+pub use random::uniform_random;
+pub use rmat::{kronecker, rmat};
+pub use road::road_map;
+pub use smallworld::small_world;

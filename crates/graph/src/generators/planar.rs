@@ -1,0 +1,78 @@
+//! Planar triangulation generator — twin of `delaunay_n24` (Delaunay
+//! triangulation: average degree 6, maximum degree 26, single component).
+
+use crate::weights::WeightGen;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+/// Generates a triangulated `side × side` lattice: all grid edges plus one
+/// randomly oriented diagonal per cell. This matches a Delaunay
+/// triangulation's key structure — planar, average degree ≈ 6, bounded
+/// maximum degree, single connected component — at a fraction of the
+/// generation cost of true Delaunay.
+pub fn delaunay_like(side: usize, seed: u64) -> CsrGraph {
+    assert!(side >= 2);
+    let n = side * side;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut wg = WeightGen::new(seed ^ 0xDE1A);
+    let at = |r: usize, c: usize| (r * side + c) as VertexId;
+    let mut b = GraphBuilder::with_capacity(n, 3 * n);
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                b.add_edge(at(r, c), at(r, c + 1), wg.next());
+            }
+            if r + 1 < side {
+                b.add_edge(at(r, c), at(r + 1, c), wg.next());
+            }
+            if r + 1 < side && c + 1 < side {
+                // One diagonal per cell, random orientation.
+                if rng.gen::<bool>() {
+                    b.add_edge(at(r, c), at(r + 1, c + 1), wg.next());
+                } else {
+                    b.add_edge(at(r, c + 1), at(r + 1, c), wg.next());
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    #[test]
+    fn average_degree_near_six() {
+        let g = delaunay_like(40, 1);
+        assert!((g.average_degree() - 6.0).abs() < 0.5, "avg {}", g.average_degree());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn bounded_max_degree() {
+        let g = delaunay_like(30, 2);
+        assert!(g.max_degree() <= 8);
+    }
+
+    #[test]
+    fn connected() {
+        let g = delaunay_like(25, 3);
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn edge_count_formula() {
+        // grid edges + one diagonal per cell
+        let side = 12;
+        let g = delaunay_like(side, 4);
+        let expected = 2 * side * (side - 1) + (side - 1) * (side - 1);
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(delaunay_like(9, 5), delaunay_like(9, 5));
+    }
+}

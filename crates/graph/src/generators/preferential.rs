@@ -1,0 +1,115 @@
+//! Preferential-attachment generator — twin of the scale-free inputs
+//! `amazon0601` (co-purchases), `soc-LiveJournal1` (community) and
+//! `as-skitter` (Internet topology): power-law degree distribution with a
+//! small number of very high-degree hubs, where vertex-centric codes lose
+//! load balance and ECL-MST's hybrid parallelization shines.
+
+use crate::weights::WeightGen;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to degree
+/// (implemented with the standard repeated-endpoint urn).
+///
+/// `extra_components` splits the vertex range into that many independent
+/// attachment processes, yielding an MSF input (e.g., `amazon0601` has 7
+/// components).
+pub fn preferential_attachment(
+    n: usize,
+    edges_per_vertex: usize,
+    extra_components: usize,
+    seed: u64,
+) -> CsrGraph {
+    assert!(edges_per_vertex >= 1);
+    let components = extra_components.max(1);
+    assert!(
+        n >= components * (edges_per_vertex + 1),
+        "each component needs at least edges_per_vertex + 1 vertices"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut wg = WeightGen::new(seed ^ 0xBA);
+    let mut b = GraphBuilder::with_capacity(n, n * edges_per_vertex);
+
+    // Partition vertices into `components` contiguous ranges; the first gets
+    // the remainder so it dominates (real inputs have one giant component).
+    let base = n / components;
+    let mut start = 0usize;
+    for comp in 0..components {
+        let len = if comp == components - 1 { n - start } else { base.min(n - start) };
+        // Urn of endpoints; every arc endpoint appears once, so sampling
+        // uniformly from the urn is degree-proportional sampling.
+        let mut urn: Vec<VertexId> = Vec::with_capacity(2 * len * edges_per_vertex);
+        // Seed clique over the first edges_per_vertex + 1 vertices.
+        let k = edges_per_vertex + 1;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let (u, v) = ((start + i) as VertexId, (start + j) as VertexId);
+                b.add_edge(u, v, wg.next());
+                urn.push(u);
+                urn.push(v);
+            }
+        }
+        for i in k..len {
+            let v = (start + i) as VertexId;
+            for _ in 0..edges_per_vertex {
+                let t = urn[rng.gen_range(0..urn.len())];
+                if t != v {
+                    b.add_edge(v, t, wg.next());
+                    urn.push(v);
+                    urn.push(t);
+                }
+            }
+        }
+        start += len;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    #[test]
+    fn single_component_by_default() {
+        let g = preferential_attachment(2000, 6, 1, 1);
+        assert_eq!(connected_components(&g), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn component_count_matches() {
+        let g = preferential_attachment(2100, 4, 7, 2);
+        assert_eq!(connected_components(&g), 7);
+    }
+
+    #[test]
+    fn scale_free_hubs() {
+        let g = preferential_attachment(5000, 8, 1, 3);
+        let avg = g.average_degree();
+        let max = g.max_degree() as f64;
+        assert!(max > 8.0 * avg, "expected hubs: avg {avg}, max {max}");
+    }
+
+    #[test]
+    fn average_degree_near_2m() {
+        let g = preferential_attachment(4000, 6, 1, 4);
+        let avg = g.average_degree();
+        assert!((avg - 12.0).abs() < 2.0, "avg degree {avg} should be near 2·m = 12");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(
+            preferential_attachment(500, 4, 1, 7),
+            preferential_attachment(500, 4, 1, 7)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn rejects_too_small_components() {
+        preferential_attachment(10, 4, 5, 1);
+    }
+}

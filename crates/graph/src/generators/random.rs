@@ -1,0 +1,85 @@
+//! Uniform random graph generator — twin of `r4-2e23.sym` (type "random",
+//! average degree 8, tight maximum degree, single connected component).
+
+use crate::weights::WeightGen;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+/// Generates an Erdős–Rényi-style graph with `n` vertices and approximately
+/// `n · avg_degree / 2` undirected edges, made connected by threading a
+/// random Hamiltonian-path backbone through a shuffled vertex order (the
+/// original `r4-2e23.sym` is a single component).
+///
+/// Degrees concentrate near the average (binomial tail), matching the
+/// original's small maximum degree (26 at average 8).
+pub fn uniform_random(n: usize, avg_degree: f64, seed: u64) -> CsrGraph {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(avg_degree >= 2.0, "connected backbone already uses degree 2");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut wg = WeightGen::new(seed ^ 0xDEAD_BEEF);
+    let target_edges = ((n as f64) * avg_degree / 2.0) as usize;
+    let mut b = GraphBuilder::with_capacity(n, target_edges + n);
+
+    // Connectivity backbone: random permutation path (n - 1 edges).
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for w in order.windows(2) {
+        b.add_edge(w[0], w[1], wg.next());
+    }
+
+    // Remaining edges uniformly at random. Duplicates collapse in the
+    // builder, so slightly overshoot to land near the target.
+    let remaining = target_edges.saturating_sub(n - 1);
+    let overshoot = remaining + remaining / 64;
+    for _ in 0..overshoot {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            b.add_edge(u, v, wg.next());
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    #[test]
+    fn edge_count_near_target() {
+        let g = uniform_random(2000, 8.0, 5);
+        let target = 2000 * 4;
+        let got = g.num_edges();
+        assert!(
+            (got as f64) > target as f64 * 0.95 && (got as f64) < target as f64 * 1.1,
+            "edge count {got} far from target {target}"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn connected() {
+        let g = uniform_random(500, 8.0, 7);
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn degree_concentrates() {
+        let g = uniform_random(5000, 8.0, 11);
+        // Binomial max degree stays within a small factor of the mean.
+        assert!(g.max_degree() < 40, "max degree {} too skewed", g.max_degree());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(uniform_random(300, 6.0, 3), uniform_random(300, 6.0, 3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(uniform_random(300, 6.0, 3), uniform_random(300, 6.0, 4));
+    }
+}

@@ -1,0 +1,137 @@
+//! RMAT / Kronecker generators — twins of `rmat16.sym`, `rmat22.sym`
+//! (recursive-matrix graphs with hundreds of thousands of connected
+//! components and power-law degrees) and `kron_g500-logn21` (Graph500
+//! Kronecker: extreme skew, very high average degree, most vertices
+//! isolated).
+
+use crate::weights::WeightGen;
+use crate::{CsrGraph, GraphBuilder};
+use rand::{Rng, SeedableRng};
+
+/// Probabilities of the four RMAT quadrants; must sum to ~1.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (self-similarity / skew driver).
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// Classic RMAT parameters used by the GTgraph generator that produced
+    /// the paper's `rmat*.sym` inputs.
+    pub const RMAT: Self = Self { a: 0.45, b: 0.15, c: 0.15, d: 0.25 };
+
+    /// Graph500 Kronecker parameters (much heavier skew).
+    pub const KRONECKER: Self = Self { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+}
+
+/// Generates an RMAT graph with `2^scale` vertices and approximately
+/// `edge_factor · 2^scale` undirected edges (before dedup; the returned
+/// graph's count is slightly lower, as with the real generator).
+///
+/// No connectivity fix-up is applied: like the original inputs, the result
+/// has many small connected components plus isolated vertices, making it an
+/// **MSF** input.
+pub fn rmat_with_params(scale: u32, edge_factor: usize, p: RmatParams, seed: u64) -> CsrGraph {
+    assert!((1..32).contains(&scale), "scale must be in 1..32");
+    let sum = p.a + p.b + p.c + p.d;
+    assert!((sum - 1.0).abs() < 1e-6, "quadrant probabilities must sum to 1");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut wg = WeightGen::new(seed ^ 0x5EED);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let (mut lo_u, mut lo_v) = (0usize, 0usize);
+        let mut half = n >> 1;
+        while half > 0 {
+            // Add per-level noise like GTgraph to avoid exact self-similarity.
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < p.a {
+                (0, 0)
+            } else if r < p.a + p.b {
+                (0, half)
+            } else if r < p.a + p.b + p.c {
+                (half, 0)
+            } else {
+                (half, half)
+            };
+            lo_u += du;
+            lo_v += dv;
+            half >>= 1;
+        }
+        if lo_u != lo_v {
+            b.add_edge(lo_u as u32, lo_v as u32, wg.next());
+        }
+    }
+    b.build()
+}
+
+/// RMAT graph with the classic parameter set (twin of `rmat16/22.sym`).
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
+    rmat_with_params(scale, edge_factor, RmatParams::RMAT, seed)
+}
+
+/// Graph500 Kronecker graph (twin of `kron_g500-logn21`): extreme degree
+/// skew and a huge number of connected components (mostly isolated
+/// vertices).
+pub fn kronecker(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
+    rmat_with_params(scale, edge_factor, RmatParams::KRONECKER, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let g = rmat(10, 8, 1);
+        assert_eq!(g.num_vertices(), 1024);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn skew_isolates_some_vertices() {
+        // The recursive-matrix skew leaves some high-id vertices unreached,
+        // so even the raw generator yields an MSF input at moderate scale.
+        let g = rmat(12, 8, 2);
+        assert!(
+            connected_components(&g) > 5,
+            "RMAT should have isolated pockets, got {} CCs",
+            connected_components(&g)
+        );
+    }
+
+    #[test]
+    fn kronecker_skewed_degrees() {
+        let k = kronecker(12, 16, 3);
+        let avg = k.average_degree();
+        let max = k.max_degree() as f64;
+        assert!(max > 10.0 * avg, "kron should be extremely skewed: avg {avg}, max {max}");
+    }
+
+    #[test]
+    fn kronecker_more_components_than_rmat() {
+        let r = rmat(12, 8, 4);
+        let k = kronecker(12, 8, 4);
+        assert!(connected_components(&k) > connected_components(&r));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(rmat(8, 8, 5), rmat(8, 8, 5));
+        assert_ne!(rmat(8, 8, 5), rmat(8, 8, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_probabilities() {
+        rmat_with_params(4, 2, RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0 }, 1);
+    }
+}

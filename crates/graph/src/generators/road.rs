@@ -1,0 +1,108 @@
+//! Road-map generator — twin of `USA-road-d.NY`, `USA-road-d.USA` and
+//! `europe_osm` (average degree 2.1–2.8, maximum degree ≤ 13, single
+//! component, enormous diameter).
+
+use crate::weights::WeightGen;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+/// Generates a planar road-network-like graph on a `side × side` lattice:
+/// a random spanning tree of the lattice (a "maze", giving the huge diameter
+/// and degree ≤ 4 backbone of real road networks) plus enough random extra
+/// lattice edges to reach `avg_degree`.
+///
+/// `avg_degree` must be in `[2, 4)`; real road maps sit at 2.1–2.8.
+pub fn road_map(side: usize, avg_degree: f64, seed: u64) -> CsrGraph {
+    assert!(side >= 2);
+    assert!((2.0..4.0).contains(&avg_degree), "road maps have average degree in [2, 4)");
+    let n = side * side;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut wg = WeightGen::new(seed ^ 0x0AD5);
+
+    // Enumerate lattice edges.
+    let at = |r: usize, c: usize| (r * side + c) as VertexId;
+    let mut lattice: Vec<(VertexId, VertexId)> = Vec::with_capacity(2 * side * (side - 1));
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                lattice.push((at(r, c), at(r, c + 1)));
+            }
+            if r + 1 < side {
+                lattice.push((at(r, c), at(r + 1, c)));
+            }
+        }
+    }
+    // Shuffle, then take a spanning tree via union-find (random-order
+    // Kruskal = uniform-ish random maze).
+    for i in (1..lattice.len()).rev() {
+        lattice.swap(i, rng.gen_range(0..=i));
+    }
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut b = GraphBuilder::with_capacity(n, (n as f64 * avg_degree / 2.0) as usize + 1);
+    let mut extras: Vec<(VertexId, VertexId)> = Vec::new();
+    for (u, v) in lattice {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+            b.add_edge(u, v, wg.next());
+        } else {
+            extras.push((u, v));
+        }
+    }
+    // Add back random lattice edges until the average degree target is hit.
+    let target_edges = (n as f64 * avg_degree / 2.0) as usize;
+    let need = target_edges.saturating_sub(n - 1).min(extras.len());
+    for &(u, v) in extras.iter().take(need) {
+        b.add_edge(u, v, wg.next());
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    #[test]
+    fn connected_and_low_degree() {
+        let g = road_map(30, 2.4, 1);
+        assert_eq!(connected_components(&g), 1);
+        assert!(g.average_degree() < 4.0, "avg degree {}", g.average_degree());
+        assert!(g.max_degree() <= 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn hits_degree_target() {
+        let g = road_map(40, 2.8, 2);
+        assert!((g.average_degree() - 2.8).abs() < 0.2, "avg {}", g.average_degree());
+    }
+
+    #[test]
+    fn minimum_degree_is_nearly_a_tree() {
+        // avg_degree = 2 targets n edges: the spanning tree (n - 1) plus at
+        // most one shortcut.
+        let g = road_map(10, 2.0, 3);
+        let n = g.num_vertices();
+        assert!(g.num_edges() >= n - 1 && g.num_edges() <= n);
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(road_map(12, 2.5, 9), road_map(12, 2.5, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "average degree")]
+    fn rejects_dense_target() {
+        road_map(10, 5.0, 1);
+    }
+}

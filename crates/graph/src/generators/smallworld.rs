@@ -1,0 +1,77 @@
+//! Watts–Strogatz small-world generator — not one of the paper's 17 inputs,
+//! but a standard extra workload for the ablation binaries: constant degree
+//! like a grid, yet low diameter like a scale-free graph, which separates
+//! the effects of Borůvka round count from degree skew.
+
+use crate::weights::WeightGen;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+
+/// Generates a Watts–Strogatz ring: `n` vertices each connected to their
+/// `k` nearest ring neighbors on each side, with every edge's far endpoint
+/// rewired to a uniform random vertex with probability `beta`.
+///
+/// `beta = 0` gives a pure ring lattice (huge diameter), `beta = 1` an
+/// almost-random graph (tiny diameter); the small-world regime is around
+/// `beta ≈ 0.1`.
+pub fn small_world(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(n >= 2 * k + 2, "ring needs n > 2k + 1");
+    assert!(k >= 1);
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut wg = WeightGen::new(seed ^ 0x5311);
+    let mut b = GraphBuilder::with_capacity(n, n * k);
+    for v in 0..n {
+        for off in 1..=k {
+            let mut dst = ((v + off) % n) as VertexId;
+            if rng.gen::<f64>() < beta {
+                // Rewire: any vertex except v (self-loops dropped anyway,
+                // duplicates collapse in the builder).
+                dst = rng.gen_range(0..n as u32);
+            }
+            b.add_edge(v as VertexId, dst, wg.next());
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    #[test]
+    fn ring_lattice_at_beta_zero() {
+        let g = small_world(100, 2, 0.0, 1);
+        assert_eq!(g.num_edges(), 200);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(connected_components(&g), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rewiring_keeps_edge_budget_close() {
+        let g = small_world(500, 3, 0.2, 2);
+        // Rewiring can collide (dedup) but stays near n*k.
+        assert!(g.num_edges() > 1400 && g.num_edges() <= 1500, "{}", g.num_edges());
+    }
+
+    #[test]
+    fn small_world_regime_connected() {
+        let g = small_world(1000, 4, 0.1, 3);
+        assert_eq!(connected_components(&g), 1);
+        assert!((g.average_degree() - 8.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(small_world(200, 2, 0.3, 9), small_world(200, 2, 0.3, 9));
+        assert_ne!(small_world(200, 2, 0.3, 9), small_world(200, 2, 0.3, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "ring needs")]
+    fn rejects_tiny_ring() {
+        small_world(4, 2, 0.0, 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Graph serialization.
+//!
+//! Two formats:
+//! * **ECL binary CSR** — mirrors the "binary 32-bit CSR format" the paper's
+//!   artifact requires for all inputs: little-endian header (`magic`, vertex
+//!   count, arc count) followed by the `nindex`, `nlist`, `eweight` and
+//!   edge-id arrays.
+//! * **text edge list** — a DIMACS-inspired human-readable format
+//!   (`p <n> <m>` header, one `e <u> <v> <w>` line per undirected edge).
+
+use crate::csr::CsrGraph;
+use crate::GraphBuilder;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic number identifying the binary format ("ECLG" in ASCII).
+pub const MAGIC: u32 = 0x4543_4C47;
+/// Current binary format version.
+pub const VERSION: u32 = 1;
+
+/// Serializes a graph into the ECL binary CSR format.
+pub fn to_binary(g: &CsrGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + 4 * (g.row_starts().len() + 3 * g.num_arcs()));
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(g.num_vertices() as u32);
+    buf.put_u32_le(g.num_arcs() as u32);
+    for &x in g.row_starts() {
+        buf.put_u32_le(x);
+    }
+    for &x in g.adjacency() {
+        buf.put_u32_le(x);
+    }
+    for &x in g.arc_weights() {
+        buf.put_u32_le(x);
+    }
+    for &x in g.arc_edge_ids() {
+        buf.put_u32_le(x);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from the ECL binary CSR format, validating both the
+/// framing and the graph invariants.
+pub fn from_binary(mut data: &[u8]) -> Result<CsrGraph, String> {
+    if data.len() < 16 {
+        return Err("truncated header".into());
+    }
+    let magic = data.get_u32_le();
+    if magic != MAGIC {
+        return Err(format!("bad magic {magic:#x}, expected {MAGIC:#x}"));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(format!("unsupported version {version}"));
+    }
+    let n = data.get_u32_le() as usize;
+    let arcs = data.get_u32_le() as usize;
+    let need = 4 * ((n + 1) + 3 * arcs);
+    if data.len() != need {
+        return Err(format!("payload length {} != expected {need}", data.len()));
+    }
+    let mut read_vec = |len: usize| -> Vec<u32> {
+        (0..len).map(|_| data.get_u32_le()).collect()
+    };
+    let row_starts = read_vec(n + 1);
+    let adjacency = read_vec(arcs);
+    let arc_weights = read_vec(arcs);
+    let arc_edge_ids = read_vec(arcs);
+    CsrGraph::from_parts(row_starts, adjacency, arc_weights, arc_edge_ids)
+}
+
+/// Writes the binary format to a file.
+pub fn write_binary(g: &CsrGraph, path: &Path) -> io::Result<()> {
+    File::create(path)?.write_all(&to_binary(g))
+}
+
+/// Reads the binary format from a file.
+pub fn read_binary(path: &Path) -> io::Result<CsrGraph> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    from_binary(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Serializes a graph as a text edge list.
+pub fn to_text(g: &CsrGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p {} {}\n", g.num_vertices(), g.num_edges()));
+    for e in g.edges() {
+        out.push_str(&format!("e {} {} {}\n", e.src, e.dst, e.weight));
+    }
+    out
+}
+
+/// Parses the text edge-list format. Lines starting with `c` are comments.
+/// Self-loops and duplicates are cleaned exactly like any other input.
+pub fn from_text(text: &str) -> Result<CsrGraph, String> {
+    let mut builder: Option<GraphBuilder> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                let n: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("line {}: bad vertex count", lineno + 1))?;
+                let _m: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("line {}: bad edge count", lineno + 1))?;
+                if builder.is_some() {
+                    return Err(format!("line {}: duplicate problem line", lineno + 1));
+                }
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some("e") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| format!("line {}: edge before problem line", lineno + 1))?;
+                let mut next_u32 = || -> Result<u32, String> {
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| format!("line {}: malformed edge", lineno + 1))
+                };
+                let u = next_u32()?;
+                let v = next_u32()?;
+                let w = next_u32()?;
+                if (u as usize) >= b.num_vertices() || (v as usize) >= b.num_vertices() {
+                    return Err(format!("line {}: endpoint out of range", lineno + 1));
+                }
+                b.add_edge(u, v, w);
+            }
+            Some(tok) => return Err(format!("line {}: unknown record '{tok}'", lineno + 1)),
+            None => {}
+        }
+    }
+    builder
+        .map(GraphBuilder::build)
+        .ok_or_else(|| "missing problem line".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::grid2d;
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = grid2d(9, 4);
+        let bytes = to_binary(&g);
+        let h = from_binary(&bytes).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let g = grid2d(3, 1);
+        let mut bytes = to_binary(&g).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(from_binary(&bytes).unwrap_err().contains("magic"));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = grid2d(3, 1);
+        let bytes = to_binary(&g);
+        assert!(from_binary(&bytes[..bytes.len() - 4]).is_err());
+        assert!(from_binary(&bytes[..8]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_corrupted_payload() {
+        let g = grid2d(3, 1);
+        let mut bytes = to_binary(&g).to_vec();
+        // Corrupt an adjacency entry to an out-of-range vertex.
+        let header = 16 + 4 * g.row_starts().len();
+        bytes[header..header + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(from_binary(&bytes).is_err());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = grid2d(5, 2);
+        let text = to_text(&g);
+        let h = from_text(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn text_parses_comments_and_blanks() {
+        let text = "c a comment\n\np 3 2\ne 0 1 10\nc mid comment\ne 1 2 20\n";
+        let g = from_text(text).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_rejects_edge_before_header() {
+        assert!(from_text("e 0 1 5\n").is_err());
+    }
+
+    #[test]
+    fn text_rejects_out_of_range() {
+        assert!(from_text("p 2 1\ne 0 5 1\n").is_err());
+    }
+
+    #[test]
+    fn text_rejects_unknown_record() {
+        assert!(from_text("p 2 1\nx 0 1 1\n").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ecl_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.eclg");
+        let g = grid2d(7, 3);
+        write_binary(&g, &path).unwrap();
+        let h = read_binary(&path).unwrap();
+        assert_eq!(g, h);
+        std::fs::remove_file(&path).ok();
+    }
+}

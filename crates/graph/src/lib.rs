@@ -1,0 +1,49 @@
+//! Graph substrate for the ECL-MST reproduction.
+//!
+//! This crate provides everything the MST codes need from a graph library:
+//!
+//! * [`CsrGraph`] — compressed sparse row storage of weighted undirected
+//!   graphs, the exact representation the ECL-MST paper operates on (each
+//!   undirected edge is stored as two directed arcs; both arcs share one
+//!   undirected *edge id* used for marking MST membership).
+//! * [`GraphBuilder`] — edge-list ingestion with the paper's input cleaning:
+//!   self-loop removal, duplicate-edge elimination (keeping the lightest),
+//!   and symmetrization ("we added any missing back edges").
+//! * [`generators`] — synthetic generators standing in for the paper's 17
+//!   downloaded inputs (grid, road map, RMAT, Kronecker, random, scale-free,
+//!   triangulation, web crawl, Internet topology, citation and co-purchase
+//!   networks).
+//! * [`io`] — the ECL binary CSR format plus a simple text format.
+//! * [`io_dimacs`] — the DIMACS 9th-challenge `.gr` format of the paper's
+//!   road-network inputs.
+//! * [`stats`] — degree statistics and connected-component counts, enough to
+//!   regenerate Table 2.
+//! * [`suite()`] — the named 17-graph twin suite used by every experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod io_dimacs;
+pub mod stats;
+pub mod suite;
+pub mod weights;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, EdgeRef};
+pub use stats::GraphStats;
+pub use suite::{suite, SuiteEntry, SuiteScale};
+
+/// Vertex identifier. The paper's codes support up to ~2 billion vertices;
+/// `u32` matches the artifact's "binary 32-bit CSR format".
+pub type VertexId = u32;
+
+/// Undirected edge identifier (shared by both CSR arcs of the edge).
+pub type EdgeId = u32;
+
+/// Edge weight. ECL-MST packs the weight into the upper half of a 64-bit
+/// reservation word, so weights are 32-bit unsigned integers.
+pub type Weight = u32;

@@ -1,0 +1,160 @@
+//! Graph statistics — everything needed to regenerate Table 2 of the paper
+//! (edge count, vertex count, connected components, average and maximum
+//! degree).
+
+use crate::CsrGraph;
+
+/// Summary statistics of a graph, mirroring the columns of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    /// Number of directed arcs, i.e. the paper's "Edges" column (the paper
+    /// counts CSR arcs: each undirected edge twice).
+    pub arcs: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of connected components.
+    pub connected_components: usize,
+    /// Average degree (`arcs / vertices`).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics for `g`.
+    pub fn compute(g: &CsrGraph) -> Self {
+        Self {
+            arcs: g.num_arcs(),
+            edges: g.num_edges(),
+            vertices: g.num_vertices(),
+            connected_components: connected_components(g),
+            avg_degree: g.average_degree(),
+            max_degree: g.max_degree(),
+        }
+    }
+
+    /// True when the graph is a single connected component, i.e. an "MST
+    /// input" in the paper's terminology (vs an "MSF input").
+    pub fn is_mst_input(&self) -> bool {
+        self.connected_components == 1
+    }
+}
+
+/// Counts connected components with a sequential union-find pass over the
+/// edge list (path halving + union by index).
+pub fn connected_components(g: &CsrGraph) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for e in g.edges() {
+        let (ru, rv) = (find(&mut parent, e.src), find(&mut parent, e.dst));
+        if ru != rv {
+            let (lo, hi) = (ru.min(rv), ru.max(rv));
+            parent[lo as usize] = hi;
+        }
+    }
+    (0..n as u32).filter(|&v| find(&mut parent, v) == v).count()
+}
+
+/// Labels each vertex with its component representative (useful for
+/// verifying MSF structure per component).
+pub fn component_labels(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for e in g.edges() {
+        let (ru, rv) = (find(&mut parent, e.src), find(&mut parent, e.dst));
+        if ru != rv {
+            let (lo, hi) = (ru.min(rv), ru.max(rv));
+            parent[lo as usize] = hi;
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn empty_graph_zero_components() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(connected_components(&g), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_each_a_component() {
+        let g = GraphBuilder::new(7).build();
+        assert_eq!(connected_components(&g), 7);
+    }
+
+    #[test]
+    fn path_is_one_component() {
+        let mut b = GraphBuilder::new(5);
+        for v in 0..4 {
+            b.add_edge(v, v + 1, 1);
+        }
+        assert_eq!(connected_components(&b.build()), 1);
+    }
+
+    #[test]
+    fn two_triangles_two_components() {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(u, v, 1);
+        }
+        let g = b.build();
+        assert_eq!(connected_components(&g), 2);
+        let stats = GraphStats::compute(&g);
+        assert!(!stats.is_mst_input());
+        assert_eq!(stats.edges, 6);
+        assert_eq!(stats.max_degree, 2);
+    }
+
+    #[test]
+    fn labels_partition_vertices() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let labels = component_labels(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[5]);
+    }
+
+    #[test]
+    fn stats_match_direct_queries() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(1, 3, 1);
+        let g = b.build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertices, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.arcs, 6);
+        assert_eq!(s.max_degree, 3);
+        assert!((s.avg_degree - 1.5).abs() < 1e-12);
+        assert!(s.is_mst_input());
+    }
+}

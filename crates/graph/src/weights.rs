@@ -1,0 +1,126 @@
+//! Edge-weight assignment.
+//!
+//! The paper inserts random weights into unweighted inputs so an MST exists
+//! ("For unweighted graphs, we inserted random weights"). All our synthetic
+//! generators do the same through [`WeightGen`]; a deterministic hash-based
+//! variant keeps weights reproducible independent of generation order.
+
+use crate::{VertexId, Weight};
+use rand::{Rng, SeedableRng};
+
+/// Maximum weight produced by the default generators. Kept well below
+/// `u32::MAX` so the packed 64-bit reservation word (`weight:edge_id`) never
+/// collides with the `u64::MAX` "empty" sentinel used by `atomicMin`.
+pub const MAX_WEIGHT: Weight = 100_000_000;
+
+/// Source of edge weights.
+#[derive(Debug, Clone)]
+pub struct WeightGen {
+    rng: rand::rngs::StdRng,
+    max: Weight,
+}
+
+impl WeightGen {
+    /// Uniform weights in `1..=MAX_WEIGHT` from the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_max(seed, MAX_WEIGHT)
+    }
+
+    /// Uniform weights in `1..=max`.
+    pub fn with_max(seed: u64, max: Weight) -> Self {
+        assert!(max >= 1);
+        Self {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            max,
+        }
+    }
+
+    /// Next random weight.
+    // Deliberately named like the generator it is; an Iterator impl would
+    // suggest an unbounded stream is its main interface, which it is not.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn next(&mut self) -> Weight {
+        self.rng.gen_range(1..=self.max)
+    }
+}
+
+/// Deterministic weight for an endpoint pair, independent of insertion
+/// order (an order-insensitive mix of the normalized pair and a seed).
+///
+/// Used where the same logical edge must get the same weight even when
+/// produced twice (e.g., symmetrized generators).
+pub fn hash_weight(u: VertexId, v: VertexId, seed: u64) -> Weight {
+    let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+    let mut x = a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ seed;
+    // splitmix64 finalizer
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % MAX_WEIGHT as u64) as Weight + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_in_range() {
+        let mut g = WeightGen::new(1);
+        for _ in 0..1000 {
+            let w = g.next();
+            assert!((1..=MAX_WEIGHT).contains(&w));
+        }
+    }
+
+    #[test]
+    fn with_max_respects_bound() {
+        let mut g = WeightGen::with_max(7, 3);
+        for _ in 0..100 {
+            assert!((1..=3).contains(&g.next()));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a: Vec<_> = {
+            let mut g = WeightGen::new(42);
+            (0..64).map(|_| g.next()).collect()
+        };
+        let b: Vec<_> = {
+            let mut g = WeightGen::new(42);
+            (0..64).map(|_| g.next()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_sequence() {
+        let mut a = WeightGen::new(1);
+        let mut b = WeightGen::new(2);
+        let same = (0..64).filter(|_| a.next() == b.next()).count();
+        assert!(same < 8);
+    }
+
+    #[test]
+    fn hash_weight_symmetric() {
+        for (u, v) in [(0, 1), (5, 9), (100, 3)] {
+            assert_eq!(hash_weight(u, v, 11), hash_weight(v, u, 11));
+        }
+    }
+
+    #[test]
+    fn hash_weight_seed_sensitive() {
+        assert_ne!(hash_weight(4, 9, 1), hash_weight(4, 9, 2));
+    }
+
+    #[test]
+    fn hash_weight_positive_and_bounded() {
+        for i in 0..500u32 {
+            let w = hash_weight(i, i + 1, 3);
+            assert!((1..=MAX_WEIGHT).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the graph substrate: builder invariants,
+//! serialization round-trips, malformed-input rejection, and generator
+//! contracts.
+
+use ecl_graph::builder::append_isolated;
+use ecl_graph::stats::{component_labels, connected_components};
+use ecl_graph::{io, CsrGraph, GraphBuilder};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (1usize..80).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32, 1..10_000u32), 0..200).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v, w) in edges {
+                    if u != v {
+                        b.add_edge(u, v, w);
+                    }
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn builder_output_always_validates(g in arb_graph()) {
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn binary_roundtrip_is_identity(g in arb_graph()) {
+        let bytes = io::to_binary(&g);
+        let h = io::from_binary(&bytes).unwrap();
+        prop_assert_eq!(g, h);
+    }
+
+    #[test]
+    fn text_roundtrip_is_identity(g in arb_graph()) {
+        let text = io::to_text(&g);
+        let h = io::from_text(&text).unwrap();
+        prop_assert_eq!(g, h);
+    }
+
+    #[test]
+    fn from_binary_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Arbitrary bytes must be rejected gracefully, never panic.
+        let _ = io::from_binary(&bytes);
+    }
+
+    #[test]
+    fn from_binary_rejects_any_truncation(g in arb_graph()) {
+        let bytes = io::to_binary(&g);
+        if bytes.len() >= 4 {
+            let cut = bytes.len() - 4;
+            prop_assert!(io::from_binary(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn from_text_never_panics_on_garbage(s in "\\PC{0,200}") {
+        let _ = io::from_text(&s);
+    }
+
+    #[test]
+    fn degrees_sum_to_arc_count(g in arb_graph()) {
+        let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, g.num_arcs());
+    }
+
+    #[test]
+    fn edges_iterator_covers_each_id_once(g in arb_graph()) {
+        let mut ids: Vec<u32> = g.edges().map(|e| e.id).collect();
+        ids.sort_unstable();
+        let expect: Vec<u32> = (0..g.num_edges() as u32).collect();
+        prop_assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn component_labels_consistent_with_count(g in arb_graph()) {
+        let labels = component_labels(&g);
+        let mut distinct: Vec<u32> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(distinct.len(), connected_components(&g));
+        for e in g.edges() {
+            prop_assert_eq!(labels[e.src as usize], labels[e.dst as usize]);
+        }
+    }
+
+    #[test]
+    fn append_isolated_preserves_edges_and_adds_components(
+        g in arb_graph(),
+        extra in 0usize..20,
+    ) {
+        let padded = append_isolated(&g, extra);
+        prop_assert_eq!(padded.num_edges(), g.num_edges());
+        prop_assert_eq!(padded.num_vertices(), g.num_vertices() + extra);
+        prop_assert_eq!(
+            connected_components(&padded),
+            connected_components(&g) + extra
+        );
+        prop_assert!(padded.validate().is_ok());
+    }
+
+    #[test]
+    fn average_degree_formula(g in arb_graph()) {
+        let expect = g.num_arcs() as f64 / g.num_vertices() as f64;
+        prop_assert!((g.average_degree() - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,59 @@
+//! Format interop walkthrough: every serialization the workspace speaks —
+//! ECL binary CSR (the artifact's required input format), the simple text
+//! edge list, and DIMACS `.gr` (the format of the paper's road inputs) —
+//! all round-tripping the same graph, plus an MST computed from each copy
+//! to show the formats are interchangeable.
+//!
+//! Run with: `cargo run --release --example format_convert`
+
+use ecl_mst_repro::graph::{io, io_dimacs};
+use ecl_mst_repro::prelude::*;
+
+fn main() {
+    let g = generators::road_map(40, 2.6, 99);
+    println!(
+        "source graph: {} junctions, {} road segments",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let dir = std::env::temp_dir().join("ecl_mst_format_convert");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // ECL binary CSR: the format the artifact's set_up.sh converts into.
+    let bin_path = dir.join("roads.eclg");
+    io::write_binary(&g, &bin_path).expect("write binary");
+    let from_bin = io::read_binary(&bin_path).expect("read binary");
+    println!(
+        "wrote {} ({} bytes), read back identical: {}",
+        bin_path.display(),
+        std::fs::metadata(&bin_path).unwrap().len(),
+        from_bin == g
+    );
+
+    // DIMACS .gr: the 9th-challenge format of USA-road-d.*.
+    let gr_path = dir.join("roads.gr");
+    io_dimacs::write_dimacs(&g, &gr_path).expect("write dimacs");
+    let from_gr = io_dimacs::read_dimacs(&gr_path).expect("read dimacs");
+    println!(
+        "wrote {} ({} bytes), read back identical: {}",
+        gr_path.display(),
+        std::fs::metadata(&gr_path).unwrap().len(),
+        from_gr == g
+    );
+
+    // Plain text edge list.
+    let text = io::to_text(&g);
+    let from_text = io::from_text(&text).expect("parse text");
+    println!("text form: {} lines, identical: {}", text.lines().count(), from_text == g);
+
+    // The MST is of course format-independent.
+    let reference = ecl_mst_cpu(&g);
+    for (name, copy) in [("binary", from_bin), ("dimacs", from_gr), ("text", from_text)] {
+        let mst = ecl_mst_cpu(&copy);
+        assert_eq!(mst.in_mst, reference.in_mst, "{name} copy");
+        println!("MST from {name} copy: weight {} ({} edges) — matches", mst.total_weight, mst.num_edges);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

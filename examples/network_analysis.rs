@@ -1,0 +1,55 @@
+//! Network analysis — another §1 application: MSTs as a building block for
+//! community/backbone analysis of scale-free networks.
+//!
+//! Computes the MSF of a social-network twin (multiple components, heavy
+//! hubs), demonstrates the MSF-vs-MST distinction the paper's "NC" cells
+//! encode, and uses the forest for single-linkage-style clustering: cutting
+//! the `k − 1` heaviest forest edges yields exactly `k` extra clusters.
+//!
+//! Run with: `cargo run --release --example network_analysis`
+
+use ecl_mst_repro::prelude::*;
+
+fn main() {
+    // soc-LiveJournal twin: scale-free, several connected components.
+    let g = generators::preferential_attachment(20_000, 9, 8, 11);
+    let stats = GraphStats::compute(&g);
+    println!(
+        "network: {} members, {} ties, {} components, max degree {}",
+        stats.vertices, stats.edges, stats.connected_components, stats.max_degree
+    );
+
+    // MST-only codes decline this input — the paper's "NC" cells.
+    match jucele_gpu(&g, GpuProfile::TITAN_V) {
+        Err(MstError::NotConnected) => {
+            println!("Jucele-style MST-only code: NC (cannot build forests)")
+        }
+        _ => unreachable!("input has multiple components"),
+    }
+
+    // ECL-MST builds the spanning forest directly.
+    let msf = ecl_mst_cpu(&g);
+    verify_msf(&g, &msf).expect("verified");
+    println!(
+        "MSF: {} edges over {} components, weight {}",
+        msf.num_edges, stats.connected_components, msf.total_weight
+    );
+
+    // Single-linkage clustering: drop the heaviest forest edges.
+    let extra_clusters = 5usize;
+    let mut forest: Vec<_> = g.edges().filter(|e| msf.in_mst[e.id as usize]).collect();
+    forest.sort_by_key(|e| std::cmp::Reverse(e.weight));
+    let keep = &forest[extra_clusters.min(forest.len())..];
+
+    let mut dsu = SeqDsu::new(g.num_vertices());
+    for e in keep {
+        dsu.union(e.src, e.dst);
+    }
+    println!(
+        "cutting the {extra_clusters} heaviest links: {} clusters (was {})",
+        dsu.num_sets(),
+        stats.connected_components
+    );
+    // Cutting k forest edges splits exactly k clusters off.
+    assert_eq!(dsu.num_sets(), stats.connected_components + extra_clusters);
+}

@@ -1,0 +1,46 @@
+//! Power-grid planning — the paper's motivating example (§1): "the cheapest
+//! distribution grid that allows everyone to deliver or receive electricity
+//! is the MST".
+//!
+//! Builds a synthetic regional grid (producers and consumers on a noisy
+//! lattice with line-cost weights), computes the minimum-cost backbone, and
+//! reports the savings over connecting everything.
+//!
+//! Run with: `cargo run --release --example power_grid`
+
+use ecl_mst_repro::prelude::*;
+
+fn main() {
+    // A 120x120 service region: every site is a potential endpoint and
+    // candidate lines follow the triangulated lattice (as a planner would
+    // get from a Delaunay triangulation of the sites).
+    let g = generators::delaunay_like(120, 42);
+    println!(
+        "candidate network: {} sites, {} candidate lines",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let mst = ecl_mst_cpu(&g);
+    verify_msf(&g, &mst).expect("valid spanning tree");
+
+    let total_cost: u64 = g.edges().map(|e| e.weight as u64).sum();
+    println!("cost of building every candidate line: {total_cost}");
+    println!("cost of the minimum spanning grid:     {}", mst.total_weight);
+    println!(
+        "savings: {:.1}% with {} lines instead of {}",
+        100.0 * (1.0 - mst.total_weight as f64 / total_cost as f64),
+        mst.num_edges,
+        g.num_edges()
+    );
+
+    // Which sites are the grid's articulation hubs? Degree within the tree.
+    let mut tree_degree = vec![0u32; g.num_vertices()];
+    for e in g.edges().filter(|e| mst.in_mst[e.id as usize]) {
+        tree_degree[e.src as usize] += 1;
+        tree_degree[e.dst as usize] += 1;
+    }
+    let max_deg = tree_degree.iter().max().copied().unwrap_or(0);
+    let hubs = tree_degree.iter().filter(|&&d| d == max_deg).count();
+    println!("busiest substation connects {max_deg} lines ({hubs} such sites)");
+}

@@ -1,0 +1,41 @@
+//! Quickstart: build a small weighted graph, compute its MST on the CPU
+//! backend and on the simulated GPU, and verify both against serial Kruskal.
+//!
+//! This is the paper's Figure 1/2 example: five power stations, five
+//! candidate power lines, and the cheapest grid that connects everyone.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ecl_mst_repro::prelude::*;
+
+fn main() {
+    // Vertices: A=0, B=1, C=2, D=3 (Fig. 2 of the paper).
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(0, 1, 4); // A-B, edge "a"
+    b.add_edge(0, 2, 1); // A-C, edge "b"  (in the MST)
+    b.add_edge(1, 3, 3); // B-D, edge "c"  (in the MST)
+    b.add_edge(2, 3, 2); // C-D, edge "d"  (in the MST)
+    b.add_edge(1, 2, 5); // B-C, edge "e"
+    let g = b.build();
+
+    // CPU-parallel ECL-MST.
+    let mst = ecl_mst_cpu(&g);
+    println!("MST weight: {}", mst.total_weight);
+    println!("MST edges:  {:?}", mst.edge_ids());
+    assert_eq!(mst.total_weight, 6);
+    assert_eq!(mst.num_edges, 3);
+
+    // Same algorithm on the simulated Titan V, with the clock readings.
+    let run = ecl_mst_gpu_with(&g, &OptConfig::full(), GpuProfile::TITAN_V);
+    assert_eq!(run.result.total_weight, mst.total_weight);
+    println!(
+        "simulated GPU: {:.2} us kernels + {:.2} us transfers, {} iterations",
+        run.kernel_seconds * 1e6,
+        run.memcpy_seconds * 1e6,
+        run.iterations
+    );
+
+    // Full verification (forest + spanning + exact match with Kruskal).
+    verify_msf(&g, &mst).expect("solution verified");
+    println!("verified against serial Kruskal");
+}

@@ -1,0 +1,50 @@
+//! Route-planning substrate — one of the application domains the paper
+//! cites (§1, Held & Karp): MSTs over road networks underlie TSP lower
+//! bounds and connectivity skeletons.
+//!
+//! Generates a USA-road-like network (the `USA-road-d.USA` twin), computes
+//! its MST with both backends, and cross-checks the simulated-GPU timing
+//! story (road maps skip the filtering phase because their average degree
+//! is below 4).
+//!
+//! Run with: `cargo run --release --example road_network`
+
+use ecl_mst_repro::prelude::*;
+
+fn main() {
+    let g = generators::road_map(180, 2.4, 7);
+    let stats = GraphStats::compute(&g);
+    println!(
+        "road network: {} junctions, {} segments, avg degree {:.2}",
+        stats.vertices, stats.edges, stats.avg_degree
+    );
+    assert!(stats.avg_degree < 4.0, "road maps sit below the filter threshold");
+
+    // CPU backend.
+    let cpu = ecl_mst_cpu_with(&g, &OptConfig::full());
+    println!(
+        "CPU backend: {} phases (no filtering, as the paper predicts), {} iterations",
+        cpu.phases, cpu.iterations
+    );
+
+    // Simulated GPU backend on both of the paper's devices.
+    for profile in [GpuProfile::TITAN_V, GpuProfile::RTX_3080_TI] {
+        let run = ecl_mst_gpu_with(&g, &OptConfig::full(), profile);
+        assert_eq!(run.result.total_weight, cpu.result.total_weight);
+        println!(
+            "{:<12} {:>8.1} us kernels, {:>8.1} us transfers, throughput {:>7.1} Medges/s",
+            profile.name,
+            run.kernel_seconds * 1e6,
+            run.memcpy_seconds * 1e6,
+            g.num_arcs() as f64 / run.kernel_seconds / 1e6
+        );
+    }
+
+    verify_msf(&g, &cpu.result).expect("verified");
+    println!(
+        "minimum skeleton: {} of {} segments, total length {}",
+        cpu.result.num_edges,
+        g.num_edges(),
+        cpu.result.total_weight
+    );
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the extra ablations —
+# the analogue of the artifact's run_all_compare.sh / run_all_deoptimize.sh.
+# Outputs land in results/.
+#
+# Usage: ./run_all.sh [--scale tiny|small|medium] [--repeats N]
+set -euo pipefail
+cd "$(dirname "$0")"
+ARGS=("$@")
+mkdir -p results
+
+run() {
+    local name=$1; shift
+    echo "== $name =="
+    cargo run --release -p ecl-mst-bench --bin "$name" -- "$@" "${ARGS[@]}" \
+        > "results/$name.txt" 2> >(grep -v '^measuring' >&2 || true)
+}
+
+cargo build --release -p ecl-mst-bench
+
+run table2
+run table3
+run table4
+run table5
+cargo run --release -p ecl-mst-bench --bin fig3_4 -- --system 1 "${ARGS[@]}" > results/fig3.txt 2>/dev/null
+cargo run --release -p ecl-mst-bench --bin fig3_4 -- --system 2 "${ARGS[@]}" > results/fig4.txt 2>/dev/null
+run fig5
+run fig6_seeds
+run fig7_threshold
+run kernel_profile
+run filter_c_sweep
+run warp_threshold_sweep
+run cpu_ladder
+
+echo "done — see results/"

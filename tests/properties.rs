@@ -1,0 +1,151 @@
+//! Workspace-level property tests: on arbitrary random weighted graphs,
+//! every implementation must agree with serial Kruskal edge-for-edge, and
+//! structural MSF invariants must hold.
+
+use ecl_mst_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Arbitrary small weighted graph: vertex count, edge triples (dedup/self
+/// loops handled by the builder).
+fn graph_strategy() -> impl Strategy<Value = CsrGraph> {
+    (2usize..60).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32, 1..1_000u32), 0..220)
+            .prop_map(move |edges| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v, w) in edges {
+                    if u != v {
+                        b.add_edge(u, v, w);
+                    }
+                }
+                b.build()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ecl_cpu_equals_serial(g in graph_strategy()) {
+        let expected = serial_kruskal(&g);
+        let got = ecl_mst_cpu(&g);
+        prop_assert_eq!(&got.in_mst, &expected.in_mst);
+        prop_assert_eq!(got.total_weight, expected.total_weight);
+    }
+
+    #[test]
+    fn ecl_gpu_equals_serial(g in graph_strategy()) {
+        let expected = serial_kruskal(&g);
+        let got = ecl_mst_gpu(&g, GpuProfile::TITAN_V);
+        prop_assert_eq!(&got.in_mst, &expected.in_mst);
+    }
+
+    #[test]
+    fn all_cpu_baselines_equal_serial(g in graph_strategy()) {
+        let expected = serial_kruskal(&g);
+        prop_assert_eq!(&serial_prim(&g).in_mst, &expected.in_mst, "prim");
+        prop_assert_eq!(&filter_kruskal(&g).in_mst, &expected.in_mst, "filter_kruskal");
+        prop_assert_eq!(&pbbs_parallel(&g).in_mst, &expected.in_mst, "pbbs");
+        prop_assert_eq!(&lonestar_cpu(&g).in_mst, &expected.in_mst, "lonestar");
+        prop_assert_eq!(&uminho_cpu(&g).in_mst, &expected.in_mst, "uminho");
+    }
+
+    #[test]
+    fn gpu_baselines_equal_serial(g in graph_strategy()) {
+        let expected = serial_kruskal(&g);
+        prop_assert_eq!(&uminho_gpu(&g, GpuProfile::TITAN_V).result.in_mst, &expected.in_mst);
+        prop_assert_eq!(&cugraph_gpu(&g, GpuProfile::TITAN_V).result.in_mst, &expected.in_mst);
+    }
+
+    #[test]
+    fn random_deopt_configs_are_correct(
+        g in graph_strategy(),
+        guards: bool, hybrid: bool, filt: bool, impl_pc: bool,
+        one_dir: bool, tuples: bool, dd: bool, ec: bool,
+    ) {
+        // Beyond the paper's cumulative ladder: any combination of the 8
+        // toggles must stay correct.
+        let cfg = OptConfig {
+            atomic_guards: guards,
+            hybrid_warp: hybrid,
+            filtering: filt,
+            implicit_compression: impl_pc,
+            one_direction: one_dir,
+            tuples,
+            data_driven: dd,
+            edge_centric: ec,
+            ..OptConfig::full()
+        };
+        let expected = serial_kruskal(&g);
+        let cpu = ecl_mst_cpu_with(&g, &cfg);
+        prop_assert_eq!(&cpu.result.in_mst, &expected.in_mst, "cpu");
+        let gpu = ecl_mst_gpu_with(&g, &cfg, GpuProfile::RTX_3080_TI);
+        prop_assert_eq!(&gpu.result.in_mst, &expected.in_mst, "gpu");
+    }
+
+    #[test]
+    fn msf_structure_invariants(g in graph_strategy()) {
+        let r = ecl_mst_cpu(&g);
+        verify_msf(&g, &r).map_err(TestCaseError::fail)?;
+        // |MSF| = |V| - #components, and MSF weight <= any spanning forest's
+        // weight (spot: <= total graph weight).
+        let total: u64 = g.edges().map(|e| e.weight as u64).sum();
+        prop_assert!(r.total_weight <= total);
+    }
+
+    #[test]
+    fn graph_roundtrip_preserves_mst(g in graph_strategy()) {
+        let bytes = io::to_binary(&g);
+        let h = io::from_binary(&bytes).unwrap();
+        prop_assert_eq!(ecl_mst_cpu(&g).in_mst, ecl_mst_cpu(&h).in_mst);
+    }
+
+    #[test]
+    fn mst_invariant_under_vertex_relabeling(
+        n in 2usize..50,
+        raw in prop::collection::vec((0u32..50, 0u32..50), 1..120),
+        perm_seed in any::<u64>(),
+    ) {
+        // With globally distinct weights the MSF is independent of vertex
+        // ids entirely, so relabeling the vertices must map the selected
+        // edge set exactly.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut b = GraphBuilder::new(n);
+        for (i, &(u, v)) in raw.iter().enumerate() {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u != v {
+                b.add_edge(u, v, 1000 + i as u32); // distinct weights
+            }
+        }
+        let g = b.build();
+
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rand::rngs::StdRng::seed_from_u64(perm_seed));
+        let mut pb = GraphBuilder::new(n);
+        for e in g.edges() {
+            pb.add_edge(perm[e.src as usize], perm[e.dst as usize], e.weight);
+        }
+        let pg = pb.build();
+
+        let edge_key = |g: &CsrGraph, r: &MstResult, map: &dyn Fn(u32) -> u32| {
+            let mut keys: Vec<(u32, u32, u32)> = g
+                .edges()
+                .filter(|e| r.in_mst[e.id as usize])
+                .map(|e| {
+                    let (a, b) = (map(e.src), map(e.dst));
+                    (a.min(b), a.max(b), e.weight)
+                })
+                .collect();
+            keys.sort_unstable();
+            keys
+        };
+        let orig = ecl_mst_cpu(&g);
+        let perm_r = ecl_mst_cpu(&pg);
+        prop_assert_eq!(orig.total_weight, perm_r.total_weight);
+        prop_assert_eq!(
+            edge_key(&g, &orig, &|v| perm[v as usize]),
+            edge_key(&pg, &perm_r, &|v| v)
+        );
+    }
+}
