@@ -15,9 +15,9 @@
 //! the float version), modeled here by metering 8-byte weight loads.
 
 use crate::GpuBaselineRun;
+use ecl_gpu_sim::{with_scratch, Device, GpuProfile};
 use ecl_graph::CsrGraph;
-use ecl_gpu_sim::{BufU32, BufU64, ConstBuf, Device, GpuProfile};
-use ecl_mst::{pack, unpack, MstResult, EMPTY};
+use ecl_mst::{derived_const, pack, unpack, MstResult, EMPTY};
 
 /// cuGraph MST with double-precision weights (the paper's comparison).
 pub fn cugraph_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
@@ -36,24 +36,43 @@ fn cugraph_impl(g: &CsrGraph, profile: GpuProfile, double_precision: bool) -> Gp
     let mut dev = Device::new(profile);
     let weight_bytes: u64 = if double_precision { 8 } else { 4 };
 
-    // Edge-list arrays (cuGraph converts CSR to COO internally).
-    let mut eu = vec![0u32; m];
-    let mut ev = vec![0u32; m];
-    let mut ew = vec![0u32; m];
-    for e in g.edges() {
-        eu[e.id as usize] = e.src;
-        ev[e.id as usize] = e.dst;
-        ew[e.id as usize] = e.weight;
-    }
-    let eu = ConstBuf::from_slice(&eu);
-    let ev = ConstBuf::from_slice(&ev);
-    let ew = ConstBuf::from_slice(&ew);
+    // Edge-list arrays (cuGraph converts CSR to COO internally); the COO is
+    // cached per graph and rebuilt only on first use.
+    let eu = derived_const(g, "cugraph/eu", || {
+        let mut a = vec![0u32; m];
+        for e in g.edges() {
+            a[e.id as usize] = e.src;
+        }
+        a
+    });
+    let ev = derived_const(g, "cugraph/ev", || {
+        let mut a = vec![0u32; m];
+        for e in g.edges() {
+            a[e.id as usize] = e.dst;
+        }
+        a
+    });
+    let ew = derived_const(g, "cugraph/ew", || {
+        let mut a = vec![0u32; m];
+        for e in g.edges() {
+            a[e.id as usize] = e.weight;
+        }
+        a
+    });
     dev.memcpy_h2d(eu.size_bytes() + ev.size_bytes() + m as u64 * weight_bytes);
 
-    let color = BufU32::from_slice(&(0..n.max(1) as u32).collect::<Vec<_>>());
-    let min_edge = BufU64::new(n.max(1), EMPTY);
-    let in_mst = BufU32::new(m.max(1), 0);
-    let progress = BufU32::new(1, 0);
+    // Pooled state, initialized by host writes to the fresh-allocation
+    // contents; the two flags are host-written before every read.
+    let (color, min_edge, in_mst, progress, changed) = with_scratch(|s| {
+        (
+            s.arena.acquire_u32_uninit(n.max(1)),
+            s.arena.acquire_u64(n.max(1), EMPTY),
+            s.arena.acquire_u32(m.max(1), 0),
+            s.arena.acquire_u32_uninit(1),
+            s.arena.acquire_u32_uninit(1),
+        )
+    });
+    color.host_write_iota();
 
     loop {
         progress.host_write(0, 0);
@@ -99,7 +118,7 @@ fn cugraph_impl(g: &CsrGraph, profile: GpuProfile, double_precision: bool) -> Gp
         // exchanging the minimum color across selected forest edges until a
         // sweep changes nothing. O(component diameter) sweeps.
         loop {
-            let changed = BufU32::new(1, 0);
+            changed.host_write(0, 0);
             dev.launch("color_flood", m, |i, ctx| {
                 if in_mst.ld(ctx, i) == 0 {
                     return;
@@ -128,12 +147,24 @@ fn cugraph_impl(g: &CsrGraph, profile: GpuProfile, double_precision: bool) -> Gp
     }
 
     dev.memcpy_d2h(in_mst.size_bytes());
-    let bitmap: Vec<bool> =
-        in_mst.to_vec().into_iter().take(m).map(|x| x != 0).collect();
+    let bitmap: Vec<bool> = in_mst
+        .to_vec()
+        .into_iter()
+        .take(m)
+        .map(|x| x != 0)
+        .collect();
+    with_scratch(|s| {
+        s.arena.release_u32(color);
+        s.arena.release_u64(min_edge);
+        s.arena.release_u32(in_mst);
+        s.arena.release_u32(progress);
+        s.arena.release_u32(changed);
+    });
     GpuBaselineRun {
         result: MstResult::from_bitmap(g, bitmap),
         kernel_seconds: dev.kernel_seconds(),
         memcpy_seconds: dev.memcpy_seconds(),
+        records: dev.records().to_vec(),
     }
 }
 

@@ -24,8 +24,10 @@ const BASE_CASE: usize = 1024;
 
 /// Computes the MSF with Filter-Kruskal.
 pub fn filter_kruskal(g: &CsrGraph) -> MstResult {
-    let mut edges: Vec<(u64, u32, u32)> =
-        g.edges().map(|e| (pack(e.weight, e.id), e.src, e.dst)).collect();
+    let mut edges: Vec<(u64, u32, u32)> = g
+        .edges()
+        .map(|e| (pack(e.weight, e.id), e.src, e.dst))
+        .collect();
     let mut dsu = SeqDsu::new(g.num_vertices());
     let mut in_mst = vec![false; g.num_edges()];
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xF1_7E12);
@@ -68,16 +70,18 @@ fn recurse(
 /// the light part, and only sort/process the heavy part if the forest is
 /// still incomplete.
 pub fn qkruskal(g: &CsrGraph) -> MstResult {
-    let mut edges: Vec<(u64, u32, u32)> =
-        g.edges().map(|e| (pack(e.weight, e.id), e.src, e.dst)).collect();
+    let mut edges: Vec<(u64, u32, u32)> = g
+        .edges()
+        .map(|e| (pack(e.weight, e.id), e.src, e.dst))
+        .collect();
     let mut dsu = SeqDsu::new(g.num_vertices());
     let mut in_mst = vec![false; g.num_edges()];
     let mut picked = 0usize;
 
     let process = |chunk: &mut Vec<(u64, u32, u32)>,
-                       dsu: &mut SeqDsu,
-                       in_mst: &mut [bool],
-                       picked: &mut usize| {
+                   dsu: &mut SeqDsu,
+                   in_mst: &mut [bool],
+                   picked: &mut usize| {
         chunk.sort_unstable();
         for &(val, u, v) in chunk.iter() {
             if dsu.union(u, v) {

@@ -9,48 +9,57 @@
 //! rescans, hub-serialized rows) ECL-MST's data-driven edge-centric design
 //! removes.
 
-use crate::GpuBaselineRun;
-use ecl_graph::stats::connected_components;
+use crate::{is_connected, GpuBaselineRun};
+use ecl_gpu_sim::{with_scratch, Device, GpuProfile, TaskCtx};
 use ecl_graph::CsrGraph;
-use ecl_gpu_sim::{BufU32, BufU64, ConstBuf, Device, GpuProfile, TaskCtx};
-use ecl_mst::{pack, unpack, MstError, MstResult, EMPTY};
+use ecl_mst::{derived_const, pack, unpack, DeviceCsr, MstError, MstResult, EMPTY};
 
 /// Gunrock GPU: topology-driven DSU Borůvka. Errors with
 /// [`MstError::NotConnected`] on multi-component inputs.
 pub fn gunrock_gpu(g: &CsrGraph, profile: GpuProfile) -> Result<GpuBaselineRun, MstError> {
-    if g.num_vertices() > 1 && connected_components(g) != 1 {
+    if g.num_vertices() > 1 && !is_connected(g) {
         return Err(MstError::NotConnected);
     }
     let n = g.num_vertices();
     let m = g.num_edges();
     let mut dev = Device::new(profile);
 
-    let row_starts = ConstBuf::from_slice(g.row_starts());
-    let adjacency = ConstBuf::from_slice(g.adjacency());
-    let arc_weights = ConstBuf::from_slice(g.arc_weights());
-    let arc_edge_ids = ConstBuf::from_slice(g.arc_edge_ids());
-    // id -> endpoints table for the merge kernel.
-    let mut ep_u = vec![0u32; m];
-    let mut ep_v = vec![0u32; m];
-    for e in g.edges() {
-        ep_u[e.id as usize] = e.src;
-        ep_v[e.id as usize] = e.dst;
-    }
-    let ep_u = ConstBuf::from_slice(&ep_u);
-    let ep_v = ConstBuf::from_slice(&ep_v);
-    dev.memcpy_h2d(
-        row_starts.size_bytes()
-            + adjacency.size_bytes()
-            + arc_weights.size_bytes()
-            + arc_edge_ids.size_bytes()
-            + ep_u.size_bytes()
-            + ep_v.size_bytes(),
-    );
+    let csr = DeviceCsr::get(g);
+    let DeviceCsr {
+        row_starts,
+        adjacency,
+        arc_weights,
+        arc_edge_ids,
+    } = csr.clone();
+    // id -> endpoints table for the merge kernel (cached per graph).
+    let ep_u = derived_const(g, "gunrock/ep_u", || {
+        let mut ep = vec![0u32; m];
+        for e in g.edges() {
+            ep[e.id as usize] = e.src;
+        }
+        ep
+    });
+    let ep_v = derived_const(g, "gunrock/ep_v", || {
+        let mut ep = vec![0u32; m];
+        for e in g.edges() {
+            ep[e.id as usize] = e.dst;
+        }
+        ep
+    });
+    dev.memcpy_h2d(csr.size_bytes() + ep_u.size_bytes() + ep_v.size_bytes());
 
-    let parent = BufU32::from_slice(&(0..n.max(1) as u32).collect::<Vec<_>>());
-    let min_edge = BufU64::new(n.max(1), EMPTY);
-    let in_mst = BufU32::new(m.max(1), 0);
-    let progress = BufU32::new(1, 0);
+    // Pooled state. `parent`/`in_mst`/`min_edge` are fully initialized by
+    // the host writes below (identical to the fresh-allocation contents);
+    // `progress` is host-written at the top of every sweep.
+    let (parent, min_edge, in_mst, progress) = with_scratch(|s| {
+        (
+            s.arena.acquire_u32_uninit(n.max(1)),
+            s.arena.acquire_u64(n.max(1), EMPTY),
+            s.arena.acquire_u32(m.max(1), 0),
+            s.arena.acquire_u32_uninit(1),
+        )
+    });
+    parent.host_write_iota();
 
     let find = |ctx: &mut TaskCtx, mut x: u32| -> u32 {
         loop {
@@ -122,12 +131,23 @@ pub fn gunrock_gpu(g: &CsrGraph, profile: GpuProfile) -> Result<GpuBaselineRun, 
     }
 
     dev.memcpy_d2h(in_mst.size_bytes());
-    let bitmap: Vec<bool> =
-        in_mst.to_vec().into_iter().take(m).map(|x| x != 0).collect();
+    let bitmap: Vec<bool> = in_mst
+        .to_vec()
+        .into_iter()
+        .take(m)
+        .map(|x| x != 0)
+        .collect();
+    with_scratch(|s| {
+        s.arena.release_u32(parent);
+        s.arena.release_u64(min_edge);
+        s.arena.release_u32(in_mst);
+        s.arena.release_u32(progress);
+    });
     Ok(GpuBaselineRun {
         result: MstResult::from_bitmap(g, bitmap),
         kernel_seconds: dev.kernel_seconds(),
         memcpy_seconds: dev.memcpy_seconds(),
+        records: dev.records().to_vec(),
     })
 }
 

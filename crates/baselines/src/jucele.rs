@@ -12,17 +12,17 @@
 //! balanced edge-parallel kernels are why this is the fastest prior GPU
 //! code; the per-round contraction is why ECL-MST still beats it.
 
-use crate::GpuBaselineRun;
-use ecl_graph::stats::connected_components;
+use crate::{is_connected, GpuBaselineRun};
+use ecl_gpu_sim::{with_scratch, ConstBuf, Device, GpuProfile};
 use ecl_graph::CsrGraph;
-use ecl_gpu_sim::{BufU32, BufU64, ConstBuf, Device, GpuProfile};
-use ecl_mst::{pack, MstError, MstResult, EMPTY};
+use ecl_mst::{derived_const, pack, DeviceCsr, MstError, MstResult, EMPTY};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Jucele GPU: data-driven contraction Borůvka. Errors with
 /// [`MstError::NotConnected`] on multi-component inputs (a pure MST code).
 pub fn jucele_gpu(g: &CsrGraph, profile: GpuProfile) -> Result<GpuBaselineRun, MstError> {
-    if g.num_vertices() > 1 && connected_components(g) != 1 {
+    if g.num_vertices() > 1 && !is_connected(g) {
         return Err(MstError::NotConnected);
     }
     Ok(contraction_boruvka_gpu(g, profile))
@@ -34,23 +34,44 @@ pub(crate) fn contraction_boruvka_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuB
     // Edge-list upload (u, v, w, id).
     dev.memcpy_h2d(4 * 4 * g.num_edges() as u64);
 
-    let mut in_mst = vec![false; g.num_edges()];
+    // Per-edge MST flags, written by the mark kernel; once true an edge
+    // stays true, so the flags accumulate across rounds with no host merge.
+    let marked: Vec<AtomicBool> = (0..g.num_edges()).map(|_| AtomicBool::new(false)).collect();
     // Like the original, the code starts from both directed arcs of every
     // edge ("It starts by finding the minimum weighted edge of each vertex
-    // ... It then removes the mirrored edges"): 2|E| entries.
-    let mut edges: Vec<[u32; 4]> = (0..g.num_vertices() as u32)
-        .flat_map(|v| g.neighbors(v).map(move |e| [v, e.dst, e.weight, e.id]))
-        .collect();
+    // ... It then removes the mirrored edges"): 2|E| entries. Round 0 is
+    // exactly the graph's arc arrays, so it shares the cached CSR uploads;
+    // later (contracted, shrinking) rounds upload fresh edge lists.
+    let DeviceCsr {
+        adjacency,
+        arc_weights,
+        arc_edge_ids,
+        ..
+    } = DeviceCsr::get(g);
+    let mut eu = derived_const(g, "core/arc_src", || {
+        let mut src = vec![0u32; g.num_arcs()];
+        for v in 0..g.num_vertices() as u32 {
+            for a in g.arc_range(v) {
+                src[a] = v;
+            }
+        }
+        src
+    });
+    let mut ev = adjacency;
+    let mut ew = arc_weights;
+    let mut eid = arc_edge_ids;
+    let mut e_cnt = g.num_arcs();
     let mut n = g.num_vertices();
 
-    while !edges.is_empty() {
-        let e_cnt = edges.len();
-        let eu = ConstBuf::from_slice(&edges.iter().map(|e| e[0]).collect::<Vec<_>>());
-        let ev = ConstBuf::from_slice(&edges.iter().map(|e| e[1]).collect::<Vec<_>>());
-        let ew = ConstBuf::from_slice(&edges.iter().map(|e| e[2]).collect::<Vec<_>>());
-        let eid = ConstBuf::from_slice(&edges.iter().map(|e| e[3]).collect::<Vec<_>>());
-        let min_at = BufU64::new(n, EMPTY);
-        let succ = BufU32::from_slice(&(0..n as u32).collect::<Vec<_>>());
+    // Loop-control flags, pooled once for the whole run and host-reset
+    // before every use.
+    let (next_cnt, changed) =
+        with_scratch(|s| (s.arena.acquire_u32_uninit(1), s.arena.acquire_u32_uninit(1)));
+
+    while e_cnt > 0 {
+        let (min_at, succ) =
+            with_scratch(|s| (s.arena.acquire_u64(n, EMPTY), s.arena.acquire_u32_uninit(n)));
+        succ.host_write_iota();
 
         // Kernel: lightest edge per supervertex (edge-parallel, balanced).
         dev.launch("find_light", e_cnt, |i, ctx| {
@@ -61,8 +82,6 @@ pub(crate) fn contraction_boruvka_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuB
             min_at.atomic_min(ctx, v as usize, val);
         });
         // Kernel: mark winners and record successors.
-        let marked: Vec<AtomicBool> =
-            (0..g.num_edges()).map(|_| AtomicBool::new(false)).collect();
         dev.launch("mark", e_cnt, |i, ctx| {
             let u = eu.ld(ctx, i);
             let v = ev.ld(ctx, i);
@@ -81,22 +100,22 @@ pub(crate) fn contraction_boruvka_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuB
                 ctx.charge_gather(); // scattered MST-flag store
             }
         });
-        for (i, b) in marked.iter().enumerate() {
-            if b.load(Ordering::Acquire) {
-                in_mst[i] = true;
-            }
-        }
         // Kernel: break mutual picks (smaller index becomes the root).
-        let color = BufU32::new(n, 0);
+        // (`color` is fully written here before any read.)
+        let color = with_scratch(|s| s.arena.acquire_u32_uninit(n));
         dev.launch("mirror_break", n, |v, ctx| {
             let s = succ.ld(ctx, v);
             let ss = succ.ld_gather(ctx, s as usize);
-            let c = if ss == v as u32 && (v as u32) < s { v as u32 } else { s };
+            let c = if ss == v as u32 && (v as u32) < s {
+                v as u32
+            } else {
+                s
+            };
             color.st(ctx, v, c);
         });
         // Kernels: recalculate the connected components (pointer jumping).
         loop {
-            let changed = BufU32::new(1, 0);
+            changed.host_write(0, 0);
             dev.launch("relabel", n, |v, ctx| {
                 let c = color.ld(ctx, v);
                 let cc = color.ld_gather(ctx, c as usize);
@@ -125,8 +144,9 @@ pub(crate) fn contraction_boruvka_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuB
             ctx.charge_coalesced(8);
         });
         // Kernel: contract — compact the edge list to inter-component edges.
-        let next_cnt = BufU32::new(1, 0);
-        let out = BufU32::new(4 * e_cnt, 0);
+        // (`out` is only read up to the compacted count.)
+        next_cnt.host_write(0, 0);
+        let out = with_scratch(|s| s.arena.acquire_u32_uninit(4 * e_cnt));
         {
             let new_id = &new_id;
             dev.launch("contract", e_cnt, |i, ctx| {
@@ -144,18 +164,42 @@ pub(crate) fn contraction_boruvka_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuB
         }
         dev.sync_read();
         let cnt = next_cnt.host_read(0) as usize;
-        let flat = out.to_vec();
-        edges = (0..cnt)
-            .map(|i| [flat[4 * i], flat[4 * i + 1], flat[4 * i + 2], flat[4 * i + 3]])
-            .collect();
+        // Split the compacted AoS quads into next-round SoA uploads.
+        let mut nu = Vec::with_capacity(cnt);
+        let mut nv = Vec::with_capacity(cnt);
+        let mut nw = Vec::with_capacity(cnt);
+        let mut nid = Vec::with_capacity(cnt);
+        for i in 0..cnt {
+            nu.push(out.host_read(4 * i));
+            nv.push(out.host_read(4 * i + 1));
+            nw.push(out.host_read(4 * i + 2));
+            nid.push(out.host_read(4 * i + 3));
+        }
+        eu = Arc::new(ConstBuf::from_vec(nu));
+        ev = Arc::new(ConstBuf::from_vec(nv));
+        ew = Arc::new(ConstBuf::from_vec(nw));
+        eid = Arc::new(ConstBuf::from_vec(nid));
+        e_cnt = cnt;
         n = k as usize;
+        with_scratch(|s| {
+            s.arena.release_u64(min_at);
+            s.arena.release_u32(succ);
+            s.arena.release_u32(color);
+            s.arena.release_u32(out);
+        });
     }
 
+    with_scratch(|s| {
+        s.arena.release_u32(next_cnt);
+        s.arena.release_u32(changed);
+    });
+    let in_mst: Vec<bool> = marked.iter().map(|b| b.load(Ordering::Acquire)).collect();
     dev.memcpy_d2h(4 * g.num_edges() as u64);
     GpuBaselineRun {
         result: MstResult::from_bitmap(g, in_mst),
         kernel_seconds: dev.kernel_seconds(),
         memcpy_seconds: dev.memcpy_seconds(),
+        records: dev.records().to_vec(),
     }
 }
 

@@ -24,8 +24,10 @@ const BLOCK: usize = 65_536;
 
 /// Sequential full-sort Kruskal (the paper's "PBBS Ser." column).
 pub fn pbbs_serial(g: &CsrGraph) -> MstResult {
-    let mut edges: Vec<(u64, u32, u32)> =
-        g.edges().map(|e| (pack(e.weight, e.id), e.src, e.dst)).collect();
+    let mut edges: Vec<(u64, u32, u32)> = g
+        .edges()
+        .map(|e| (pack(e.weight, e.id), e.src, e.dst))
+        .collect();
     edges.sort_unstable();
     let mut dsu = SeqDsu::new(g.num_vertices());
     let mut in_mst = vec![false; g.num_edges()];
@@ -45,8 +47,10 @@ pub fn pbbs_parallel(g: &CsrGraph) -> MstResult {
     if m == 0 {
         return MstResult::from_bitmap(g, in_mst);
     }
-    let mut edges: Vec<(u64, u32, u32)> =
-        g.edges().map(|e| (pack(e.weight, e.id), e.src, e.dst)).collect();
+    let mut edges: Vec<(u64, u32, u32)> = g
+        .edges()
+        .map(|e| (pack(e.weight, e.id), e.src, e.dst))
+        .collect();
 
     // Estimate the k-th lightest weight from a sqrt(m) sample.
     let k = n.min(5 * m / 4);
@@ -157,7 +161,11 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).map(std::sync::atomic::AtomicU32::new).collect() }
+        Self {
+            parent: (0..n as u32)
+                .map(std::sync::atomic::AtomicU32::new)
+                .collect(),
+        }
     }
 
     fn find(&self, mut x: u32) -> u32 {
@@ -213,7 +221,10 @@ mod tests {
         let ser = pbbs_serial(g);
         assert_eq!(ser.in_mst, expected.in_mst, "pbbs_serial edge set");
         let par = pbbs_parallel(g);
-        assert_eq!(par.total_weight, expected.total_weight, "pbbs_parallel weight");
+        assert_eq!(
+            par.total_weight, expected.total_weight,
+            "pbbs_parallel weight"
+        );
         assert_eq!(par.in_mst, expected.in_mst, "pbbs_parallel edge set");
     }
 

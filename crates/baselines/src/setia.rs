@@ -15,9 +15,9 @@
 //! been the first collision. With the workspace's total `(weight, id)`
 //! order the result is therefore the unique reference MSF.
 
+use ecl_dsu::SeqDsu;
 use ecl_graph::CsrGraph;
 use ecl_mst::{pack, unpack, MstResult};
-use ecl_dsu::SeqDsu;
 use rand::{seq::SliceRandom, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -92,8 +92,7 @@ pub fn setia_prim(g: &CsrGraph, threads: usize, seed: u64) -> MstResult {
         while !live.is_empty() {
             // Snapshot of the merge table: read-only during the round, so
             // workers run without locks.
-            let labels: Vec<u32> =
-                (0..next_wid).map(|w| forest.find(w)).collect();
+            let labels: Vec<u32> = (0..next_wid).map(|w| forest.find(w)).collect();
             let results = run_round(g, &owner, &in_mst, &labels, live);
             // Round barrier: apply merges, pool frontiers per survivor.
             let mut collided_roots: Vec<(u32, Option<u32>, Frontier)> = Vec::new();
@@ -121,8 +120,8 @@ pub fn setia_prim(g: &CsrGraph, threads: usize, seed: u64) -> MstResult {
             live = pools.into_iter().collect();
         }
         // Restart on any unclaimed component (MSF inputs).
-        let Some(start) = (0..n as u32)
-            .find(|&v| owner[v as usize].load(Ordering::Acquire) == UNCLAIMED)
+        let Some(start) =
+            (0..n as u32).find(|&v| owner[v as usize].load(Ordering::Acquire) == UNCLAIMED)
         else {
             break;
         };
@@ -186,11 +185,18 @@ fn run_round(
                             }
                         }
                     }
-                    RoundResult { root: wid, heap, collided_with }
+                    RoundResult {
+                        root: wid,
+                        heap,
+                        collided_with,
+                    }
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
 }
 

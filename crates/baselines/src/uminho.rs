@@ -9,11 +9,12 @@
 //! reconstruction cost ECL-MST avoids by never creating new graphs.
 
 use crate::GpuBaselineRun;
+use ecl_gpu_sim::{with_scratch, ConstBuf, Device, GpuProfile};
 use ecl_graph::CsrGraph;
-use ecl_gpu_sim::{BufU32, BufU64, ConstBuf, Device, GpuProfile};
-use ecl_mst::{pack, unpack, MstResult, EMPTY};
+use ecl_mst::{pack, unpack, DeviceCsr, MstResult, EMPTY};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Contracted-graph edge: current endpoints, weight, original edge id.
 #[derive(Debug, Clone, Copy)]
@@ -25,22 +26,63 @@ struct CEdge {
 }
 
 fn initial_edges(g: &CsrGraph) -> Vec<CEdge> {
-    g.edges().map(|e| CEdge { u: e.src, v: e.dst, w: e.weight, id: e.id }).collect()
+    g.edges()
+        .map(|e| CEdge {
+            u: e.src,
+            v: e.dst,
+            w: e.weight,
+            id: e.id,
+        })
+        .collect()
+}
+
+/// Host-side per-round working storage, allocated once per solve at the
+/// initial vertex count and reused by every (shrinking) contraction round —
+/// the CPU-code analogue of the device arena's zero steady-state allocation.
+struct RoundScratch {
+    min_at: Vec<AtomicU64>,
+    succ: Vec<AtomicU32>,
+    color: Vec<u32>,
+    next_color: Vec<u32>,
+    new_id: Vec<u32>,
+}
+
+impl RoundScratch {
+    fn new(n: usize) -> Self {
+        Self {
+            min_at: (0..n).map(|_| AtomicU64::new(EMPTY)).collect(),
+            succ: (0..n).map(|i| AtomicU32::new(i as u32)).collect(),
+            color: vec![0; n],
+            next_color: vec![0; n],
+            new_id: vec![u32::MAX; n],
+        }
+    }
 }
 
 /// One contraction round on the host (the CPU baseline). Returns the
 /// contracted edge list and new vertex count; marks picked edges in
 /// `in_mst` (atomic: the pick pass writes concurrently).
-fn contract_round(n: usize, edges: &[CEdge], in_mst: &[AtomicBool]) -> (Vec<CEdge>, usize) {
+fn contract_round(
+    n: usize,
+    edges: &[CEdge],
+    in_mst: &[AtomicBool],
+    scratch: &mut RoundScratch,
+) -> (Vec<CEdge>, usize) {
     // 1. Minimum packed value per vertex.
-    let min_at: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(EMPTY)).collect();
+    let min_at = &scratch.min_at[..n];
+    min_at
+        .par_iter()
+        .for_each(|a| a.store(EMPTY, Ordering::Relaxed));
     edges.par_iter().for_each(|e| {
         let val = pack(e.w, e.id);
         min_at[e.u as usize].fetch_min(val, Ordering::AcqRel);
         min_at[e.v as usize].fetch_min(val, Ordering::AcqRel);
     });
     // 2. Identify the winning edge per vertex and record the successor.
-    let succ: Vec<AtomicU32> = (0..n).map(|i| AtomicU32::new(i as u32)).collect();
+    let succ = &scratch.succ[..n];
+    succ.par_iter()
+        .enumerate()
+        .for_each(|(i, s)| s.store(i as u32, Ordering::Relaxed));
     edges.par_iter().for_each(|e| {
         let val = pack(e.w, e.id);
         if min_at[e.u as usize].load(Ordering::Acquire) == val {
@@ -58,51 +100,64 @@ fn contract_round(n: usize, edges: &[CEdge], in_mst: &[AtomicBool]) -> (Vec<CEdg
     });
     // 4. Break mirrored picks: when u and v choose each other, the smaller
     // index becomes the root of the merged star.
-    let mut color: Vec<u32> = (0..n as u32)
-        .into_par_iter()
-        .map(|v| {
-            let s = succ[v as usize].load(Ordering::Acquire);
-            if succ[s as usize].load(Ordering::Acquire) == v && v < s {
+    scratch.color[..n]
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(i, c)| {
+            let v = i as u32;
+            let s = succ[i].load(Ordering::Acquire);
+            *c = if succ[s as usize].load(Ordering::Acquire) == v && v < s {
                 v
             } else {
                 s
-            }
-        })
-        .collect();
-    // 5. Color propagation: pointer-jump to the roots.
+            };
+        });
+    // 5. Color propagation: pointer-jump to the roots (Jacobi-style double
+    // buffer: each sweep reads only the previous sweep's colors).
     loop {
         let changed = AtomicBool::new(false);
-        let next: Vec<u32> = color
-            .par_iter()
-            .map(|&c| {
+        let color = &scratch.color[..n];
+        scratch.next_color[..n]
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(v, slot)| {
+                let c = color[v];
                 let cc = color[c as usize];
                 if cc != c {
                     changed.store(true, Ordering::Relaxed);
                 }
-                cc
-            })
-            .collect();
-        color = next;
+                *slot = cc;
+            });
+        std::mem::swap(&mut scratch.color, &mut scratch.next_color);
         if !changed.load(Ordering::Relaxed) {
             break;
         }
     }
+    let color = &scratch.color[..n];
     // 6. Renumber roots densely.
-    let mut new_id = vec![u32::MAX; n];
+    let new_id = &mut scratch.new_id[..n];
     let mut k = 0u32;
     for v in 0..n {
-        if color[v] == v as u32 {
-            new_id[v] = k;
+        new_id[v] = if color[v] == v as u32 {
             k += 1;
-        }
+            k - 1
+        } else {
+            u32::MAX
+        };
     }
     // 7. Rebuild the edge list for the contracted graph.
+    let new_id = &scratch.new_id[..n];
     let next_edges: Vec<CEdge> = edges
         .par_iter()
         .filter_map(|e| {
             let cu = new_id[color[e.u as usize] as usize];
             let cv = new_id[color[e.v as usize] as usize];
-            (cu != cv).then_some(CEdge { u: cu, v: cv, w: e.w, id: e.id })
+            (cu != cv).then_some(CEdge {
+                u: cu,
+                v: cv,
+                w: e.w,
+                id: e.id,
+            })
         })
         .collect();
     (next_edges, k as usize)
@@ -110,12 +165,12 @@ fn contract_round(n: usize, edges: &[CEdge], in_mst: &[AtomicBool]) -> (Vec<CEdg
 
 /// CPU-parallel contraction Borůvka (the paper's "UMinho CPU" column).
 pub fn uminho_cpu(g: &CsrGraph) -> MstResult {
-    let in_mst: Vec<AtomicBool> =
-        (0..g.num_edges()).map(|_| AtomicBool::new(false)).collect();
+    let in_mst: Vec<AtomicBool> = (0..g.num_edges()).map(|_| AtomicBool::new(false)).collect();
     let mut edges = initial_edges(g);
     let mut n = g.num_vertices();
+    let mut scratch = RoundScratch::new(n);
     while !edges.is_empty() {
-        let (next, k) = contract_round(n, &edges, &in_mst);
+        let (next, k) = contract_round(n, &edges, &in_mst, &mut scratch);
         edges = next;
         n = k;
     }
@@ -138,21 +193,34 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
         4 * (g.row_starts().len() + 3 * g.num_arcs()) as u64, // CSR upload
     );
 
-    let mut in_mst = vec![false; g.num_edges()];
+    // Per-edge MST flags, written by the pick kernel; once true an edge
+    // stays true, so the flags accumulate across rounds with no host merge.
+    let marked: Vec<AtomicBool> = (0..g.num_edges()).map(|_| AtomicBool::new(false)).collect();
     // Current contracted CSR (both arc directions, like the original code).
-    let mut cur_row: Vec<u32> = g.row_starts().to_vec();
-    let mut cur_adj: Vec<u32> = g.adjacency().to_vec();
-    let mut cur_w: Vec<u32> = g.arc_weights().to_vec();
-    let mut cur_id: Vec<u32> = g.arc_edge_ids().to_vec();
+    // Round 0 is the input graph itself: device side it shares the cached
+    // CSR uploads, host side it borrows `g`'s row array; contracted rounds
+    // own their (shrinking) rebuilt arrays.
+    let DeviceCsr {
+        row_starts,
+        adjacency,
+        arc_weights,
+        arc_edge_ids,
+    } = DeviceCsr::get(g);
+    let mut row = row_starts;
+    let mut adj = adjacency;
+    let mut wts = arc_weights;
+    let mut ids = arc_edge_ids;
+    let mut own_row: Option<Vec<u32>> = None;
+    let mut arcs = g.num_arcs();
     let mut n = g.num_vertices();
 
-    while !cur_adj.is_empty() {
-        let row = ConstBuf::from_slice(&cur_row);
-        let adj = ConstBuf::from_slice(&cur_adj);
-        let wts = ConstBuf::from_slice(&cur_w);
-        let ids = ConstBuf::from_slice(&cur_id);
-        let pick_val = BufU64::new(n, EMPTY);
-        let pick_dst = BufU32::new(n, 0);
+    // Pooled loop-control flag, host-reset before every sweep.
+    let changed = with_scratch(|s| s.arena.acquire_u32_uninit(1));
+
+    while arcs > 0 {
+        let cur_row: &[u32] = own_row.as_deref().unwrap_or_else(|| g.row_starts());
+        let (pick_val, pick_dst) =
+            with_scratch(|s| (s.arena.acquire_u64(n, EMPTY), s.arena.acquire_u32_uninit(n)));
 
         // Kernel: per-vertex minimum edge (vertex-centric row scan).
         dev.launch("find_min", n, |v, ctx| {
@@ -176,9 +244,8 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
             }
         });
         // Kernel: mirror-break into colors and mark picked edges.
-        let color = BufU32::new(n, 0);
-        let marked: Vec<AtomicBool> =
-            (0..g.num_edges()).map(|_| AtomicBool::new(false)).collect();
+        // (`color` is fully written here before any read.)
+        let color = with_scratch(|s| s.arena.acquire_u32_uninit(n));
         dev.launch("pick", n, |v, ctx| {
             let val = pick_val.ld(ctx, v);
             if val == EMPTY {
@@ -188,20 +255,19 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
             let s = pick_dst.ld(ctx, v);
             let sv = pick_dst.ld_gather(ctx, s as usize);
             let mutual = sv == v as u32 && pick_val.ld_gather(ctx, s as usize) == val;
-            let c = if mutual && (v as u32) < s { v as u32 } else { s };
+            let c = if mutual && (v as u32) < s {
+                v as u32
+            } else {
+                s
+            };
             color.st(ctx, v, c);
             let (_, id) = unpack(val);
             marked[id as usize].store(true, Ordering::Release);
             ctx.charge_gather(); // scattered MST-flag store
         });
-        for (i, b) in marked.iter().enumerate() {
-            if b.load(Ordering::Acquire) {
-                in_mst[i] = true;
-            }
-        }
         // Kernels: pointer-jump color propagation until fixpoint.
         loop {
-            let changed = BufU32::new(1, 0);
+            changed.host_write(0, 0);
             dev.launch("pointer_jump", n, |v, ctx| {
                 let c = color.ld(ctx, v);
                 let cc = color.ld_gather(ctx, c as usize);
@@ -231,8 +297,7 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
         });
 
         // CSR rebuild, pass 1: count the degrees of the new supervertices.
-        let arcs = cur_adj.len();
-        let degree = BufU32::new(k.max(1), 0);
+        let degree = with_scratch(|s| s.arena.acquire_u32(k.max(1), 0));
         // arc -> source map of the current CSR (host-side helper).
         let mut arc_src = vec![0u32; arcs];
         for v in 0..n {
@@ -262,12 +327,18 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
             let _ = degree.ld(ctx, i);
             ctx.charge_coalesced(4);
         });
-        // Pass 3: scatter the surviving arcs into the new CSR.
+        // Pass 3: scatter the surviving arcs into the new CSR. Every output
+        // slot in 0..total_new is written exactly once (cursor-allocated),
+        // so the out buffers start unspecified.
         let total_new = new_row[k] as usize;
-        let cursor = BufU32::from_slice(&new_row[..k.max(1)]);
-        let out_adj = BufU32::new(total_new.max(1), 0);
-        let out_w = BufU32::new(total_new.max(1), 0);
-        let out_id = BufU32::new(total_new.max(1), 0);
+        let (cursor, out_adj, out_w, out_id) = with_scratch(|s| {
+            (
+                s.arena.acquire_u32_from(&new_row[..k.max(1)]),
+                s.arena.acquire_u32_uninit(total_new.max(1)),
+                s.arena.acquire_u32_uninit(total_new.max(1)),
+                s.arena.acquire_u32_uninit(total_new.max(1)),
+            )
+        });
         {
             let arc_src = &arc_src;
             let new_id = &new_id;
@@ -299,24 +370,39 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
         }
         dev.sync_read(); // host reads the new arc count (loop condition)
 
-        cur_row = new_row;
-        cur_adj = out_adj.to_vec();
-        cur_adj.truncate(total_new);
-        cur_w = out_w.to_vec();
-        cur_w.truncate(total_new);
-        cur_id = out_id.to_vec();
-        cur_id.truncate(total_new);
+        let mut next_adj = out_adj.to_vec();
+        next_adj.truncate(total_new);
+        let mut next_w = out_w.to_vec();
+        next_w.truncate(total_new);
+        let mut next_id = out_id.to_vec();
+        next_id.truncate(total_new);
+        row = Arc::new(ConstBuf::from_slice(&new_row));
+        own_row = Some(new_row);
+        adj = Arc::new(ConstBuf::from_vec(next_adj));
+        wts = Arc::new(ConstBuf::from_vec(next_w));
+        ids = Arc::new(ConstBuf::from_vec(next_id));
+        arcs = total_new;
         n = k;
-        if total_new == 0 {
-            break;
-        }
+        with_scratch(|s| {
+            s.arena.release_u64(pick_val);
+            s.arena.release_u32(pick_dst);
+            s.arena.release_u32(color);
+            s.arena.release_u32(degree);
+            s.arena.release_u32(cursor);
+            s.arena.release_u32(out_adj);
+            s.arena.release_u32(out_w);
+            s.arena.release_u32(out_id);
+        });
     }
 
+    with_scratch(|s| s.arena.release_u32(changed));
+    let in_mst: Vec<bool> = marked.iter().map(|b| b.load(Ordering::Acquire)).collect();
     dev.memcpy_d2h(4 * g.num_edges() as u64);
     GpuBaselineRun {
         result: MstResult::from_bitmap(g, in_mst),
         kernel_seconds: dev.kernel_seconds(),
         memcpy_seconds: dev.memcpy_seconds(),
+        records: dev.records().to_vec(),
     }
 }
 

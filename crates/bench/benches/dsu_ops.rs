@@ -8,7 +8,9 @@ use rand::{Rng, SeedableRng};
 
 fn random_ops(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    (0..m).map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))).collect()
+    (0..m)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect()
 }
 
 fn bench_seq(c: &mut Criterion) {

@@ -9,7 +9,9 @@ use ecl_graph::io;
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("generators");
     group.bench_function("grid2d_128", |b| b.iter(|| grid2d(128, 1)));
-    group.bench_function("uniform_random_16k_d8", |b| b.iter(|| uniform_random(16_384, 8.0, 2)));
+    group.bench_function("uniform_random_16k_d8", |b| {
+        b.iter(|| uniform_random(16_384, 8.0, 2))
+    });
     group.bench_function("rmat_s14_e8", |b| b.iter(|| rmat(14, 8, 3)));
     group.bench_function("kronecker_s12_e16", |b| b.iter(|| kronecker(12, 16, 4)));
     group.bench_function("road_map_128", |b| b.iter(|| road_map(128, 2.4, 5)));
@@ -25,7 +27,9 @@ fn bench_io(c: &mut Criterion) {
     let bytes = io::to_binary(&g);
     let mut group = c.benchmark_group("io");
     group.bench_function("to_binary_16k", |b| b.iter(|| io::to_binary(&g)));
-    group.bench_function("from_binary_16k", |b| b.iter(|| io::from_binary(&bytes).unwrap()));
+    group.bench_function("from_binary_16k", |b| {
+        b.iter(|| io::from_binary(&bytes).unwrap())
+    });
     group.finish();
 }
 

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the gpu-sim metering hot paths this PR
+//! optimized: zero-copy span loads vs per-element loads, device-arena
+//! acquire/release vs fresh allocation, and warp-aggregated vs per-task
+//! atomics. These are host-cost benchmarks — the simulated clocks they
+//! charge are identical either way; what differs is the wall-clock price of
+//! charging them.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecl_gpu_sim::{with_scratch, BufU32, ConstBuf, Device, GpuProfile, TaskCtx};
+
+const N: usize = 1 << 16;
+const ROW: usize = 16;
+
+/// Per-element `ld` vs one `ld_span` borrow per row: same metered bytes,
+/// but the span path returns a borrowed slice instead of copying.
+fn bench_span_loads(c: &mut Criterion) {
+    let buf = ConstBuf::from_vec((0..N as u32).collect());
+    let mut group = c.benchmark_group("span_loads");
+    group.bench_function("per_element_ld", |b| {
+        b.iter(|| {
+            let mut ctx = TaskCtx::default();
+            let mut acc = 0u64;
+            for row in 0..N / ROW {
+                for i in 0..ROW {
+                    acc += u64::from(buf.ld(&mut ctx, row * ROW + i));
+                }
+            }
+            black_box((acc, ctx))
+        })
+    });
+    group.bench_function("ld_span", |b| {
+        b.iter(|| {
+            let mut ctx = TaskCtx::default();
+            let mut acc = 0u64;
+            for row in 0..N / ROW {
+                let span = buf.ld_span(&mut ctx, row * ROW, ROW);
+                acc += span.iter().map(|&x| u64::from(x)).sum::<u64>();
+            }
+            black_box((acc, ctx))
+        })
+    });
+    group.finish();
+}
+
+/// Pooled arena acquire/release vs allocating a fresh buffer every round —
+/// the per-round cost the `DeviceArena` removes from kernel hot loops.
+fn bench_arena(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena");
+    group.bench_function("fresh_alloc", |b| {
+        b.iter(|| {
+            let buf = BufU32::new(N, 0);
+            buf.host_write(N - 1, 1);
+            black_box(buf.host_read(N - 1))
+        })
+    });
+    group.bench_function("acquire_release", |b| {
+        b.iter(|| {
+            with_scratch(|s| {
+                let buf = s.arena.acquire_u32(N, 0);
+                buf.host_write(N - 1, 1);
+                let v = buf.host_read(N - 1);
+                s.arena.release_u32(buf);
+                black_box(v)
+            })
+        })
+    });
+    // What the kernel hot loops actually use: pooled reuse with no fill
+    // (the kernel fully writes the buffer before reading it).
+    group.bench_function("acquire_release_uninit", |b| {
+        b.iter(|| {
+            with_scratch(|s| {
+                let buf = s.arena.acquire_u32_uninit(N);
+                buf.host_write(N - 1, 1);
+                let v = buf.host_read(N - 1);
+                s.arena.release_u32(buf);
+                black_box(v)
+            })
+        })
+    });
+    group.finish();
+}
+
+/// Per-task `atomic_add` vs `atomic_add_aggregated` inside a real launch:
+/// aggregation charges one atomic per warp instead of one per task.
+fn bench_atomics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atomics");
+    group.bench_function("per_task_add", |b| {
+        b.iter(|| {
+            let mut dev = Device::new(GpuProfile::TITAN_V);
+            let counter = BufU32::new(1, 0);
+            dev.launch("count", N, |_, ctx| {
+                counter.atomic_add(ctx, 0, 1);
+            });
+            black_box(counter.host_read(0))
+        })
+    });
+    group.bench_function("aggregated_add", |b| {
+        b.iter(|| {
+            let mut dev = Device::new(GpuProfile::TITAN_V);
+            let counter = BufU32::new(1, 0);
+            dev.launch("count", N, |_, ctx| {
+                counter.atomic_add_aggregated(ctx, 0, 1);
+            });
+            black_box(counter.host_read(0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_span_loads, bench_arena, bench_atomics);
+criterion_main!(benches);

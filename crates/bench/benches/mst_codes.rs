@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecl_baselines::*;
+use ecl_gpu_sim::GpuProfile;
 use ecl_graph::generators::{copapers, grid2d, preferential_attachment, road_map};
 use ecl_graph::CsrGraph;
-use ecl_gpu_sim::GpuProfile;
 use ecl_mst::{ecl_mst_cpu, serial_kruskal};
 
 fn inputs() -> Vec<(&'static str, CsrGraph)> {

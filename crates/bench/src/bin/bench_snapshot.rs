@@ -1,0 +1,109 @@
+//! Wall-clock snapshot of the full-suite harness path (the Table 3
+//! workload): per-code host wall-clock and simulated seconds, plus process
+//! peak RSS, written as JSON for regression tracking.
+//!
+//! Reproduce with:
+//!
+//! ```text
+//! cargo run --release --bin bench_snapshot -- --scale small --repeats 3
+//! ```
+
+use ecl_gpu_sim::{scratch_footprint, GpuProfile};
+use ecl_graph::suite;
+use ecl_mst_bench::registry::{all_codes, MstCode};
+use ecl_mst_bench::runner::{peak_rss_bytes, scale_from_args, wall, Repeats};
+use std::fmt::Write as _;
+
+/// Wall-clock seconds of the Table 3 workload before this refactor.
+///
+/// Methodology: the seed commit (2727883) was rebuilt in a scratch worktree
+/// (plus the vendored-dependency wiring it predates, nothing else), and its
+/// `table3 --repeats 3` binary was raced against the refactored one in
+/// alternating runs on the same container to cancel background load. Median
+/// of 7 interleaved pairs: seed 11.174 s, refactored 6.083 s (1.84×). The
+/// JSON reports current/baseline speedup against that seed median.
+const BASELINE_WALL_SECONDS: f64 = 11.174;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let repeats = Repeats::from_args(&args);
+    let profile = GpuProfile::TITAN_V;
+    let codes: Vec<MstCode> = all_codes(false);
+
+    // Per-code totals over the whole suite. Suite generation runs inside
+    // the timed window so `total_wall` matches what the `table3` binary
+    // actually costs end to end (the baseline constant was measured that
+    // way).
+    let mut wall_s = vec![0.0f64; codes.len()];
+    let mut sim_s = vec![0.0f64; codes.len()];
+    let mut n_inputs = 0usize;
+    let total_wall = wall(|| {
+        let entries = suite(scale);
+        n_inputs = entries.len();
+        for e in &entries {
+            eprintln!("measuring {} ...", e.name);
+            for (c, code) in codes.iter().enumerate() {
+                let mut sim = 0.0;
+                wall_s[c] += wall(|| {
+                    for _ in 0..repeats.0.max(1) {
+                        if let Ok(s) = (code.run)(&e.graph, profile) {
+                            sim += s;
+                        }
+                    }
+                });
+                sim_s[c] += sim;
+            }
+            ecl_mst::evict_graph(&e.graph);
+        }
+    });
+
+    let (const_bytes, pooled_bytes) = scratch_footprint();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"workload\": \"table3\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(json, "  \"repeats\": {},", repeats.0.max(1));
+    let _ = writeln!(json, "  \"inputs\": {n_inputs},");
+    let _ = writeln!(json, "  \"codes\": [");
+    for (c, code) in codes.iter().enumerate() {
+        let comma = if c + 1 < codes.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_seconds\": {:.4}, \"simulated_ms\": {:.4}}}{comma}",
+            code.name,
+            wall_s[c],
+            sim_s[c] * 1e3
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"total_wall_seconds\": {total_wall:.4},");
+    // The baseline constant was measured at scale Small / 3 repeats; a
+    // cross-scale ratio would be meaningless, so other workloads get null.
+    if matches!(scale, ecl_graph::SuiteScale::Small) && repeats.0.max(1) == 3 {
+        let _ = writeln!(
+            json,
+            "  \"baseline_wall_seconds\": {BASELINE_WALL_SECONDS:.4},"
+        );
+        let _ = writeln!(
+            json,
+            "  \"speedup_vs_baseline\": {:.3},",
+            BASELINE_WALL_SECONDS / total_wall
+        );
+    } else {
+        let _ = writeln!(json, "  \"baseline_wall_seconds\": null,");
+        let _ = writeln!(json, "  \"speedup_vs_baseline\": null,");
+    }
+    let _ = writeln!(
+        json,
+        "  \"peak_rss_bytes\": {},",
+        peak_rss_bytes().unwrap_or(0)
+    );
+    let _ = writeln!(json, "  \"scratch_const_bytes\": {const_bytes},");
+    let _ = writeln!(json, "  \"scratch_pooled_bytes\": {pooled_bytes}");
+    json.push_str("}\n");
+
+    let out = "BENCH_1.json";
+    std::fs::write(out, &json).expect("write snapshot");
+    print!("{json}");
+    eprintln!("wrote {out}");
+}

@@ -18,7 +18,10 @@ fn main() {
     let repeats = Repeats::from_args(&args);
     let ladder = deopt_ladder();
 
-    let entries: Vec<_> = suite(scale).into_iter().filter(|e| e.is_mst_input()).collect();
+    let entries: Vec<_> = suite(scale)
+        .into_iter()
+        .filter(|e| e.is_mst_input())
+        .collect();
 
     let mut header = vec!["Input".to_string()];
     header.extend(ladder.iter().map(|(name, _)| name.to_string()));
@@ -28,10 +31,8 @@ fn main() {
         eprintln!("measuring {} ...", e.name);
         let mut cells = vec![e.name.to_string()];
         for (k, (_, cfg)) in ladder.iter().enumerate() {
-            let s = median_time(repeats, || {
-                Some(wall(|| ecl_mst_cpu_with(&e.graph, cfg)))
-            })
-            .expect("always succeeds");
+            let s = median_time(repeats, || Some(wall(|| ecl_mst_cpu_with(&e.graph, cfg))))
+                .expect("always succeeds");
             per[k].push(s);
             cells.push(format!("{:.1}", s * 1e3));
         }

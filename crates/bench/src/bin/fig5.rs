@@ -18,7 +18,9 @@ fn main() {
     let profile = GpuProfile::RTX_3080_TI;
     let ladder = deopt_ladder();
 
-    println!("Figure 5: ECL-MST throughput (Medges/s) while removing optimizations (scale {scale:?})\n");
+    println!(
+        "Figure 5: ECL-MST throughput (Medges/s) while removing optimizations (scale {scale:?})\n"
+    );
     for e in suite(scale).into_iter().filter(|e| e.is_mst_input()) {
         eprintln!("measuring {} ...", e.name);
         let arcs = e.graph.num_arcs() as f64;

@@ -22,20 +22,24 @@ fn main() {
         .unwrap_or(99);
     let profile = GpuProfile::RTX_3080_TI;
 
-    println!("Figure 6: throughput variability over {seeds} filter-sampling seeds (scale {scale:?})\n");
+    println!(
+        "Figure 6: throughput variability over {seeds} filter-sampling seeds (scale {scale:?})\n"
+    );
     for e in suite(scale) {
         eprintln!("measuring {} ...", e.name);
         let arcs = e.graph.num_arcs() as f64;
         let tputs: Vec<f64> = (0..seeds)
             .map(|seed| {
-                let run =
-                    ecl_mst_gpu_with(&e.graph, &OptConfig::full().with_seed(seed), profile);
+                let run = ecl_mst_gpu_with(&e.graph, &OptConfig::full().with_seed(seed), profile);
                 arcs / run.kernel_seconds / 1e6
             })
             .collect();
         let f = five_num(&tputs);
         let spread = 100.0 * (f.max - f.min) / f.median;
-        println!("{}   (spread {spread:.1}% of median)", box_row(e.name, &f, "Medges/s"));
+        println!(
+            "{}   (spread {spread:.1}% of median)",
+            box_row(e.name, &f, "Medges/s")
+        );
     }
     println!(
         "\nInputs with average degree < 4 never use the filter threshold, so\n\

@@ -39,7 +39,11 @@ fn main() {
         eprintln!("measuring {} ...", e.name);
         let mut cells = vec![e.name.to_string()];
         for (k, &(c, filtering, _)) in cs.iter().enumerate() {
-            let cfg = OptConfig { filtering, filter_c: c.max(2), ..OptConfig::full() };
+            let cfg = OptConfig {
+                filtering,
+                filter_c: c.max(2),
+                ..OptConfig::full()
+            };
             let s = median_time(repeats, || {
                 Some(ecl_mst_gpu_with(&e.graph, &cfg, profile).kernel_seconds)
             })

@@ -50,7 +50,10 @@ fn main() {
     mean_cells.push("".to_string());
     t.row(mean_cells);
 
-    println!("Kernel-time breakdown of ECL-MST, simulated {} (scale {scale:?})\n", profile.name);
+    println!(
+        "Kernel-time breakdown of ECL-MST, simulated {} (scale {scale:?})\n",
+        profile.name
+    );
     print!("{}", t.render());
     println!("\nPaper (§5.1): init ~40%, kernel1 ~35%, kernels 2 and 3 ~12% each;");
     println!("4-15 computation-kernel launches; init launched twice when filtering.");

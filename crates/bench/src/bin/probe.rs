@@ -3,8 +3,8 @@
 //! experiment set — a development tool.
 
 use ecl_baselines::*;
-use ecl_graph::{suite, SuiteScale};
 use ecl_gpu_sim::GpuProfile;
+use ecl_graph::{suite, SuiteScale};
 use ecl_mst::{deopt_ladder, ecl_mst_gpu_with, OptConfig};
 
 fn main() {
@@ -19,8 +19,12 @@ fn main() {
     );
     for e in suite(scale) {
         let ecl = ecl_mst_gpu_with(&e.graph, &OptConfig::full(), prof);
-        let jucele = jucele_gpu(&e.graph, prof).map(|r| r.kernel_seconds).unwrap_or(f64::NAN);
-        let gunrock = gunrock_gpu(&e.graph, prof).map(|r| r.kernel_seconds).unwrap_or(f64::NAN);
+        let jucele = jucele_gpu(&e.graph, prof)
+            .map(|r| r.kernel_seconds)
+            .unwrap_or(f64::NAN);
+        let gunrock = gunrock_gpu(&e.graph, prof)
+            .map(|r| r.kernel_seconds)
+            .unwrap_or(f64::NAN);
         let cg = cugraph_gpu(&e.graph, prof).kernel_seconds;
         let um = uminho_gpu(&e.graph, prof).kernel_seconds;
         println!(
@@ -54,7 +58,10 @@ fn main() {
         println!();
     }
     // Deopt ladder geomean on MST inputs.
-    let entries: Vec<_> = suite(scale).into_iter().filter(|e| e.paper.ccs == 1).collect();
+    let entries: Vec<_> = suite(scale)
+        .into_iter()
+        .filter(|e| e.paper.ccs == 1)
+        .collect();
     for (name, cfg) in deopt_ladder() {
         let times: Vec<f64> = entries
             .iter()

@@ -6,10 +6,10 @@
 //! Usage: `table5 [--scale tiny|small|medium] [--repeats N] [--csv]`
 
 use ecl_gpu_sim::GpuProfile;
+use ecl_graph::suite;
 use ecl_mst::{deopt_ladder, ecl_mst_gpu_with};
 use ecl_mst_bench::runner::{geomean, median_time, scale_from_args, Repeats};
 use ecl_mst_bench::table::Table;
-use ecl_graph::suite;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

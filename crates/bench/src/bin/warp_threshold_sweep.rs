@@ -36,8 +36,14 @@ fn main() {
         let mut cells = vec![e.name.to_string()];
         for (k, &(thr, _)) in thresholds.iter().enumerate() {
             let cfg = match thr {
-                Some(d) => OptConfig { warp_degree_threshold: d, ..OptConfig::full() },
-                None => OptConfig { hybrid_warp: false, ..OptConfig::full() },
+                Some(d) => OptConfig {
+                    warp_degree_threshold: d,
+                    ..OptConfig::full()
+                },
+                None => OptConfig {
+                    hybrid_warp: false,
+                    ..OptConfig::full()
+                },
             };
             let s = median_time(repeats, || {
                 Some(ecl_mst_gpu_with(&e.graph, &cfg, profile).kernel_seconds)

@@ -51,7 +51,13 @@ pub fn five_num(samples: &[f64]) -> FiveNum {
         let frac = idx - lo as f64;
         xs[lo] * (1.0 - frac) + xs[hi] * frac
     };
-    FiveNum { min: xs[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: *xs.last().unwrap() }
+    FiveNum {
+        min: xs[0],
+        q1: q(0.25),
+        median: q(0.5),
+        q3: q(0.75),
+        max: *xs.last().unwrap(),
+    }
 }
 
 /// Renders one box-plot row: `min [q1 | median | q3] max`.
@@ -68,11 +74,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_max() {
-        let s = bar_chart(
-            &[("a".into(), 10.0), ("bb".into(), 5.0)],
-            20,
-            "Medges/s",
-        );
+        let s = bar_chart(&[("a".into(), 10.0), ("bb".into(), 5.0)], 20, "Medges/s");
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].matches('#').count() == 20);

@@ -4,8 +4,8 @@ use crate::chart::bar_chart;
 use crate::registry::{all_codes, MstCode, Timing};
 use crate::runner::{geomean, median_time, scale_from_args, Repeats};
 use crate::table::{fmt_geomean, fmt_timing, Table};
-use ecl_graph::{suite, SuiteEntry};
 use ecl_gpu_sim::GpuProfile;
+use ecl_graph::{suite, SuiteEntry};
 
 /// Full measurement matrix: per input, per code, a [`Timing`].
 pub struct Matrix {
@@ -31,14 +31,17 @@ pub fn measure_matrix(
         eprintln!("measuring {} ...", e.name);
         let row: Vec<Timing> = codes
             .iter()
-            .map(|code| {
-                match median_time(repeats, || (code.run)(&e.graph, profile).ok()) {
+            .map(
+                |code| match median_time(repeats, || (code.run)(&e.graph, profile).ok()) {
                     Some(s) => Timing::Seconds(s),
                     None => Timing::NotConnected,
-                }
-            })
+                },
+            )
             .collect();
         cells.push(row);
+        // All codes are done with this graph: drop its cached device
+        // uploads so scratch memory doesn't scale with the suite size.
+        ecl_mst::evict_graph(&e.graph);
     }
     Matrix {
         entries,
@@ -51,8 +54,7 @@ impl Matrix {
     /// Geometric mean over all inputs for a code column (`None` if any cell
     /// is NC — matching the paper's "MSF GeoMean" NC cells).
     pub fn msf_geomean(&self, code: usize) -> Option<f64> {
-        let times: Option<Vec<f64>> =
-            self.cells.iter().map(|row| row[code].seconds()).collect();
+        let times: Option<Vec<f64>> = self.cells.iter().map(|row| row[code].seconds()).collect();
         times.as_deref().and_then(geomean)
     }
 
@@ -96,7 +98,10 @@ pub fn run_system_table(a: SystemTableArgs) {
         t.row(cells);
     }
     for (label, f) in [
-        ("MSF GeoMean", Matrix::msf_geomean as fn(&Matrix, usize) -> Option<f64>),
+        (
+            "MSF GeoMean",
+            Matrix::msf_geomean as fn(&Matrix, usize) -> Option<f64>,
+        ),
         ("MST GeoMean", Matrix::mst_geomean),
     ] {
         let mut cells = vec![label.to_string()];
@@ -133,14 +138,22 @@ fn print_winner_summary(m: &Matrix) {
         if let (Some(ecl_g), Some(other_g)) = (m.msf_geomean(0), m.msf_geomean(c)) {
             println!("  vs {name:<16} {:>6.1}x (MSF geomean)", other_g / ecl_g);
         } else if let (Some(ecl_g), Some(other_g)) = (m.mst_geomean(0), m.mst_geomean(c)) {
-            println!("  vs {name:<16} {:>6.1}x (MST geomean; NC on MSF inputs)", other_g / ecl_g);
+            println!(
+                "  vs {name:<16} {:>6.1}x (MST geomean; NC on MSF inputs)",
+                other_g / ecl_g
+            );
         }
     }
 }
 
 /// Runs the throughput figures (Figures 3 and 4): millions of edges per
 /// second per code per input, as labeled bar charts.
-pub fn run_throughput_figure(title: &str, profile: GpuProfile, with_cugraph: bool, args: &[String]) {
+pub fn run_throughput_figure(
+    title: &str,
+    profile: GpuProfile,
+    with_cugraph: bool,
+    args: &[String],
+) {
     let scale = scale_from_args(args);
     let repeats = Repeats::from_args(args);
     let m = measure_matrix(profile, with_cugraph, scale, repeats);
@@ -165,7 +178,11 @@ pub fn run_throughput_figure(title: &str, profile: GpuProfile, with_cugraph: boo
             .entries
             .iter()
             .zip(&m.cells)
-            .filter_map(|(e, row)| row[c].seconds().map(|s| e.graph.num_arcs() as f64 / s / 1e6))
+            .filter_map(|(e, row)| {
+                row[c]
+                    .seconds()
+                    .map(|s| e.graph.num_arcs() as f64 / s / 1e6)
+            })
             .collect();
         if msf.len() == m.entries.len() {
             if let Some(g) = geomean(&msf) {
@@ -193,7 +210,11 @@ mod tests {
     #[test]
     fn nc_cells_exactly_on_msf_inputs() {
         let m = measure_matrix(GpuProfile::TITAN_V, false, SuiteScale::Tiny, Repeats(1));
-        let jucele = m.code_names.iter().position(|n| *n == "Jucele GPU").unwrap();
+        let jucele = m
+            .code_names
+            .iter()
+            .position(|n| *n == "Jucele GPU")
+            .unwrap();
         for (e, row) in m.entries.iter().zip(&m.cells) {
             let nc = row[jucele].seconds().is_none();
             assert_eq!(nc, !e.is_mst_input(), "{}", e.name);
@@ -203,7 +224,11 @@ mod tests {
     #[test]
     fn geomeans_defined_correctly() {
         let m = measure_matrix(GpuProfile::TITAN_V, false, SuiteScale::Tiny, Repeats(1));
-        let jucele = m.code_names.iter().position(|n| *n == "Jucele GPU").unwrap();
+        let jucele = m
+            .code_names
+            .iter()
+            .position(|n| *n == "Jucele GPU")
+            .unwrap();
         assert!(m.msf_geomean(0).is_some(), "ECL has an MSF geomean");
         assert!(m.msf_geomean(jucele).is_none(), "Jucele MSF geomean is NC");
         assert!(m.mst_geomean(jucele).is_some(), "Jucele MST geomean exists");

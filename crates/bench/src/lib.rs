@@ -12,6 +12,8 @@ pub mod registry;
 pub mod runner;
 pub mod table;
 
-pub use experiments::{measure_matrix, run_system_table, run_throughput_figure, Matrix, SystemTableArgs};
+pub use experiments::{
+    measure_matrix, run_system_table, run_throughput_figure, Matrix, SystemTableArgs,
+};
 pub use registry::{all_codes, CodeKind, MstCode, Timing};
 pub use runner::{geomean, median_time, wall, Repeats};

@@ -2,9 +2,58 @@
 //! analogue of Table 1 plus our own code's two variants.
 
 use ecl_baselines as b;
-use ecl_graph::CsrGraph;
 use ecl_gpu_sim::GpuProfile;
+use ecl_graph::CsrGraph;
 use ecl_mst::{ecl_mst_gpu_with, MstError, OptConfig};
+use std::cell::RefCell;
+
+// The two ECL-MST columns are two projections — kernel seconds, and kernel
+// plus transfer seconds — of the same bit-deterministic simulation, so the
+// plain column's run leaves its timings here and the memcpy column projects
+// them instead of re-simulating. Keyed by the graph's process-unique uid
+// plus the profile; any other key falls back to a fresh run, so each
+// column also stands alone. Uids are never reused, so a stale slot can
+// only miss, never yield a wrong timing.
+thread_local! {
+    static LAST_ECL_RUN: RefCell<Option<(u64, GpuProfile, f64, f64)>> =
+        const { RefCell::new(None) };
+}
+
+// Simulated clocks are pure functions of (graph, profile): the simulator is
+// single-threaded and bit-deterministic (the golden-counters test pins every
+// launch's event totals), so re-running a GPU-sim code inside a
+// `median_time` repeat loop reproduces the identical number. This memo makes
+// those repeats free; the wall-clock CPU codes are *not* memoized — their
+// repeats exist to absorb real timing noise. Keys pair the code's static
+// name pointer with the graph uid and profile (uids are process-unique and
+// never reused). A handful of entries per suite, so a linear scan suffices.
+type SimMemoEntry = (usize, u64, GpuProfile, Result<f64, MstError>);
+thread_local! {
+    static SIM_MEMO: RefCell<Vec<SimMemoEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `run` once per (code, graph, profile) and replays the simulated
+/// timing (or the "NC" verdict) on subsequent calls.
+fn sim_cached(
+    name: &'static str,
+    g: &CsrGraph,
+    p: GpuProfile,
+    run: impl FnOnce() -> Result<f64, MstError>,
+) -> Result<f64, MstError> {
+    let key = (name.as_ptr() as usize, g.uid(), p);
+    let hit = SIM_MEMO.with(|m| {
+        m.borrow()
+            .iter()
+            .find(|(n, u, pr, _)| (*n, *u, *pr) == key)
+            .map(|(_, _, _, r)| r.clone())
+    });
+    if let Some(r) = hit {
+        return r;
+    }
+    let r = run();
+    SIM_MEMO.with(|m| m.borrow_mut().push((key.0, key.1, key.2, r.clone())));
+    r
+}
 
 /// Execution domain of a code (determines how it is timed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,40 +108,72 @@ pub fn all_codes(cugraph: bool) -> Vec<MstCode> {
             name: "ECL-MST",
             kind: CodeKind::Gpu,
             run: Box::new(|g, p| {
-                Ok(ecl_mst_gpu_with(g, &OptConfig::full(), p).kernel_seconds)
+                sim_cached("ECL-MST", g, p, || {
+                    let r = ecl_mst_gpu_with(g, &OptConfig::full(), p);
+                    LAST_ECL_RUN.with(|m| {
+                        *m.borrow_mut() = Some((g.uid(), p, r.kernel_seconds, r.memcpy_seconds));
+                    });
+                    Ok(r.kernel_seconds)
+                })
             }),
         },
         MstCode {
             name: "ECL-MST memcpy",
             kind: CodeKind::GpuWithMemcpy,
             run: Box::new(|g, p| {
-                let r = ecl_mst_gpu_with(g, &OptConfig::full(), p);
-                Ok(r.kernel_seconds + r.memcpy_seconds)
+                sim_cached("ECL-MST memcpy", g, p, || {
+                    if let Some((uid, prof, kernel, memcpy)) = LAST_ECL_RUN.with(|m| *m.borrow()) {
+                        if uid == g.uid() && prof == p {
+                            return Ok(kernel + memcpy);
+                        }
+                    }
+                    let r = ecl_mst_gpu_with(g, &OptConfig::full(), p);
+                    Ok(r.kernel_seconds + r.memcpy_seconds)
+                })
             }),
         },
         MstCode {
             name: "Jucele GPU",
             kind: CodeKind::Gpu,
-            run: Box::new(|g, p| Ok(b::jucele_gpu(g, p)?.kernel_seconds)),
+            run: Box::new(|g, p| {
+                sim_cached("Jucele GPU", g, p, || {
+                    Ok(b::jucele_gpu(g, p)?.kernel_seconds)
+                })
+            }),
         },
         MstCode {
             name: "Gunrock GPU",
             kind: CodeKind::Gpu,
-            run: Box::new(|g, p| Ok(b::gunrock_gpu(g, p)?.kernel_seconds)),
+            run: Box::new(|g, p| {
+                sim_cached("Gunrock GPU", g, p, || {
+                    Ok(b::gunrock_gpu(g, p)?.kernel_seconds)
+                })
+            }),
         },
     ];
     if cugraph {
         codes.push(MstCode {
             name: "cuGraph GPU",
             kind: CodeKind::Gpu,
-            run: Box::new(|g, p| Ok(b::cugraph_gpu(g, p).kernel_seconds)),
+            run: Box::new(|g, p| {
+                sim_cached("cuGraph GPU", g, p, || {
+                    Ok(b::cugraph_gpu(g, p).kernel_seconds)
+                })
+            }),
         });
     }
     codes.extend([
         MstCode {
             name: "UMinho GPU",
             kind: CodeKind::Gpu,
-            run: Box::new(|g, p| Ok(b::uminho_gpu(g, p).kernel_seconds)),
+            run: Box::new(|g, p| {
+                sim_cached(
+                    "UMinho GPU",
+                    g,
+                    p,
+                    || Ok(b::uminho_gpu(g, p).kernel_seconds),
+                )
+            }),
         },
         MstCode {
             name: "Lonestar CPU",

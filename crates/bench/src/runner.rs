@@ -61,6 +61,15 @@ pub fn median_time(repeats: Repeats, mut f: impl FnMut() -> Option<f64>) -> Opti
     Some(times[times.len() / 2])
 }
 
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Geometric mean of positive values; `None` when empty.
 pub fn geomean(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() {

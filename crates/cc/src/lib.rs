@@ -32,8 +32,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use ecl_gpu_sim::{with_scratch, BufU32, ConstBuf, Device, GpuProfile, KernelRecord, TaskCtx};
 use ecl_graph::CsrGraph;
-use ecl_gpu_sim::{BufU32, ConstBuf, Device, GpuProfile, TaskCtx};
 
 /// Result of a connected-components run.
 #[derive(Debug)]
@@ -44,6 +44,8 @@ pub struct CcRun {
     pub num_components: usize,
     /// Simulated seconds spent in kernels.
     pub kernel_seconds: f64,
+    /// Per-launch kernel log (used by the golden-counters regression test).
+    pub records: Vec<KernelRecord>,
 }
 
 /// Representative search with intermediate pointer jumping: every node on
@@ -87,11 +89,19 @@ fn link(parent: &BufU32, ctx: &mut TaskCtx, u: u32, v: u32) {
 pub fn connected_components_gpu(g: &CsrGraph, profile: GpuProfile) -> CcRun {
     let n = g.num_vertices();
     let mut dev = Device::new(profile);
-    let row_starts = ConstBuf::from_slice(g.row_starts());
-    let adjacency = ConstBuf::from_slice(g.adjacency());
+    // CSR uploads are cached per graph; the modeled H2D transfer is still
+    // charged per run, and `parent` is pooled (cc_init writes every word
+    // before any read, so uninitialized acquisition is safe).
+    let (row_starts, adjacency, parent) = with_scratch(|s| {
+        let rs = s.consts.get_or_upload(g.uid(), "cc/row_starts", || {
+            ConstBuf::from_slice(g.row_starts())
+        });
+        let adj = s.consts.get_or_upload(g.uid(), "cc/adjacency", || {
+            ConstBuf::from_slice(g.adjacency())
+        });
+        (rs, adj, s.arena.acquire_u32_uninit(n.max(1)))
+    });
     dev.memcpy_h2d(row_starts.size_bytes() + adjacency.size_bytes());
-
-    let parent = BufU32::new(n.max(1), 0);
 
     // Kernel 1: hook every vertex onto its first smaller neighbor.
     dev.launch("cc_init", n, |v, ctx| {
@@ -118,12 +128,11 @@ pub fn connected_components_gpu(g: &CsrGraph, profile: GpuProfile) -> CcRun {
             return;
         }
         if deg >= 4 {
-            // Warp granularity: lanes stride the row cooperatively.
-            let rounds: Vec<(usize, usize)> = w.rounds(deg).collect();
-            for (start, len) in rounds {
+            // Warp granularity: lanes stride the row cooperatively. The
+            // span borrows device memory directly — no heap traffic.
+            for (start, len) in w.rounds(deg) {
                 let ctx = &mut w.parallel;
-                let dsts = adjacency.ld_span(ctx, lo + start, len).to_vec();
-                for d in dsts {
+                for &d in adjacency.ld_span(ctx, lo + start, len) {
                     if (v as u32) < d {
                         link(&parent, ctx, v as u32, d);
                     }
@@ -147,9 +156,19 @@ pub fn connected_components_gpu(g: &CsrGraph, profile: GpuProfile) -> CcRun {
     });
 
     let labels: Vec<u32> = parent.to_vec().into_iter().take(n).collect();
+    with_scratch(|s| s.arena.release_u32(parent));
     dev.memcpy_d2h(4 * n as u64);
-    let num_components = labels.iter().enumerate().filter(|&(v, &l)| v as u32 == l).count();
-    CcRun { labels, num_components, kernel_seconds: dev.kernel_seconds() }
+    let num_components = labels
+        .iter()
+        .enumerate()
+        .filter(|&(v, &l)| v as u32 == l)
+        .count();
+    CcRun {
+        labels,
+        num_components,
+        kernel_seconds: dev.kernel_seconds(),
+        records: dev.records().to_vec(),
+    }
 }
 
 #[cfg(test)]

@@ -2,9 +2,9 @@
 //! the host union-find labeling on arbitrary graphs.
 
 use ecl_cc::connected_components_gpu;
+use ecl_gpu_sim::GpuProfile;
 use ecl_graph::stats::{component_labels, connected_components};
 use ecl_graph::{CsrGraph, GraphBuilder};
-use ecl_gpu_sim::GpuProfile;
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {

@@ -105,7 +105,9 @@ impl<'g> State<'g> {
             cfg,
             policy,
             dsu: AtomicDsu::new(g.num_vertices()),
-            min_edge: (0..g.num_vertices()).map(|_| AtomicU64::new(EMPTY)).collect(),
+            min_edge: (0..g.num_vertices())
+                .map(|_| AtomicU64::new(EMPTY))
+                .collect(),
             in_mst: (0..g.num_edges()).map(|_| AtomicBool::new(false)).collect(),
             iterations: 0,
         }
@@ -162,12 +164,11 @@ impl<'g> State<'g> {
                 .filter(|&v| g.degree(v) < CPU_WARP_THRESHOLD)
                 .flat_map_iter(|v| g.arc_range(v).filter_map(move |a| expand(v, a)))
                 .collect();
-            let hubs: Vec<u32> =
-                (0..nv).filter(|&v| g.degree(v) >= CPU_WARP_THRESHOLD).collect();
+            let hubs: Vec<u32> = (0..nv)
+                .filter(|&v| g.degree(v) >= CPU_WARP_THRESHOLD)
+                .collect();
             for v in hubs {
-                items.par_extend(
-                    g.arc_range(v).into_par_iter().filter_map(|a| expand(v, a)),
-                );
+                items.par_extend(g.arc_range(v).into_par_iter().filter_map(|a| expand(v, a)));
             }
             items
         } else {
@@ -344,13 +345,18 @@ impl<'g> State<'g> {
                     });
             }
             // Reset all reservation slots (no worklist to scope the reset).
-            self.min_edge.par_iter().for_each(|s| s.store(EMPTY, Ordering::Release));
+            self.min_edge
+                .par_iter()
+                .for_each(|s| s.store(EMPTY, Ordering::Release));
         }
     }
 
     fn into_result(self) -> (MstResult, usize) {
-        let in_mst: Vec<bool> =
-            self.in_mst.iter().map(|b| b.load(Ordering::Acquire)).collect();
+        let in_mst: Vec<bool> = self
+            .in_mst
+            .iter()
+            .map(|b| b.load(Ordering::Acquire))
+            .collect();
         (MstResult::from_bitmap(self.g, in_mst), self.iterations)
     }
 }
@@ -386,7 +392,11 @@ pub fn ecl_mst_cpu_with(g: &CsrGraph, cfg: &OptConfig) -> CpuRun {
     }
 
     let (result, iterations) = st.into_result();
-    CpuRun { result, iterations, phases }
+    CpuRun {
+        result,
+        iterations,
+        phases,
+    }
 }
 
 /// Runs fully-optimized ECL-MST on the CPU.
@@ -405,8 +415,14 @@ mod tests {
     fn check(g: &CsrGraph, cfg: &OptConfig) {
         let expected = serial_kruskal(g);
         let got = ecl_mst_cpu_with(g, cfg);
-        assert_eq!(got.result.total_weight, expected.total_weight, "weight mismatch");
-        assert_eq!(got.result.num_edges, expected.num_edges, "edge count mismatch");
+        assert_eq!(
+            got.result.total_weight, expected.total_weight,
+            "weight mismatch"
+        );
+        assert_eq!(
+            got.result.num_edges, expected.num_edges,
+            "edge count mismatch"
+        );
         // Packed-value tie-breaking makes the MSF unique: edge sets match.
         assert_eq!(got.result.in_mst, expected.in_mst, "edge set mismatch");
     }
@@ -490,7 +506,11 @@ mod tests {
         let run = ecl_mst_cpu_with(&g, &OptConfig::full());
         // Paper: between 4 and 15 computation-kernel rounds on real inputs;
         // allow generous slack but catch runaway loops.
-        assert!(run.iterations >= 2 && run.iterations <= 40, "{}", run.iterations);
+        assert!(
+            run.iterations >= 2 && run.iterations <= 40,
+            "{}",
+            run.iterations
+        );
     }
 
     #[test]

@@ -56,7 +56,9 @@ pub fn plan_filter(g: &CsrGraph, c: u32, seed: u64) -> FilterPlan {
     samples.sort_unstable();
     // The ceil(q·20)-th smallest sample estimates the q-quantile.
     let idx = ((q * SAMPLE_SIZE as f64).ceil() as usize).clamp(1, SAMPLE_SIZE) - 1;
-    FilterPlan::TwoPhase { threshold: samples[idx] }
+    FilterPlan::TwoPhase {
+        threshold: samples[idx],
+    }
 }
 
 /// Measures how far the sampled threshold lands from the `target·|V|`
@@ -64,7 +66,12 @@ pub fn plan_filter(g: &CsrGraph, c: u32, seed: u64) -> FilterPlan {
 ///
 /// Returns `(edges_below_threshold, target_edges, percent_difference)`, or
 /// `None` when the graph does not filter.
-pub fn threshold_accuracy(g: &CsrGraph, c: u32, seed: u64, target_factor: u32) -> Option<(usize, usize, f64)> {
+pub fn threshold_accuracy(
+    g: &CsrGraph,
+    c: u32,
+    seed: u64,
+    target_factor: u32,
+) -> Option<(usize, usize, f64)> {
     match plan_filter(g, c, seed) {
         FilterPlan::SinglePhase => None,
         FilterPlan::TwoPhase { threshold } => {
@@ -111,7 +118,10 @@ mod tests {
                 _ => 0,
             })
             .collect();
-        assert!(distinct.len() > 1, "20 seeds should produce varied thresholds");
+        assert!(
+            distinct.len() > 1,
+            "20 seeds should produce varied thresholds"
+        );
     }
 
     #[test]

@@ -17,8 +17,12 @@
 use crate::config::OptConfig;
 use crate::filter::{plan_filter, FilterPlan};
 use crate::result::{pack, MstResult, EMPTY};
+use crate::upload::{derived_const, DeviceCsr};
+use ecl_gpu_sim::{
+    with_scratch, BufU32, BufU64, Device, DeviceArena, GpuProfile, KernelRecord, TaskCtx, WarpCtx,
+    WARP_SIZE,
+};
 use ecl_graph::{CsrGraph, Weight};
-use ecl_gpu_sim::{BufU32, BufU64, ConstBuf, Device, GpuProfile, KernelRecord, TaskCtx, WarpCtx};
 
 /// Result of a simulated GPU run, with the simulated clock readings.
 #[derive(Debug)]
@@ -45,12 +49,11 @@ const FREE: u64 = EMPTY;
 struct GpuState<'g> {
     g: &'g CsrGraph,
     cfg: OptConfig,
-    // Graph arrays (device-resident CSR).
-    row_starts: ConstBuf,
-    adjacency: ConstBuf,
-    arc_weights: ConstBuf,
-    arc_edge_ids: ConstBuf,
-    // Algorithm state.
+    // Graph arrays (device-resident CSR, cached per graph across runs).
+    csr: DeviceCsr,
+    // Algorithm state (arena-pooled; every word is written by the setup /
+    // populate kernels before any kernel reads it, so the buffers are
+    // acquired uninitialized like a real `cudaMalloc`).
     parent: BufU32,
     min_edge: BufU64,
     in_mst: BufU32,
@@ -67,18 +70,36 @@ struct WlBuf {
 }
 
 impl WlBuf {
-    fn new(cap: usize, tuples: bool) -> Self {
+    /// Acquires worklist storage from the arena. Contents start
+    /// unspecified: slots are always written (populate / kernel1) before
+    /// they are read, and only up to the size counter.
+    fn new(arena: &mut DeviceArena, cap: usize, tuples: bool) -> Self {
         if tuples {
-            Self { aos: Some(BufU32::new(4 * cap, 0)), soa: None }
+            Self {
+                aos: Some(arena.acquire_u32_uninit(4 * cap)),
+                soa: None,
+            }
         } else {
             Self {
                 aos: None,
                 soa: Some([
-                    BufU32::new(cap, 0),
-                    BufU32::new(cap, 0),
-                    BufU32::new(cap, 0),
-                    BufU32::new(cap, 0),
+                    arena.acquire_u32_uninit(cap),
+                    arena.acquire_u32_uninit(cap),
+                    arena.acquire_u32_uninit(cap),
+                    arena.acquire_u32_uninit(cap),
                 ]),
+            }
+        }
+    }
+
+    /// Returns the storage to the arena.
+    fn release(self, arena: &mut DeviceArena) {
+        if let Some(b) = self.aos {
+            arena.release_u32(b);
+        }
+        if let Some(bufs) = self.soa {
+            for b in bufs {
+                arena.release_u32(b);
             }
         }
     }
@@ -89,7 +110,12 @@ impl WlBuf {
     fn read(&self, ctx: &mut TaskCtx, i: usize) -> [u32; 4] {
         match (&self.aos, &self.soa) {
             (Some(b), _) => b.ld4(ctx, 4 * i),
-            (_, Some(c)) => [c[0].ld(ctx, i), c[1].ld(ctx, i), c[2].ld(ctx, i), c[3].ld(ctx, i)],
+            (_, Some(c)) => [
+                c[0].ld(ctx, i),
+                c[1].ld(ctx, i),
+                c[2].ld(ctx, i),
+                c[3].ld(ctx, i),
+            ],
             _ => unreachable!(),
         }
     }
@@ -107,7 +133,6 @@ impl WlBuf {
             _ => unreachable!(),
         }
     }
-
 }
 
 impl<'g> GpuState<'g> {
@@ -115,20 +140,39 @@ impl<'g> GpuState<'g> {
         let n = g.num_vertices();
         let m = g.num_edges();
         let cap = if cfg.one_direction { m } else { 2 * m }.max(1);
-        Self {
-            g,
-            cfg,
-            row_starts: ConstBuf::from_slice(g.row_starts()),
-            adjacency: ConstBuf::from_slice(g.adjacency()),
-            arc_weights: ConstBuf::from_slice(g.arc_weights()),
-            arc_edge_ids: ConstBuf::from_slice(g.arc_edge_ids()),
-            parent: BufU32::new(n, 0),
-            min_edge: BufU64::new(n.max(1), FREE),
-            in_mst: BufU32::new(m.max(1), 0),
-            wl: [WlBuf::new(cap, cfg.tuples), WlBuf::new(cap, cfg.tuples)],
-            wl_size: BufU32::new(2, 0),
-            iterations: 0,
-        }
+        with_scratch(|s| {
+            let csr = DeviceCsr::get_with(s, g);
+            let a = &mut s.arena;
+            Self {
+                g,
+                cfg,
+                csr,
+                parent: a.acquire_u32_uninit(n),
+                min_edge: a.acquire_u64_uninit(n.max(1)),
+                in_mst: a.acquire_u32_uninit(m.max(1)),
+                wl: [
+                    WlBuf::new(a, cap, cfg.tuples),
+                    WlBuf::new(a, cap, cfg.tuples),
+                ],
+                wl_size: a.acquire_u32_uninit(2),
+                iterations: 0,
+            }
+        })
+    }
+
+    /// Returns every pooled buffer to the arena (the cached CSR stays
+    /// resident for the next run on this graph).
+    fn release(self) {
+        with_scratch(|s| {
+            let a = &mut s.arena;
+            a.release_u32(self.parent);
+            a.release_u64(self.min_edge);
+            a.release_u32(self.in_mst);
+            let [w0, w1] = self.wl;
+            w0.release(a);
+            w1.release(a);
+            a.release_u32(self.wl_size);
+        });
     }
 
     /// Device-side `find`: each parent hop is a dependent gather. With
@@ -215,14 +259,20 @@ impl<'g> GpuState<'g> {
     /// the worklist from the CSR arrays with hybrid warp/thread
     /// parallelization. `phase2` inverts the threshold condition and maps
     /// endpoints through `set()` (the filtering step).
-    fn populate_kernel(&mut self, dev: &mut Device, threshold: Option<Weight>, phase2: bool, which: usize) {
+    fn populate_kernel(
+        &mut self,
+        dev: &mut Device,
+        threshold: Option<Weight>,
+        phase2: bool,
+        which: usize,
+    ) {
         let n = self.g.num_vertices();
         self.wl_size.host_write(which, 0);
         let st = &*self;
         dev.launch_warps("init", n, |v, w| {
             // Consecutive tasks load consecutive row offsets: coalesced.
-            let lo = st.row_starts.ld(&mut w.serial, v) as usize;
-            let hi = st.row_starts.ld(&mut w.serial, v + 1) as usize;
+            let lo = st.csr.row_starts.ld(&mut w.serial, v) as usize;
+            let hi = st.csr.row_starts.ld(&mut w.serial, v + 1) as usize;
             let deg = hi - lo;
             if deg == 0 {
                 return;
@@ -231,7 +281,15 @@ impl<'g> GpuState<'g> {
             if warp_mode {
                 st.populate_vertex_warp(w, v as u32, lo, hi, threshold, phase2, which);
             } else {
-                st.populate_vertex_thread(&mut w.serial, v as u32, lo, hi, threshold, phase2, which);
+                st.populate_vertex_thread(
+                    &mut w.serial,
+                    v as u32,
+                    lo,
+                    hi,
+                    threshold,
+                    phase2,
+                    which,
+                );
             }
         });
     }
@@ -261,44 +319,43 @@ impl<'g> GpuState<'g> {
         phase2: bool,
         which: usize,
     ) {
-        let rounds: Vec<(usize, usize)> = w.rounds(hi - lo).collect();
-        for (start, len) in rounds {
+        // Per-round lane registers: fixed-size, no heap traffic in the hot
+        // loop (the spans below borrow device memory directly).
+        let mut lane_item: [Option<(u32, u32)>; WARP_SIZE] = [None; WARP_SIZE];
+        for (start, len) in w.rounds(hi - lo) {
             let base = lo + start;
             let ctx = &mut w.parallel;
-            let dsts = self.adjacency.ld_span(ctx, base, len).to_vec();
-            let weights = self.arc_weights.ld_span(ctx, base, len).to_vec();
+            let dsts = self.csr.adjacency.ld_span(ctx, base, len);
+            let weights = self.csr.arc_weights.ld_span(ctx, base, len);
             // Each lane evaluates its full predicate (direction, threshold,
             // and in phase 2 the representative check that performs the
             // filtering) so the ballot mask counts exactly the writes.
-            let lane_item: Vec<Option<(u32, u32)>> = (0..len)
-                .map(|k| {
-                    let d = dsts[k];
-                    if (self.cfg.one_direction && v >= d)
-                        || !self.admits(weights[k], threshold, phase2)
-                    {
-                        return None;
-                    }
-                    if phase2 {
-                        let a = self.find(ctx, v);
-                        let b = self.find(ctx, d);
-                        (a != b).then_some((a, b))
-                    } else {
-                        Some((v, d))
-                    }
-                })
-                .collect();
-            let mask = w.ballot(lane_item.iter().map(Option::is_some));
+            for k in 0..len {
+                let d = dsts[k];
+                lane_item[k] = if (self.cfg.one_direction && v >= d)
+                    || !self.admits(weights[k], threshold, phase2)
+                {
+                    None
+                } else if phase2 {
+                    let a = self.find(ctx, v);
+                    let b = self.find(ctx, d);
+                    (a != b).then_some((a, b))
+                } else {
+                    Some((v, d))
+                };
+            }
+            let mask = w.ballot(lane_item.iter().take(len).map(Option::is_some));
             if mask == 0 {
                 continue;
             }
             let ctx = &mut w.parallel;
             let count = mask.count_ones();
             // Lane-parallel id loads for the round's admitted lanes.
-            let ids = self.arc_edge_ids.ld_span(ctx, base, len).to_vec();
+            let ids = self.csr.arc_edge_ids.ld_span(ctx, base, len);
             // Warp-aggregated slot allocation: one atomic for the round.
             let mut slot = self.wl_size.atomic_add(ctx, which, count) as usize;
-            for (k, item) in lane_item.into_iter().enumerate() {
-                if let Some((a, b)) = item {
+            for k in 0..len {
+                if let Some((a, b)) = lane_item[k] {
                     self.wl[which].write(ctx, slot, [a, b, weights[k], ids[k]]);
                     slot += 1;
                 }
@@ -320,15 +377,15 @@ impl<'g> GpuState<'g> {
         which: usize,
     ) {
         for a in lo..hi {
-            let d = self.adjacency.ld_row(ctx, a, lo);
+            let d = self.csr.adjacency.ld_row(ctx, a, lo);
             if self.cfg.one_direction && v >= d {
                 continue;
             }
-            let wgt = self.arc_weights.ld_row(ctx, a, lo);
+            let wgt = self.csr.arc_weights.ld_row(ctx, a, lo);
             if !self.admits(wgt, threshold, phase2) {
                 continue;
             }
-            let id = self.arc_edge_ids.ld_row(ctx, a, lo);
+            let id = self.csr.arc_edge_ids.ld_row(ctx, a, lo);
             let (mut x, mut y) = (v, d);
             if phase2 {
                 x = self.find(ctx, x);
@@ -428,9 +485,11 @@ impl<'g> GpuState<'g> {
     /// Topology-driven variant: every iteration rescans all edges.
     fn run_topology_driven(&mut self, dev: &mut Device) {
         let n = self.g.num_vertices();
-        // Edge-centric assignment needs arc → source; a real topology-driven
-        // code builds it once up front (metered as a kernel).
-        let arc_src_host: Vec<u32> = {
+        // Edge-centric assignment needs arc → source; built at most once
+        // per graph (cached upload). The *cost* of building it is still
+        // metered per run by the launch below, as a real topology-driven
+        // code pays it every time.
+        let arc_src = derived_const(self.g, "core/arc_src", || {
             let mut src = vec![0u32; self.g.num_arcs()];
             for v in 0..n as u32 {
                 for a in self.g.arc_range(v) {
@@ -438,23 +497,22 @@ impl<'g> GpuState<'g> {
                 }
             }
             src
-        };
-        let arc_src = ConstBuf::from_slice(&arc_src_host);
+        });
         {
-            let rs = &self.row_starts;
+            let rs = &self.csr.row_starts;
             dev.launch("build_arc_src", n, |v, ctx| {
                 let lo = rs.ld(ctx, v) as usize;
                 let hi = rs.ld(ctx, v + 1) as usize;
                 ctx.charge_coalesced(4 * (hi - lo) as u64);
             });
         }
-        let live = BufU32::new(1, 0);
+        let live = with_scratch(|s| s.arena.acquire_u32_uninit(1));
         loop {
             self.iterations += 1;
             live.host_write(0, 0);
             let st = &*self;
             let reserve_body = |v: u32, a: usize, ctx: &mut TaskCtx| {
-                let d = st.adjacency.ld(ctx, a);
+                let d = st.csr.adjacency.ld(ctx, a);
                 if st.cfg.one_direction && v >= d {
                     return;
                 }
@@ -462,13 +520,16 @@ impl<'g> GpuState<'g> {
                 let q = st.find(ctx, d);
                 if p != q {
                     live.st(ctx, 0, 1);
-                    let val = pack(st.arc_weights.ld(ctx, a), st.arc_edge_ids.ld(ctx, a));
+                    let val = pack(
+                        st.csr.arc_weights.ld(ctx, a),
+                        st.csr.arc_edge_ids.ld(ctx, a),
+                    );
                     st.reserve(ctx, p, val);
                     st.reserve(ctx, q, val);
                 }
             };
             let select_body = |v: u32, a: usize, ctx: &mut TaskCtx| {
-                let d = st.adjacency.ld(ctx, a);
+                let d = st.csr.adjacency.ld(ctx, a);
                 if st.cfg.one_direction && v >= d {
                     return;
                 }
@@ -477,8 +538,8 @@ impl<'g> GpuState<'g> {
                 if p == q {
                     return;
                 }
-                let id = st.arc_edge_ids.ld(ctx, a);
-                let val = pack(st.arc_weights.ld(ctx, a), id);
+                let id = st.csr.arc_edge_ids.ld(ctx, a);
+                let val = pack(st.csr.arc_weights.ld(ctx, a), id);
                 if st.min_edge.ld_gather(ctx, p as usize) == val
                     || st.min_edge.ld_gather(ctx, q as usize) == val
                 {
@@ -492,7 +553,7 @@ impl<'g> GpuState<'g> {
                     reserve_body(v, a, ctx);
                 });
             } else {
-                let rs = &self.row_starts;
+                let rs = &self.csr.row_starts;
                 dev.launch("kernel1", n, |v, ctx| {
                     let lo = rs.ld(ctx, v) as usize;
                     let hi = rs.ld(ctx, v + 1) as usize;
@@ -511,7 +572,7 @@ impl<'g> GpuState<'g> {
                     select_body(v, a, ctx);
                 });
             } else {
-                let rs = &self.row_starts;
+                let rs = &self.csr.row_starts;
                 dev.launch("kernel2", n, |v, ctx| {
                     let lo = rs.ld(ctx, v) as usize;
                     let hi = rs.ld(ctx, v + 1) as usize;
@@ -525,28 +586,40 @@ impl<'g> GpuState<'g> {
                 min_edge.st(ctx, v, FREE);
             });
         }
+        with_scratch(|s| s.arena.release_u32(live));
     }
 
     fn graph_bytes(&self) -> u64 {
-        self.row_starts.size_bytes()
-            + self.adjacency.size_bytes()
-            + self.arc_weights.size_bytes()
-            + self.arc_edge_ids.size_bytes()
+        self.csr.size_bytes()
     }
 }
 
 /// Runs ECL-MST on a simulated GPU with an explicit configuration.
 pub fn ecl_mst_gpu_with(g: &CsrGraph, cfg: &OptConfig, profile: GpuProfile) -> GpuRun {
     let mut dev = Device::new(profile);
+    run_on(&mut dev, g, cfg)
+}
+
+/// Runs ECL-MST with the simulator forced into sequential (single-lane)
+/// execution — deterministic task order regardless of the host thread pool,
+/// useful for micro-benchmarks and counter comparisons.
+pub fn ecl_mst_gpu_sequential(g: &CsrGraph, cfg: &OptConfig, profile: GpuProfile) -> GpuRun {
+    let mut dev = Device::new(profile);
+    dev.set_sequential(true);
+    run_on(&mut dev, g, cfg)
+}
+
+/// The full Alg. 1–2 driver on an existing device.
+fn run_on(dev: &mut Device, g: &CsrGraph, cfg: &OptConfig) -> GpuRun {
     let mut st = GpuState::new(g, *cfg);
     let mut phases = 1;
 
     // Graph upload (reported separately, like the paper's memcpy column).
     dev.memcpy_h2d(st.graph_bytes());
 
-    st.setup_kernel(&mut dev);
+    st.setup_kernel(dev);
     if !cfg.data_driven || !cfg.edge_centric {
-        st.run_topology_driven(&mut dev);
+        st.run_topology_driven(dev);
     } else {
         let plan = if cfg.filtering {
             plan_filter(g, cfg.filter_c, cfg.seed)
@@ -555,15 +628,15 @@ pub fn ecl_mst_gpu_with(g: &CsrGraph, cfg: &OptConfig, profile: GpuProfile) -> G
         };
         match plan {
             FilterPlan::SinglePhase => {
-                st.populate_kernel(&mut dev, None, false, 0);
-                st.run_loop(&mut dev);
+                st.populate_kernel(dev, None, false, 0);
+                st.run_loop(dev);
             }
             FilterPlan::TwoPhase { threshold } => {
                 phases = 2;
-                st.populate_kernel(&mut dev, Some(threshold), false, 0);
-                st.run_loop(&mut dev);
-                st.populate_kernel(&mut dev, Some(threshold), true, 0);
-                st.run_loop(&mut dev);
+                st.populate_kernel(dev, Some(threshold), false, 0);
+                st.run_loop(dev);
+                st.populate_kernel(dev, Some(threshold), true, 0);
+                st.run_loop(dev);
             }
         }
     }
@@ -580,11 +653,13 @@ pub fn ecl_mst_gpu_with(g: &CsrGraph, cfg: &OptConfig, profile: GpuProfile) -> G
         .take(g.num_edges())
         .map(|x| x != 0)
         .collect();
+    let iterations = st.iterations;
+    st.release();
     GpuRun {
         result: MstResult::from_bitmap(g, in_mst),
         kernel_seconds: dev.kernel_seconds(),
         memcpy_seconds: dev.memcpy_seconds(),
-        iterations: st.iterations,
+        iterations,
         phases,
         records: dev.records().to_vec(),
     }
@@ -606,7 +681,10 @@ mod tests {
     fn check(g: &CsrGraph, cfg: &OptConfig) -> GpuRun {
         let expected = serial_kruskal(g);
         let run = ecl_mst_gpu_with(g, cfg, GpuProfile::TITAN_V);
-        assert_eq!(run.result.total_weight, expected.total_weight, "weight mismatch");
+        assert_eq!(
+            run.result.total_weight, expected.total_weight,
+            "weight mismatch"
+        );
         assert_eq!(run.result.in_mst, expected.in_mst, "edge set mismatch");
         run
     }

@@ -26,11 +26,13 @@ pub mod filter;
 pub mod gpu;
 pub mod result;
 pub mod serial;
+pub mod upload;
 pub mod verify;
 
 pub use config::{deopt_ladder, OptConfig};
 pub use cpu::{ecl_mst_cpu, ecl_mst_cpu_with, CpuRun};
-pub use gpu::{ecl_mst_gpu, ecl_mst_gpu_with, GpuRun};
+pub use gpu::{ecl_mst_gpu, ecl_mst_gpu_sequential, ecl_mst_gpu_with, GpuRun};
 pub use result::{pack, unpack, MstError, MstResult, EMPTY};
 pub use serial::serial_kruskal;
+pub use upload::{derived_const, evict_graph, DeviceCsr};
 pub use verify::{ecl_mst_cpu_verified, ecl_mst_gpu_verified, verify_msf};

@@ -40,7 +40,11 @@ impl MstResult {
         assert_eq!(in_mst.len(), g.num_edges());
         let total_weight = g.edge_set_weight(&in_mst);
         let num_edges = in_mst.iter().filter(|&&b| b).count();
-        Self { in_mst, total_weight, num_edges }
+        Self {
+            in_mst,
+            total_weight,
+            num_edges,
+        }
     }
 
     /// Ids of the selected edges, ascending.

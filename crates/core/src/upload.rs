@@ -1,0 +1,151 @@
+//! Cached device uploads of a graph's CSR arrays.
+//!
+//! Every GPU code in this workspace starts by uploading the same four CSR
+//! arrays (`row_starts`, `adjacency`, `arc_weights`, `arc_edge_ids`).
+//! [`DeviceCsr::get`] performs that upload once per graph (keyed by
+//! [`CsrGraph::uid`]) into the thread-local [`ecl_gpu_sim::Scratch`] cache
+//! and hands out cheap [`Arc`] clones afterwards, so a harness run over many
+//! codes pays the host-side copy once.
+//!
+//! **Metering is unchanged**: [`ConstBuf`] construction has never been
+//! metered — the modeled H2D transfer is charged by each run's explicit
+//! `dev.memcpy_h2d(...)` call, which callers keep issuing per run (a real
+//! multi-code harness would also re-transfer per process). The cache only
+//! removes redundant host allocation and copying.
+
+use ecl_gpu_sim::{with_scratch, ConstBuf, Scratch};
+use ecl_graph::CsrGraph;
+use std::sync::Arc;
+
+/// The four CSR arrays of one graph, resident as immutable device uploads.
+#[derive(Debug, Clone)]
+pub struct DeviceCsr {
+    /// Row index array (`nindex`), length `n + 1`.
+    pub row_starts: Arc<ConstBuf>,
+    /// Adjacency array (`nlist`), length `2|E|`.
+    pub adjacency: Arc<ConstBuf>,
+    /// Per-arc weight array (`eweight`), length `2|E|`.
+    pub arc_weights: Arc<ConstBuf>,
+    /// Per-arc undirected edge-id array, length `2|E|`.
+    pub arc_edge_ids: Arc<ConstBuf>,
+}
+
+impl DeviceCsr {
+    /// Cached upload of `g`'s CSR arrays (thread-local cache).
+    pub fn get(g: &CsrGraph) -> Self {
+        with_scratch(|s| Self::get_with(s, g))
+    }
+
+    /// Like [`DeviceCsr::get`], for use inside an existing
+    /// [`with_scratch`] closure (avoids the re-entrant borrow).
+    pub fn get_with(s: &mut Scratch, g: &CsrGraph) -> Self {
+        let key = g.uid();
+        DeviceCsr {
+            row_starts: s.consts.get_or_upload(key, "csr/row_starts", || {
+                ConstBuf::from_slice(g.row_starts())
+            }),
+            adjacency: s
+                .consts
+                .get_or_upload(key, "csr/adjacency", || ConstBuf::from_slice(g.adjacency())),
+            arc_weights: s.consts.get_or_upload(key, "csr/arc_weights", || {
+                ConstBuf::from_slice(g.arc_weights())
+            }),
+            arc_edge_ids: s.consts.get_or_upload(key, "csr/arc_edge_ids", || {
+                ConstBuf::from_slice(g.arc_edge_ids())
+            }),
+        }
+    }
+
+    /// Total device bytes of the four arrays — the figure each run passes to
+    /// `dev.memcpy_h2d` for the modeled graph transfer.
+    pub fn size_bytes(&self) -> u64 {
+        self.row_starts.size_bytes()
+            + self.adjacency.size_bytes()
+            + self.arc_weights.size_bytes()
+            + self.arc_edge_ids.size_bytes()
+    }
+}
+
+/// Cached upload of an array *derived from* `g` (e.g. an endpoint table or
+/// arc-source index), built at most once per `(graph, tag)`.
+pub fn derived_const(
+    g: &CsrGraph,
+    tag: &'static str,
+    build: impl FnOnce() -> Vec<u32>,
+) -> Arc<ConstBuf> {
+    with_scratch(|s| derived_with(s, g, tag, build))
+}
+
+/// Like [`derived_const`], for use inside an existing [`with_scratch`]
+/// closure.
+pub fn derived_with(
+    s: &mut Scratch,
+    g: &CsrGraph,
+    tag: &'static str,
+    build: impl FnOnce() -> Vec<u32>,
+) -> Arc<ConstBuf> {
+    s.consts
+        .get_or_upload(g.uid(), tag, || ConstBuf::from_vec(build()))
+}
+
+/// Drops every cached upload belonging to `g` on this thread. Harness code
+/// calls this after finishing all measurements on a graph.
+pub fn evict_graph(g: &CsrGraph) {
+    with_scratch(|s| s.consts.evict(g.uid()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::generators::grid2d;
+
+    #[test]
+    fn csr_uploaded_once_per_graph() {
+        let g = grid2d(8, 1);
+        evict_graph(&g);
+        let a = DeviceCsr::get(&g);
+        let b = DeviceCsr::get(&g);
+        assert!(Arc::ptr_eq(&a.adjacency, &b.adjacency));
+        assert!(Arc::ptr_eq(&a.row_starts, &b.row_starts));
+        assert_eq!(
+            a.size_bytes(),
+            4 * (g.row_starts().len() + 3 * g.num_arcs()) as u64
+        );
+        evict_graph(&g);
+        let c = DeviceCsr::get(&g);
+        assert!(!Arc::ptr_eq(&a.adjacency, &c.adjacency));
+        evict_graph(&g);
+    }
+
+    #[test]
+    fn clones_share_the_cache_entry() {
+        let g = grid2d(6, 2);
+        let h = g.clone();
+        let a = DeviceCsr::get(&g);
+        let b = DeviceCsr::get(&h);
+        assert!(Arc::ptr_eq(&a.arc_weights, &b.arc_weights));
+        evict_graph(&g);
+    }
+
+    #[test]
+    fn derived_builds_once_and_evicts_with_graph() {
+        let g = grid2d(5, 3);
+        evict_graph(&g);
+        let mut builds = 0;
+        for _ in 0..2 {
+            let buf = derived_const(&g, "test/iota", || {
+                builds += 1;
+                (0..g.num_vertices() as u32).collect()
+            });
+            assert_eq!(buf.len(), g.num_vertices());
+        }
+        assert_eq!(builds, 1);
+        evict_graph(&g);
+        derived_const(&g, "test/iota", || {
+            builds += 1;
+            vec![0]
+        });
+        assert_eq!(builds, 2);
+        evict_graph(&g);
+    }
+}

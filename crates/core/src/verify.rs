@@ -42,7 +42,10 @@ pub fn verify_msf(g: &CsrGraph, r: &MstResult) -> Result<(), String> {
     }
     let weight = g.edge_set_weight(&r.in_mst);
     if weight != r.total_weight {
-        return Err(format!("total_weight {} != recomputed {weight}", r.total_weight));
+        return Err(format!(
+            "total_weight {} != recomputed {weight}",
+            r.total_weight
+        ));
     }
 
     // Forest check: unioning selected edges must never close a cycle.

@@ -4,9 +4,9 @@
 //! trees inside the disjoint set may differ between racy schedules, but set
 //! membership — and therefore worklist evolution — is deterministic.)
 
+use ecl_gpu_sim::GpuProfile;
 use ecl_graph::generators::*;
 use ecl_graph::CsrGraph;
-use ecl_gpu_sim::GpuProfile;
 use ecl_mst::{deopt_ladder, ecl_mst_cpu_with, ecl_mst_gpu_with, OptConfig};
 
 fn check_shape(g: &CsrGraph, cfg: &OptConfig, label: &str) {

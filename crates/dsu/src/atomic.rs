@@ -370,7 +370,10 @@ mod tests {
         let (_, before) = d.find_counted(0, FindPolicy::NoCompression);
         let _ = d.find(0, FindPolicy::Halving);
         let (_, after) = d.find_counted(0, FindPolicy::NoCompression);
-        assert!(after < before, "halving should shorten the chain: {before} -> {after}");
+        assert!(
+            after < before,
+            "halving should shorten the chain: {before} -> {after}"
+        );
     }
 
     #[test]

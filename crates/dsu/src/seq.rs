@@ -187,8 +187,11 @@ mod tests {
         Compression::Splitting,
         Compression::None,
     ];
-    const ALL_POLICIES: [UnionPolicy; 3] =
-        [UnionPolicy::ByRank, UnionPolicy::BySize, UnionPolicy::ByIndex];
+    const ALL_POLICIES: [UnionPolicy; 3] = [
+        UnionPolicy::ByRank,
+        UnionPolicy::BySize,
+        UnionPolicy::ByIndex,
+    ];
 
     #[test]
     fn singletons_are_their_own_reps() {

@@ -84,7 +84,11 @@ impl Device {
                 critical = critical.max(traffic(&ctx));
                 totals.merge(&ctx);
             }
-            LaunchStats { totals, critical_bytes: critical, tasks: tasks as u64 }
+            LaunchStats {
+                totals,
+                critical_bytes: critical,
+                tasks: tasks as u64,
+            }
         } else {
             let (totals, critical) = (0..tasks)
                 .into_par_iter()
@@ -106,7 +110,11 @@ impl Device {
                         (a, ca.max(cb))
                     },
                 );
-            LaunchStats { totals, critical_bytes: critical, tasks: tasks as u64 }
+            LaunchStats {
+                totals,
+                critical_bytes: critical,
+                tasks: tasks as u64,
+            }
         };
         self.record(name, stats);
         stats
@@ -146,7 +154,11 @@ impl Device {
                 critical = critical.max(crit);
                 totals.merge(&ctx);
             }
-            LaunchStats { totals, critical_bytes: critical, tasks: tasks as u64 }
+            LaunchStats {
+                totals,
+                critical_bytes: critical,
+                tasks: tasks as u64,
+            }
         } else {
             let (totals, critical) = (0..tasks)
                 .into_par_iter()
@@ -167,7 +179,11 @@ impl Device {
                         (a, ca.max(cb))
                     },
                 );
-            LaunchStats { totals, critical_bytes: critical, tasks: tasks as u64 }
+            LaunchStats {
+                totals,
+                critical_bytes: critical,
+                tasks: tasks as u64,
+            }
         };
         self.record(name, stats);
         stats
@@ -182,7 +198,11 @@ impl Device {
         );
         let secs = self.profile.kernel_time(total, stats.critical_bytes);
         self.kernel_seconds += secs;
-        self.records.push(KernelRecord { name: name.to_string(), stats, sim_seconds: secs });
+        self.records.push(KernelRecord {
+            name: name.to_string(),
+            stats,
+            sim_seconds: secs,
+        });
     }
 
     /// Meters a host-to-device copy of `bytes`.

@@ -35,12 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod counters;
 pub mod device;
 pub mod memory;
 pub mod profile;
 pub mod warp;
 
+pub use arena::{clear_scratch, scratch_footprint, with_scratch, ConstCache, DeviceArena, Scratch};
 pub use counters::{KernelRecord, LaunchStats, TaskCtx};
 pub use device::Device;
 pub use memory::{BufU32, BufU64, ConstBuf};

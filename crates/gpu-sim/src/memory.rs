@@ -28,7 +28,14 @@ pub struct ConstBuf {
 impl ConstBuf {
     /// Uploads a host slice (metering of the H2D copy is the device's job).
     pub fn from_slice(data: &[u32]) -> Self {
-        Self { data: data.to_vec() }
+        Self {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Uploads an owned host vector without copying it.
+    pub fn from_vec(data: Vec<u32>) -> Self {
+        Self { data }
     }
 
     /// Number of elements.
@@ -83,9 +90,16 @@ impl ConstBuf {
 }
 
 /// Mutable device buffer of 32-bit words.
+///
+/// The buffer distinguishes its *logical* length (what kernels may touch,
+/// what [`BufU32::size_bytes`] meters) from its *physical* capacity. The
+/// [`crate::arena::DeviceArena`] pools buffers by power-of-two capacity
+/// class and retargets the logical length on reuse, so a recycled buffer
+/// meters exactly like a freshly allocated one.
 #[derive(Debug)]
 pub struct BufU32 {
     data: Vec<AtomicU32>,
+    len: usize,
 }
 
 impl BufU32 {
@@ -93,6 +107,7 @@ impl BufU32 {
     pub fn new(len: usize, init: u32) -> Self {
         Self {
             data: (0..len).map(|_| AtomicU32::new(init)).collect(),
+            len,
         }
     }
 
@@ -100,22 +115,37 @@ impl BufU32 {
     pub fn from_slice(data: &[u32]) -> Self {
         Self {
             data: data.iter().map(|&x| AtomicU32::new(x)).collect(),
+            len: data.len(),
         }
     }
 
-    /// Number of elements.
+    /// Logical number of elements.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// Physical capacity in words (≥ [`BufU32::len`]).
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Retargets the logical length within the physical capacity. Word
+    /// contents are *unspecified* until (re)initialized — callers either
+    /// run a setup kernel, [`BufU32::fill`], or [`BufU32::host_write_slice`]
+    /// before the first read, exactly as a `cudaMalloc`'d region requires.
+    pub fn retarget(&mut self, len: usize) {
+        assert!(len <= self.data.len(), "retarget beyond physical capacity");
+        self.len = len;
     }
 
     /// Size in bytes (for memcpy metering).
     pub fn size_bytes(&self) -> u64 {
-        4 * self.data.len() as u64
+        4 * self.len as u64
     }
 
     /// Coalesced read.
@@ -167,7 +197,13 @@ impl BufU32 {
     /// `atomicCAS`: returns `Ok(previous)` on success, `Err(actual)` on
     /// failure; a failure is charged as a retry.
     #[inline]
-    pub fn atomic_cas(&self, ctx: &mut TaskCtx, i: usize, expect: u32, new: u32) -> Result<u32, u32> {
+    pub fn atomic_cas(
+        &self,
+        ctx: &mut TaskCtx,
+        i: usize,
+        expect: u32,
+        new: u32,
+    ) -> Result<u32, u32> {
         ctx.charge_atomic();
         match self.data[i].compare_exchange(expect, new, Ordering::AcqRel, Ordering::Acquire) {
             Ok(p) => Ok(p),
@@ -217,25 +253,50 @@ impl BufU32 {
         self.data[i].store(v, Ordering::Release)
     }
 
-    /// Unmetered host-side snapshot.
+    /// Unmetered host-side snapshot of the logical contents.
     pub fn to_vec(&self) -> Vec<u32> {
-        self.data.iter().map(|x| x.load(Ordering::Acquire)).collect()
+        self.data[..self.len]
+            .iter()
+            .map(|x| x.load(Ordering::Acquire))
+            .collect()
     }
 
     /// Unmetered host-side fill (cudaMemset analogue; meter it via the
     /// device if the fill is part of the measured region).
     pub fn fill(&self, v: u32) {
-        for x in &self.data {
+        for x in &self.data[..self.len] {
             x.store(v, Ordering::Release);
+        }
+    }
+
+    /// Unmetered host-side bulk write starting at word 0 (the host-staging
+    /// step before a metered `memcpy_h2d`).
+    pub fn host_write_slice(&self, data: &[u32]) {
+        assert!(
+            data.len() <= self.len,
+            "host_write_slice beyond logical length"
+        );
+        for (x, &v) in self.data.iter().zip(data) {
+            x.store(v, Ordering::Release);
+        }
+    }
+
+    /// Unmetered host-side write of the identity sequence `0, 1, 2, …`
+    /// (common initial parent/color arrays) without a staging allocation.
+    pub fn host_write_iota(&self) {
+        for (i, x) in self.data[..self.len].iter().enumerate() {
+            x.store(i as u32, Ordering::Release);
         }
     }
 }
 
 /// Mutable device buffer of 64-bit words (packed `weight:edge_id`
-/// reservations).
+/// reservations). Logical length vs physical capacity works as in
+/// [`BufU32`].
 #[derive(Debug)]
 pub struct BufU64 {
     data: Vec<AtomicU64>,
+    len: usize,
 }
 
 impl BufU64 {
@@ -243,22 +304,35 @@ impl BufU64 {
     pub fn new(len: usize, init: u64) -> Self {
         Self {
             data: (0..len).map(|_| AtomicU64::new(init)).collect(),
+            len,
         }
     }
 
-    /// Number of elements.
+    /// Logical number of elements.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// Physical capacity in words (≥ [`BufU64::len`]).
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Retargets the logical length within the physical capacity; contents
+    /// are unspecified until reinitialized (see [`BufU32::retarget`]).
+    pub fn retarget(&mut self, len: usize) {
+        assert!(len <= self.data.len(), "retarget beyond physical capacity");
+        self.len = len;
     }
 
     /// Size in bytes (for memcpy metering).
     pub fn size_bytes(&self) -> u64 {
-        8 * self.data.len() as u64
+        8 * self.len as u64
     }
 
     /// Coalesced read.
@@ -313,7 +387,7 @@ impl BufU64 {
 
     /// Unmetered host-side fill.
     pub fn fill(&self, v: u64) {
-        for x in &self.data {
+        for x in &self.data[..self.len] {
             x.store(v, Ordering::Release);
         }
     }

@@ -1,10 +1,8 @@
 //! Cost-model parameters for the simulated GPUs.
 
-use serde::{Deserialize, Serialize};
-
 /// First-order performance description of a GPU plus the event weights of
 /// the cost model. Two built-in profiles describe the paper's test GPUs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuProfile {
     /// Human-readable device name.
     pub name: &'static str,

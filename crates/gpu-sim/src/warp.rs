@@ -68,7 +68,9 @@ impl WarpCtx {
     /// threads striding an adjacency list do. Yields `(start, len)` per
     /// round.
     pub fn rounds(&self, len: usize) -> impl Iterator<Item = (usize, usize)> {
-        (0..len).step_by(WARP_SIZE).map(move |s| (s, WARP_SIZE.min(len - s)))
+        (0..len)
+            .step_by(WARP_SIZE)
+            .map(move |s| (s, WARP_SIZE.min(len - s)))
     }
 }
 

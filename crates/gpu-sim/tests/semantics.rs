@@ -20,7 +20,12 @@ fn parallel_and_sequential_execution_agree_on_state_and_traffic() {
                 acc.atomic_add(ctx, 0, 1);
             }
         });
-        (out.to_vec(), acc.host_read(0), stats.totals, dev.kernel_seconds())
+        (
+            out.to_vec(),
+            acc.host_read(0),
+            stats.totals,
+            dev.kernel_seconds(),
+        )
     };
     let (o1, a1, t1, k1) = run(true);
     let (o2, a2, t2, k2) = run(false);

@@ -99,7 +99,10 @@ impl GraphBuilder {
         self.edges.dedup_by_key(|&mut (u, v, _)| (u, v));
 
         let m = self.edges.len();
-        assert!(2 * m <= u32::MAX as usize, "arc count exceeds 32-bit CSR limit");
+        assert!(
+            2 * m <= u32::MAX as usize,
+            "arc count exceeds 32-bit CSR limit"
+        );
 
         // Counting sort of arcs by source vertex.
         let mut degree = vec![0u32; n + 1];

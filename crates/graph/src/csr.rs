@@ -32,12 +32,35 @@ pub struct EdgeRef {
 /// * `adjacency`, `arc_weights` and `arc_edge_ids` have equal length.
 /// * no self-loops; every arc has a mirror arc with equal weight and id.
 /// * undirected edge ids are exactly `0..num_edges()`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CsrGraph {
     row_starts: Vec<u32>,
     adjacency: Vec<VertexId>,
     arc_weights: Vec<Weight>,
     arc_edge_ids: Vec<EdgeId>,
+    /// Process-unique identity used to key per-graph device caches. Clones
+    /// share the uid (identical content), so a cached upload stays valid.
+    uid: u64,
+}
+
+/// Structural equality: two graphs are equal when their four CSR arrays
+/// match, regardless of when or where each was constructed (the cache `uid`
+/// is deliberately excluded).
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.row_starts == other.row_starts
+            && self.adjacency == other.adjacency
+            && self.arc_weights == other.arc_weights
+            && self.arc_edge_ids == other.arc_edge_ids
+    }
+}
+
+impl Eq for CsrGraph {}
+
+fn next_uid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
 }
 
 impl CsrGraph {
@@ -51,12 +74,7 @@ impl CsrGraph {
         arc_weights: Vec<Weight>,
         arc_edge_ids: Vec<EdgeId>,
     ) -> Result<Self, String> {
-        let g = Self {
-            row_starts,
-            adjacency,
-            arc_weights,
-            arc_edge_ids,
-        };
+        let g = Self::from_parts_unchecked(row_starts, adjacency, arc_weights, arc_edge_ids);
         g.validate()?;
         Ok(g)
     }
@@ -77,7 +95,18 @@ impl CsrGraph {
             adjacency,
             arc_weights,
             arc_edge_ids,
+            uid: next_uid(),
         }
+    }
+
+    /// Process-unique identity of this graph instance, stable across clones.
+    ///
+    /// Device-side caches (CSR uploads shared by every code in a harness
+    /// run) use this as their key; structural equality intentionally does
+    /// not consider it.
+    #[inline]
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Number of vertices.
@@ -234,7 +263,10 @@ impl CsrGraph {
         for v in 0..n as VertexId {
             for e in self.neighbors(v) {
                 if e.dst as usize >= n {
-                    return Err(format!("arc from {v} points to out-of-range vertex {}", e.dst));
+                    return Err(format!(
+                        "arc from {v} points to out-of-range vertex {}",
+                        e.dst
+                    ));
                 }
                 if e.dst == v {
                     return Err(format!("self-loop at vertex {v}"));
@@ -344,46 +376,31 @@ mod tests {
 
     #[test]
     fn validate_rejects_self_loop() {
-        let g = CsrGraph {
-            row_starts: vec![0, 2, 3, 3],
-            adjacency: vec![0, 1, 0],
-            arc_weights: vec![1, 1, 1],
-            arc_edge_ids: vec![0, 0, 0],
-        };
+        let g = CsrGraph::from_parts_unchecked(
+            vec![0, 2, 3, 3],
+            vec![0, 1, 0],
+            vec![1, 1, 1],
+            vec![0, 0, 0],
+        );
         assert!(g.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_mismatched_mirror_weight() {
-        let g = CsrGraph {
-            row_starts: vec![0, 1, 2],
-            adjacency: vec![1, 0],
-            arc_weights: vec![3, 4],
-            arc_edge_ids: vec![0, 0],
-        };
+        let g = CsrGraph::from_parts_unchecked(vec![0, 1, 2], vec![1, 0], vec![3, 4], vec![0, 0]);
         assert!(g.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_odd_arc_count() {
-        let g = CsrGraph {
-            row_starts: vec![0, 1, 1],
-            adjacency: vec![1],
-            arc_weights: vec![3],
-            arc_edge_ids: vec![0],
-        };
+        let g = CsrGraph::from_parts_unchecked(vec![0, 1, 1], vec![1], vec![3], vec![0]);
         assert!(g.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_missing_mirror() {
         // Two arcs that both go 0 -> 1 (id 0 used twice in the same direction).
-        let g = CsrGraph {
-            row_starts: vec![0, 2, 2],
-            adjacency: vec![1, 1],
-            arc_weights: vec![3, 3],
-            arc_edge_ids: vec![0, 0],
-        };
+        let g = CsrGraph::from_parts_unchecked(vec![0, 2, 2], vec![1, 1], vec![3, 3], vec![0, 0]);
         assert!(g.validate().is_err());
     }
 

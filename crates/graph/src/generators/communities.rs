@@ -23,7 +23,9 @@ pub fn copapers(n: usize, mean_community: usize, seed: u64) -> CsrGraph {
     let mut prev_member: Option<VertexId> = None;
     while start < n {
         // Geometric-ish community size in [2, 3 * mean].
-        let size = (2 + rng.gen_range(0..(2 * mean_community - 1))).min(n - start).max(1);
+        let size = (2 + rng.gen_range(0..(2 * mean_community - 1)))
+            .min(n - start)
+            .max(1);
         let end = start + size;
         for i in start..end {
             for j in (i + 1)..end {
@@ -46,14 +48,21 @@ pub fn copapers(n: usize, mean_community: usize, seed: u64) -> CsrGraph {
 /// independent citation universes (cit-Patents has 3,627 components).
 pub fn citation(n: usize, cites: usize, components: usize, seed: u64) -> CsrGraph {
     let components = components.max(1);
-    assert!(n >= 2 * components, "need at least two vertices per component");
+    assert!(
+        n >= 2 * components,
+        "need at least two vertices per component"
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut wg = WeightGen::new(seed ^ 0xC17E);
     let mut b = GraphBuilder::with_capacity(n, n * cites);
     let base = n / components;
     let mut start = 0usize;
     for comp in 0..components {
-        let len = if comp == components - 1 { n - start } else { base };
+        let len = if comp == components - 1 {
+            n - start
+        } else {
+            base
+        };
         for i in 1..len {
             let v = (start + i) as VertexId;
             // Recency bias: cite within a window growing with sqrt(i).
@@ -82,7 +91,11 @@ pub fn webcrawl(n: usize, edges_per_vertex: usize, components: usize, seed: u64)
     let base = n / components;
     let mut start = 0usize;
     for comp in 0..components {
-        let len = if comp == components - 1 { n - start } else { base };
+        let len = if comp == components - 1 {
+            n - start
+        } else {
+            base
+        };
         // Within a crawl: hosts of ~geometric size, preferential inside.
         let mut host_start = start;
         let mut prev_host_hub: Option<VertexId> = None;
@@ -148,7 +161,11 @@ mod tests {
     #[test]
     fn citation_degree_regime() {
         let g = citation(4000, 4, 1, 5);
-        assert!((g.average_degree() - 8.0).abs() < 2.0, "avg {}", g.average_degree());
+        assert!(
+            (g.average_degree() - 8.0).abs() < 2.0,
+            "avg {}",
+            g.average_degree()
+        );
     }
 
     #[test]

@@ -11,7 +11,10 @@ use rand::{Rng, SeedableRng};
 /// (must be in `[2, 4)` so that, like the original, filtering is skipped).
 pub fn internet_topo(n: usize, avg_degree: f64, seed: u64) -> CsrGraph {
     assert!(n >= 2);
-    assert!((2.0..4.0).contains(&avg_degree), "internet twin is sparse (< 4)");
+    assert!(
+        (2.0..4.0).contains(&avg_degree),
+        "internet twin is sparse (< 4)"
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut wg = WeightGen::new(seed ^ 0x1_7e7);
     let mut b = GraphBuilder::with_capacity(n, (n as f64 * avg_degree / 2.0) as usize + 1);

@@ -46,7 +46,11 @@ mod tests {
     #[test]
     fn average_degree_near_six() {
         let g = delaunay_like(40, 1);
-        assert!((g.average_degree() - 6.0).abs() < 0.5, "avg {}", g.average_degree());
+        assert!(
+            (g.average_degree() - 6.0).abs() < 0.5,
+            "avg {}",
+            g.average_degree()
+        );
         g.validate().unwrap();
     }
 

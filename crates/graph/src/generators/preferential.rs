@@ -36,7 +36,11 @@ pub fn preferential_attachment(
     let base = n / components;
     let mut start = 0usize;
     for comp in 0..components {
-        let len = if comp == components - 1 { n - start } else { base.min(n - start) };
+        let len = if comp == components - 1 {
+            n - start
+        } else {
+            base.min(n - start)
+        };
         // Urn of endpoints; every arc endpoint appears once, so sampling
         // uniformly from the urn is degree-proportional sampling.
         let mut urn: Vec<VertexId> = Vec::with_capacity(2 * len * edges_per_vertex);
@@ -96,7 +100,10 @@ mod tests {
     fn average_degree_near_2m() {
         let g = preferential_attachment(4000, 6, 1, 4);
         let avg = g.average_degree();
-        assert!((avg - 12.0).abs() < 2.0, "avg degree {avg} should be near 2·m = 12");
+        assert!(
+            (avg - 12.0).abs() < 2.0,
+            "avg degree {avg} should be near 2·m = 12"
+        );
     }
 
     #[test]

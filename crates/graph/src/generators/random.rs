@@ -14,7 +14,10 @@ use rand::{Rng, SeedableRng};
 /// original's small maximum degree (26 at average 8).
 pub fn uniform_random(n: usize, avg_degree: f64, seed: u64) -> CsrGraph {
     assert!(n >= 2, "need at least two vertices");
-    assert!(avg_degree >= 2.0, "connected backbone already uses degree 2");
+    assert!(
+        avg_degree >= 2.0,
+        "connected backbone already uses degree 2"
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut wg = WeightGen::new(seed ^ 0xDEAD_BEEF);
     let target_edges = ((n as f64) * avg_degree / 2.0) as usize;
@@ -70,7 +73,11 @@ mod tests {
     fn degree_concentrates() {
         let g = uniform_random(5000, 8.0, 11);
         // Binomial max degree stays within a small factor of the mean.
-        assert!(g.max_degree() < 40, "max degree {} too skewed", g.max_degree());
+        assert!(
+            g.max_degree() < 40,
+            "max degree {} too skewed",
+            g.max_degree()
+        );
     }
 
     #[test]

@@ -24,10 +24,20 @@ pub struct RmatParams {
 impl RmatParams {
     /// Classic RMAT parameters used by the GTgraph generator that produced
     /// the paper's `rmat*.sym` inputs.
-    pub const RMAT: Self = Self { a: 0.45, b: 0.15, c: 0.15, d: 0.25 };
+    pub const RMAT: Self = Self {
+        a: 0.45,
+        b: 0.15,
+        c: 0.15,
+        d: 0.25,
+    };
 
     /// Graph500 Kronecker parameters (much heavier skew).
-    pub const KRONECKER: Self = Self { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+    pub const KRONECKER: Self = Self {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
 }
 
 /// Generates an RMAT graph with `2^scale` vertices and approximately
@@ -40,7 +50,10 @@ impl RmatParams {
 pub fn rmat_with_params(scale: u32, edge_factor: usize, p: RmatParams, seed: u64) -> CsrGraph {
     assert!((1..32).contains(&scale), "scale must be in 1..32");
     let sum = p.a + p.b + p.c + p.d;
-    assert!((sum - 1.0).abs() < 1e-6, "quadrant probabilities must sum to 1");
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "quadrant probabilities must sum to 1"
+    );
     let n = 1usize << scale;
     let m = edge_factor * n;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -113,7 +126,10 @@ mod tests {
         let k = kronecker(12, 16, 3);
         let avg = k.average_degree();
         let max = k.max_degree() as f64;
-        assert!(max > 10.0 * avg, "kron should be extremely skewed: avg {avg}, max {max}");
+        assert!(
+            max > 10.0 * avg,
+            "kron should be extremely skewed: avg {avg}, max {max}"
+        );
     }
 
     #[test]
@@ -132,6 +148,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn rejects_bad_probabilities() {
-        rmat_with_params(4, 2, RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0 }, 1);
+        rmat_with_params(
+            4,
+            2,
+            RmatParams {
+                a: 0.9,
+                b: 0.9,
+                c: 0.0,
+                d: 0.0,
+            },
+            1,
+        );
     }
 }

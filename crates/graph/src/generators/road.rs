@@ -14,7 +14,10 @@ use rand::{Rng, SeedableRng};
 /// `avg_degree` must be in `[2, 4)`; real road maps sit at 2.1–2.8.
 pub fn road_map(side: usize, avg_degree: f64, seed: u64) -> CsrGraph {
     assert!(side >= 2);
-    assert!((2.0..4.0).contains(&avg_degree), "road maps have average degree in [2, 4)");
+    assert!(
+        (2.0..4.0).contains(&avg_degree),
+        "road maps have average degree in [2, 4)"
+    );
     let n = side * side;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut wg = WeightGen::new(seed ^ 0x0AD5);
@@ -74,7 +77,11 @@ mod tests {
     fn connected_and_low_degree() {
         let g = road_map(30, 2.4, 1);
         assert_eq!(connected_components(&g), 1);
-        assert!(g.average_degree() < 4.0, "avg degree {}", g.average_degree());
+        assert!(
+            g.average_degree() < 4.0,
+            "avg degree {}",
+            g.average_degree()
+        );
         assert!(g.max_degree() <= 4);
         g.validate().unwrap();
     }
@@ -82,7 +89,11 @@ mod tests {
     #[test]
     fn hits_degree_target() {
         let g = road_map(40, 2.8, 2);
-        assert!((g.average_degree() - 2.8).abs() < 0.2, "avg {}", g.average_degree());
+        assert!(
+            (g.average_degree() - 2.8).abs() < 0.2,
+            "avg {}",
+            g.average_degree()
+        );
     }
 
     #[test]

@@ -53,7 +53,11 @@ mod tests {
     fn rewiring_keeps_edge_budget_close() {
         let g = small_world(500, 3, 0.2, 2);
         // Rewiring can collide (dedup) but stays near n*k.
-        assert!(g.num_edges() > 1400 && g.num_edges() <= 1500, "{}", g.num_edges());
+        assert!(
+            g.num_edges() > 1400 && g.num_edges() <= 1500,
+            "{}",
+            g.num_edges()
+        );
     }
 
     #[test]

@@ -10,7 +10,6 @@
 
 use crate::csr::CsrGraph;
 use crate::GraphBuilder;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -20,26 +19,38 @@ pub const MAGIC: u32 = 0x4543_4C47;
 /// Current binary format version.
 pub const VERSION: u32 = 1;
 
+fn put_u32_le(buf: &mut Vec<u8>, x: u32) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Reads the next little-endian `u32`, advancing the slice. The caller has
+/// already validated the length.
+fn get_u32_le(data: &mut &[u8]) -> u32 {
+    let (word, rest) = data.split_at(4);
+    *data = rest;
+    u32::from_le_bytes(word.try_into().expect("4-byte split"))
+}
+
 /// Serializes a graph into the ECL binary CSR format.
-pub fn to_binary(g: &CsrGraph) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + 4 * (g.row_starts().len() + 3 * g.num_arcs()));
-    buf.put_u32_le(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(g.num_vertices() as u32);
-    buf.put_u32_le(g.num_arcs() as u32);
+pub fn to_binary(g: &CsrGraph) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + 4 * (g.row_starts().len() + 3 * g.num_arcs()));
+    put_u32_le(&mut buf, MAGIC);
+    put_u32_le(&mut buf, VERSION);
+    put_u32_le(&mut buf, g.num_vertices() as u32);
+    put_u32_le(&mut buf, g.num_arcs() as u32);
     for &x in g.row_starts() {
-        buf.put_u32_le(x);
+        put_u32_le(&mut buf, x);
     }
     for &x in g.adjacency() {
-        buf.put_u32_le(x);
+        put_u32_le(&mut buf, x);
     }
     for &x in g.arc_weights() {
-        buf.put_u32_le(x);
+        put_u32_le(&mut buf, x);
     }
     for &x in g.arc_edge_ids() {
-        buf.put_u32_le(x);
+        put_u32_le(&mut buf, x);
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserializes a graph from the ECL binary CSR format, validating both the
@@ -48,23 +59,22 @@ pub fn from_binary(mut data: &[u8]) -> Result<CsrGraph, String> {
     if data.len() < 16 {
         return Err("truncated header".into());
     }
-    let magic = data.get_u32_le();
+    let magic = get_u32_le(&mut data);
     if magic != MAGIC {
         return Err(format!("bad magic {magic:#x}, expected {MAGIC:#x}"));
     }
-    let version = data.get_u32_le();
+    let version = get_u32_le(&mut data);
     if version != VERSION {
         return Err(format!("unsupported version {version}"));
     }
-    let n = data.get_u32_le() as usize;
-    let arcs = data.get_u32_le() as usize;
+    let n = get_u32_le(&mut data) as usize;
+    let arcs = get_u32_le(&mut data) as usize;
     let need = 4 * ((n + 1) + 3 * arcs);
     if data.len() != need {
         return Err(format!("payload length {} != expected {need}", data.len()));
     }
-    let mut read_vec = |len: usize| -> Vec<u32> {
-        (0..len).map(|_| data.get_u32_le()).collect()
-    };
+    let mut read_vec =
+        |len: usize| -> Vec<u32> { (0..len).map(|_| get_u32_le(&mut data)).collect() };
     let row_starts = read_vec(n + 1);
     let adjacency = read_vec(arcs);
     let arc_weights = read_vec(arcs);

@@ -99,75 +99,147 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
             graph: grid2d(isqrt(n0), SUITE_SEED ^ 1),
             // Table 2 rounds d-avg to 4.0, but 4,190,208 / 1,048,576 < 4 and
             // §5.4 confirms this input skips filtering, so record the exact value.
-            paper: PaperRow { arcs: 4_190_208, vertices: 1_048_576, ccs: 1, d_avg: 3.996, d_max: 4 },
+            paper: PaperRow {
+                arcs: 4_190_208,
+                vertices: 1_048_576,
+                ccs: 1,
+                d_avg: 3.996,
+                d_max: 4,
+            },
         },
         SuiteEntry {
             name: "amazon0601",
             kind: "co-purchases",
             graph: preferential_attachment(n0 / 4, 6, 7, SUITE_SEED ^ 2),
-            paper: PaperRow { arcs: 4_886_816, vertices: 403_394, ccs: 7, d_avg: 12.1, d_max: 2_752 },
+            paper: PaperRow {
+                arcs: 4_886_816,
+                vertices: 403_394,
+                ccs: 7,
+                d_avg: 12.1,
+                d_max: 2_752,
+            },
         },
         SuiteEntry {
             name: "as-skitter",
             kind: "Internet topo.",
             // 756 CCs in the original; scale the count with the vertex ratio.
             graph: preferential_attachment(n0 / 2, 6, (n0 / 2048).max(4), SUITE_SEED ^ 3),
-            paper: PaperRow { arcs: 22_190_596, vertices: 1_696_415, ccs: 756, d_avg: 13.1, d_max: 35_455 },
+            paper: PaperRow {
+                arcs: 22_190_596,
+                vertices: 1_696_415,
+                ccs: 756,
+                d_avg: 13.1,
+                d_max: 35_455,
+            },
         },
         SuiteEntry {
             name: "citationCiteseer",
             kind: "publication cit.",
             graph: citation(n0 / 4, 4, 1, SUITE_SEED ^ 4),
-            paper: PaperRow { arcs: 2_313_294, vertices: 268_495, ccs: 1, d_avg: 8.6, d_max: 1_318 },
+            paper: PaperRow {
+                arcs: 2_313_294,
+                vertices: 268_495,
+                ccs: 1,
+                d_avg: 8.6,
+                d_max: 1_318,
+            },
         },
         SuiteEntry {
             name: "cit-Patents",
             kind: "patent cit.",
             graph: citation(n0, 4, (n0 / 1024).max(8), SUITE_SEED ^ 5),
-            paper: PaperRow { arcs: 33_037_894, vertices: 3_774_768, ccs: 3_627, d_avg: 8.8, d_max: 793 },
+            paper: PaperRow {
+                arcs: 33_037_894,
+                vertices: 3_774_768,
+                ccs: 3_627,
+                d_avg: 8.8,
+                d_max: 793,
+            },
         },
         SuiteEntry {
             name: "coPapersDBLP",
             kind: "publication cit.",
             graph: copapers(n0 / 2, 28, SUITE_SEED ^ 6),
-            paper: PaperRow { arcs: 30_491_458, vertices: 540_486, ccs: 1, d_avg: 56.4, d_max: 3_299 },
+            paper: PaperRow {
+                arcs: 30_491_458,
+                vertices: 540_486,
+                ccs: 1,
+                d_avg: 56.4,
+                d_max: 3_299,
+            },
         },
         SuiteEntry {
             name: "delaunay_n24",
             kind: "triangulation",
             graph: delaunay_like(isqrt(2 * n0), SUITE_SEED ^ 7),
-            paper: PaperRow { arcs: 100_663_202, vertices: 16_777_216, ccs: 1, d_avg: 6.0, d_max: 26 },
+            paper: PaperRow {
+                arcs: 100_663_202,
+                vertices: 16_777_216,
+                ccs: 1,
+                d_avg: 6.0,
+                d_max: 26,
+            },
         },
         SuiteEntry {
             name: "europe_osm",
             kind: "road map",
             graph: road_map(isqrt(4 * n0), 2.1, SUITE_SEED ^ 8),
-            paper: PaperRow { arcs: 108_109_320, vertices: 50_912_018, ccs: 1, d_avg: 2.1, d_max: 13 },
+            paper: PaperRow {
+                arcs: 108_109_320,
+                vertices: 50_912_018,
+                ccs: 1,
+                d_avg: 2.1,
+                d_max: 13,
+            },
         },
         SuiteEntry {
             name: "in-2004",
             kind: "web links",
             graph: webcrawl(n0 / 2, 10, (n0 / 4096).max(4), SUITE_SEED ^ 9),
-            paper: PaperRow { arcs: 27_182_946, vertices: 1_382_908, ccs: 134, d_avg: 19.7, d_max: 21_869 },
+            paper: PaperRow {
+                arcs: 27_182_946,
+                vertices: 1_382_908,
+                ccs: 134,
+                d_avg: 19.7,
+                d_max: 21_869,
+            },
         },
         SuiteEntry {
             name: "internet",
             kind: "Internet topo.",
             graph: internet_topo(n0 / 8, 3.1, SUITE_SEED ^ 10),
-            paper: PaperRow { arcs: 387_240, vertices: 124_651, ccs: 1, d_avg: 3.1, d_max: 151 },
+            paper: PaperRow {
+                arcs: 387_240,
+                vertices: 124_651,
+                ccs: 1,
+                d_avg: 3.1,
+                d_max: 151,
+            },
         },
         SuiteEntry {
             name: "kron_g500-logn21",
             kind: "Kronecker",
             // 553,159 CCs of 2,097,152 vertices ~= 26% pad (see rmat16 note).
             graph: append_isolated(&kronecker(s0 - 1, 43, SUITE_SEED ^ 11), (n0 / 2) * 26 / 100),
-            paper: PaperRow { arcs: 182_081_864, vertices: 2_097_152, ccs: 553_159, d_avg: 86.8, d_max: 213_904 },
+            paper: PaperRow {
+                arcs: 182_081_864,
+                vertices: 2_097_152,
+                ccs: 553_159,
+                d_avg: 86.8,
+                d_max: 213_904,
+            },
         },
         SuiteEntry {
             name: "r4-2e23.sym",
             kind: "random",
             graph: uniform_random(n0, 8.0, SUITE_SEED ^ 12),
-            paper: PaperRow { arcs: 67_108_846, vertices: 8_388_608, ccs: 1, d_avg: 8.0, d_max: 26 },
+            paper: PaperRow {
+                arcs: 67_108_846,
+                vertices: 8_388_608,
+                ccs: 1,
+                d_avg: 8.0,
+                d_max: 26,
+            },
         },
         SuiteEntry {
             name: "rmat16.sym",
@@ -176,32 +248,62 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
             // count; the unreached pad vertices supply most of the CC count
             // (rmat16: 3,900 CCs of 65,536 vertices ~= 6%).
             graph: append_isolated(&rmat(s0 - 3, 8, SUITE_SEED ^ 13), (n0 / 8) * 6 / 100),
-            paper: PaperRow { arcs: 967_866, vertices: 65_536, ccs: 3_900, d_avg: 14.8, d_max: 569 },
+            paper: PaperRow {
+                arcs: 967_866,
+                vertices: 65_536,
+                ccs: 3_900,
+                d_avg: 14.8,
+                d_max: 569,
+            },
         },
         SuiteEntry {
             name: "rmat22.sym",
             kind: "RMAT",
             // 428,640 CCs of 4,194,304 vertices ~= 10% pad (see rmat16 note).
             graph: append_isolated(&rmat(s0, 8, SUITE_SEED ^ 14), n0 / 10),
-            paper: PaperRow { arcs: 65_660_814, vertices: 4_194_304, ccs: 428_640, d_avg: 15.7, d_max: 3_687 },
+            paper: PaperRow {
+                arcs: 65_660_814,
+                vertices: 4_194_304,
+                ccs: 428_640,
+                d_avg: 15.7,
+                d_max: 3_687,
+            },
         },
         SuiteEntry {
             name: "soc-LiveJournal1",
             kind: "community",
             graph: preferential_attachment(n0, 9, (n0 / 1024).max(8), SUITE_SEED ^ 15),
-            paper: PaperRow { arcs: 85_702_474, vertices: 4_847_571, ccs: 1_876, d_avg: 17.7, d_max: 20_333 },
+            paper: PaperRow {
+                arcs: 85_702_474,
+                vertices: 4_847_571,
+                ccs: 1_876,
+                d_avg: 17.7,
+                d_max: 20_333,
+            },
         },
         SuiteEntry {
             name: "USA-road-d.NY",
             kind: "road map",
             graph: road_map(isqrt(n0 / 8), 2.8, SUITE_SEED ^ 16),
-            paper: PaperRow { arcs: 730_100, vertices: 264_346, ccs: 1, d_avg: 2.8, d_max: 8 },
+            paper: PaperRow {
+                arcs: 730_100,
+                vertices: 264_346,
+                ccs: 1,
+                d_avg: 2.8,
+                d_max: 8,
+            },
         },
         SuiteEntry {
             name: "USA-road-d.USA",
             kind: "road map",
             graph: road_map(isqrt(2 * n0), 2.4, SUITE_SEED ^ 17),
-            paper: PaperRow { arcs: 57_708_624, vertices: 23_947_347, ccs: 1, d_avg: 2.4, d_max: 9 },
+            paper: PaperRow {
+                arcs: 57_708_624,
+                vertices: 23_947_347,
+                ccs: 1,
+                d_avg: 2.4,
+                d_max: 9,
+            },
         },
     ]
 }
@@ -253,7 +355,8 @@ mod tests {
             let twin_filters = e.graph.average_degree() >= 4.0;
             let paper_filters = e.paper.d_avg >= 4.0;
             assert_eq!(
-                twin_filters, paper_filters,
+                twin_filters,
+                paper_filters,
                 "{}: twin avg degree {:.2} on wrong side of the filter threshold (paper {:.1})",
                 e.name,
                 e.graph.average_degree(),

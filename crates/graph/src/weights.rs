@@ -52,7 +52,8 @@ impl WeightGen {
 /// produced twice (e.g., symmetrized generators).
 pub fn hash_weight(u: VertexId, v: VertexId, seed: u64) -> Weight {
     let (a, b) = (u.min(v) as u64, u.max(v) as u64);
-    let mut x = a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ seed;
+    let mut x =
+        a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ seed;
     // splitmix64 finalizer
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);

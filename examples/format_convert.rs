@@ -45,14 +45,25 @@ fn main() {
     // Plain text edge list.
     let text = io::to_text(&g);
     let from_text = io::from_text(&text).expect("parse text");
-    println!("text form: {} lines, identical: {}", text.lines().count(), from_text == g);
+    println!(
+        "text form: {} lines, identical: {}",
+        text.lines().count(),
+        from_text == g
+    );
 
     // The MST is of course format-independent.
     let reference = ecl_mst_cpu(&g);
-    for (name, copy) in [("binary", from_bin), ("dimacs", from_gr), ("text", from_text)] {
+    for (name, copy) in [
+        ("binary", from_bin),
+        ("dimacs", from_gr),
+        ("text", from_text),
+    ] {
         let mst = ecl_mst_cpu(&copy);
         assert_eq!(mst.in_mst, reference.in_mst, "{name} copy");
-        println!("MST from {name} copy: weight {} ({} edges) — matches", mst.total_weight, mst.num_edges);
+        println!(
+            "MST from {name} copy: weight {} ({} edges) — matches",
+            mst.total_weight, mst.num_edges
+        );
     }
 
     std::fs::remove_dir_all(&dir).ok();

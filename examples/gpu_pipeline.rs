@@ -46,7 +46,12 @@ fn main() {
         "upstream kernel: {:.1} us simulated; degree histogram (log2 buckets):",
         dev.kernel_seconds() * 1e6
     );
-    for (b, count) in histogram.to_vec().iter().enumerate().filter(|(_, &c)| c > 0) {
+    for (b, count) in histogram
+        .to_vec()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+    {
         println!("  2^{b:<2} {count}");
     }
 
@@ -59,7 +64,10 @@ fn main() {
         run.iterations,
         run.phases
     );
-    println!("         {:.1} us would be added by H2D/D2H transfers", run.memcpy_seconds * 1e6);
+    println!(
+        "         {:.1} us would be added by H2D/D2H transfers",
+        run.memcpy_seconds * 1e6
+    );
 
     // §5.1-style per-kernel profile.
     let total: f64 = run.records.iter().map(|r| r.sim_seconds).sum();

@@ -26,7 +26,10 @@ fn main() {
 
     let total_cost: u64 = g.edges().map(|e| e.weight as u64).sum();
     println!("cost of building every candidate line: {total_cost}");
-    println!("cost of the minimum spanning grid:     {}", mst.total_weight);
+    println!(
+        "cost of the minimum spanning grid:     {}",
+        mst.total_weight
+    );
     println!(
         "savings: {:.1}% with {} lines instead of {}",
         100.0 * (1.0 - mst.total_weight as f64 / total_cost as f64),

@@ -18,7 +18,10 @@ fn main() {
         "road network: {} junctions, {} segments, avg degree {:.2}",
         stats.vertices, stats.edges, stats.avg_degree
     );
-    assert!(stats.avg_degree < 4.0, "road maps sit below the filter threshold");
+    assert!(
+        stats.avg_degree < 4.0,
+        "road maps sit below the filter threshold"
+    );
 
     // CPU backend.
     let cpu = ecl_mst_cpu_with(&g, &OptConfig::full());

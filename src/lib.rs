@@ -58,7 +58,7 @@ pub mod prelude {
         generators, io, stats::GraphStats, suite, CsrGraph, GraphBuilder, SuiteEntry, SuiteScale,
     };
     pub use ecl_mst::{
-        deopt_ladder, ecl_mst_cpu, ecl_mst_cpu_with, ecl_mst_gpu, ecl_mst_gpu_with,
-        serial_kruskal, verify_msf, MstError, MstResult, OptConfig,
+        deopt_ladder, ecl_mst_cpu, ecl_mst_cpu_with, ecl_mst_gpu, ecl_mst_gpu_with, serial_kruskal,
+        verify_msf, MstError, MstResult, OptConfig,
     };
 }

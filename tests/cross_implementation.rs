@@ -37,9 +37,17 @@ fn every_deopt_rung_matches_on_representative_inputs() {
         let expected = serial_kruskal(&e.graph);
         for (rung, cfg) in deopt_ladder() {
             let cpu = ecl_mst_cpu_with(&e.graph, &cfg);
-            assert_eq!(cpu.result.in_mst, expected.in_mst, "{} cpu rung '{rung}'", e.name);
+            assert_eq!(
+                cpu.result.in_mst, expected.in_mst,
+                "{} cpu rung '{rung}'",
+                e.name
+            );
             let gpu = ecl_mst_gpu_with(&e.graph, &cfg, GpuProfile::RTX_3080_TI);
-            assert_eq!(gpu.result.in_mst, expected.in_mst, "{} gpu rung '{rung}'", e.name);
+            assert_eq!(
+                gpu.result.in_mst, expected.in_mst,
+                "{} gpu rung '{rung}'",
+                e.name
+            );
         }
     }
 }
@@ -69,7 +77,11 @@ fn gpu_baselines_match_on_entire_suite() {
         let um = uminho_gpu(&e.graph, GpuProfile::TITAN_V);
         assert_eq!(um.result.in_mst, expected.in_mst, "{} / uminho_gpu", e.name);
         let cg = cugraph_gpu(&e.graph, GpuProfile::TITAN_V);
-        assert_eq!(cg.result.in_mst, expected.in_mst, "{} / cugraph_gpu", e.name);
+        assert_eq!(
+            cg.result.in_mst, expected.in_mst,
+            "{} / cugraph_gpu",
+            e.name
+        );
     }
 }
 
@@ -84,13 +96,19 @@ fn mst_only_codes_report_nc_exactly_on_msf_inputs() {
         if e.is_mst_input() {
             let expected = serial_kruskal(&e.graph);
             assert_eq!(
-                jucele.expect("jucele should run on MST input").result.in_mst,
+                jucele
+                    .expect("jucele should run on MST input")
+                    .result
+                    .in_mst,
                 expected.in_mst,
                 "{} / jucele",
                 e.name
             );
             assert_eq!(
-                gunrock.expect("gunrock should run on MST input").result.in_mst,
+                gunrock
+                    .expect("gunrock should run on MST input")
+                    .result
+                    .in_mst,
                 expected.in_mst,
                 "{} / gunrock",
                 e.name

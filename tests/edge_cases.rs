@@ -22,7 +22,10 @@ fn all_agree(g: &CsrGraph, label: &str) {
     ];
     for (name, r) in runs {
         assert_eq!(r.in_mst, expected.in_mst, "{label}: {name} edge set");
-        assert_eq!(r.total_weight, expected.total_weight, "{label}: {name} weight");
+        assert_eq!(
+            r.total_weight, expected.total_weight,
+            "{label}: {name} weight"
+        );
     }
 }
 

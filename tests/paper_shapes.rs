@@ -24,7 +24,10 @@ fn ecl_gpu_beats_jucele_on_mst_geomean() {
     let g = geomean(&ratios);
     // At Tiny scale launch/sync overhead compresses the paper's 4.6x to a
     // smaller factor; the ordering must still be decisive.
-    assert!(g > 1.2, "expected ECL-MST to clearly beat Jucele, geomean ratio {g:.2}");
+    assert!(
+        g > 1.2,
+        "expected ECL-MST to clearly beat Jucele, geomean ratio {g:.2}"
+    );
 }
 
 #[test]
@@ -33,13 +36,23 @@ fn ecl_gpu_beats_every_gpu_baseline_on_geomean() {
     let mut vs_cugraph = Vec::new();
     for e in small_suite() {
         let ecl = ecl_mst_gpu_with(&e.graph, &OptConfig::full(), GpuProfile::RTX_3080_TI);
-        vs_uminho
-            .push(uminho_gpu(&e.graph, GpuProfile::RTX_3080_TI).kernel_seconds / ecl.kernel_seconds);
-        vs_cugraph
-            .push(cugraph_gpu(&e.graph, GpuProfile::RTX_3080_TI).kernel_seconds / ecl.kernel_seconds);
+        vs_uminho.push(
+            uminho_gpu(&e.graph, GpuProfile::RTX_3080_TI).kernel_seconds / ecl.kernel_seconds,
+        );
+        vs_cugraph.push(
+            cugraph_gpu(&e.graph, GpuProfile::RTX_3080_TI).kernel_seconds / ecl.kernel_seconds,
+        );
     }
-    assert!(geomean(&vs_uminho) > 1.5, "vs UMinho geomean {:.2}", geomean(&vs_uminho));
-    assert!(geomean(&vs_cugraph) > 2.0, "vs cuGraph geomean {:.2}", geomean(&vs_cugraph));
+    assert!(
+        geomean(&vs_uminho) > 1.5,
+        "vs UMinho geomean {:.2}",
+        geomean(&vs_uminho)
+    );
+    assert!(
+        geomean(&vs_cugraph) > 2.0,
+        "vs cuGraph geomean {:.2}",
+        geomean(&vs_cugraph)
+    );
 }
 
 #[test]
@@ -47,7 +60,10 @@ fn deopt_ladder_monotone_shape_on_geomean() {
     // Table 5's MST GeoMean row increases almost monotonically as
     // optimizations are removed (the one sanctioned exception:
     // "Topology-Driven" may be slightly faster than "No Tuples").
-    let inputs: Vec<_> = small_suite().into_iter().filter(|e| e.is_mst_input()).collect();
+    let inputs: Vec<_> = small_suite()
+        .into_iter()
+        .filter(|e| e.is_mst_input())
+        .collect();
     let ladder = deopt_ladder();
     let mut means = Vec::new();
     for (_, cfg) in &ladder {
@@ -125,11 +141,23 @@ fn init_kernel_is_a_large_fraction_of_runtime() {
     );
     // On filtered (high average degree) inputs the split approaches the
     // paper's init~40% / kernel1~35%: check the flagship dense input.
-    let dense = small_suite().into_iter().find(|e| e.name == "coPapersDBLP").unwrap();
+    let dense = small_suite()
+        .into_iter()
+        .find(|e| e.name == "coPapersDBLP")
+        .unwrap();
     let run = ecl_mst_gpu_with(&dense.graph, &OptConfig::full(), GpuProfile::RTX_3080_TI);
     let total: f64 = run.records.iter().map(|r| r.sim_seconds).sum();
-    let init: f64 = run.records.iter().filter(|r| r.name == "init").map(|r| r.sim_seconds).sum();
-    assert!((0.2..0.6).contains(&(init / total)), "coPapersDBLP init fraction {:.2}", init / total);
+    let init: f64 = run
+        .records
+        .iter()
+        .filter(|r| r.name == "init")
+        .map(|r| r.sim_seconds)
+        .sum();
+    assert!(
+        (0.2..0.6).contains(&(init / total)),
+        "coPapersDBLP init fraction {:.2}",
+        init / total
+    );
 }
 
 #[test]
@@ -143,5 +171,8 @@ fn throughput_correlates_with_average_degree() {
         let run = ecl_mst_gpu_with(&e.graph, &OptConfig::full(), GpuProfile::RTX_3080_TI);
         e.graph.num_arcs() as f64 / run.kernel_seconds
     };
-    assert!(tput(dense) > tput(sparse), "dense input should have higher edge throughput");
+    assert!(
+        tput(dense) > tput(sparse),
+        "dense input should have higher edge throughput"
+    );
 }

@@ -9,8 +9,8 @@ use proptest::prelude::*;
 /// loops handled by the builder).
 fn graph_strategy() -> impl Strategy<Value = CsrGraph> {
     (2usize..60).prop_flat_map(|n| {
-        prop::collection::vec((0..n as u32, 0..n as u32, 1..1_000u32), 0..220)
-            .prop_map(move |edges| {
+        prop::collection::vec((0..n as u32, 0..n as u32, 1..1_000u32), 0..220).prop_map(
+            move |edges| {
                 let mut b = GraphBuilder::new(n);
                 for (u, v, w) in edges {
                     if u != v {
@@ -18,7 +18,8 @@ fn graph_strategy() -> impl Strategy<Value = CsrGraph> {
                     }
                 }
                 b.build()
-            })
+            },
+        )
     })
 }
 

@@ -1,0 +1,247 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! external `criterion` dependency is replaced by this vendored mini-harness:
+//! the same `benchmark_group`/`bench_with_input`/`criterion_group!` surface,
+//! backed by a plain warm-up + mean-of-samples timer that prints one line per
+//! benchmark. No statistics beyond mean/min, no plotting, no baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver holding the timing configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, id, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &full, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion, &full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the payload.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `payload`: warm-up for the configured duration, then
+    /// `sample_size` timed samples (each at least one call, more when the
+    /// payload is fast) within the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        loop {
+            black_box(payload());
+            warm_calls += 1;
+            if warm_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        let warm_elapsed = warm_start.elapsed();
+        // Aim each sample at measurement_time / sample_size, estimating the
+        // per-call cost from the warm-up.
+        let per_call = warm_elapsed / warm_calls.max(1) as u32;
+        let target = self.config.measurement_time / self.config.sample_size as u32;
+        let calls_per_sample = if per_call.is_zero() {
+            1
+        } else {
+            (target.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 1 << 20) as u32
+        };
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..calls_per_sample {
+                black_box(payload());
+            }
+            self.samples.push(t0.elapsed() / calls_per_sample);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        config: criterion,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench {id:<48} (no samples)");
+        return;
+    }
+    let mean: Duration = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "bench {id:<48} mean {:>12.1} ns/iter   min {:>12.1} ns/iter",
+        mean.as_nanos() as f64,
+        min.as_nanos() as f64
+    );
+}
+
+/// Declares a benchmark group function, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("sum", 100u32), &100u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        group.bench_function("push", |b| b.iter(|| vec![1u8; 16]));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2u32) * 2));
+    }
+
+    criterion_group! {
+        name = quick;
+        config = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3));
+        targets = payload
+    }
+
+    #[test]
+    fn harness_runs() {
+        quick();
+    }
+}

@@ -1,0 +1,53 @@
+//! One-stop imports for test modules: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::any;
+pub use crate::prop;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Mixed binding forms: `pat in strategy` and bare `name: Type`.
+        #[test]
+        fn mixed_bindings((lo, hi) in (0u32..10, 10u32..20), flip: bool, seed: u64) {
+            prop_assert!(lo < hi);
+            let _ = (flip, seed);
+        }
+
+        #[test]
+        fn vec_strategy_respects_bounds(v in prop::collection::vec(0u32..100, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn flat_map_and_just(x in Just(5usize).prop_flat_map(|n| (0..n, Just(n)))) {
+            let (i, n) = x;
+            prop_assert_eq!(n, 5);
+            prop_assert!(i < n, "draw {} out of range {}", i, n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        fn question_mark_and_fail_work(x in 0u32..10) {
+            let r: Result<u32, String> = Ok(x);
+            let y = r.map_err(TestCaseError::fail)?;
+            prop_assert_eq!(x, y);
+        }
+
+        #[test]
+        #[should_panic(expected = "failed at case #0")]
+        fn failures_panic_with_case_index(x in 5u32..6) {
+            prop_assert_eq!(x, 0u32);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Sequence helpers (`rand::seq` subset).
+
+use crate::RngCore;
+
+/// Slice shuffling, matching `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}

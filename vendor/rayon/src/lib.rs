@@ -1,0 +1,269 @@
+//! Offline drop-in subset of the `rayon` API, executed **sequentially**.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! external `rayon` dependency is replaced by this vendored shim: the same
+//! `par_iter`/`into_par_iter`/`scope` surface, run on the calling thread in
+//! deterministic order. Algorithms keep their data-parallel shape (and their
+//! atomics stay correct under it); only host-side speedup is forgone. The
+//! sequential order is also what makes the golden-counter regression tests
+//! exactly reproducible.
+
+#![forbid(unsafe_code)]
+
+/// Parallel-iterator adapter over a plain [`Iterator`], consumed eagerly on
+/// the calling thread.
+pub struct Par<I>(I);
+
+/// `rayon::prelude` subset: the conversion traits.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelExtend,
+        ParallelSliceMut,
+    };
+}
+
+/// Conversion into a [`Par`] iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Converts `self` into a [`Par`] iterator.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    type Iter = C::IntoIter;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+// Lets a `Par` feed APIs that take `impl IntoParallelIterator` (e.g.
+// `par_extend`) through the blanket impl above.
+impl<I: Iterator> IntoIterator for Par<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// `par_iter()` on collections whose references iterate
+/// (`rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrows `self` as a [`Par`] iterator.
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter_mut()` on collections whose mutable references iterate
+/// (`rayon::iter::IntoParallelRefMutIterator`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type (a mutable reference).
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Mutably borrows `self` as a [`Par`] iterator.
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Item = <&'a mut C as IntoIterator>::Item;
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    /// Splitting-granularity hint; a no-op when sequential.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Pairs each element with its index (`rayon`'s indexed `enumerate`).
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Maps each element.
+    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Keeps elements satisfying `pred`.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, pred: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(pred))
+    }
+
+    /// Maps and filters in one pass.
+    pub fn filter_map<T, F: FnMut(I::Item) -> Option<T>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    /// Flattens per-element sequential iterators (`flat_map_iter`).
+    pub fn flat_map_iter<T, F>(self, f: F) -> Par<std::iter::FlatMap<I, T, F>>
+    where
+        T: IntoIterator,
+        F: FnMut(I::Item) -> T,
+    {
+        Par(self.0.flat_map(f))
+    }
+
+    /// Runs `f` on every element.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f);
+    }
+
+    /// Rayon-style fold: one accumulator per split — a single one here.
+    pub fn fold<T, ID, F>(self, mut identity: ID, fold_op: F) -> Par<std::iter::Once<T>>
+    where
+        ID: FnMut() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Rayon-style reduce over the (single) split accumulator.
+    pub fn reduce<ID, OP>(self, mut identity: ID, op: OP) -> I::Item
+    where
+        ID: FnMut() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Collects into any [`FromIterator`] collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Number of elements.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+/// `par_extend` (`rayon::iter::ParallelExtend`).
+pub trait ParallelExtend<T> {
+    /// Extends the collection from a parallel iterator.
+    fn par_extend<I: IntoParallelIterator<Item = T>>(&mut self, par_iter: I);
+}
+
+impl<T, C: Extend<T>> ParallelExtend<T> for C {
+    fn par_extend<I: IntoParallelIterator<Item = T>>(&mut self, par_iter: I) {
+        self.extend(par_iter.into_par_iter().0);
+    }
+}
+
+/// Parallel slice sorting (`rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T> {
+    /// Unstable sort, run sequentially.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    /// Unstable sort by key, run sequentially.
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+/// Scope for structured spawns; tasks run inline at the spawn site.
+pub struct Scope<'scope>(std::marker::PhantomData<&'scope ()>);
+
+impl<'scope> Scope<'scope> {
+    /// Runs `body` immediately on the calling thread.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        body(self);
+    }
+}
+
+/// Creates a scope and runs `f` in it (`rayon::scope`).
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    f(&Scope(std::marker::PhantomData))
+}
+
+/// Runs both closures (sequentially) and returns both results (`rayon::join`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let (sum, max) = (0..1000u64)
+            .into_par_iter()
+            .with_min_len(64)
+            .fold(|| (0u64, 0u64), |(s, m), x| (s + x, m.max(x)))
+            .reduce(|| (0u64, 0u64), |(s1, m1), (s2, m2)| (s1 + s2, m1.max(m2)));
+        assert_eq!(sum, 499_500);
+        assert_eq!(max, 999);
+    }
+
+    #[test]
+    fn par_iter_and_extend() {
+        let v = vec![3u32, 1, 4, 1, 5];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        let mut out: Vec<u32> = Vec::new();
+        out.par_extend(v.par_iter().filter_map(|&x| (x > 2).then_some(x)));
+        assert_eq!(out, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn par_sort_and_scope() {
+        let mut v = vec![5, 3, 9, 1];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 3, 5, 9]);
+        let mut hit = false;
+        crate::scope(|s| s.spawn(|_| hit = true));
+        assert!(hit);
+    }
+}
