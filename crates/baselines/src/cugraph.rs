@@ -15,7 +15,7 @@
 //! the float version), modeled here by metering 8-byte weight loads.
 
 use crate::GpuBaselineRun;
-use ecl_gpu_sim::{with_scratch, Device, GpuProfile};
+use ecl_gpu_sim::{sanitize, with_scratch, Device, GpuProfile};
 use ecl_graph::CsrGraph;
 use ecl_mst::{derived_const, pack, unpack, MstResult, EMPTY};
 
@@ -72,13 +72,18 @@ fn cugraph_impl(g: &CsrGraph, profile: GpuProfile, double_precision: bool) -> Gp
             s.arena.acquire_u32_uninit(1),
         )
     });
+    sanitize::label(&color, "cugraph/color");
+    sanitize::label(&min_edge, "cugraph/min_edge");
+    sanitize::label(&in_mst, "cugraph/in_mst");
+    sanitize::label(&progress, "cugraph/progress");
+    sanitize::label(&changed, "cugraph/changed");
     color.host_write_iota();
 
     loop {
         progress.host_write(0, 0);
         // Kernel: minimum crossing edge per color (edge-parallel; weight
         // loads pay the precision width).
-        dev.launch("color_min", m, |i, ctx| {
+        let _ = dev.launch("color_min", m, |i, ctx| {
             let u = eu.ld(ctx, i);
             let v = ev.ld(ctx, i);
             let cu = color.ld_gather(ctx, u as usize);
@@ -97,7 +102,7 @@ fn cugraph_impl(g: &CsrGraph, profile: GpuProfile, double_precision: bool) -> Gp
             break;
         }
         // Kernel: winners join the MSF.
-        dev.launch("graft", m, |i, ctx| {
+        let _ = dev.launch("graft", m, |i, ctx| {
             let u = eu.ld(ctx, i);
             let v = ev.ld(ctx, i);
             let cu = color.ld_gather(ctx, u as usize);
@@ -119,7 +124,7 @@ fn cugraph_impl(g: &CsrGraph, profile: GpuProfile, double_precision: bool) -> Gp
         // sweep changes nothing. O(component diameter) sweeps.
         loop {
             changed.host_write(0, 0);
-            dev.launch("color_flood", m, |i, ctx| {
+            let _ = dev.launch("color_flood", m, |i, ctx| {
                 if in_mst.ld(ctx, i) == 0 {
                     return;
                 }
@@ -141,7 +146,7 @@ fn cugraph_impl(g: &CsrGraph, profile: GpuProfile, double_precision: bool) -> Gp
             }
         }
         // Kernel: reset the per-color reservations.
-        dev.launch("reset_min", n, |v, ctx| {
+        let _ = dev.launch("reset_min", n, |v, ctx| {
             min_edge.st(ctx, v, EMPTY);
         });
     }

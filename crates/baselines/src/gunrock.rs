@@ -10,7 +10,7 @@
 //! removes.
 
 use crate::{is_connected, GpuBaselineRun};
-use ecl_gpu_sim::{with_scratch, Device, GpuProfile, TaskCtx};
+use ecl_gpu_sim::{sanitize, with_scratch, Device, GpuProfile, TaskCtx};
 use ecl_graph::CsrGraph;
 use ecl_mst::{derived_const, pack, unpack, DeviceCsr, MstError, MstResult, EMPTY};
 
@@ -59,6 +59,10 @@ pub fn gunrock_gpu(g: &CsrGraph, profile: GpuProfile) -> Result<GpuBaselineRun, 
             s.arena.acquire_u32_uninit(1),
         )
     });
+    sanitize::label(&parent, "gunrock/parent");
+    sanitize::label(&min_edge, "gunrock/min_edge");
+    sanitize::label(&in_mst, "gunrock/in_mst");
+    sanitize::label(&progress, "gunrock/progress");
     parent.host_write_iota();
 
     let find = |ctx: &mut TaskCtx, mut x: u32| -> u32 {
@@ -79,7 +83,7 @@ pub fn gunrock_gpu(g: &CsrGraph, profile: GpuProfile) -> Result<GpuBaselineRun, 
         progress.host_write(0, 0);
         // Kernel: every vertex rescans its whole row for the lightest
         // crossing edge (vertex-centric: hub rows serialize on one thread).
-        dev.launch("find_light", n, |v, ctx| {
+        let _ = dev.launch("find_light", n, |v, ctx| {
             let rv = find(ctx, v as u32);
             let lo = row_starts.ld(ctx, v) as usize;
             let hi = row_starts.ld(ctx, v + 1) as usize;
@@ -102,7 +106,7 @@ pub fn gunrock_gpu(g: &CsrGraph, profile: GpuProfile) -> Result<GpuBaselineRun, 
             break;
         }
         // Kernel: merge along the recorded edges.
-        dev.launch("merge", n, |r, ctx| {
+        let _ = dev.launch("merge", n, |r, ctx| {
             let val = min_edge.ld(ctx, r);
             if val == EMPTY {
                 return;

@@ -13,7 +13,7 @@
 //! code; the per-round contraction is why ECL-MST still beats it.
 
 use crate::{is_connected, GpuBaselineRun};
-use ecl_gpu_sim::{with_scratch, ConstBuf, Device, GpuProfile};
+use ecl_gpu_sim::{sanitize, with_scratch, ConstBuf, Device, GpuProfile};
 use ecl_graph::CsrGraph;
 use ecl_mst::{derived_const, pack, DeviceCsr, MstError, MstResult, EMPTY};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,14 +67,18 @@ pub(crate) fn contraction_boruvka_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuB
     // before every use.
     let (next_cnt, changed) =
         with_scratch(|s| (s.arena.acquire_u32_uninit(1), s.arena.acquire_u32_uninit(1)));
+    sanitize::label(&next_cnt, "jucele/next_cnt");
+    sanitize::label(&changed, "jucele/changed");
 
     while e_cnt > 0 {
         let (min_at, succ) =
             with_scratch(|s| (s.arena.acquire_u64(n, EMPTY), s.arena.acquire_u32_uninit(n)));
+        sanitize::label(&min_at, "jucele/min_at");
+        sanitize::label(&succ, "jucele/succ");
         succ.host_write_iota();
 
         // Kernel: lightest edge per supervertex (edge-parallel, balanced).
-        dev.launch("find_light", e_cnt, |i, ctx| {
+        let _ = dev.launch("find_light", e_cnt, |i, ctx| {
             let u = eu.ld(ctx, i);
             let v = ev.ld(ctx, i);
             let val = pack(ew.ld(ctx, i), eid.ld(ctx, i));
@@ -82,7 +86,7 @@ pub(crate) fn contraction_boruvka_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuB
             min_at.atomic_min(ctx, v as usize, val);
         });
         // Kernel: mark winners and record successors.
-        dev.launch("mark", e_cnt, |i, ctx| {
+        let _ = dev.launch("mark", e_cnt, |i, ctx| {
             let u = eu.ld(ctx, i);
             let v = ev.ld(ctx, i);
             let val = pack(ew.ld(ctx, i), eid.ld(ctx, i));
@@ -103,7 +107,8 @@ pub(crate) fn contraction_boruvka_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuB
         // Kernel: break mutual picks (smaller index becomes the root).
         // (`color` is fully written here before any read.)
         let color = with_scratch(|s| s.arena.acquire_u32_uninit(n));
-        dev.launch("mirror_break", n, |v, ctx| {
+        sanitize::label(&color, "jucele/color");
+        let _ = dev.launch("mirror_break", n, |v, ctx| {
             let s = succ.ld(ctx, v);
             let ss = succ.ld_gather(ctx, s as usize);
             let c = if ss == v as u32 && (v as u32) < s {
@@ -116,7 +121,7 @@ pub(crate) fn contraction_boruvka_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuB
         // Kernels: recalculate the connected components (pointer jumping).
         loop {
             changed.host_write(0, 0);
-            dev.launch("relabel", n, |v, ctx| {
+            let _ = dev.launch("relabel", n, |v, ctx| {
                 let c = color.ld(ctx, v);
                 let cc = color.ld_gather(ctx, c as usize);
                 if cc != c {
@@ -139,7 +144,7 @@ pub(crate) fn contraction_boruvka_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuB
                 k += 1;
             }
         }
-        dev.launch("renumber", n, |v, ctx| {
+        let _ = dev.launch("renumber", n, |v, ctx| {
             let _ = color.ld(ctx, v);
             ctx.charge_coalesced(8);
         });
@@ -147,9 +152,10 @@ pub(crate) fn contraction_boruvka_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuB
         // (`out` is only read up to the compacted count.)
         next_cnt.host_write(0, 0);
         let out = with_scratch(|s| s.arena.acquire_u32_uninit(4 * e_cnt));
+        sanitize::label(&out, "jucele/out");
         {
             let new_id = &new_id;
-            dev.launch("contract", e_cnt, |i, ctx| {
+            let _ = dev.launch("contract", e_cnt, |i, ctx| {
                 let u = eu.ld(ctx, i);
                 let v = ev.ld(ctx, i);
                 let cu = new_id[color.ld_gather(ctx, u as usize) as usize];

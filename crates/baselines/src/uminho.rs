@@ -9,7 +9,7 @@
 //! reconstruction cost ECL-MST avoids by never creating new graphs.
 
 use crate::GpuBaselineRun;
-use ecl_gpu_sim::{with_scratch, ConstBuf, Device, GpuProfile};
+use ecl_gpu_sim::{sanitize, with_scratch, ConstBuf, Device, GpuProfile};
 use ecl_graph::CsrGraph;
 use ecl_mst::{pack, unpack, DeviceCsr, MstResult, EMPTY};
 use rayon::prelude::*;
@@ -210,20 +210,22 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
     let mut adj = adjacency;
     let mut wts = arc_weights;
     let mut ids = arc_edge_ids;
-    let mut own_row: Option<Vec<u32>> = None;
     let mut arcs = g.num_arcs();
     let mut n = g.num_vertices();
 
     // Pooled loop-control flag, host-reset before every sweep.
     let changed = with_scratch(|s| s.arena.acquire_u32_uninit(1));
+    sanitize::label(&changed, "uminho/changed");
 
     while arcs > 0 {
-        let cur_row: &[u32] = own_row.as_deref().unwrap_or_else(|| g.row_starts());
+        let cur_row: &[u32] = row.as_slice();
         let (pick_val, pick_dst) =
             with_scratch(|s| (s.arena.acquire_u64(n, EMPTY), s.arena.acquire_u32_uninit(n)));
+        sanitize::label(&pick_val, "uminho/pick_val");
+        sanitize::label(&pick_dst, "uminho/pick_dst");
 
         // Kernel: per-vertex minimum edge (vertex-centric row scan).
-        dev.launch("find_min", n, |v, ctx| {
+        let _ = dev.launch("find_min", n, |v, ctx| {
             let lo = row.ld(ctx, v) as usize;
             let hi = row.ld(ctx, v + 1) as usize;
             let mut best = EMPTY;
@@ -246,7 +248,8 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
         // Kernel: mirror-break into colors and mark picked edges.
         // (`color` is fully written here before any read.)
         let color = with_scratch(|s| s.arena.acquire_u32_uninit(n));
-        dev.launch("pick", n, |v, ctx| {
+        sanitize::label(&color, "uminho/color");
+        let _ = dev.launch("pick", n, |v, ctx| {
             let val = pick_val.ld(ctx, v);
             if val == EMPTY {
                 color.st(ctx, v, v as u32); // isolated supervertex
@@ -268,7 +271,7 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
         // Kernels: pointer-jump color propagation until fixpoint.
         loop {
             changed.host_write(0, 0);
-            dev.launch("pointer_jump", n, |v, ctx| {
+            let _ = dev.launch("pointer_jump", n, |v, ctx| {
                 let c = color.ld(ctx, v);
                 let cc = color.ld_gather(ctx, c as usize);
                 if cc != c {
@@ -291,13 +294,14 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
                 k += 1;
             }
         }
-        dev.launch("renumber", n, |v, ctx| {
+        let _ = dev.launch("renumber", n, |v, ctx| {
             let _ = color.ld(ctx, v);
             ctx.charge_coalesced(8);
         });
 
         // CSR rebuild, pass 1: count the degrees of the new supervertices.
         let degree = with_scratch(|s| s.arena.acquire_u32(k.max(1), 0));
+        sanitize::label(&degree, "uminho/degree");
         // arc -> source map of the current CSR (host-side helper).
         let mut arc_src = vec![0u32; arcs];
         for v in 0..n {
@@ -306,7 +310,7 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
         {
             let arc_src = &arc_src;
             let new_id = &new_id;
-            dev.launch("count_degrees", arcs, |a, ctx| {
+            let _ = dev.launch("count_degrees", arcs, |a, ctx| {
                 let u = arc_src[a];
                 ctx.charge_coalesced(4); // arc_src load
                 let d = adj.ld(ctx, a);
@@ -323,7 +327,7 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
         for i in 0..k {
             new_row[i + 1] = new_row[i] + deg_host[i];
         }
-        dev.launch("scan_offsets", k, |i, ctx| {
+        let _ = dev.launch("scan_offsets", k, |i, ctx| {
             let _ = degree.ld(ctx, i);
             ctx.charge_coalesced(4);
         });
@@ -339,10 +343,14 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
                 s.arena.acquire_u32_uninit(total_new.max(1)),
             )
         });
+        sanitize::label(&cursor, "uminho/cursor");
+        sanitize::label(&out_adj, "uminho/out_adj");
+        sanitize::label(&out_w, "uminho/out_w");
+        sanitize::label(&out_id, "uminho/out_id");
         {
             let arc_src = &arc_src;
             let new_id = &new_id;
-            dev.launch("scatter_arcs", arcs, |a, ctx| {
+            let _ = dev.launch("scatter_arcs", arcs, |a, ctx| {
                 let u = arc_src[a];
                 ctx.charge_coalesced(4);
                 let d = adj.ld(ctx, a);
@@ -362,7 +370,7 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
         // adjacency with a segmented (radix) sort — four full passes, each
         // reading every arc and scattering it to its bucket.
         for pass in 0..4u32 {
-            dev.launch(&format!("sort_pass_{pass}"), total_new, |a, ctx| {
+            let _ = dev.launch(&format!("sort_pass_{pass}"), total_new, |a, ctx| {
                 let _ = out_adj.ld(ctx, a);
                 ctx.charge_coalesced(8); // weight + id payload
                 ctx.charge_gather(); // scattered bucket write
@@ -376,8 +384,7 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
         next_w.truncate(total_new);
         let mut next_id = out_id.to_vec();
         next_id.truncate(total_new);
-        row = Arc::new(ConstBuf::from_slice(&new_row));
-        own_row = Some(new_row);
+        row = Arc::new(ConstBuf::from_vec(new_row));
         adj = Arc::new(ConstBuf::from_vec(next_adj));
         wts = Arc::new(ConstBuf::from_vec(next_w));
         ids = Arc::new(ConstBuf::from_vec(next_id));

@@ -88,7 +88,7 @@ fn bench_atomics(c: &mut Criterion) {
         b.iter(|| {
             let mut dev = Device::new(GpuProfile::TITAN_V);
             let counter = BufU32::new(1, 0);
-            dev.launch("count", N, |_, ctx| {
+            let _ = dev.launch("count", N, |_, ctx| {
                 counter.atomic_add(ctx, 0, 1);
             });
             black_box(counter.host_read(0))
@@ -98,7 +98,7 @@ fn bench_atomics(c: &mut Criterion) {
         b.iter(|| {
             let mut dev = Device::new(GpuProfile::TITAN_V);
             let counter = BufU32::new(1, 0);
-            dev.launch("count", N, |_, ctx| {
+            let _ = dev.launch("count", N, |_, ctx| {
                 counter.atomic_add_aggregated(ctx, 0, 1);
             });
             black_box(counter.host_read(0))

@@ -11,7 +11,9 @@
 use ecl_gpu_sim::{scratch_footprint, GpuProfile};
 use ecl_graph::suite;
 use ecl_mst_bench::registry::{all_codes, MstCode};
-use ecl_mst_bench::runner::{peak_rss_bytes, scale_from_args, wall, Repeats};
+use ecl_mst_bench::runner::{
+    peak_rss_bytes, sanitize_from_args, scale_from_args, wall, with_optional_sanitizer, Repeats,
+};
 use std::fmt::Write as _;
 
 /// Wall-clock seconds of the Table 3 workload before this refactor.
@@ -38,24 +40,30 @@ fn main() {
     let mut wall_s = vec![0.0f64; codes.len()];
     let mut sim_s = vec![0.0f64; codes.len()];
     let mut n_inputs = 0usize;
-    let total_wall = wall(|| {
-        let entries = suite(scale);
-        n_inputs = entries.len();
-        for e in &entries {
-            eprintln!("measuring {} ...", e.name);
-            for (c, code) in codes.iter().enumerate() {
-                let mut sim = 0.0;
-                wall_s[c] += wall(|| {
-                    for _ in 0..repeats.0.max(1) {
-                        if let Ok(s) = (code.run)(&e.graph, profile) {
-                            sim += s;
+    // `--sanitize` wraps the whole timed window in a sanitizer session; the
+    // resulting wall numbers measure the checked path, not the hot path, so
+    // don't compare them to the baseline constant.
+    let sanitize = sanitize_from_args(&args);
+    let total_wall = with_optional_sanitizer(sanitize, || {
+        wall(|| {
+            let entries = suite(scale);
+            n_inputs = entries.len();
+            for e in &entries {
+                eprintln!("measuring {} ...", e.name);
+                for (c, code) in codes.iter().enumerate() {
+                    let mut sim = 0.0;
+                    wall_s[c] += wall(|| {
+                        for _ in 0..repeats.0.max(1) {
+                            if let Ok(s) = (code.run)(&e.graph, profile) {
+                                sim += s;
+                            }
                         }
-                    }
-                });
-                sim_s[c] += sim;
+                    });
+                    sim_s[c] += sim;
+                }
+                ecl_mst::evict_graph(&e.graph);
             }
-            ecl_mst::evict_graph(&e.graph);
-        }
+        })
     });
 
     let (const_bytes, pooled_bytes) = scratch_footprint();
@@ -79,7 +87,7 @@ fn main() {
     let _ = writeln!(json, "  \"total_wall_seconds\": {total_wall:.4},");
     // The baseline constant was measured at scale Small / 3 repeats; a
     // cross-scale ratio would be meaningless, so other workloads get null.
-    if matches!(scale, ecl_graph::SuiteScale::Small) && repeats.0.max(1) == 3 {
+    if matches!(scale, ecl_graph::SuiteScale::Small) && repeats.0.max(1) == 3 && !sanitize {
         let _ = writeln!(
             json,
             "  \"baseline_wall_seconds\": {BASELINE_WALL_SECONDS:.4},"

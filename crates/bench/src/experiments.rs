@@ -2,7 +2,9 @@
 
 use crate::chart::bar_chart;
 use crate::registry::{all_codes, MstCode, Timing};
-use crate::runner::{geomean, median_time, scale_from_args, Repeats};
+use crate::runner::{
+    geomean, median_time, sanitize_from_args, scale_from_args, with_optional_sanitizer, Repeats,
+};
 use crate::table::{fmt_geomean, fmt_timing, Table};
 use ecl_gpu_sim::GpuProfile;
 use ecl_graph::{suite, SuiteEntry};
@@ -87,7 +89,9 @@ pub struct SystemTableArgs {
 pub fn run_system_table(a: SystemTableArgs) {
     let scale = scale_from_args(&a.args);
     let repeats = Repeats::from_args(&a.args);
-    let m = measure_matrix(a.profile, a.with_cugraph, scale, repeats);
+    let m = with_optional_sanitizer(sanitize_from_args(&a.args), || {
+        measure_matrix(a.profile, a.with_cugraph, scale, repeats)
+    });
 
     let mut header = vec!["Input".to_string()];
     header.extend(m.code_names.iter().map(|s| s.to_string()));
@@ -156,7 +160,9 @@ pub fn run_throughput_figure(
 ) {
     let scale = scale_from_args(args);
     let repeats = Repeats::from_args(args);
-    let m = measure_matrix(profile, with_cugraph, scale, repeats);
+    let m = with_optional_sanitizer(sanitize_from_args(args), || {
+        measure_matrix(profile, with_cugraph, scale, repeats)
+    });
     println!("{title} (scale {scale:?}): throughput in millions of edges per second\n");
     for (e, row) in m.entries.iter().zip(&m.cells) {
         println!("== {} ({} arcs) ==", e.name, e.graph.num_arcs());

@@ -41,6 +41,31 @@ pub fn scale_from_args(args: &[String]) -> ecl_graph::SuiteScale {
     }
 }
 
+/// True when `--sanitize` is present in the argument list.
+pub fn sanitize_from_args(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--sanitize")
+}
+
+/// Runs `f` under a gpu-sim sanitizer session when `enabled`; otherwise
+/// calls it directly. The report is printed to stderr afterwards and the
+/// process exits nonzero if any violation was recorded, so `--sanitize`
+/// runs double as a correctness gate in CI.
+pub fn with_optional_sanitizer<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    if !enabled {
+        return f();
+    }
+    let (out, report) = ecl_gpu_sim::with_sanitizer(f);
+    eprintln!("{report}");
+    if !report.is_clean() {
+        eprintln!(
+            "--sanitize: {} violation(s) detected; failing the run",
+            report.violations().len()
+        );
+        std::process::exit(1);
+    }
+    out
+}
+
 /// Wall-clock seconds of one invocation (for the real CPU codes).
 pub fn wall<T>(f: impl FnOnce() -> T) -> f64 {
     let start = Instant::now();

@@ -32,7 +32,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ecl_gpu_sim::{with_scratch, BufU32, ConstBuf, Device, GpuProfile, KernelRecord, TaskCtx};
+use ecl_gpu_sim::{
+    sanitize, with_scratch, BufU32, ConstBuf, Device, GpuProfile, KernelRecord, TaskCtx,
+};
 use ecl_graph::CsrGraph;
 
 /// Result of a connected-components run.
@@ -101,10 +103,11 @@ pub fn connected_components_gpu(g: &CsrGraph, profile: GpuProfile) -> CcRun {
         });
         (rs, adj, s.arena.acquire_u32_uninit(n.max(1)))
     });
+    sanitize::label(&parent, "cc/parent");
     dev.memcpy_h2d(row_starts.size_bytes() + adjacency.size_bytes());
 
     // Kernel 1: hook every vertex onto its first smaller neighbor.
-    dev.launch("cc_init", n, |v, ctx| {
+    let _ = dev.launch("cc_init", n, |v, ctx| {
         let lo = row_starts.ld(ctx, v) as usize;
         let hi = row_starts.ld(ctx, v + 1) as usize;
         let mut p = v as u32;
@@ -120,7 +123,7 @@ pub fn connected_components_gpu(g: &CsrGraph, profile: GpuProfile) -> CcRun {
 
     // Kernel 2: hybrid process — low-degree vertices link their edges on a
     // single lane, high-degree vertices across a warp.
-    dev.launch_warps("cc_process", n, |v, w| {
+    let _ = dev.launch_warps("cc_process", n, |v, w| {
         let lo = row_starts.ld(&mut w.serial, v) as usize;
         let hi = row_starts.ld(&mut w.serial, v + 1) as usize;
         let deg = hi - lo;
@@ -150,7 +153,7 @@ pub fn connected_components_gpu(g: &CsrGraph, profile: GpuProfile) -> CcRun {
     });
 
     // Kernel 3: flatten to final labels.
-    dev.launch("cc_flatten", n, |v, ctx| {
+    let _ = dev.launch("cc_flatten", n, |v, ctx| {
         let r = find_repr(&parent, ctx, v as u32);
         parent.st(ctx, v, r);
     });

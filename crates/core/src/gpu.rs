@@ -19,8 +19,8 @@ use crate::filter::{plan_filter, FilterPlan};
 use crate::result::{pack, MstResult, EMPTY};
 use crate::upload::{derived_const, DeviceCsr};
 use ecl_gpu_sim::{
-    with_scratch, BufU32, BufU64, Device, DeviceArena, GpuProfile, KernelRecord, TaskCtx, WarpCtx,
-    WARP_SIZE,
+    sanitize, with_scratch, BufU32, BufU64, Device, DeviceArena, GpuProfile, KernelRecord, TaskCtx,
+    WarpCtx, WARP_SIZE,
 };
 use ecl_graph::{CsrGraph, Weight};
 
@@ -143,7 +143,7 @@ impl<'g> GpuState<'g> {
         with_scratch(|s| {
             let csr = DeviceCsr::get_with(s, g);
             let a = &mut s.arena;
-            Self {
+            let st = Self {
                 g,
                 cfg,
                 csr,
@@ -156,7 +156,12 @@ impl<'g> GpuState<'g> {
                 ],
                 wl_size: a.acquire_u32_uninit(2),
                 iterations: 0,
-            }
+            };
+            sanitize::label(&st.parent, "parent");
+            sanitize::label(&st.min_edge, "min_edge");
+            sanitize::label(&st.in_mst, "in_mst");
+            sanitize::label(&st.wl_size, "wl_size");
+            st
         })
     }
 
@@ -244,7 +249,7 @@ impl<'g> GpuState<'g> {
         let parent = &self.parent;
         let min_edge = &self.min_edge;
         let in_mst = &self.in_mst;
-        dev.launch("setup", n.max(m), |i, ctx| {
+        let _ = dev.launch("setup", n.max(m), |i, ctx| {
             if i < n {
                 parent.st(ctx, i, i as u32);
                 min_edge.st(ctx, i, FREE);
@@ -269,7 +274,7 @@ impl<'g> GpuState<'g> {
         let n = self.g.num_vertices();
         self.wl_size.host_write(which, 0);
         let st = &*self;
-        dev.launch_warps("init", n, |v, w| {
+        let _ = dev.launch_warps("init", n, |v, w| {
             // Consecutive tasks load consecutive row offsets: coalesced.
             let lo = st.csr.row_starts.ld(&mut w.serial, v) as usize;
             let hi = st.csr.row_starts.ld(&mut w.serial, v + 1) as usize;
@@ -405,7 +410,7 @@ impl<'g> GpuState<'g> {
         self.iterations += 1;
         self.wl_size.host_write(dst, 0);
         let st = &*self;
-        dev.launch("kernel1", src_len, |i, ctx| {
+        let _ = dev.launch("kernel1", src_len, |i, ctx| {
             let [v, n, wgt, id] = st.wl[src].read(ctx, i);
             let p = st.find(ctx, v);
             let q = st.find(ctx, n);
@@ -429,7 +434,7 @@ impl<'g> GpuState<'g> {
     /// are merged with `atomicCAS`.
     fn kernel2(&mut self, dev: &mut Device, which: usize, len: usize) {
         let st = &*self;
-        dev.launch("kernel2", len, |i, ctx| {
+        let _ = dev.launch("kernel2", len, |i, ctx| {
             let [v, n, wgt, id] = st.wl[which].read(ctx, i);
             let (p, q) = if st.cfg.implicit_compression {
                 (v, n)
@@ -449,7 +454,7 @@ impl<'g> GpuState<'g> {
     /// **Kernel 3** (Lines 34–37): reset the touched reservation words.
     fn kernel3(&mut self, dev: &mut Device, which: usize, len: usize) {
         let st = &*self;
-        dev.launch("kernel3", len, |i, ctx| {
+        let _ = dev.launch("kernel3", len, |i, ctx| {
             let [v, n, _, _] = st.wl[which].read(ctx, i);
             let (p, q) = if st.cfg.implicit_compression {
                 (v, n)
@@ -500,13 +505,14 @@ impl<'g> GpuState<'g> {
         });
         {
             let rs = &self.csr.row_starts;
-            dev.launch("build_arc_src", n, |v, ctx| {
+            let _ = dev.launch("build_arc_src", n, |v, ctx| {
                 let lo = rs.ld(ctx, v) as usize;
                 let hi = rs.ld(ctx, v + 1) as usize;
                 ctx.charge_coalesced(4 * (hi - lo) as u64);
             });
         }
         let live = with_scratch(|s| s.arena.acquire_u32_uninit(1));
+        sanitize::label(&live, "live");
         loop {
             self.iterations += 1;
             live.host_write(0, 0);
@@ -548,13 +554,13 @@ impl<'g> GpuState<'g> {
                 }
             };
             if self.cfg.edge_centric {
-                dev.launch("kernel1", self.g.num_arcs(), |a, ctx| {
+                let _ = dev.launch("kernel1", self.g.num_arcs(), |a, ctx| {
                     let v = arc_src.ld(ctx, a);
                     reserve_body(v, a, ctx);
                 });
             } else {
                 let rs = &self.csr.row_starts;
-                dev.launch("kernel1", n, |v, ctx| {
+                let _ = dev.launch("kernel1", n, |v, ctx| {
                     let lo = rs.ld(ctx, v) as usize;
                     let hi = rs.ld(ctx, v + 1) as usize;
                     for a in lo..hi {
@@ -567,13 +573,13 @@ impl<'g> GpuState<'g> {
                 break;
             }
             if self.cfg.edge_centric {
-                dev.launch("kernel2", self.g.num_arcs(), |a, ctx| {
+                let _ = dev.launch("kernel2", self.g.num_arcs(), |a, ctx| {
                     let v = arc_src.ld(ctx, a);
                     select_body(v, a, ctx);
                 });
             } else {
                 let rs = &self.csr.row_starts;
-                dev.launch("kernel2", n, |v, ctx| {
+                let _ = dev.launch("kernel2", n, |v, ctx| {
                     let lo = rs.ld(ctx, v) as usize;
                     let hi = rs.ld(ctx, v + 1) as usize;
                     for a in lo..hi {
@@ -582,7 +588,7 @@ impl<'g> GpuState<'g> {
                 });
             }
             let min_edge = &self.min_edge;
-            dev.launch("kernel3", n, |v, ctx| {
+            let _ = dev.launch("kernel3", n, |v, ctx| {
                 min_edge.st(ctx, v, FREE);
             });
         }

@@ -35,6 +35,7 @@
 //! kernel execution — because re-entrant use panics (`RefCell`).
 
 use crate::memory::{BufU32, BufU64, ConstBuf};
+use crate::sanitize::{self, ShadowBuf};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -71,6 +72,7 @@ impl DeviceArena {
             None => BufU32::new(class, 0),
         };
         b.retarget(len);
+        sanitize::on_uninit_acquire(b.shadow_ref());
         b
     }
 
@@ -98,6 +100,7 @@ impl DeviceArena {
             None => BufU64::new(class, 0),
         };
         b.retarget(len);
+        sanitize::on_uninit_acquire(b.shadow_ref());
         b
     }
 
@@ -108,13 +111,19 @@ impl DeviceArena {
         b
     }
 
-    /// Returns a buffer to its capacity-class pool.
+    /// Returns a buffer to its capacity-class pool. Under the sanitizer
+    /// the buffer is marked released: further device access (through a
+    /// stale clone of its shadow identity) is a memcheck violation until
+    /// it is re-acquired.
     pub fn release_u32(&mut self, b: BufU32) {
+        sanitize::on_release(b.shadow_ref());
         self.u32_free.entry(b.capacity()).or_default().push(b);
     }
 
-    /// Returns a buffer to its capacity-class pool.
+    /// Returns a buffer to its capacity-class pool (see
+    /// [`DeviceArena::release_u32`] for sanitizer semantics).
     pub fn release_u64(&mut self, b: BufU64) {
+        sanitize::on_release(b.shadow_ref());
         self.u64_free.entry(b.capacity()).or_default().push(b);
     }
 
@@ -162,10 +171,15 @@ impl ConstCache {
         tag: &'static str,
         build: impl FnOnce() -> ConstBuf,
     ) -> Arc<ConstBuf> {
-        self.map
+        let buf = self
+            .map
             .entry((key, tag))
             .or_insert_with(|| Arc::new(build()))
-            .clone()
+            .clone();
+        // Cache hits re-label so a sanitizer session started after the
+        // upload still reports the human-readable tag.
+        crate::sanitize::label(&*buf, tag);
+        buf
     }
 
     /// Drops every entry belonging to `key` (all tags).

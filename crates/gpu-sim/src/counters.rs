@@ -2,6 +2,11 @@
 
 /// Per-task (thread or warp) event accumulator. Buffer accessors charge
 /// traffic here; the device aggregates tasks into a [`LaunchStats`].
+///
+/// Deliberately holds *only* the five metered counters: sanitizer state
+/// lives in thread-locals inside [`crate::sanitize`], because widening this
+/// struct measurably slows the kernel hot path (it is copied and merged per
+/// task).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TaskCtx {
     /// Bytes moved by coalesced accesses.
@@ -79,6 +84,7 @@ impl TaskCtx {
 }
 
 /// Aggregated statistics of one kernel launch.
+#[must_use]
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LaunchStats {
     /// Sum of all task events.

@@ -3,6 +3,7 @@
 
 use crate::counters::{KernelRecord, LaunchStats, TaskCtx};
 use crate::profile::GpuProfile;
+use crate::sanitize;
 use crate::warp::{WarpCtx, WARP_SIZE};
 use rayon::prelude::*;
 
@@ -75,10 +76,18 @@ impl Device {
                 profile.access_overhead_bytes,
             )
         };
-        let stats = if self.sequential {
+        // With a sanitizer session active, run the sequential path with
+        // per-task shadow attribution. Charging happens before recording in
+        // every accessor and the task order is identical, so the metered
+        // stats are bit-identical to an unsanitized launch.
+        let sanitized = sanitize::launch_begin(name);
+        let stats = if self.sequential || sanitized {
             let mut totals = TaskCtx::new();
             let mut critical = 0u64;
             for i in 0..tasks {
+                if sanitized {
+                    sanitize::set_task(i as u64);
+                }
                 let mut ctx = TaskCtx::new();
                 f(i, &mut ctx);
                 critical = critical.max(traffic(&ctx));
@@ -116,6 +125,9 @@ impl Device {
                 tasks: tasks as u64,
             }
         };
+        if sanitized {
+            sanitize::launch_end();
+        }
         self.record(name, stats);
         stats
     }
@@ -138,7 +150,11 @@ impl Device {
                 profile.access_overhead_bytes,
             )
         };
+        let sanitized = sanitize::launch_begin(name);
         let run_task = |i: usize| -> (TaskCtx, u64) {
+            if sanitized {
+                sanitize::set_task(i as u64);
+            }
             let mut w = WarpCtx::new();
             f(i, &mut w);
             let crit = traffic(&w.serial) + traffic(&w.parallel) / WARP_SIZE as u64;
@@ -146,7 +162,7 @@ impl Device {
             merged.merge(&w.parallel);
             (merged, crit)
         };
-        let stats = if self.sequential {
+        let stats = if self.sequential || sanitized {
             let mut totals = TaskCtx::new();
             let mut critical = 0u64;
             for i in 0..tasks {
@@ -185,6 +201,9 @@ impl Device {
                 tasks: tasks as u64,
             }
         };
+        if sanitized {
+            sanitize::launch_end();
+        }
         self.record(name, stats);
         stats
     }
@@ -281,7 +300,7 @@ mod tests {
     fn launch_runs_every_task() {
         let mut dev = Device::new(GpuProfile::TITAN_V);
         let out = BufU32::new(100, 0);
-        dev.launch("mark", 100, |i, ctx| {
+        let _ = dev.launch("mark", 100, |i, ctx| {
             out.st(ctx, i, i as u32 + 1);
         });
         for i in 0..100 {
@@ -292,10 +311,10 @@ mod tests {
     #[test]
     fn clock_advances_per_launch() {
         let mut dev = Device::new(GpuProfile::TITAN_V);
-        dev.launch("noop", 0, |_, _| {});
+        let _ = dev.launch("noop", 0, |_, _| {});
         let t1 = dev.kernel_seconds();
         assert!(t1 >= GpuProfile::TITAN_V.launch_overhead);
-        dev.launch("noop", 0, |_, _| {});
+        let _ = dev.launch("noop", 0, |_, _| {});
         assert!(dev.kernel_seconds() > t1);
         assert_eq!(dev.launches(), 2);
     }
@@ -305,11 +324,11 @@ mod tests {
         let data: Vec<u32> = (0..100_000).collect();
         let buf = ConstBuf::from_slice(&data);
         let mut light = Device::new(GpuProfile::TITAN_V);
-        light.launch("read1", 1000, |i, ctx| {
+        let _ = light.launch("read1", 1000, |i, ctx| {
             let _ = buf.ld(ctx, i);
         });
         let mut heavy = Device::new(GpuProfile::TITAN_V);
-        heavy.launch("read100", 1000, |i, ctx| {
+        let _ = heavy.launch("read100", 1000, |i, ctx| {
             for k in 0..100 {
                 let _ = buf.ld(ctx, i * 100 + k);
             }
@@ -323,13 +342,13 @@ mod tests {
         let data: Vec<u32> = (0..1 << 16).collect();
         let buf = ConstBuf::from_slice(&data);
         let mut balanced = Device::new(GpuProfile::TITAN_V);
-        balanced.launch("balanced", 1 << 12, |i, ctx| {
+        let _ = balanced.launch("balanced", 1 << 12, |i, ctx| {
             for k in 0..16 {
                 let _ = buf.ld_gather(ctx, (i * 16 + k) % data.len());
             }
         });
         let mut skewed = Device::new(GpuProfile::TITAN_V);
-        skewed.launch("skewed", 1 << 12, |i, ctx| {
+        let _ = skewed.launch("skewed", 1 << 12, |i, ctx| {
             if i == 0 {
                 for k in 0..(1 << 16) {
                     let _ = buf.ld_gather(ctx, k % data.len());
@@ -346,7 +365,7 @@ mod tests {
         // One hub task with lots of traffic: warp-parallel metering should
         // yield a smaller simulated time than serial metering.
         let mut as_serial = Device::new(GpuProfile::TITAN_V);
-        as_serial.launch_warps("serial-hub", 64, |i, w| {
+        let _ = as_serial.launch_warps("serial-hub", 64, |i, w| {
             if i == 0 {
                 for k in 0..(1 << 16) {
                     let _ = buf.ld(&mut w.serial, k);
@@ -354,7 +373,7 @@ mod tests {
             }
         });
         let mut as_parallel = Device::new(GpuProfile::TITAN_V);
-        as_parallel.launch_warps("warp-hub", 64, |i, w| {
+        let _ = as_parallel.launch_warps("warp-hub", 64, |i, w| {
             if i == 0 {
                 for k in 0..(1 << 16) {
                     let _ = buf.ld(&mut w.parallel, k);
@@ -396,7 +415,7 @@ mod tests {
     #[test]
     fn reset_clears_clock_and_log() {
         let mut dev = Device::new(GpuProfile::TITAN_V);
-        dev.launch("k", 1, |_, ctx| ctx.charge_coalesced(4));
+        let _ = dev.launch("k", 1, |_, ctx| ctx.charge_coalesced(4));
         dev.memcpy_h2d(1024);
         dev.reset();
         assert_eq!(dev.kernel_seconds(), 0.0);
@@ -407,9 +426,9 @@ mod tests {
     #[test]
     fn time_by_kernel_groups_names() {
         let mut dev = Device::new(GpuProfile::TITAN_V);
-        dev.launch("a", 1, |_, _| {});
-        dev.launch("b", 1, |_, _| {});
-        dev.launch("a", 1, |_, _| {});
+        let _ = dev.launch("a", 1, |_, _| {});
+        let _ = dev.launch("b", 1, |_, _| {});
+        let _ = dev.launch("a", 1, |_, _| {});
         let by = dev.time_by_kernel();
         assert_eq!(by.len(), 2);
         let a = by.iter().find(|(n, _)| n == "a").unwrap().1;
@@ -421,11 +440,11 @@ mod tests {
     fn atomics_cost_more_than_loads() {
         let buf = BufU32::new(1 << 12, 0);
         let mut loads = Device::new(GpuProfile::TITAN_V);
-        loads.launch("loads", 1 << 12, |i, ctx| {
+        let _ = loads.launch("loads", 1 << 12, |i, ctx| {
             let _ = buf.ld(ctx, i);
         });
         let mut atomics = Device::new(GpuProfile::TITAN_V);
-        atomics.launch("atomics", 1 << 12, |i, ctx| {
+        let _ = atomics.launch("atomics", 1 << 12, |i, ctx| {
             let _ = buf.atomic_add(ctx, i, 1);
         });
         assert!(atomics.kernel_seconds() > loads.kernel_seconds());

@@ -40,6 +40,7 @@ pub mod counters;
 pub mod device;
 pub mod memory;
 pub mod profile;
+pub mod sanitize;
 pub mod warp;
 
 pub use arena::{clear_scratch, scratch_footprint, with_scratch, ConstCache, DeviceArena, Scratch};
@@ -47,4 +48,5 @@ pub use counters::{KernelRecord, LaunchStats, TaskCtx};
 pub use device::Device;
 pub use memory::{BufU32, BufU64, ConstBuf};
 pub use profile::GpuProfile;
+pub use sanitize::{with_sanitizer, SanitizerReport, Violation, ViolationKind};
 pub use warp::{WarpCtx, WARP_SIZE};

@@ -17,25 +17,43 @@
 //! profile of the CUDA code would surface.
 
 use crate::counters::TaskCtx;
+use crate::sanitize::{self, BufRef, ShadowBuf};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Hands out process-unique buffer ids for the sanitizer's shadow maps.
+fn next_uid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Read-only device buffer of `u32` (the graph's CSR arrays).
 #[derive(Debug, Clone)]
 pub struct ConstBuf {
     data: Vec<u32>,
+    /// Shadow identity; clones share it (read-only data, same allocation
+    /// semantics as an `Arc`'d upload).
+    uid: u64,
 }
 
 impl ConstBuf {
     /// Uploads a host slice (metering of the H2D copy is the device's job).
     pub fn from_slice(data: &[u32]) -> Self {
-        Self {
-            data: data.to_vec(),
-        }
+        Self::from_vec(data.to_vec())
     }
 
     /// Uploads an owned host vector without copying it.
     pub fn from_vec(data: Vec<u32>) -> Self {
-        Self { data }
+        Self {
+            data,
+            uid: next_uid(),
+        }
+    }
+
+    /// Unmetered host-side view of the uploaded words (the host kept its
+    /// copy; reading it costs nothing on the device).
+    #[must_use]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.data
     }
 
     /// Number of elements.
@@ -57,6 +75,9 @@ impl ConstBuf {
     #[inline]
     pub fn ld(&self, ctx: &mut TaskCtx, i: usize) -> u32 {
         ctx.charge_coalesced(4);
+        if sanitize::active() {
+            sanitize::device_read(self.shadow_ref(), sanitize::current_task(), i);
+        }
         self.data[i]
     }
 
@@ -64,6 +85,9 @@ impl ConstBuf {
     #[inline]
     pub fn ld_gather(&self, ctx: &mut TaskCtx, i: usize) -> u32 {
         ctx.charge_gather();
+        if sanitize::active() {
+            sanitize::device_read(self.shadow_ref(), sanitize::current_task(), i);
+        }
         self.data[i]
     }
 
@@ -73,6 +97,9 @@ impl ConstBuf {
     #[inline]
     pub fn ld_span(&self, ctx: &mut TaskCtx, start: usize, len: usize) -> &[u32] {
         ctx.charge_coalesced(4 * len as u64);
+        if sanitize::active() {
+            sanitize::device_read_span(self.shadow_ref(), sanitize::current_task(), start, len);
+        }
         &self.data[start..start + len]
     }
 
@@ -85,7 +112,20 @@ impl ConstBuf {
         if (i - row_start).is_multiple_of(8) {
             ctx.charge_gather();
         }
+        if sanitize::active() {
+            sanitize::device_read(self.shadow_ref(), sanitize::current_task(), i);
+        }
         self.data[i]
+    }
+}
+
+impl ShadowBuf for ConstBuf {
+    fn shadow_ref(&self) -> BufRef {
+        BufRef {
+            uid: self.uid,
+            kind: "const",
+            len: self.data.len(),
+        }
     }
 }
 
@@ -100,6 +140,7 @@ impl ConstBuf {
 pub struct BufU32 {
     data: Vec<AtomicU32>,
     len: usize,
+    uid: u64,
 }
 
 impl BufU32 {
@@ -108,6 +149,7 @@ impl BufU32 {
         Self {
             data: (0..len).map(|_| AtomicU32::new(init)).collect(),
             len,
+            uid: next_uid(),
         }
     }
 
@@ -116,6 +158,7 @@ impl BufU32 {
         Self {
             data: data.iter().map(|&x| AtomicU32::new(x)).collect(),
             len: data.len(),
+            uid: next_uid(),
         }
     }
 
@@ -150,15 +193,23 @@ impl BufU32 {
 
     /// Coalesced read.
     #[inline]
+    #[must_use]
     pub fn ld(&self, ctx: &mut TaskCtx, i: usize) -> u32 {
         ctx.charge_coalesced(4);
+        if sanitize::active() {
+            sanitize::device_read(self.shadow_ref(), sanitize::current_task(), i);
+        }
         self.data[i].load(Ordering::Relaxed)
     }
 
     /// Random-address read.
     #[inline]
+    #[must_use]
     pub fn ld_gather(&self, ctx: &mut TaskCtx, i: usize) -> u32 {
         ctx.charge_gather();
+        if sanitize::active() {
+            sanitize::device_read(self.shadow_ref(), sanitize::current_task(), i);
+        }
         self.data[i].load(Ordering::Relaxed)
     }
 
@@ -166,6 +217,9 @@ impl BufU32 {
     #[inline]
     pub fn st(&self, ctx: &mut TaskCtx, i: usize, v: u32) {
         ctx.charge_coalesced(4);
+        if sanitize::active() {
+            sanitize::device_write(self.shadow_ref(), sanitize::current_task(), i, u64::from(v));
+        }
         self.data[i].store(v, Ordering::Relaxed);
     }
 
@@ -173,6 +227,9 @@ impl BufU32 {
     #[inline]
     pub fn st_scatter(&self, ctx: &mut TaskCtx, i: usize, v: u32) {
         ctx.charge_gather();
+        if sanitize::active() {
+            sanitize::device_write(self.shadow_ref(), sanitize::current_task(), i, u64::from(v));
+        }
         self.data[i].store(v, Ordering::Relaxed);
     }
 
@@ -180,6 +237,9 @@ impl BufU32 {
     #[inline]
     pub fn atomic_add(&self, ctx: &mut TaskCtx, i: usize, v: u32) -> u32 {
         ctx.charge_atomic();
+        if sanitize::active() {
+            sanitize::device_rmw(self.shadow_ref(), sanitize::current_task(), i);
+        }
         self.data[i].fetch_add(v, Ordering::AcqRel)
     }
 
@@ -191,6 +251,9 @@ impl BufU32 {
     #[inline]
     pub fn atomic_add_aggregated(&self, ctx: &mut TaskCtx, i: usize, v: u32) -> u32 {
         ctx.charge_coalesced(4);
+        if sanitize::active() {
+            sanitize::device_rmw(self.shadow_ref(), sanitize::current_task(), i);
+        }
         self.data[i].fetch_add(v, Ordering::AcqRel)
     }
 
@@ -205,6 +268,9 @@ impl BufU32 {
         new: u32,
     ) -> Result<u32, u32> {
         ctx.charge_atomic();
+        if sanitize::active() {
+            sanitize::device_rmw(self.shadow_ref(), sanitize::current_task(), i);
+        }
         match self.data[i].compare_exchange(expect, new, Ordering::AcqRel, Ordering::Acquire) {
             Ok(p) => Ok(p),
             Err(a) => {
@@ -218,14 +284,21 @@ impl BufU32 {
     #[inline]
     pub fn atomic_min(&self, ctx: &mut TaskCtx, i: usize, v: u32) -> u32 {
         ctx.charge_atomic();
+        if sanitize::active() {
+            sanitize::device_rmw(self.shadow_ref(), sanitize::current_task(), i);
+        }
         self.data[i].fetch_min(v, Ordering::AcqRel)
     }
 
     /// Vectorized coalesced load of 4 consecutive words (CUDA `int4`):
     /// one access instruction for 16 bytes — the AoS 4-tuple read.
     #[inline]
+    #[must_use]
     pub fn ld4(&self, ctx: &mut TaskCtx, base: usize) -> [u32; 4] {
         ctx.charge_coalesced(16);
+        if sanitize::active() {
+            sanitize::device_read_span(self.shadow_ref(), sanitize::current_task(), base, 4);
+        }
         [
             self.data[base].load(Ordering::Relaxed),
             self.data[base + 1].load(Ordering::Relaxed),
@@ -239,21 +312,34 @@ impl BufU32 {
     pub fn st4(&self, ctx: &mut TaskCtx, base: usize, v: [u32; 4]) {
         ctx.charge_coalesced(16);
         for (k, x) in v.into_iter().enumerate() {
+            if sanitize::active() {
+                sanitize::device_write(
+                    self.shadow_ref(),
+                    sanitize::current_task(),
+                    base + k,
+                    u64::from(x),
+                );
+            }
             self.data[base + k].store(x, Ordering::Relaxed);
         }
     }
 
-    /// Unmetered host-side read (after a simulated D2H copy).
+    /// Unmetered host-side read (after a simulated D2H copy). Host reads of
+    /// uninitialized words are deliberately not sanitized — copying back a
+    /// partially-written region is normal host behavior.
+    #[must_use]
     pub fn host_read(&self, i: usize) -> u32 {
         self.data[i].load(Ordering::Acquire)
     }
 
     /// Unmetered host-side write (before a simulated H2D copy).
     pub fn host_write(&self, i: usize, v: u32) {
+        sanitize::on_host_write(self.uid, i, i + 1);
         self.data[i].store(v, Ordering::Release)
     }
 
     /// Unmetered host-side snapshot of the logical contents.
+    #[must_use]
     pub fn to_vec(&self) -> Vec<u32> {
         self.data[..self.len]
             .iter()
@@ -264,6 +350,7 @@ impl BufU32 {
     /// Unmetered host-side fill (cudaMemset analogue; meter it via the
     /// device if the fill is part of the measured region).
     pub fn fill(&self, v: u32) {
+        sanitize::on_host_write(self.uid, 0, self.len);
         for x in &self.data[..self.len] {
             x.store(v, Ordering::Release);
         }
@@ -276,6 +363,7 @@ impl BufU32 {
             data.len() <= self.len,
             "host_write_slice beyond logical length"
         );
+        sanitize::on_host_write(self.uid, 0, data.len());
         for (x, &v) in self.data.iter().zip(data) {
             x.store(v, Ordering::Release);
         }
@@ -284,8 +372,19 @@ impl BufU32 {
     /// Unmetered host-side write of the identity sequence `0, 1, 2, …`
     /// (common initial parent/color arrays) without a staging allocation.
     pub fn host_write_iota(&self) {
+        sanitize::on_host_write(self.uid, 0, self.len);
         for (i, x) in self.data[..self.len].iter().enumerate() {
             x.store(i as u32, Ordering::Release);
+        }
+    }
+}
+
+impl ShadowBuf for BufU32 {
+    fn shadow_ref(&self) -> BufRef {
+        BufRef {
+            uid: self.uid,
+            kind: "u32",
+            len: self.len,
         }
     }
 }
@@ -297,6 +396,7 @@ impl BufU32 {
 pub struct BufU64 {
     data: Vec<AtomicU64>,
     len: usize,
+    uid: u64,
 }
 
 impl BufU64 {
@@ -305,6 +405,7 @@ impl BufU64 {
         Self {
             data: (0..len).map(|_| AtomicU64::new(init)).collect(),
             len,
+            uid: next_uid(),
         }
     }
 
@@ -337,15 +438,23 @@ impl BufU64 {
 
     /// Coalesced read.
     #[inline]
+    #[must_use]
     pub fn ld(&self, ctx: &mut TaskCtx, i: usize) -> u64 {
         ctx.charge_coalesced(8);
+        if sanitize::active() {
+            sanitize::device_read(self.shadow_ref(), sanitize::current_task(), i);
+        }
         self.data[i].load(Ordering::Relaxed)
     }
 
     /// Random-address read (e.g. the guard load before an atomicMin).
     #[inline]
+    #[must_use]
     pub fn ld_gather(&self, ctx: &mut TaskCtx, i: usize) -> u64 {
         ctx.charge_gather();
+        if sanitize::active() {
+            sanitize::device_read(self.shadow_ref(), sanitize::current_task(), i);
+        }
         self.data[i].load(Ordering::Relaxed)
     }
 
@@ -353,6 +462,9 @@ impl BufU64 {
     #[inline]
     pub fn st(&self, ctx: &mut TaskCtx, i: usize, v: u64) {
         ctx.charge_coalesced(8);
+        if sanitize::active() {
+            sanitize::device_write(self.shadow_ref(), sanitize::current_task(), i, v);
+        }
         self.data[i].store(v, Ordering::Relaxed);
     }
 
@@ -360,6 +472,9 @@ impl BufU64 {
     #[inline]
     pub fn st_scatter(&self, ctx: &mut TaskCtx, i: usize, v: u64) {
         ctx.charge_gather();
+        if sanitize::active() {
+            sanitize::device_write(self.shadow_ref(), sanitize::current_task(), i, v);
+        }
         self.data[i].store(v, Ordering::Relaxed);
     }
 
@@ -367,6 +482,9 @@ impl BufU64 {
     #[inline]
     pub fn atomic_min(&self, ctx: &mut TaskCtx, i: usize, v: u64) -> u64 {
         ctx.charge_atomic();
+        if sanitize::active() {
+            sanitize::device_rmw(self.shadow_ref(), sanitize::current_task(), i);
+        }
         self.data[i].fetch_min(v, Ordering::AcqRel)
     }
 
@@ -375,20 +493,36 @@ impl BufU64 {
     /// Charged as a cheap 8-byte access instead of a DRAM sector — this is
     /// what makes the paper's atomic-guard optimization profitable.
     #[inline]
+    #[must_use]
     pub fn ld_cached(&self, ctx: &mut TaskCtx, i: usize) -> u64 {
         ctx.charge_coalesced(8);
+        if sanitize::active() {
+            sanitize::device_read(self.shadow_ref(), sanitize::current_task(), i);
+        }
         self.data[i].load(Ordering::Relaxed)
     }
 
     /// Unmetered host-side read.
+    #[must_use]
     pub fn host_read(&self, i: usize) -> u64 {
         self.data[i].load(Ordering::Acquire)
     }
 
     /// Unmetered host-side fill.
     pub fn fill(&self, v: u64) {
+        sanitize::on_host_write(self.uid, 0, self.len);
         for x in &self.data[..self.len] {
             x.store(v, Ordering::Release);
+        }
+    }
+}
+
+impl ShadowBuf for BufU64 {
+    fn shadow_ref(&self) -> BufRef {
+        BufRef {
+            uid: self.uid,
+            kind: "u64",
+            len: self.len,
         }
     }
 }

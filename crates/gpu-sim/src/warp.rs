@@ -18,6 +18,7 @@
 //! `d(v) < 4` branch on the GPU.
 
 use crate::counters::TaskCtx;
+use crate::sanitize;
 
 /// Number of lanes in a warp.
 pub const WARP_SIZE: usize = 32;
@@ -40,21 +41,47 @@ impl WarpCtx {
     /// `__ballot_sync` analogue: evaluates up to 32 lane predicates and
     /// packs them into a mask (lane 0 = bit 0). Register-only: free in the
     /// cost model.
+    ///
+    /// Under the sanitizer, a ballot over an *empty* active mask is flagged
+    /// by synccheck: on hardware `__ballot_sync(0, …)` is undefined — a
+    /// sync primitive must name at least one participating lane.
     pub fn ballot<I: IntoIterator<Item = bool>>(&self, lanes: I) -> u32 {
         let mut mask = 0u32;
+        let mut count = 0usize;
         for (lane, pred) in lanes.into_iter().enumerate() {
             assert!(lane < WARP_SIZE, "ballot takes at most {WARP_SIZE} lanes");
+            count += 1;
             if pred {
                 mask |= 1 << lane;
             }
+        }
+        if sanitize::active() && count == 0 {
+            sanitize::warp_divergence(
+                sanitize::current_task(),
+                "ballot over an empty active mask (no participating lanes)",
+                0,
+            );
         }
         mask
     }
 
     /// `__shfl_sync` analogue: every lane reads `values[src_lane]`.
     /// Register-only: free in the cost model.
+    ///
+    /// Under the sanitizer, sourcing a lane outside the participating set
+    /// is flagged by synccheck (divergent source lane) and reads as 0, the
+    /// hardware's unspecified-result analogue; unsanitized it panics as
+    /// before.
     pub fn shfl(&self, values: &[u64], src_lane: usize) -> u64 {
         assert!(values.len() <= WARP_SIZE);
+        if sanitize::active() && src_lane >= values.len() {
+            sanitize::warp_divergence(
+                sanitize::current_task(),
+                "shfl sources a lane outside the participating set",
+                src_lane,
+            );
+            return 0;
+        }
         values[src_lane]
     }
 

@@ -40,7 +40,7 @@ fn simulated_clock_is_reproducible() {
     let run = || {
         let mut dev = Device::new(GpuProfile::RTX_3080_TI);
         let buf = BufU64::new(512, u64::MAX);
-        dev.launch("mins", 4096, |i, ctx| {
+        let _ = dev.launch("mins", 4096, |i, ctx| {
             buf.atomic_min(ctx, i % 512, i as u64);
         });
         dev.sync_read();
@@ -56,7 +56,7 @@ fn gather_heavy_kernel_slower_than_coalesced() {
     let buf = ConstBuf::from_slice(&data);
     let time = |gather: bool| {
         let mut dev = Device::new(GpuProfile::TITAN_V);
-        dev.launch("scan", 1 << 14, |i, ctx| {
+        let _ = dev.launch("scan", 1 << 14, |i, ctx| {
             for k in 0..4 {
                 let idx = (i * 4 + k) % data.len();
                 if gather {
@@ -86,7 +86,7 @@ fn concurrent_kernel_atomics_are_exact() {
     // scheduling.
     let mut dev = Device::new(GpuProfile::TITAN_V);
     let counter = BufU32::new(1, 0);
-    dev.launch("count", 1 << 16, |_, ctx| {
+    let _ = dev.launch("count", 1 << 16, |_, ctx| {
         counter.atomic_add(ctx, 0, 1);
     });
     assert_eq!(counter.host_read(0), 1 << 16);
@@ -96,7 +96,7 @@ fn concurrent_kernel_atomics_are_exact() {
 fn records_preserve_launch_order() {
     let mut dev = Device::new(GpuProfile::TITAN_V);
     for name in ["a", "b", "c", "b"] {
-        dev.launch(name, 1, |_, _| {});
+        let _ = dev.launch(name, 1, |_, _| {});
     }
     let names: Vec<&str> = dev.records().iter().map(|r| r.name.as_str()).collect();
     assert_eq!(names, vec!["a", "b", "c", "b"]);

@@ -1,0 +1,304 @@
+//! Workspace automation tasks, invoked as `cargo xtask <task>` (see
+//! `.cargo/config.toml` for the alias).
+//!
+//! # `lint-metering`
+//!
+//! The gpu-sim cost model only meters device traffic that flows through the
+//! buffer accessors (`ld`/`st`/`atomic_*`/...). Host-side accessors
+//! (`host_read`, `host_write*`, `to_vec`, `as_slice`) are free by design —
+//! they model driver-side work outside kernel time. Calling one *inside* a
+//! kernel closure therefore smuggles unmetered traffic into a launch and
+//! silently skews every simulated number downstream.
+//!
+//! This lint scans the kernel-bearing crates for `launch(` / `launch_warps(`
+//! call spans and fails if a host accessor token appears inside one. Raw
+//! host-slice indexing paired with an explicit `ctx.charge_*` call is fine
+//! and not flagged; the tokens below are the accessors that bypass metering
+//! entirely.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose sources contain simulated GPU kernels.
+const KERNEL_DIRS: &[&str] = &["crates/core/src", "crates/baselines/src", "crates/cc/src"];
+
+/// Unmetered host-access tokens that must not appear inside a launch span.
+const FORBIDDEN: &[&str] = &["host_read(", "host_write", ".to_vec()", "as_slice("];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint-metering") => lint_metering(),
+        Some(other) => {
+            eprintln!("unknown task '{other}'\n");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask <task>\n");
+    eprintln!("tasks:");
+    eprintln!("  lint-metering   flag unmetered host accessors inside kernel launch closures");
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn lint_metering() -> ExitCode {
+    let root = workspace_root();
+    let mut findings = Vec::new();
+    let mut files = 0usize;
+    let mut spans = 0usize;
+    for dir in KERNEL_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            files += 1;
+            let source = std::fs::read_to_string(&file).expect("read source file");
+            let rel = file.strip_prefix(&root).unwrap_or(&file).to_path_buf();
+            spans += check_file(&rel, &source, &mut findings);
+        }
+    }
+    if findings.is_empty() {
+        println!("lint-metering: {spans} launch spans across {files} files, all clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!(
+            "\nlint-metering: {} unmetered host access(es) inside kernel launches.\n\
+             Inside a launch closure, route device traffic through the metered\n\
+             accessors (`ld`/`st`/`atomic_*`) or charge it explicitly via `ctx.charge_*`.",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&d).unwrap_or_else(|e| panic!("read_dir {}: {e}", d.display()));
+        for entry in entries {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Scans one file; appends `file:line: token` findings. Returns the number
+/// of launch spans inspected.
+fn check_file(rel: &Path, source: &str, findings: &mut Vec<String>) -> usize {
+    // Blank out comments and string literals first so tokens in docs or
+    // kernel-name strings don't trip the lint and parens stay balanced.
+    let code = blank_comments_and_strings(source);
+    let mut spans = 0;
+    for pat in ["launch(", "launch_warps("] {
+        let mut from = 0;
+        while let Some(hit) = code[from..].find(pat) {
+            let open = from + hit + pat.len() - 1;
+            from = open + 1;
+            // Require a call site (`.launch(...)`), not a definition.
+            let before = code[..open - pat.len() + 1].trim_end();
+            if !before.ends_with('.') {
+                continue;
+            }
+            let Some(close) = matching_paren(&code, open) else {
+                continue;
+            };
+            spans += 1;
+            scan_span(rel, source, &code, open, close, findings);
+        }
+    }
+    spans
+}
+
+fn scan_span(
+    rel: &Path,
+    source: &str,
+    code: &str,
+    open: usize,
+    close: usize,
+    findings: &mut Vec<String>,
+) {
+    let span = &code[open..close];
+    for token in FORBIDDEN {
+        let mut from = 0;
+        while let Some(hit) = span[from..].find(token) {
+            let at = open + from + hit;
+            let line = code[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+            let text = source.lines().nth(line - 1).unwrap_or("").trim();
+            findings.push(format!(
+                "{}:{line}: `{token}` inside a launch span: {text}",
+                rel.display()
+            ));
+            from += hit + token.len();
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open` (source already blanked).
+fn matching_paren(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Replaces the contents of `//` comments, `/* */` comments, and string
+/// literals with spaces, preserving byte offsets and newlines.
+fn blank_comments_and_strings(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out[i] = b' ';
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out[i] = b' ';
+                            if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                                out[i + 1] = b' ';
+                            }
+                            i += 2;
+                        }
+                        b'"' => {
+                            out[i] = b' ';
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => i += 1,
+                        _ => {
+                            out[i] = b' ';
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("blanking is ASCII-preserving")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanking_preserves_offsets_and_lines() {
+        let src = "a // host_read(\nb \"to_vec()\" c /* x */ d";
+        let out = blank_comments_and_strings(src);
+        assert_eq!(out.len(), src.len());
+        assert!(!out.contains("host_read"));
+        assert!(!out.contains("to_vec"));
+        assert_eq!(out.matches('\n').count(), 1);
+    }
+
+    #[test]
+    fn flags_host_access_inside_launch_only() {
+        let src = r#"
+            fn ok(dev: &mut D, b: &B) {
+                let v = b.to_vec(); // outside: fine
+                let _ = dev.launch("k", 4, |i, ctx| {
+                    let _ = b.ld(ctx, i);
+                });
+            }
+            fn bad(dev: &mut D, b: &B) {
+                let _ = dev.launch("k", 4, |i, ctx| {
+                    let _ = b.host_read(i);
+                });
+            }
+        "#;
+        let mut findings = Vec::new();
+        let spans = check_file(Path::new("t.rs"), src, &mut findings);
+        assert_eq!(spans, 2);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("host_read"));
+        assert!(findings[0].contains("t.rs:10"));
+    }
+
+    #[test]
+    fn launch_warps_spans_are_scanned_too() {
+        let src =
+            "fn f(d: &mut D, b: &B) { d.launch_warps(\"w\", 1, |_, w| { b.host_write(0, 1); }); }";
+        let mut findings = Vec::new();
+        let spans = check_file(Path::new("t.rs"), src, &mut findings);
+        assert_eq!(spans, 1);
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn definition_sites_are_not_call_spans() {
+        let src = "pub fn launch(&mut self, n: usize) { self.host_write(0, 0); }";
+        let mut findings = Vec::new();
+        let spans = check_file(Path::new("t.rs"), src, &mut findings);
+        assert_eq!(spans, 0);
+        assert!(findings.is_empty());
+    }
+}

@@ -36,7 +36,7 @@ fn main() {
     let mut dev = Device::new(GpuProfile::RTX_3080_TI);
     let histogram = BufU32::new(32, 0);
     let row_starts: Vec<u32> = g.row_starts().to_vec();
-    dev.launch("degree_histogram", g.num_vertices(), |v, ctx| {
+    let _ = dev.launch("degree_histogram", g.num_vertices(), |v, ctx| {
         ctx.charge_coalesced(8); // two row offsets
         let deg = (row_starts[v + 1] - row_starts[v]) as usize;
         let bucket = usize::BITS as usize - 1 - deg.max(1).leading_zeros() as usize;

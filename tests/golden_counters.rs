@@ -167,6 +167,41 @@ fn metered_event_totals_are_bit_identical() {
     }
 }
 
+/// Satellite of the golden test: the same full sweep under the sanitizer
+/// must (a) report zero racecheck/initcheck/memcheck/synccheck violations
+/// for every registered code — the paper's "the races are benign" claim,
+/// machine-checked — and (b) meter bit-identically to the unsanitized
+/// sweep, pinning that instrumentation never perturbs the cost model.
+#[test]
+fn sanitizer_pass_is_clean_and_does_not_perturb_metering() {
+    let base = actual();
+    let (sanitized, report) = ecl_gpu_sim::with_sanitizer(actual);
+    assert_eq!(base, sanitized, "sanitizer perturbed metered counters");
+    assert!(
+        report.is_clean(),
+        "sanitizer violations in registered codes — {report}\n{}",
+        report
+            .violations()
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.checked_launches > 0);
+    assert!(report.checked_accesses > 0);
+    // The registered codes really do exercise the downgraded benign-race
+    // classes (idempotent flag stores, DSU path compression); if these hit
+    // zero, the racecheck hook has come unwired.
+    assert!(
+        report.benign_idempotent_races > 0,
+        "expected idempotent benign races"
+    );
+    assert!(
+        report.benign_racy_updates > 0,
+        "expected racy-update benign races"
+    );
+}
+
 const EXPECTED: &str = r"
 ecl_full/grid32 init launches=1 coal=83872 gather=126 atomics=900 cas=0
 ecl_full/grid32 kernel1 launches=7 coal=262676 gather=24614 atomics=3358 cas=0
