@@ -71,6 +71,9 @@ pub(crate) fn contraction_boruvka_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuB
     sanitize::label(&changed, "jucele/changed");
 
     while e_cnt > 0 {
+        // Comparison traces line up with ECL-MST's per-iteration spans.
+        let _round = ecl_trace::range!(sim: "round");
+        ecl_trace::attach("edges", e_cnt as f64);
         let (min_at, succ) =
             with_scratch(|s| (s.arena.acquire_u64(n, EMPTY), s.arena.acquire_u32_uninit(n)));
         sanitize::label(&min_at, "jucele/min_at");

@@ -218,6 +218,9 @@ pub fn uminho_gpu(g: &CsrGraph, profile: GpuProfile) -> GpuBaselineRun {
     sanitize::label(&changed, "uminho/changed");
 
     while arcs > 0 {
+        // Comparison traces line up with ECL-MST's per-iteration spans.
+        let _round = ecl_trace::range!(sim: "round");
+        ecl_trace::attach("arcs", arcs as f64);
         let cur_row: &[u32] = row.as_slice();
         let (pick_val, pick_dst) =
             with_scratch(|s| (s.arena.acquire_u64(n, EMPTY), s.arena.acquire_u32_uninit(n)));

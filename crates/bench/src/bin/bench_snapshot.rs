@@ -7,14 +7,22 @@
 //! ```text
 //! cargo run --release --bin bench_snapshot -- --scale small --repeats 3
 //! ```
+//!
+//! `--trace [PATH]` additionally records the workload under ecl-trace and
+//! writes the Chrome trace plus the deterministic profile JSON;
+//! `--diff BASELINE.profile.json` then compares the fresh profile against a
+//! checked-in baseline and exits with status 4 when any per-kernel or total
+//! simulated time regressed by more than 5% (the CI trace gate).
 
 use ecl_gpu_sim::{scratch_footprint, GpuProfile};
 use ecl_graph::suite;
 use ecl_mst_bench::registry::{all_codes, MstCode};
 use ecl_mst_bench::runner::{
-    peak_rss_bytes, sanitize_from_args, scale_from_args, wall, with_optional_sanitizer, Repeats,
+    peak_rss_bytes, sanitize_from_args, scale_from_args, trace_from_args, wall,
+    with_optional_sanitizer, with_optional_trace_profile, Repeats,
 };
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// Wall-clock seconds of the Table 3 workload before this refactor.
 ///
@@ -44,25 +52,42 @@ fn main() {
     // resulting wall numbers measure the checked path, not the hot path, so
     // don't compare them to the baseline constant.
     let sanitize = sanitize_from_args(&args);
-    let total_wall = with_optional_sanitizer(sanitize, || {
-        wall(|| {
-            let entries = suite(scale);
-            n_inputs = entries.len();
-            for e in &entries {
-                eprintln!("measuring {} ...", e.name);
-                for (c, code) in codes.iter().enumerate() {
-                    let mut sim = 0.0;
-                    wall_s[c] += wall(|| {
-                        for _ in 0..repeats.0.max(1) {
-                            if let Ok(s) = (code.run)(&e.graph, profile) {
-                                sim += s;
-                            }
-                        }
-                    });
-                    sim_s[c] += sim;
+    let trace = trace_from_args(&args);
+    let diff_baseline: Option<PathBuf> =
+        args.iter()
+            .position(|a| a == "--diff")
+            .map(|i| match args.get(i + 1) {
+                Some(p) if !p.starts_with("--") => PathBuf::from(p),
+                _ => {
+                    eprintln!("--diff requires a baseline profile path");
+                    std::process::exit(2);
                 }
-                ecl_mst::evict_graph(&e.graph);
-            }
+            });
+    if diff_baseline.is_some() && trace.is_none() {
+        eprintln!("--diff needs --trace (the diff compares the fresh trace profile)");
+        std::process::exit(2);
+    }
+    let (total_wall, trace_profile) = with_optional_trace_profile(trace.as_deref(), || {
+        with_optional_sanitizer(sanitize, || {
+            wall(|| {
+                let entries = suite(scale);
+                n_inputs = entries.len();
+                for e in &entries {
+                    eprintln!("measuring {} ...", e.name);
+                    for (c, code) in codes.iter().enumerate() {
+                        let mut sim = 0.0;
+                        wall_s[c] += wall(|| {
+                            for _ in 0..repeats.0.max(1) {
+                                if let Ok(s) = (code.run)(&e.graph, profile) {
+                                    sim += s;
+                                }
+                            }
+                        });
+                        sim_s[c] += sim;
+                    }
+                    ecl_mst::evict_graph(&e.graph);
+                }
+            })
         })
     });
 
@@ -114,4 +139,29 @@ fn main() {
     std::fs::write(out, &json).expect("write snapshot");
     print!("{json}");
     eprintln!("wrote {out}");
+
+    // CI trace gate: compare the fresh profile against a checked-in one.
+    if let (Some(base_path), Some(profile)) = (diff_baseline, trace_profile) {
+        let text = std::fs::read_to_string(&base_path).unwrap_or_else(|e| {
+            eprintln!("--diff: cannot read {}: {e}", base_path.display());
+            std::process::exit(2);
+        });
+        let baseline = ecl_trace::Profile::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("--diff: {} is not a profile: {e}", base_path.display());
+            std::process::exit(2);
+        });
+        let report = profile.diff(&baseline, 0.05);
+        println!("\nprofile diff vs {}:", base_path.display());
+        for line in &report.lines {
+            println!("  {line}");
+        }
+        if report.is_pass() {
+            println!("--diff: PASS (no simulated-time regression above 5%)");
+        } else {
+            for r in &report.regressions {
+                eprintln!("--diff: REGRESSION: {r}");
+            }
+            std::process::exit(4);
+        }
+    }
 }

@@ -9,7 +9,9 @@ use ecl_gpu_sim::GpuProfile;
 use ecl_graph::suite;
 use ecl_mst::{deopt_ladder, ecl_mst_gpu_with};
 use ecl_mst_bench::chart::bar_chart;
-use ecl_mst_bench::runner::{median_time, scale_from_args, Repeats};
+use ecl_mst_bench::runner::{
+    median_time, scale_from_args, trace_from_args, with_optional_trace, Repeats,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,28 +23,31 @@ fn main() {
     println!(
         "Figure 5: ECL-MST throughput (Medges/s) while removing optimizations (scale {scale:?})\n"
     );
-    for e in suite(scale).into_iter().filter(|e| e.is_mst_input()) {
-        eprintln!("measuring {} ...", e.name);
-        let arcs = e.graph.num_arcs() as f64;
-        let mut series: Vec<(String, f64)> = ladder
-            .iter()
-            .map(|(name, cfg)| {
-                let s = median_time(repeats, || {
-                    Some(ecl_mst_gpu_with(&e.graph, cfg, profile).kernel_seconds)
+    let trace = trace_from_args(&args);
+    with_optional_trace(trace.as_deref(), || {
+        for e in suite(scale).into_iter().filter(|e| e.is_mst_input()) {
+            eprintln!("measuring {} ...", e.name);
+            let arcs = e.graph.num_arcs() as f64;
+            let mut series: Vec<(String, f64)> = ladder
+                .iter()
+                .map(|(name, cfg)| {
+                    let s = median_time(repeats, || {
+                        Some(ecl_mst_gpu_with(&e.graph, cfg, profile).kernel_seconds)
+                    })
+                    .expect("always succeeds");
+                    (name.to_string(), arcs / s / 1e6)
                 })
-                .expect("always succeeds");
-                (name.to_string(), arcs / s / 1e6)
+                .collect();
+            // Jucele reference bar, as in the figure.
+            let jucele = median_time(repeats, || {
+                jucele_gpu(&e.graph, profile).ok().map(|r| r.kernel_seconds)
             })
-            .collect();
-        // Jucele reference bar, as in the figure.
-        let jucele = median_time(repeats, || {
-            jucele_gpu(&e.graph, profile).ok().map(|r| r.kernel_seconds)
-        })
-        .expect("single-CC inputs only");
-        series.push(("Jucele (ref)".to_string(), arcs / jucele / 1e6));
+            .expect("single-CC inputs only");
+            series.push(("Jucele (ref)".to_string(), arcs / jucele / 1e6));
 
-        println!("== {} ==", e.name);
-        print!("{}", bar_chart(&series, 50, "Medges/s"));
-        println!();
-    }
+            println!("== {} ==", e.name);
+            print!("{}", bar_chart(&series, 50, "Medges/s"));
+            println!();
+        }
+    });
 }

@@ -9,7 +9,7 @@ use ecl_gpu_sim::GpuProfile;
 use ecl_graph::suite;
 use ecl_mst::{ecl_mst_gpu_with, OptConfig};
 use ecl_mst_bench::chart::{box_row, five_num};
-use ecl_mst_bench::runner::scale_from_args;
+use ecl_mst_bench::runner::{scale_from_args, trace_from_args, with_optional_trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,22 +25,26 @@ fn main() {
     println!(
         "Figure 6: throughput variability over {seeds} filter-sampling seeds (scale {scale:?})\n"
     );
-    for e in suite(scale) {
-        eprintln!("measuring {} ...", e.name);
-        let arcs = e.graph.num_arcs() as f64;
-        let tputs: Vec<f64> = (0..seeds)
-            .map(|seed| {
-                let run = ecl_mst_gpu_with(&e.graph, &OptConfig::full().with_seed(seed), profile);
-                arcs / run.kernel_seconds / 1e6
-            })
-            .collect();
-        let f = five_num(&tputs);
-        let spread = 100.0 * (f.max - f.min) / f.median;
-        println!(
-            "{}   (spread {spread:.1}% of median)",
-            box_row(e.name, &f, "Medges/s")
-        );
-    }
+    let trace = trace_from_args(&args);
+    with_optional_trace(trace.as_deref(), || {
+        for e in suite(scale) {
+            eprintln!("measuring {} ...", e.name);
+            let arcs = e.graph.num_arcs() as f64;
+            let tputs: Vec<f64> = (0..seeds)
+                .map(|seed| {
+                    let run =
+                        ecl_mst_gpu_with(&e.graph, &OptConfig::full().with_seed(seed), profile);
+                    arcs / run.kernel_seconds / 1e6
+                })
+                .collect();
+            let f = five_num(&tputs);
+            let spread = 100.0 * (f.max - f.min) / f.median;
+            println!(
+                "{}   (spread {spread:.1}% of median)",
+                box_row(e.name, &f, "Medges/s")
+            );
+        }
+    });
     println!(
         "\nInputs with average degree < 4 never use the filter threshold, so\n\
          their spread is zero (the simulation is otherwise deterministic);\n\

@@ -3,17 +3,42 @@
 //! ≈ 12% each) and per-input iteration counts (the paper: 4–15 launches of
 //! the computation kernels; init launched twice when filtering).
 //!
-//! Usage: `kernel_profile [--scale tiny|small|medium]`
+//! Each input runs under its own ecl-trace session and the shares are read
+//! from the resulting [`ecl_trace::Profile`] — the same aggregates the
+//! `--trace` exporters ship — rather than by re-scanning
+//! `Device::records()`. `tests/trace_profile.rs` pins the two paths to
+//! bit-identical seconds.
+//!
+//! Usage: `kernel_profile [--scale tiny|small|medium] [--trace STEM.json]`
+//!
+//! With `--trace STEM.json`, every input additionally writes a
+//! Perfetto-loadable Chrome trace to `STEM-<input>.json` and its profile to
+//! `STEM-<input>.profile.json`.
 
 use ecl_gpu_sim::GpuProfile;
 use ecl_graph::suite;
 use ecl_mst::{ecl_mst_gpu_with, OptConfig};
-use ecl_mst_bench::runner::scale_from_args;
+use ecl_mst_bench::runner::{profile_path, scale_from_args, trace_from_args};
 use ecl_mst_bench::table::Table;
+
+/// Input names double as file-name fragments (`USA-road-d.NY`,
+/// `2d-2e20.sym`): keep them path-safe.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
+    let trace_stem = trace_from_args(&args);
     let profile = GpuProfile::RTX_3080_TI;
     let kernels = ["setup", "init", "kernel1", "kernel2", "kernel3"];
 
@@ -23,17 +48,12 @@ fn main() {
     let mut sums = [0.0f64; 5];
     let mut count = 0usize;
     for e in suite(scale) {
-        let run = ecl_mst_gpu_with(&e.graph, &OptConfig::full(), profile);
-        let total: f64 = run.records.iter().map(|r| r.sim_seconds).sum();
+        let (run, session) =
+            ecl_trace::with_trace(|| ecl_mst_gpu_with(&e.graph, &OptConfig::full(), profile));
+        let p = session.profile();
         let mut cells = vec![e.name.to_string()];
         for (k, kernel) in kernels.iter().enumerate() {
-            let kt: f64 = run
-                .records
-                .iter()
-                .filter(|r| r.name == *kernel)
-                .map(|r| r.sim_seconds)
-                .sum();
-            let pct = 100.0 * kt / total;
+            let pct = p.kernel(kernel).map_or(0.0, |k| 100.0 * k.share);
             sums[k] += pct;
             cells.push(format!("{pct:.0}"));
         }
@@ -41,6 +61,16 @@ fn main() {
         cells.push(run.phases.to_string());
         t.row(cells);
         count += 1;
+        if let Some(stem) = &trace_stem {
+            let base = stem.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+            let path = stem.with_file_name(format!("{base}-{}.json", sanitize(e.name)));
+            std::fs::write(&path, session.chrome_trace())
+                .unwrap_or_else(|err| panic!("--trace: cannot write {}: {err}", path.display()));
+            let pp = profile_path(&path);
+            std::fs::write(&pp, p.to_json())
+                .unwrap_or_else(|err| panic!("--trace: cannot write {}: {err}", pp.display()));
+            eprintln!("--trace: wrote {} and {}", path.display(), pp.display());
+        }
     }
     let mut mean_cells = vec!["MEAN".to_string()];
     for s in sums {

@@ -8,7 +8,9 @@
 use ecl_gpu_sim::GpuProfile;
 use ecl_graph::suite;
 use ecl_mst::{deopt_ladder, ecl_mst_gpu_with};
-use ecl_mst_bench::runner::{geomean, median_time, scale_from_args, Repeats};
+use ecl_mst_bench::runner::{
+    geomean, median_time, scale_from_args, trace_from_args, with_optional_trace, Repeats,
+};
 use ecl_mst_bench::table::Table;
 
 fn main() {
@@ -28,19 +30,22 @@ fn main() {
     let mut t = Table::new(header);
 
     let mut per_rung: Vec<Vec<f64>> = vec![Vec::new(); ladder.len()];
-    for e in &entries {
-        eprintln!("measuring {} ...", e.name);
-        let mut cells = vec![e.name.to_string()];
-        for (r, (_, cfg)) in ladder.iter().enumerate() {
-            let s = median_time(repeats, || {
-                Some(ecl_mst_gpu_with(&e.graph, cfg, profile).kernel_seconds)
-            })
-            .expect("deopt variants handle every input");
-            per_rung[r].push(s);
-            cells.push(format!("{s:.6}"));
+    let trace = trace_from_args(&args);
+    with_optional_trace(trace.as_deref(), || {
+        for e in &entries {
+            eprintln!("measuring {} ...", e.name);
+            let mut cells = vec![e.name.to_string()];
+            for (r, (_, cfg)) in ladder.iter().enumerate() {
+                let s = median_time(repeats, || {
+                    Some(ecl_mst_gpu_with(&e.graph, cfg, profile).kernel_seconds)
+                })
+                .expect("deopt variants handle every input");
+                per_rung[r].push(s);
+                cells.push(format!("{s:.6}"));
+            }
+            t.row(cells);
         }
-        t.row(cells);
-    }
+    });
     let mut cells = vec!["MST GeoMean".to_string()];
     for times in &per_rung {
         cells.push(format!("{:.6}", geomean(times).expect("non-empty")));

@@ -3,7 +3,8 @@
 use crate::chart::bar_chart;
 use crate::registry::{all_codes, MstCode, Timing};
 use crate::runner::{
-    geomean, median_time, sanitize_from_args, scale_from_args, with_optional_sanitizer, Repeats,
+    geomean, median_time, sanitize_from_args, scale_from_args, trace_from_args,
+    with_optional_sanitizer, with_optional_trace, Repeats,
 };
 use crate::table::{fmt_geomean, fmt_timing, Table};
 use ecl_gpu_sim::GpuProfile;
@@ -89,8 +90,11 @@ pub struct SystemTableArgs {
 pub fn run_system_table(a: SystemTableArgs) {
     let scale = scale_from_args(&a.args);
     let repeats = Repeats::from_args(&a.args);
-    let m = with_optional_sanitizer(sanitize_from_args(&a.args), || {
-        measure_matrix(a.profile, a.with_cugraph, scale, repeats)
+    let trace = trace_from_args(&a.args);
+    let m = with_optional_trace(trace.as_deref(), || {
+        with_optional_sanitizer(sanitize_from_args(&a.args), || {
+            measure_matrix(a.profile, a.with_cugraph, scale, repeats)
+        })
     });
 
     let mut header = vec!["Input".to_string()];
@@ -160,8 +164,11 @@ pub fn run_throughput_figure(
 ) {
     let scale = scale_from_args(args);
     let repeats = Repeats::from_args(args);
-    let m = with_optional_sanitizer(sanitize_from_args(args), || {
-        measure_matrix(profile, with_cugraph, scale, repeats)
+    let trace = trace_from_args(args);
+    let m = with_optional_trace(trace.as_deref(), || {
+        with_optional_sanitizer(sanitize_from_args(args), || {
+            measure_matrix(profile, with_cugraph, scale, repeats)
+        })
     });
     println!("{title} (scale {scale:?}): throughput in millions of edges per second\n");
     for (e, row) in m.entries.iter().zip(&m.cells) {

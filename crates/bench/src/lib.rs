@@ -16,4 +16,7 @@ pub use experiments::{
     measure_matrix, run_system_table, run_throughput_figure, Matrix, SystemTableArgs,
 };
 pub use registry::{all_codes, CodeKind, MstCode, Timing};
-pub use runner::{geomean, median_time, wall, Repeats};
+pub use runner::{
+    geomean, median_time, profile_path, trace_from_args, wall, with_optional_trace,
+    with_optional_trace_profile, Repeats,
+};

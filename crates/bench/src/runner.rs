@@ -1,5 +1,6 @@
 //! Timing helpers.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// How many repetitions to run per (code, input) cell. The paper uses 9;
@@ -64,6 +65,62 @@ pub fn with_optional_sanitizer<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
         std::process::exit(1);
     }
     out
+}
+
+/// Parses `--trace [PATH]` into the Chrome-trace output path. `--trace`
+/// without a path (or the ambient `ECL_TRACE=1`) defaults to `trace.json`.
+/// `None` means tracing stays off.
+pub fn trace_from_args(args: &[String]) -> Option<PathBuf> {
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let path = args
+            .get(i + 1)
+            .filter(|s| !s.starts_with("--"))
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("trace.json"));
+        return Some(path);
+    }
+    match std::env::var("ECL_TRACE") {
+        Ok(v) if !v.is_empty() && v != "0" => Some(PathBuf::from("trace.json")),
+        _ => None,
+    }
+}
+
+/// Sibling profile-JSON path for a trace path: `out.json` →
+/// `out.profile.json`.
+pub fn profile_path(trace: &Path) -> PathBuf {
+    let stem = trace
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("trace");
+    trace.with_file_name(format!("{stem}.profile.json"))
+}
+
+/// Runs `f` under an ecl-trace session when `path` is set; otherwise calls
+/// it directly. On a traced run, writes the Chrome trace JSON to `path` and
+/// the machine-readable profile next to it, prints the per-round and
+/// per-kernel tables to stderr (stdout stays parseable for `--csv` pipes),
+/// and returns the profile alongside `f`'s result.
+pub fn with_optional_trace_profile<R>(
+    path: Option<&Path>,
+    f: impl FnOnce() -> R,
+) -> (R, Option<ecl_trace::Profile>) {
+    let Some(path) = path else { return (f(), None) };
+    let (out, session) = ecl_trace::with_trace(f);
+    let profile = session.profile();
+    eprint!("{}", profile.round_table());
+    eprint!("{}", profile.kernel_table());
+    std::fs::write(path, session.chrome_trace())
+        .unwrap_or_else(|e| panic!("--trace: cannot write {}: {e}", path.display()));
+    let pp = profile_path(path);
+    std::fs::write(&pp, profile.to_json())
+        .unwrap_or_else(|e| panic!("--trace: cannot write {}: {e}", pp.display()));
+    eprintln!("--trace: wrote {} and {}", path.display(), pp.display());
+    (out, Some(profile))
+}
+
+/// [`with_optional_trace_profile`] for callers that don't need the profile.
+pub fn with_optional_trace<R>(path: Option<&Path>, f: impl FnOnce() -> R) -> R {
+    with_optional_trace_profile(path, f).0
 }
 
 /// Wall-clock seconds of one invocation (for the real CPU codes).
@@ -136,6 +193,47 @@ mod tests {
     fn wall_measures_something() {
         let t = wall(|| std::thread::sleep(std::time::Duration::from_millis(5)));
         assert!(t >= 0.004);
+    }
+
+    #[test]
+    fn trace_flag_parses_with_and_without_path() {
+        let to_args = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            trace_from_args(&to_args(&["--trace", "out.json"])),
+            Some(PathBuf::from("out.json"))
+        );
+        // A following flag is not a path.
+        assert_eq!(
+            trace_from_args(&to_args(&["--trace", "--csv"])),
+            Some(PathBuf::from("trace.json"))
+        );
+        assert_eq!(
+            trace_from_args(&to_args(&["--trace"])),
+            Some(PathBuf::from("trace.json"))
+        );
+        // (No --trace and no ECL_TRACE in the test env: off.)
+        if std::env::var("ECL_TRACE").is_err() {
+            assert_eq!(trace_from_args(&[]), None);
+        }
+    }
+
+    #[test]
+    fn profile_path_keeps_directory_and_stem() {
+        assert_eq!(
+            profile_path(Path::new("out/t3.json")),
+            PathBuf::from("out/t3.profile.json")
+        );
+        assert_eq!(
+            profile_path(Path::new("trace.json")),
+            PathBuf::from("trace.profile.json")
+        );
+    }
+
+    #[test]
+    fn untraced_call_returns_no_profile() {
+        let (v, p) = with_optional_trace_profile(None, || 7);
+        assert_eq!(v, 7);
+        assert!(p.is_none());
     }
 
     #[test]

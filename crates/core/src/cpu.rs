@@ -128,6 +128,7 @@ impl<'g> State<'g> {
     /// `phase2` inverts the threshold condition and maps endpoints through
     /// `set()` (dropping intra-set edges — the actual filtering step).
     fn populate(&self, threshold: Option<Weight>, phase2: bool) -> Vec<Item> {
+        let _r = ecl_trace::range!(wall: "populate");
         let g = self.g;
         let cfg = &self.cfg;
         let admit = |w: Weight| match (threshold, phase2) {
@@ -244,13 +245,25 @@ impl<'g> State<'g> {
         let tuples = self.cfg.tuples;
         let mut wl1 = Worklist::from_items(initial, tuples);
         while !wl1.is_empty() {
-            let next = self.reserve_kernel(&wl1);
+            let _round = ecl_trace::range!(wall: "round");
+            ecl_trace::attach("worklist_in", wl1.len() as f64);
+            let next = {
+                let _k = ecl_trace::range!(wall: "kernel1");
+                self.reserve_kernel(&wl1)
+            };
             let wl2 = Worklist::from_items(next, tuples);
+            ecl_trace::attach("worklist_out", wl2.len() as f64);
             if wl2.is_empty() {
                 break;
             }
-            self.select_kernel(&wl2);
-            self.reset_kernel(&wl2);
+            {
+                let _k = ecl_trace::range!(wall: "kernel2");
+                self.select_kernel(&wl2);
+            }
+            {
+                let _k = ecl_trace::range!(wall: "kernel3");
+                self.reset_kernel(&wl2);
+            }
             wl1 = wl2;
         }
     }
@@ -275,6 +288,7 @@ impl<'g> State<'g> {
             Vec::new()
         };
         loop {
+            let _round = ecl_trace::range!(wall: "round");
             self.iterations += 1;
             let live = AtomicBool::new(false);
             let reserve_arc = |v: u32, a: usize| {
@@ -363,12 +377,14 @@ impl<'g> State<'g> {
 
 /// Runs ECL-MST on the CPU with an explicit configuration.
 pub fn ecl_mst_cpu_with(g: &CsrGraph, cfg: &OptConfig) -> CpuRun {
+    let _run = ecl_trace::range!(wall: "ecl_mst_cpu");
     let mut st = State::new(g, *cfg);
     let mut phases = 1;
 
     if !cfg.data_driven || !cfg.edge_centric {
         // Topology-driven (and the vertex-centric rung below it) has no
         // worklist to filter, so filtering does not apply.
+        let _p = ecl_trace::range!(wall: "topology_driven");
         st.run_topology_driven();
     } else {
         let plan = if cfg.filtering {
@@ -378,15 +394,22 @@ pub fn ecl_mst_cpu_with(g: &CsrGraph, cfg: &OptConfig) -> CpuRun {
         };
         match plan {
             FilterPlan::SinglePhase => {
+                let _p = ecl_trace::range!(wall: "phase1");
                 let wl = st.populate(None, false);
                 st.run_loop(wl);
             }
             FilterPlan::TwoPhase { threshold } => {
                 phases = 2;
-                let wl = st.populate(Some(threshold), false);
-                st.run_loop(wl);
-                let wl = st.populate(Some(threshold), true);
-                st.run_loop(wl);
+                {
+                    let _p = ecl_trace::range!(wall: "phase1");
+                    let wl = st.populate(Some(threshold), false);
+                    st.run_loop(wl);
+                }
+                {
+                    let _p = ecl_trace::range!(wall: "phase2");
+                    let wl = st.populate(Some(threshold), true);
+                    st.run_loop(wl);
+                }
             }
         }
     }

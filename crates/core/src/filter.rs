@@ -34,6 +34,9 @@ pub enum FilterPlan {
 /// below `c` (the paper: "no filtering occurs for graphs with an average
 /// degree below 4") or when the quantile estimate covers every edge anyway.
 pub fn plan_filter(g: &CsrGraph, c: u32, seed: u64) -> FilterPlan {
+    // Host-side work: traced on the wall clock (the GPU path calls this
+    // between device phases, where the simulated clock stands still).
+    let _r = ecl_trace::range!(wall: "plan_filter");
     let n = g.num_vertices();
     let m = g.num_edges();
     if m == 0 || g.average_degree() < c as f64 {

@@ -183,29 +183,38 @@ impl<'g> GpuState<'g> {
     /// Device-side `find`: each parent hop is a dependent gather. With
     /// implicit compression the structure is never written; the de-optimized
     /// variant path-halves as it walks (extra scattered stores).
+    ///
+    /// The chain length is kept in a register and reported to the tracer's
+    /// hop histogram at the end — one thread-local read per call when
+    /// tracing is off, nothing on the metered counters either way.
     #[inline]
     fn find(&self, ctx: &mut TaskCtx, mut x: u32) -> u32 {
-        if self.cfg.implicit_compression {
+        let mut hops = 0u32;
+        let root = if self.cfg.implicit_compression {
             loop {
                 let p = self.parent.ld_gather(ctx, x as usize);
                 if p == x {
-                    return x;
+                    break x;
                 }
+                hops += 1;
                 x = p;
             }
         } else {
             loop {
                 let p = self.parent.ld_gather(ctx, x as usize);
                 if p == x {
-                    return x;
+                    break x;
                 }
+                hops += 1;
                 let gp = self.parent.ld_gather(ctx, p as usize);
                 if gp != p {
                     self.parent.st_scatter(ctx, x as usize, gp);
                 }
                 x = gp;
             }
-        }
+        };
+        ecl_trace::record_find_hops(hops);
+        root
     }
 
     /// Device-side lock-free union (Line 30: the `atomicCAS`).
@@ -473,10 +482,13 @@ impl<'g> GpuState<'g> {
         dev.sync_read();
         let mut len = self.wl_size.host_read(src) as usize;
         while len > 0 {
+            let _round = ecl_trace::range!(sim: "round");
+            ecl_trace::attach("worklist_in", len as f64);
             let dst = 1 - src;
             self.kernel1(dev, src, dst, len);
             dev.sync_read(); // while-loop condition via cudaMemcpy
             let next = self.wl_size.host_read(dst) as usize;
+            ecl_trace::attach("worklist_out", next as f64);
             if next == 0 {
                 break;
             }
@@ -514,6 +526,7 @@ impl<'g> GpuState<'g> {
         let live = with_scratch(|s| s.arena.acquire_u32_uninit(1));
         sanitize::label(&live, "live");
         loop {
+            let _round = ecl_trace::range!(sim: "round");
             self.iterations += 1;
             live.host_write(0, 0);
             let st = &*self;
@@ -617,6 +630,7 @@ pub fn ecl_mst_gpu_sequential(g: &CsrGraph, cfg: &OptConfig, profile: GpuProfile
 
 /// The full Alg. 1–2 driver on an existing device.
 fn run_on(dev: &mut Device, g: &CsrGraph, cfg: &OptConfig) -> GpuRun {
+    let _run = ecl_trace::range!(sim: "ecl_mst_gpu");
     let mut st = GpuState::new(g, *cfg);
     let mut phases = 1;
 
@@ -625,6 +639,7 @@ fn run_on(dev: &mut Device, g: &CsrGraph, cfg: &OptConfig) -> GpuRun {
 
     st.setup_kernel(dev);
     if !cfg.data_driven || !cfg.edge_centric {
+        let _p = ecl_trace::range!(sim: "topology_driven");
         st.run_topology_driven(dev);
     } else {
         let plan = if cfg.filtering {
@@ -634,15 +649,22 @@ fn run_on(dev: &mut Device, g: &CsrGraph, cfg: &OptConfig) -> GpuRun {
         };
         match plan {
             FilterPlan::SinglePhase => {
+                let _p = ecl_trace::range!(sim: "phase1");
                 st.populate_kernel(dev, None, false, 0);
                 st.run_loop(dev);
             }
             FilterPlan::TwoPhase { threshold } => {
                 phases = 2;
-                st.populate_kernel(dev, Some(threshold), false, 0);
-                st.run_loop(dev);
-                st.populate_kernel(dev, Some(threshold), true, 0);
-                st.run_loop(dev);
+                {
+                    let _p = ecl_trace::range!(sim: "phase1");
+                    st.populate_kernel(dev, Some(threshold), false, 0);
+                    st.run_loop(dev);
+                }
+                {
+                    let _p = ecl_trace::range!(sim: "phase2");
+                    st.populate_kernel(dev, Some(threshold), true, 0);
+                    st.run_loop(dev);
+                }
             }
         }
     }

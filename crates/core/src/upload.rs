@@ -40,17 +40,24 @@ impl DeviceCsr {
     /// [`with_scratch`] closure (avoids the re-entrant borrow).
     pub fn get_with(s: &mut Scratch, g: &CsrGraph) -> Self {
         let key = g.uid();
+        // The upload ranges live *inside* the build closures: cache hits
+        // produce no trace spans (nothing happens), so a warmed cache keeps
+        // deterministic traces free of wall-clock events.
         DeviceCsr {
             row_starts: s.consts.get_or_upload(key, "csr/row_starts", || {
+                let _r = ecl_trace::range!(wall: "upload/row_starts");
                 ConstBuf::from_slice(g.row_starts())
             }),
-            adjacency: s
-                .consts
-                .get_or_upload(key, "csr/adjacency", || ConstBuf::from_slice(g.adjacency())),
+            adjacency: s.consts.get_or_upload(key, "csr/adjacency", || {
+                let _r = ecl_trace::range!(wall: "upload/adjacency");
+                ConstBuf::from_slice(g.adjacency())
+            }),
             arc_weights: s.consts.get_or_upload(key, "csr/arc_weights", || {
+                let _r = ecl_trace::range!(wall: "upload/arc_weights");
                 ConstBuf::from_slice(g.arc_weights())
             }),
             arc_edge_ids: s.consts.get_or_upload(key, "csr/arc_edge_ids", || {
+                let _r = ecl_trace::range!(wall: "upload/arc_edge_ids");
                 ConstBuf::from_slice(g.arc_edge_ids())
             }),
         }

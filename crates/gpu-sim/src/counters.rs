@@ -107,6 +107,46 @@ pub struct KernelRecord {
     pub sim_seconds: f64,
 }
 
+/// Per-kernel-name aggregate over a launch log, in first-launch order.
+/// Shared by `Device::kernel_breakdown`, the `kernel_profile` binary, and
+/// the trace exporter — the single implementation of "sum records by
+/// name".
+#[must_use]
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBreakdown {
+    /// Kernel name.
+    pub name: String,
+    /// Number of launches with this name.
+    pub launches: u64,
+    /// Total simulated seconds across those launches.
+    pub sim_seconds: f64,
+    /// Sum of the launches' metered event totals.
+    pub totals: TaskCtx,
+}
+
+/// Aggregates a launch log per kernel name, preserving first-launch
+/// order. Seconds sum in record order, so results are bit-identical to
+/// any other in-order fold over the same log.
+pub fn aggregate_records(records: &[KernelRecord]) -> Vec<KernelBreakdown> {
+    let mut acc: Vec<KernelBreakdown> = Vec::new();
+    for r in records {
+        match acc.iter_mut().find(|b| b.name == r.name) {
+            Some(b) => {
+                b.launches += 1;
+                b.sim_seconds += r.sim_seconds;
+                b.totals.merge(&r.stats.totals);
+            }
+            None => acc.push(KernelBreakdown {
+                name: r.name.clone(),
+                launches: 1,
+                sim_seconds: r.sim_seconds,
+                totals: r.stats.totals,
+            }),
+        }
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +192,32 @@ mod tests {
     #[test]
     fn empty_task_has_no_traffic() {
         assert_eq!(TaskCtx::new().traffic_bytes(32, 32, 64, 4), 0);
+    }
+
+    #[test]
+    fn aggregate_records_groups_by_name_in_first_launch_order() {
+        let rec = |name: &str, secs: f64, atomics: u64| KernelRecord {
+            name: name.to_string(),
+            stats: LaunchStats {
+                totals: TaskCtx {
+                    atomics,
+                    ..TaskCtx::default()
+                },
+                critical_bytes: 0,
+                tasks: 1,
+            },
+            sim_seconds: secs,
+        };
+        let log = [rec("b", 1.0, 2), rec("a", 2.0, 1), rec("b", 3.0, 4)];
+        let agg = aggregate_records(&log);
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].name, "b");
+        assert_eq!(agg[0].launches, 2);
+        assert_eq!(agg[0].sim_seconds, 4.0);
+        assert_eq!(agg[0].totals.atomics, 6);
+        assert_eq!(agg[1].name, "a");
+        assert_eq!(agg[1].launches, 1);
+        assert!(aggregate_records(&[]).is_empty());
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod sanitize;
 pub mod warp;
 
 pub use arena::{clear_scratch, scratch_footprint, with_scratch, ConstCache, DeviceArena, Scratch};
-pub use counters::{KernelRecord, LaunchStats, TaskCtx};
+pub use counters::{aggregate_records, KernelBreakdown, KernelRecord, LaunchStats, TaskCtx};
 pub use device::Device;
 pub use memory::{BufU32, BufU64, ConstBuf};
 pub use profile::GpuProfile;

@@ -1,0 +1,275 @@
+//! Chrome trace-event JSON exporter (Perfetto / `chrome://tracing`).
+//!
+//! The session's two timelines map onto two tracks of one process:
+//! `tid 0` = "GPU (simulated)" carries sim-clock ranges plus `X`
+//! (complete) events for kernel launches, memcpys, and sync reads;
+//! `tid 1` = "CPU (wall)" carries wall-clock ranges. Timestamps are
+//! microseconds, formatted with fixed 3-decimal precision so identical
+//! sessions serialize to identical bytes (the golden trace test pins
+//! this).
+//!
+//! The exporter streams straight into one output `String` — events are
+//! not cloned or re-buffered (the `from_vec` audit for this PR: the only
+//! allocation is the output itself).
+
+use crate::json::{self, Value};
+use crate::{Clock, Event, TraceSession};
+use std::fmt::Write as _;
+
+const PID: u32 = 1;
+
+fn tid(clock: Clock) -> u32 {
+    match clock {
+        Clock::Sim => 0,
+        Clock::Wall => 1,
+    }
+}
+
+/// Serializes a session as Chrome trace-event JSON.
+pub fn export(session: &TraceSession) -> String {
+    // Rough size guess: ~120 bytes per event plus headers.
+    let mut out = String::with_capacity(256 + session.events().len() * 128);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&format!(
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\"name\":\"thread_name\",\"args\":{{\"name\":\"GPU (simulated)\"}}}},\n"
+    ));
+    out.push_str(&format!(
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":1,\"name\":\"thread_name\",\"args\":{{\"name\":\"CPU (wall)\"}}}}"
+    ));
+    for ev in session.events() {
+        out.push_str(",\n");
+        write_event(&mut out, ev);
+    }
+    if session.dropped_events > 0 {
+        out.push_str(",\n");
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\"name\":\"dropped_events\",\"args\":{{\"count\":{}}}}}",
+            session.dropped_events
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn write_ts(out: &mut String, us: f64) {
+    // Fixed precision (nanosecond granularity) keeps serialization stable
+    // across runs for the deterministic sim clock.
+    let _ = write!(out, "{us:.3}");
+}
+
+fn write_event(out: &mut String, ev: &Event) {
+    match ev {
+        Event::Begin { name, clock, ts_us } => {
+            let _ = write!(
+                out,
+                "{{\"ph\":\"B\",\"pid\":{PID},\"tid\":{},\"ts\":",
+                tid(*clock)
+            );
+            write_ts(out, *ts_us);
+            out.push_str(",\"name\":");
+            json::write_escaped(out, name);
+            out.push('}');
+        }
+        Event::End {
+            clock,
+            ts_us,
+            metrics,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"ph\":\"E\",\"pid\":{PID},\"tid\":{},\"ts\":",
+                tid(*clock)
+            );
+            write_ts(out, *ts_us);
+            if !metrics.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in metrics.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::write_escaped(out, k);
+                    out.push(':');
+                    json::write_f64(out, *v);
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        Event::Launch {
+            name,
+            ts_us,
+            dur_us,
+            metrics,
+        } => {
+            let _ = write!(out, "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":0,\"ts\":");
+            write_ts(out, *ts_us);
+            out.push_str(",\"dur\":");
+            write_ts(out, *dur_us);
+            out.push_str(",\"name\":");
+            json::write_escaped(out, name);
+            let _ = write!(
+                out,
+                ",\"args\":{{\"tasks\":{},\"coalesced_bytes\":{},\"gather_accesses\":{},\"atomics\":{},\"cas_retries\":{},\"accesses\":{},\"imbalance\":",
+                metrics.tasks,
+                metrics.coalesced_bytes,
+                metrics.gather_accesses,
+                metrics.atomics,
+                metrics.cas_retries,
+                metrics.accesses,
+            );
+            let _ = write!(out, "{:.3}", metrics.imbalance);
+            out.push_str("}}");
+        }
+        Event::Memcpy {
+            name,
+            ts_us,
+            dur_us,
+            bytes,
+        } => {
+            let _ = write!(out, "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":0,\"ts\":");
+            write_ts(out, *ts_us);
+            out.push_str(",\"dur\":");
+            write_ts(out, *dur_us);
+            out.push_str(",\"name\":");
+            json::write_escaped(out, name);
+            let _ = write!(out, ",\"args\":{{\"bytes\":{bytes}}}}}");
+        }
+    }
+}
+
+/// Structural validation of an exported trace: parses the JSON, checks
+/// every event carries the required keys, timestamps are non-decreasing
+/// per track, `B`/`E` events balance with proper nesting, and complete
+/// events have non-negative durations. Returns the number of trace
+/// events checked.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing traceEvents array")?;
+    // Per-tid state: (last timestamp, open B-span depth).
+    let mut last_ts = [f64::NEG_INFINITY; 2];
+    let mut depth = [0i64; 2];
+    let mut checked = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue;
+        }
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as usize;
+        if tid >= 2 {
+            return Err(format!("event {i}: unknown tid {tid}"));
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        if ts < last_ts[tid] {
+            return Err(format!(
+                "event {i}: ts {ts} decreases on tid {tid} (last {})",
+                last_ts[tid]
+            ));
+        }
+        last_ts[tid] = ts;
+        match ph {
+            "B" => {
+                ev.get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i}: B without name"))?;
+                depth[tid] += 1;
+            }
+            "E" => {
+                depth[tid] -= 1;
+                if depth[tid] < 0 {
+                    return Err(format!("event {i}: E without matching B on tid {tid}"));
+                }
+            }
+            "X" => {
+                let dur = ev
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: X without dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative dur {dur}"));
+                }
+                ev.get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i}: X without name"))?;
+            }
+            other => return Err(format!("event {i}: unknown ph {other:?}")),
+        }
+        checked += 1;
+    }
+    if depth.iter().any(|&d| d != 0) {
+        return Err(format!("unbalanced B/E events: final depths {depth:?}"));
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{range, with_trace, LaunchMetrics};
+
+    #[test]
+    fn export_validates_and_contains_events() {
+        let ((), session) = with_trace(|| {
+            let _run = range!(sim: "run");
+            crate::on_launch(
+                "kernel1",
+                LaunchMetrics {
+                    tasks: 10,
+                    atomics: 5,
+                    sim_seconds: 2e-6,
+                    imbalance: 1.5,
+                    ..Default::default()
+                },
+            );
+            crate::on_memcpy("memcpy_d2h", 4096, 1e-6);
+        });
+        let text = session.chrome_trace();
+        let n = validate(&text).unwrap();
+        assert_eq!(n, 4); // B, X launch, X memcpy, E
+        assert!(text.contains("\"kernel1\""));
+        assert!(text.contains("\"memcpy_d2h\""));
+        assert!(text.contains("GPU (simulated)"));
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_and_nonmonotonic() {
+        let bad = r#"{"traceEvents":[{"ph":"B","pid":1,"tid":0,"ts":0,"name":"x"}]}"#;
+        assert!(validate(bad).unwrap_err().contains("unbalanced"));
+        let bad = r#"{"traceEvents":[
+            {"ph":"B","pid":1,"tid":0,"ts":5,"name":"x"},
+            {"ph":"E","pid":1,"tid":0,"ts":1}]}"#;
+        assert!(validate(bad).unwrap_err().contains("decreases"));
+        let bad = r#"{"traceEvents":[{"ph":"E","pid":1,"tid":0,"ts":0}]}"#;
+        assert!(validate(bad).unwrap_err().contains("without matching B"));
+    }
+
+    #[test]
+    fn wall_and_sim_tracks_are_independent() {
+        let ((), session) = with_trace(|| {
+            let _w = range!(wall: "host-phase");
+            let _s = range!(sim: "device-phase");
+            crate::on_launch(
+                "k",
+                LaunchMetrics {
+                    sim_seconds: 1e-6,
+                    ..Default::default()
+                },
+            );
+        });
+        let text = session.chrome_trace();
+        validate(&text).expect("mixed-clock trace validates");
+        assert!(text.contains("\"tid\":1")); // wall track used
+    }
+}

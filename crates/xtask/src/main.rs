@@ -15,6 +15,14 @@
 //! host-slice indexing paired with an explicit `ctx.charge_*` call is fine
 //! and not flagged; the tokens below are the accessors that bypass metering
 //! entirely.
+//!
+//! The same pass guards the tracing instrumentation: ecl-trace ranges are
+//! **host-side** constructs (they bracket launches on the session
+//! timeline), so opening one *inside* a kernel closure would interleave
+//! per-task events into the launch's complete event and corrupt the trace
+//! nesting. `range!(` / `open_range(` inside a launch span is flagged, and
+//! any file pairing raw `open_range(` calls with `close_range(` must keep
+//! them balanced (prefer the `range!` guard, which cannot leak).
 
 #![forbid(unsafe_code)]
 
@@ -26,6 +34,10 @@ const KERNEL_DIRS: &[&str] = &["crates/core/src", "crates/baselines/src", "crate
 
 /// Unmetered host-access tokens that must not appear inside a launch span.
 const FORBIDDEN: &[&str] = &["host_read(", "host_write", ".to_vec()", "as_slice("];
+
+/// Trace-range tokens that must not appear inside a launch span: ranges
+/// bracket launches from the host, they never open mid-kernel.
+const TRACE_FORBIDDEN: &[&str] = &["range!(", "open_range("];
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -46,7 +58,10 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("usage: cargo xtask <task>\n");
     eprintln!("tasks:");
-    eprintln!("  lint-metering   flag unmetered host accessors inside kernel launch closures");
+    eprintln!(
+        "  lint-metering   flag unmetered host accessors and trace ranges inside kernel\n\
+         \u{20}                 launch closures, and unbalanced raw open_range/close_range pairs"
+    );
 }
 
 fn workspace_root() -> PathBuf {
@@ -69,6 +84,7 @@ fn lint_metering() -> ExitCode {
             let source = std::fs::read_to_string(&file).expect("read source file");
             let rel = file.strip_prefix(&root).unwrap_or(&file).to_path_buf();
             spans += check_file(&rel, &source, &mut findings);
+            check_range_balance(&rel, &blank_comments_and_strings(&source), &mut findings);
         }
     }
     if findings.is_empty() {
@@ -79,9 +95,11 @@ fn lint_metering() -> ExitCode {
             eprintln!("{f}");
         }
         eprintln!(
-            "\nlint-metering: {} unmetered host access(es) inside kernel launches.\n\
+            "\nlint-metering: {} violation(s).\n\
              Inside a launch closure, route device traffic through the metered\n\
-             accessors (`ld`/`st`/`atomic_*`) or charge it explicitly via `ctx.charge_*`.",
+             accessors (`ld`/`st`/`atomic_*`) or charge it explicitly via\n\
+             `ctx.charge_*`; open trace ranges outside the closure (prefer the\n\
+             `range!` guard over raw `open_range`/`close_range` pairs).",
             findings.len()
         );
         ExitCode::FAILURE
@@ -143,18 +161,50 @@ fn scan_span(
     findings: &mut Vec<String>,
 ) {
     let span = &code[open..close];
-    for token in FORBIDDEN {
-        let mut from = 0;
-        while let Some(hit) = span[from..].find(token) {
-            let at = open + from + hit;
-            let line = code[..at].bytes().filter(|&b| b == b'\n').count() + 1;
-            let text = source.lines().nth(line - 1).unwrap_or("").trim();
-            findings.push(format!(
-                "{}:{line}: `{token}` inside a launch span: {text}",
-                rel.display()
-            ));
-            from += hit + token.len();
+    for (tokens, what) in [
+        (FORBIDDEN, "unmetered host access"),
+        (TRACE_FORBIDDEN, "trace range opened"),
+    ] {
+        for token in tokens {
+            let mut from = 0;
+            while let Some(hit) = span[from..].find(token) {
+                let at = open + from + hit;
+                let line = code[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+                let text = source.lines().nth(line - 1).unwrap_or("").trim();
+                findings.push(format!(
+                    "{}:{line}: {what} (`{token}`) inside a launch span: {text}",
+                    rel.display()
+                ));
+                from += hit + token.len();
+            }
         }
+    }
+}
+
+/// Counts occurrences of `token` in already-blanked code.
+fn count_token(code: &str, token: &str) -> usize {
+    let mut n = 0;
+    let mut from = 0;
+    while let Some(hit) = code[from..].find(token) {
+        n += 1;
+        from += hit + token.len();
+    }
+    n
+}
+
+/// Per-file balance check for raw trace-range calls: every `open_range(`
+/// needs a matching `close_range(` in the same file, or a span leaks and
+/// every later event nests wrongly. (`range!` closes via its guard and is
+/// exempt — it *expands* to a balanced pair.)
+fn check_range_balance(rel: &Path, code: &str, findings: &mut Vec<String>) {
+    let opens = count_token(code, "open_range(");
+    let closes = count_token(code, "close_range(");
+    if opens != closes {
+        findings.push(format!(
+            "{}: {opens} `open_range(` vs {closes} `close_range(` — \
+             unbalanced raw trace spans (prefer the `range!` guard)",
+            rel.display()
+        ));
     }
 }
 
@@ -300,5 +350,59 @@ mod tests {
         let spans = check_file(Path::new("t.rs"), src, &mut findings);
         assert_eq!(spans, 0);
         assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn trace_ranges_flagged_inside_launch_only() {
+        let src = r#"
+            fn ok(dev: &mut D, b: &B) {
+                let _round = ecl_trace::range!(sim: "round"); // outside: fine
+                let _ = dev.launch("k", 4, |i, ctx| {
+                    let _ = b.ld(ctx, i);
+                });
+            }
+            fn bad(dev: &mut D, b: &B) {
+                let _ = dev.launch("k", 4, |i, ctx| {
+                    let _g = ecl_trace::range!(sim: "per-task");
+                    let _ = b.ld(ctx, i);
+                });
+            }
+        "#;
+        let mut findings = Vec::new();
+        let spans = check_file(Path::new("t.rs"), src, &mut findings);
+        assert_eq!(spans, 2);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("trace range opened"));
+        assert!(findings[0].contains("t.rs:10"));
+    }
+
+    #[test]
+    fn raw_open_range_must_balance_per_file() {
+        let balanced = "fn f() { ecl_trace::open_range(\"a\", C); ecl_trace::close_range(); }";
+        let mut findings = Vec::new();
+        check_range_balance(
+            Path::new("t.rs"),
+            &blank_comments_and_strings(balanced),
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+
+        let leaky = "fn f() { ecl_trace::open_range(\"a\", C); }";
+        check_range_balance(
+            Path::new("t.rs"),
+            &blank_comments_and_strings(leaky),
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("unbalanced"));
+        // Tokens inside comments and strings don't count.
+        let commented = "fn f() { /* open_range( */ let s = \"open_range(\"; }";
+        let mut f2 = Vec::new();
+        check_range_balance(
+            Path::new("t.rs"),
+            &blank_comments_and_strings(commented),
+            &mut f2,
+        );
+        assert!(f2.is_empty(), "{f2:?}");
     }
 }

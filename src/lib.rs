@@ -10,6 +10,8 @@
 //! * [`baselines`] — the paper's comparator strategies ([`ecl_baselines`]).
 //! * [`cc`] — ECL-CC-style connected components, the substrate the paper's
 //!   reference \[14\] provides ([`ecl_cc`]).
+//! * [`trace`] — the nsys-style tracing & profiling subsystem
+//!   ([`ecl_trace`]).
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@ pub use ecl_dsu as dsu;
 pub use ecl_gpu_sim as gpu_sim;
 pub use ecl_graph as graph;
 pub use ecl_mst as mst;
+pub use ecl_trace as trace;
 
 /// One-stop imports for examples and tests.
 pub mod prelude {

@@ -202,6 +202,18 @@ fn sanitizer_pass_is_clean_and_does_not_perturb_metering() {
     );
 }
 
+/// ecl-trace satellite of the golden test: the same full sweep under a
+/// trace session must meter bit-identically — tracing observes the
+/// counters, it never perturbs them (the zero-cost-when-disabled contract's
+/// enabled-side half).
+#[test]
+fn tracing_does_not_perturb_metering() {
+    let base = actual();
+    let (traced, session) = ecl_trace::with_trace(actual);
+    assert_eq!(base, traced, "trace session perturbed metered counters");
+    assert!(!session.is_empty(), "sweep produced no trace events");
+}
+
 const EXPECTED: &str = r"
 ecl_full/grid32 init launches=1 coal=83872 gather=126 atomics=900 cas=0
 ecl_full/grid32 kernel1 launches=7 coal=262676 gather=24614 atomics=3358 cas=0

@@ -1,0 +1,85 @@
+//! Golden-file test for the Chrome trace exporter: a fixed run on the
+//! (sequential, deterministic) simulated device must serialize to exactly
+//! the checked-in trace, and that trace must be schema-valid — monotonic
+//! timestamps per thread, balanced and properly nested B/E pairs, complete
+//! events with non-negative durations.
+//!
+//! Determinism basis: filtering is disabled (no `plan_filter` wall span),
+//! and the run happens against a pre-warmed upload cache (cache hits open
+//! no `upload/*` wall spans), so the traced run emits **simulated-clock
+//! events only** — identical bytes on every host.
+//!
+//! To regenerate after an *intentional* trace-format or metering change:
+//!
+//! ```text
+//! GOLDEN_PRINT=1 cargo test --test trace_golden -- --nocapture
+//! ```
+//!
+//! and paste the printed block over `tests/fixtures/trace_golden_grid16.json`.
+
+use ecl_gpu_sim::GpuProfile;
+use ecl_graph::generators::grid2d;
+use ecl_mst::{ecl_mst_gpu_with, OptConfig};
+use ecl_trace::Event;
+
+const GOLDEN: &str = include_str!("fixtures/trace_golden_grid16.json");
+
+fn fixed_session() -> ecl_trace::TraceSession {
+    let g = grid2d(16, 3);
+    let mut cfg = OptConfig::full();
+    cfg.filtering = false;
+    // Warm the upload cache so the traced run below hits it (no wall spans).
+    let _ = ecl_mst_gpu_with(&g, &cfg, GpuProfile::TITAN_V);
+    let ((), session) = ecl_trace::with_trace(|| {
+        let _ = ecl_mst_gpu_with(&g, &cfg, GpuProfile::TITAN_V);
+    });
+    session
+}
+
+#[test]
+fn chrome_trace_is_schema_valid_and_byte_stable() {
+    let session = fixed_session();
+    // Sim-clock events only: wall events would be nondeterministic.
+    for ev in session.events() {
+        assert_eq!(
+            ev.clock(),
+            ecl_trace::Clock::Sim,
+            "unexpected wall-clock event in the deterministic run: {ev:?}"
+        );
+    }
+    assert!(session
+        .events()
+        .iter()
+        .any(|e| matches!(e, Event::Launch { .. })));
+    assert!(session
+        .events()
+        .iter()
+        .any(|e| matches!(e, Event::Memcpy { .. })));
+
+    let trace = session.chrome_trace();
+    let events = ecl_trace::chrome::validate(&trace).expect("schema-valid Chrome trace");
+    assert!(events > 20, "suspiciously small trace ({events} events)");
+
+    if std::env::var_os("GOLDEN_PRINT").is_some() {
+        println!("----- golden trace -----");
+        print!("{trace}");
+        println!("----- end golden trace -----");
+    }
+    assert_eq!(
+        trace, GOLDEN,
+        "Chrome trace drifted from tests/fixtures/trace_golden_grid16.json \
+         (GOLDEN_PRINT=1 to regenerate after an intentional change)"
+    );
+}
+
+#[test]
+fn profile_of_fixed_run_is_byte_stable_across_sessions() {
+    // Two independent sessions of the same run serialize to identical
+    // profile JSON — the property the CI `--diff` fixture relies on.
+    let a = fixed_session().profile().to_json();
+    let b = fixed_session().profile().to_json();
+    assert_eq!(a, b);
+    let back = ecl_trace::Profile::from_json(&a).expect("parses");
+    assert!(back.total_kernel_seconds > 0.0);
+    assert!(!back.rounds.is_empty(), "round spans missing from profile");
+}

@@ -1,0 +1,68 @@
+//! The two §5.1 share paths must agree **exactly**: the historical
+//! `Device::records()` scan (what `kernel_profile` used to do by hand) and
+//! the [`ecl_trace::Profile`] built from a trace session of the same run.
+//!
+//! This works because launch seconds are carried verbatim into the trace
+//! (`LaunchMetrics::sim_seconds`) and both paths fold them in the same
+//! order (event order = record order), so the sums are bit-identical —
+//! no tolerance needed.
+
+use ecl_gpu_sim::{aggregate_records, GpuProfile};
+use ecl_graph::generators::{grid2d, rmat};
+use ecl_graph::CsrGraph;
+use ecl_mst::{ecl_mst_gpu_with, OptConfig};
+
+fn check(g: &CsrGraph) {
+    let (run, session) =
+        ecl_trace::with_trace(|| ecl_mst_gpu_with(g, &OptConfig::full(), GpuProfile::RTX_3080_TI));
+    let p = session.profile();
+    assert!(!p.kernels.is_empty());
+
+    // Record-scan path, folded in record order like kernel_profile did.
+    let total: f64 = run.records.iter().map(|r| r.sim_seconds).sum();
+    for k in &p.kernels {
+        let kt: f64 = run
+            .records
+            .iter()
+            .filter(|r| r.name == k.name)
+            .map(|r| r.sim_seconds)
+            .sum();
+        assert_eq!(k.sim_seconds, kt, "seconds for `{}`", k.name);
+        assert_eq!(k.share, kt / total, "share for `{}`", k.name);
+        let launches = run.records.iter().filter(|r| r.name == k.name).count();
+        assert_eq!(k.launches, launches as u64, "launches for `{}`", k.name);
+    }
+    // Every launched kernel shows up in the profile (no silent drops).
+    for r in &run.records {
+        assert!(p.kernel(&r.name).is_some(), "`{}` missing", r.name);
+    }
+
+    // `Device::kernel_breakdown()`'s aggregation agrees as well, in the
+    // same first-launch order.
+    let agg = aggregate_records(&run.records);
+    assert_eq!(agg.len(), p.kernels.len());
+    for (a, k) in agg.iter().zip(&p.kernels) {
+        assert_eq!(a.name, k.name);
+        assert_eq!(a.sim_seconds, k.sim_seconds);
+        assert_eq!(a.launches, k.launches);
+        assert_eq!(a.totals.atomics, k.atomics);
+        assert_eq!(a.totals.cas_retries, k.cas_retries);
+    }
+
+    // Per-kernel seconds sum back to the launch-only total and shares to 1
+    // (regrouped fold order, so only up to rounding).
+    let launch_sum: f64 = p.kernels.iter().map(|k| k.sim_seconds).sum();
+    assert!((launch_sum - total).abs() <= 1e-12 * total);
+    let share_sum: f64 = p.kernels.iter().map(|k| k.share).sum();
+    assert!((share_sum - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn profile_shares_match_record_scan_on_grid() {
+    check(&grid2d(32, 7));
+}
+
+#[test]
+fn profile_shares_match_record_scan_on_rmat() {
+    check(&rmat(10, 8, 42));
+}
