@@ -24,7 +24,7 @@ fn bench_generators(c: &mut Criterion) {
 
 fn bench_io(c: &mut Criterion) {
     let g = uniform_random(16_384, 8.0, 1);
-    let bytes = io::to_binary(&g);
+    let bytes = io::to_binary(&g).unwrap();
     let mut group = c.benchmark_group("io");
     group.bench_function("to_binary_16k", |b| b.iter(|| io::to_binary(&g)));
     group.bench_function("from_binary_16k", |b| {

@@ -39,7 +39,10 @@ pub fn plan_filter(g: &CsrGraph, c: u32, seed: u64) -> FilterPlan {
     let _r = ecl_trace::range!(wall: "plan_filter");
     let n = g.num_vertices();
     let m = g.num_edges();
-    if m == 0 || g.average_degree() < c as f64 {
+    // Guard the sample draw directly on the arc count (the range sampled
+    // below): vertex-only and empty graphs must never reach `gen_range`.
+    // `c == 0` would make the quantile target meaningless, so it also skips.
+    if g.num_arcs() == 0 || c == 0 || g.average_degree() < c as f64 {
         return FilterPlan::SinglePhase;
     }
     // Target quantile: the c·|V| lightest of the m undirected edges.
@@ -59,9 +62,17 @@ pub fn plan_filter(g: &CsrGraph, c: u32, seed: u64) -> FilterPlan {
     samples.sort_unstable();
     // The ceil(q·20)-th smallest sample estimates the q-quantile.
     let idx = ((q * SAMPLE_SIZE as f64).ceil() as usize).clamp(1, SAMPLE_SIZE) - 1;
-    FilterPlan::TwoPhase {
-        threshold: samples[idx],
+    let threshold = samples[idx];
+    // Degenerate estimates fall back to a single phase. When every sample
+    // ties (uniform-weight graphs), phase 1's strict `weight < threshold`
+    // predicate selects nothing and the two-phase path silently does double
+    // work — one full populate pass that admits zero edges plus a second
+    // pass over everything. A zero threshold selects nothing for the same
+    // reason (weights are unsigned).
+    if threshold == 0 || samples[0] == samples[SAMPLE_SIZE - 1] {
+        return FilterPlan::SinglePhase;
     }
+    FilterPlan::TwoPhase { threshold }
 }
 
 /// Measures how far the sampled threshold lands from the `target·|V|`
@@ -80,6 +91,11 @@ pub fn threshold_accuracy(
         FilterPlan::TwoPhase { threshold } => {
             let below = g.edges().filter(|e| e.weight < threshold).count();
             let target = (target_factor as usize) * g.num_vertices();
+            if target == 0 {
+                // A zero target (target_factor == 0) has no meaningful
+                // percentage distance — avoid the division by zero.
+                return None;
+            }
             let pct = 100.0 * (below as f64 - target as f64) / target as f64;
             Some((below, target, pct))
         }
@@ -142,6 +158,56 @@ mod tests {
     fn accuracy_none_when_not_filtering() {
         let g = grid2d(20, 1);
         assert!(threshold_accuracy(&g, 4, 1, 3).is_none());
+    }
+
+    #[test]
+    fn uniform_weights_fall_back_to_single_phase() {
+        // All weights equal: every sample ties, so phase 1's strict
+        // `weight < threshold` would select zero edges. The plan must fall
+        // back to SinglePhase instead of silently doing double work.
+        let mut b = ecl_graph::GraphBuilder::new(12);
+        for u in 0..12u32 {
+            for v in (u + 1)..12 {
+                b.add_edge(u, v, 42);
+            }
+        }
+        let g = b.build();
+        assert!(g.average_degree() >= 4.0, "test graph must be dense");
+        assert_eq!(plan_filter(&g, 4, 1), FilterPlan::SinglePhase);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_single_phase() {
+        // A zero threshold can never admit an edge in phase 1.
+        let mut b = ecl_graph::GraphBuilder::new(10);
+        for u in 0..10u32 {
+            for v in (u + 1)..10 {
+                b.add_edge(u, v, 0);
+            }
+        }
+        assert_eq!(plan_filter(&b.build(), 4, 3), FilterPlan::SinglePhase);
+    }
+
+    #[test]
+    fn vertex_only_graph_never_samples() {
+        // num_arcs() == 0 with vertices present: must not reach gen_range.
+        let g = ecl_graph::GraphBuilder::new(50).build();
+        assert_eq!(plan_filter(&g, 4, 1), FilterPlan::SinglePhase);
+        assert!(threshold_accuracy(&g, 4, 1, 3).is_none());
+    }
+
+    #[test]
+    fn zero_c_is_single_phase() {
+        let g = copapers(500, 16, 2);
+        assert_eq!(plan_filter(&g, 0, 1), FilterPlan::SinglePhase);
+    }
+
+    #[test]
+    fn zero_target_factor_yields_none() {
+        // target_factor == 0 makes the percentage distance a division by
+        // zero; the accuracy probe must decline instead of returning ±inf.
+        let g = copapers(2000, 30, 2);
+        assert!(threshold_accuracy(&g, 4, 1, 0).is_none());
     }
 
     #[test]

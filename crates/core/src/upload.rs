@@ -39,6 +39,19 @@ impl DeviceCsr {
     /// Like [`DeviceCsr::get`], for use inside an existing
     /// [`with_scratch`] closure (avoids the re-entrant borrow).
     pub fn get_with(s: &mut Scratch, g: &CsrGraph) -> Self {
+        // Upload-boundary backstop for the reservation-word invariant:
+        // `pack(weight, id)` must never equal the `EMPTY` (`u64::MAX`)
+        // atomicMin sentinel. Validated constructors already reject the
+        // colliding `(u32::MAX, u32::MAX)` arc, so this only fires on graphs
+        // smuggled past validation; debug-only to keep the release hot path
+        // allocation- and scan-free.
+        debug_assert!(
+            g.arc_weights()
+                .iter()
+                .zip(g.arc_edge_ids())
+                .all(|(&w, &id)| w != u32::MAX || id != u32::MAX),
+            "arc packs to the reservation-word EMPTY sentinel"
+        );
         let key = g.uid();
         // The upload ranges live *inside* the build closures: cache hits
         // produce no trace spans (nothing happens), so a warmed cache keeps

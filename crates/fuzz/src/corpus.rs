@@ -1,0 +1,101 @@
+//! The checked-in regression corpus.
+//!
+//! Minimized failures serialize into the repo's text edge-list format
+//! (`c` comments, `p <n> <m>` header, `e <u> <v> <w>` lines) so every
+//! corpus file is directly loadable by [`ecl_graph::io::from_text`] and
+//! replays as a plain `cargo test` — no fuzzing machinery required at
+//! replay time.
+
+use crate::gen::RawCase;
+use ecl_graph::CsrGraph;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Serializes a raw case with provenance comments.
+///
+/// The `notes` lines (already human-readable, no leading `c`) record how
+/// the case was found; parsers skip them.
+pub fn case_to_text(case: &RawCase, notes: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("c ecl-fuzz minimized case: {}\n", case.family));
+    for n in notes {
+        for line in n.lines() {
+            out.push_str(&format!("c {line}\n"));
+        }
+    }
+    out.push_str(&format!("p {} {}\n", case.num_vertices, case.edges.len()));
+    for &(u, v, w) in &case.edges {
+        out.push_str(&format!("e {u} {v} {w}\n"));
+    }
+    out
+}
+
+/// Writes a case into `dir` (created if missing) as `<stem>.txt`, returning
+/// the path.
+pub fn write_case(dir: &Path, stem: &str, case: &RawCase, notes: &[String]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{stem}.txt"));
+    fs::write(&path, case_to_text(case, notes))?;
+    Ok(path)
+}
+
+/// Loads every `*.txt` corpus entry under `dir`, sorted by file name for a
+/// deterministic replay order. Parse failures are hard errors — a corpus
+/// file that stops parsing is itself a regression.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(PathBuf, CsrGraph)>> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let g = ecl_graph::io::from_text(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })?;
+        out.push((path, g));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_text_round_trips_through_from_text() {
+        let case = RawCase {
+            family: "multigraph",
+            num_vertices: 4,
+            edges: vec![(0, 1, 7), (1, 1, 3), (0, 1, 2), (2, 3, 0)],
+        };
+        let text = case_to_text(&case, &["seed 9 case 4".into()]);
+        let g = ecl_graph::io::from_text(&text).unwrap();
+        // Self-loop dropped, duplicate collapsed to the lightest.
+        assert_eq!(g, case.build());
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn write_then_load_dir() {
+        let dir = std::env::temp_dir().join("ecl_fuzz_corpus_test");
+        let _ = fs::remove_dir_all(&dir);
+        let case = RawCase {
+            family: "path",
+            num_vertices: 3,
+            edges: vec![(0, 1, 5), (1, 2, 6)],
+        };
+        write_case(&dir, "b-second", &case, &[]).unwrap();
+        write_case(&dir, "a-first", &case, &[]).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded[0].0.ends_with("a-first.txt"), "sorted by name");
+        assert_eq!(loaded[0].1, case.build());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

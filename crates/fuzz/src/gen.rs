@@ -1,0 +1,361 @@
+//! Adversarial graph-family generators.
+//!
+//! Each case is derived purely from `(seed, case_index)`: the same pair
+//! always produces the same [`RawCase`], so a failing case can be replayed
+//! from the campaign summary alone. The families deliberately concentrate
+//! on inputs where MST variants historically disagree: ties, disconnection,
+//! duplicate edges, degree skew, and weights at the packing extremes.
+
+use ecl_graph::{CsrGraph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A raw fuzz input: a vertex count plus an *uncleaned* edge list.
+///
+/// Self-loops and parallel edges are allowed — [`GraphBuilder`] cleaning
+/// (drop loops, keep the lightest duplicate) is itself under test, and the
+/// shrinker operates on this representation so minimized cases stay
+/// human-readable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawCase {
+    /// Family label, stable for a given case index.
+    pub family: &'static str,
+    /// Number of vertices (endpoints must stay below this).
+    pub num_vertices: usize,
+    /// Raw `(u, v, weight)` triples in generation order.
+    pub edges: Vec<(u32, u32, u32)>,
+}
+
+impl RawCase {
+    /// Builds the cleaned CSR graph.
+    pub fn build(&self) -> CsrGraph {
+        let mut b = GraphBuilder::with_capacity(self.num_vertices, self.edges.len());
+        for &(u, v, w) in &self.edges {
+            b.add_edge(u, v, w);
+        }
+        b.build()
+    }
+}
+
+/// Number of distinct adversarial families cycled by [`generate`].
+pub const NUM_FAMILIES: usize = 14;
+
+/// Generates the deterministic case for `(seed, case)`.
+///
+/// Families cycle with the case index so any contiguous window of
+/// `NUM_FAMILIES` cases covers every family once; the rng stream is derived
+/// from both inputs so different seeds explore different instances.
+pub fn generate(seed: u64, case: usize) -> RawCase {
+    let mut rng = StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(case as u64),
+    );
+    match case % NUM_FAMILIES {
+        0 => empty(),
+        1 => single_vertex(),
+        2 => isolated(&mut rng),
+        3 => path(&mut rng),
+        4 => star(&mut rng),
+        5 => clique(&mut rng),
+        6 => tied_weights(&mut rng),
+        7 => extreme_weights(&mut rng),
+        8 => disconnected(&mut rng),
+        9 => multigraph(&mut rng),
+        10 => degree_skew(&mut rng),
+        11 => near_zero_weights(&mut rng),
+        12 => sparse_random(&mut rng),
+        _ => sentinel_probe(&mut rng),
+    }
+}
+
+/// Draws a weight from a style-dependent pool: small pools force ties.
+fn weight(rng: &mut StdRng, pool: u32) -> u32 {
+    rng.gen_range(0..pool.max(1))
+}
+
+fn empty() -> RawCase {
+    RawCase {
+        family: "empty",
+        num_vertices: 0,
+        edges: Vec::new(),
+    }
+}
+
+fn single_vertex() -> RawCase {
+    RawCase {
+        family: "single_vertex",
+        num_vertices: 1,
+        edges: Vec::new(),
+    }
+}
+
+/// Vertex-only graph: everything is a component of size one.
+fn isolated(rng: &mut StdRng) -> RawCase {
+    RawCase {
+        family: "isolated",
+        num_vertices: rng.gen_range(2..=64usize),
+        edges: Vec::new(),
+    }
+}
+
+/// A path, possibly with a tiny weight pool so consecutive edges tie.
+fn path(rng: &mut StdRng) -> RawCase {
+    let n = rng.gen_range(2..=48usize);
+    let pool = *[2u32, 5, 1000].get(rng.gen_range(0..3usize)).unwrap();
+    let edges = (0..n as u32 - 1)
+        .map(|v| (v, v + 1, weight(rng, pool)))
+        .collect();
+    RawCase {
+        family: "path",
+        num_vertices: n,
+        edges,
+    }
+}
+
+/// Star: worst case for reservation contention (every edge reserves the
+/// same representative).
+fn star(rng: &mut StdRng) -> RawCase {
+    let n = rng.gen_range(3..=96usize);
+    let pool = if rng.gen_range(0..2u32) == 0 { 1 } else { 512 };
+    let edges = (1..n as u32).map(|v| (0, v, weight(rng, pool))).collect();
+    RawCase {
+        family: "star",
+        num_vertices: n,
+        edges,
+    }
+}
+
+/// Complete graph: maximal cycle discards.
+fn clique(rng: &mut StdRng) -> RawCase {
+    let n = rng.gen_range(3..=14usize) as u32;
+    let pool = *[1u32, 7, 100_000].get(rng.gen_range(0..3usize)).unwrap();
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v, weight(rng, pool)));
+        }
+    }
+    RawCase {
+        family: "clique",
+        num_vertices: n as usize,
+        edges,
+    }
+}
+
+/// Every weight identical: ties broken purely by edge id everywhere, and
+/// `plan_filter`'s threshold estimate degenerates.
+fn tied_weights(rng: &mut StdRng) -> RawCase {
+    let n = rng.gen_range(4..=40usize);
+    let w = *[0u32, 1, 42, u32::MAX]
+        .get(rng.gen_range(0..4usize))
+        .unwrap();
+    let m = rng.gen_range(n..4 * n);
+    let edges = (0..m)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32), w))
+        .collect();
+    RawCase {
+        family: "tied_weights",
+        num_vertices: n,
+        edges,
+    }
+}
+
+/// Weights at and near `u32::MAX`: stresses the packed `weight:id` order
+/// next to the `EMPTY` sentinel and 64-bit total-weight accumulation.
+fn extreme_weights(rng: &mut StdRng) -> RawCase {
+    let n = rng.gen_range(3..=24usize);
+    let m = rng.gen_range(n..3 * n);
+    let edges = (0..m)
+        .map(|_| {
+            (
+                rng.gen_range(0..n as u32),
+                rng.gen_range(0..n as u32),
+                u32::MAX - rng.gen_range(0..4u32),
+            )
+        })
+        .collect();
+    RawCase {
+        family: "extreme_weights",
+        num_vertices: n,
+        edges,
+    }
+}
+
+/// Several dense blobs with no edges between them, plus stray isolated
+/// vertices: forces per-component forests (and `NotConnected` from the
+/// MST-only codes).
+fn disconnected(rng: &mut StdRng) -> RawCase {
+    let blobs = rng.gen_range(2..=4usize);
+    let blob_size = rng.gen_range(2..=10usize);
+    let extra = rng.gen_range(0..=5usize);
+    let n = blobs * blob_size + extra;
+    let mut edges = Vec::new();
+    for b in 0..blobs {
+        let base = (b * blob_size) as u32;
+        for i in 0..blob_size as u32 {
+            for j in (i + 1)..blob_size as u32 {
+                if rng.gen_range(0..3u32) != 0 {
+                    edges.push((base + i, base + j, weight(rng, 1_000)));
+                }
+            }
+        }
+    }
+    RawCase {
+        family: "disconnected",
+        num_vertices: n,
+        edges,
+    }
+}
+
+/// Self-loops and parallel edges galore: builder cleaning under test. The
+/// duplicate with the lightest weight must win in every backend.
+fn multigraph(rng: &mut StdRng) -> RawCase {
+    let n = rng.gen_range(2..=12usize);
+    let m = rng.gen_range(4..60usize);
+    let edges = (0..m)
+        .map(|_| {
+            let u = rng.gen_range(0..n as u32);
+            // Bias toward repeats and self-loops.
+            let v = if rng.gen_range(0..4u32) == 0 {
+                u
+            } else {
+                rng.gen_range(0..n as u32)
+            };
+            (u, v, weight(rng, 50))
+        })
+        .collect();
+    RawCase {
+        family: "multigraph",
+        num_vertices: n,
+        edges,
+    }
+}
+
+/// A few huge hubs plus a long sparse tail: the hybrid warp/thread split
+/// must agree with the thread-only variant.
+fn degree_skew(rng: &mut StdRng) -> RawCase {
+    let hubs = rng.gen_range(1..=3usize);
+    let tail = rng.gen_range(20..=80usize);
+    let n = hubs + tail;
+    let mut edges = Vec::new();
+    for h in 0..hubs as u32 {
+        for v in hubs as u32..n as u32 {
+            if rng.gen_range(0..3u32) != 0 {
+                edges.push((h, v, weight(rng, 10_000)));
+            }
+        }
+    }
+    for v in hubs as u32..(n as u32 - 1) {
+        if rng.gen_range(0..4u32) == 0 {
+            edges.push((v, v + 1, weight(rng, 10_000)));
+        }
+    }
+    RawCase {
+        family: "degree_skew",
+        num_vertices: n,
+        edges,
+    }
+}
+
+/// Weights drawn from `{0, 1, 2}`: zero-weight edges are legal and must
+/// not be confused with "absent".
+fn near_zero_weights(rng: &mut StdRng) -> RawCase {
+    let n = rng.gen_range(4..=32usize);
+    let m = rng.gen_range(n..4 * n);
+    let edges = (0..m)
+        .map(|_| {
+            (
+                rng.gen_range(0..n as u32),
+                rng.gen_range(0..n as u32),
+                rng.gen_range(0..3u32),
+            )
+        })
+        .collect();
+    RawCase {
+        family: "near_zero_weights",
+        num_vertices: n,
+        edges,
+    }
+}
+
+/// Plain sparse uniform-random graph — the control family.
+fn sparse_random(rng: &mut StdRng) -> RawCase {
+    let n = rng.gen_range(8..=128usize);
+    let m = rng.gen_range(n / 2..3 * n);
+    let edges = (0..m)
+        .map(|_| {
+            (
+                rng.gen_range(0..n as u32),
+                rng.gen_range(0..n as u32),
+                rng.gen_range(0..1_000_000u32),
+            )
+        })
+        .collect();
+    RawCase {
+        family: "sparse_random",
+        num_vertices: n,
+        edges,
+    }
+}
+
+/// Near-sentinel packing: every weight is `u32::MAX`, so each packed
+/// reservation word is `0xFFFF_FFFF_....` — one id bit away from `EMPTY`.
+/// Dense builder ids keep the words distinct; any backend that confuses a
+/// reservation with the sentinel diverges here.
+fn sentinel_probe(rng: &mut StdRng) -> RawCase {
+    let n = rng.gen_range(2..=20usize);
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_range(0..2u32) == 0 {
+                edges.push((u, v, u32::MAX));
+            }
+        }
+    }
+    RawCase {
+        family: "sentinel_probe",
+        num_vertices: n,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for case in 0..2 * NUM_FAMILIES {
+            assert_eq!(generate(7, case), generate(7, case), "case {case}");
+        }
+    }
+
+    #[test]
+    fn seeds_vary_instances() {
+        // Family 12 (sparse_random) draws everything from the rng.
+        assert_ne!(generate(1, 12), generate(2, 12));
+    }
+
+    #[test]
+    fn families_cycle_and_build() {
+        let mut seen = std::collections::HashSet::new();
+        for case in 0..NUM_FAMILIES {
+            let raw = generate(0, case);
+            seen.insert(raw.family);
+            let g = raw.build();
+            assert!(g.num_vertices() <= raw.num_vertices.max(1));
+        }
+        assert_eq!(seen.len(), NUM_FAMILIES, "family labels must be distinct");
+    }
+
+    #[test]
+    fn endpoints_stay_in_range() {
+        for case in 0..4 * NUM_FAMILIES {
+            let raw = generate(3, case);
+            for &(u, v, _) in &raw.edges {
+                assert!((u as usize) < raw.num_vertices);
+                assert!((v as usize) < raw.num_vertices);
+            }
+        }
+    }
+}

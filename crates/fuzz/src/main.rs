@@ -1,0 +1,119 @@
+//! ecl-fuzz CLI: run a differential fuzzing campaign.
+//!
+//! ```text
+//! ecl-fuzz [--cases N] [--seed S] [--sample-every K] [--corpus DIR]
+//! ```
+//!
+//! Exit status: 0 when every case agrees across every backend, 1 on any
+//! divergence (minimized reproductions are written into `--corpus` when
+//! given), 2 on bad usage.
+
+use ecl_fuzz::{corpus, run_campaign_with, CampaignConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    cfg: CampaignConfig,
+    corpus_dir: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: ecl-fuzz [--cases N] [--seed S] [--sample-every K] [--corpus DIR]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cfg: CampaignConfig::default(),
+        corpus_dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--cases" => {
+                args.cfg.cases = value("--cases")?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?
+            }
+            "--seed" => {
+                args.cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--sample-every" => {
+                args.cfg.sample_every = value("--sample-every")?
+                    .parse()
+                    .map_err(|e| format!("--sample-every: {e}"))?
+            }
+            "--corpus" => args.corpus_dir = Some(PathBuf::from(value("--corpus")?)),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = &args.cfg;
+    println!(
+        "ecl-fuzz: {} cases, seed {}, sanitizer/tracer every {} cases",
+        cfg.cases, cfg.seed, cfg.sample_every
+    );
+    let mut last_decile = 0;
+    let report = run_campaign_with(cfg, |done, fails| {
+        let decile = 10 * done / cfg.cases.max(1);
+        if decile > last_decile {
+            last_decile = decile;
+            println!("  {done}/{} cases checked, {fails} divergences", cfg.cases);
+        }
+    });
+    println!(
+        "checked {} cases across {} backends ({} instrumented): {} divergences",
+        report.cases_run,
+        report.backends,
+        report.instrumented_cases,
+        report.failures.len()
+    );
+    if report.is_clean() {
+        return ExitCode::SUCCESS;
+    }
+    for f in &report.failures {
+        eprintln!(
+            "DIVERGENCE case {} family {}: {} (minimized to {} vertices / {} edges)",
+            f.case_index,
+            f.raw.family,
+            f.failure,
+            f.minimized.num_vertices,
+            f.minimized.edges.len()
+        );
+        if let Some(dir) = &args.corpus_dir {
+            let stem = format!(
+                "fuzz-{}-seed{}-case{}",
+                f.minimized.family, cfg.seed, f.case_index
+            );
+            let notes = vec![
+                format!(
+                    "found by: ecl-fuzz --cases {} --seed {}",
+                    cfg.cases, cfg.seed
+                ),
+                format!("case index {}", f.case_index),
+                format!("failure: {}", f.failure),
+            ];
+            match corpus::write_case(dir, &stem, &f.minimized, &notes) {
+                Ok(path) => eprintln!("  wrote {}", path.display()),
+                Err(e) => eprintln!("  failed to write corpus entry: {e}"),
+            }
+        }
+    }
+    ExitCode::FAILURE
+}

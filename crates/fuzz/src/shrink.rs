@@ -1,0 +1,157 @@
+//! Failure minimization.
+//!
+//! A delta-debugging-style shrinker over [`RawCase`]: it greedily removes
+//! edge chunks, simplifies weights toward `1`, and compacts the vertex set,
+//! re-checking the caller's predicate after every candidate. The result is
+//! the smallest reproduction the budget finds — what gets serialized into
+//! `tests/corpus/`.
+
+use crate::gen::RawCase;
+
+/// Upper bound on predicate evaluations per shrink. Backends are cheap on
+/// tiny graphs but a full registry pass is ~30 runs, so the budget caps
+/// worst-case shrink time.
+const MAX_EVALS: usize = 400;
+
+/// Shrinks `raw` while `still_fails` keeps returning `true`.
+///
+/// The predicate must be deterministic; it is never called on the input
+/// itself (the caller already knows it fails).
+pub fn shrink(raw: &RawCase, mut still_fails: impl FnMut(&RawCase) -> bool) -> RawCase {
+    let mut best = raw.clone();
+    let mut evals = 0usize;
+    let mut try_candidate = |best: &mut RawCase, cand: RawCase, evals: &mut usize| -> bool {
+        if *evals >= MAX_EVALS {
+            return false;
+        }
+        *evals += 1;
+        if still_fails(&cand) {
+            *best = cand;
+            true
+        } else {
+            false
+        }
+    };
+
+    // Pass 1: chunked edge removal, halving the chunk size ddmin-style.
+    let mut chunk = best.edges.len().div_ceil(2).max(1);
+    loop {
+        let mut i = 0;
+        while i < best.edges.len() && evals < MAX_EVALS {
+            let mut cand = best.clone();
+            let end = (i + chunk).min(cand.edges.len());
+            cand.edges.drain(i..end);
+            if !try_candidate(&mut best, cand, &mut evals) {
+                i += chunk;
+            }
+        }
+        if chunk == 1 || evals >= MAX_EVALS {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+
+    // Pass 2: weight simplification — all-ones first, then per-edge.
+    if best.edges.iter().any(|&(_, _, w)| w != 1) {
+        let mut cand = best.clone();
+        for e in &mut cand.edges {
+            e.2 = 1;
+        }
+        if !try_candidate(&mut best, cand, &mut evals) {
+            for i in 0..best.edges.len() {
+                if best.edges[i].2 == 1 || evals >= MAX_EVALS {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.edges[i].2 = 1;
+                try_candidate(&mut best, cand, &mut evals);
+            }
+        }
+    }
+
+    // Pass 3: vertex compaction — remap used endpoints to a dense prefix.
+    if !best.edges.is_empty() {
+        let mut used: Vec<u32> = best.edges.iter().flat_map(|&(u, v, _)| [u, v]).collect();
+        used.sort_unstable();
+        used.dedup();
+        if used.len() < best.num_vertices {
+            let remap = |x: u32| used.binary_search(&x).expect("endpoint in used set") as u32;
+            let cand = RawCase {
+                family: best.family,
+                num_vertices: used.len(),
+                edges: best
+                    .edges
+                    .iter()
+                    .map(|&(u, v, w)| (remap(u), remap(v), w))
+                    .collect(),
+            };
+            try_candidate(&mut best, cand, &mut evals);
+        }
+    } else {
+        // Vertex-only failure: binary-search the smallest vertex count.
+        let (mut lo, mut hi) = (0usize, best.num_vertices);
+        while lo < hi && evals < MAX_EVALS {
+            let mid = (lo + hi) / 2;
+            let cand = RawCase {
+                family: best.family,
+                num_vertices: mid,
+                edges: Vec::new(),
+            };
+            if try_candidate(&mut best, cand, &mut evals) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(n: usize, edges: Vec<(u32, u32, u32)>) -> RawCase {
+        RawCase {
+            family: "test",
+            num_vertices: n,
+            edges,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_edge() {
+        // Failure: "contains an edge heavier than 1000".
+        let mut edges: Vec<(u32, u32, u32)> = (0..40u32).map(|i| (i, i + 1, i)).collect();
+        edges.push((3, 9, 5_000));
+        let raw = case(64, edges);
+        let min = shrink(&raw, |c| c.edges.iter().any(|&(_, _, w)| w > 1000));
+        assert_eq!(min.edges.len(), 1);
+        assert!(min.edges[0].2 > 1000);
+        assert_eq!(min.num_vertices, 2, "endpoints compacted to {{0, 1}}");
+    }
+
+    #[test]
+    fn simplifies_weights_when_irrelevant() {
+        // Failure: "has at least 3 edges" — weights play no role.
+        let raw = case(8, (0..6u32).map(|i| (i, i + 1, 777 + i)).collect());
+        let min = shrink(&raw, |c| c.edges.len() >= 3);
+        assert_eq!(min.edges.len(), 3);
+        assert!(min.edges.iter().all(|&(_, _, w)| w == 1));
+    }
+
+    #[test]
+    fn vertex_only_failures_binary_search_the_count() {
+        let raw = case(1000, Vec::new());
+        let min = shrink(&raw, |c| c.num_vertices >= 37);
+        assert_eq!(min.num_vertices, 37);
+    }
+
+    #[test]
+    fn never_returns_a_passing_case() {
+        let raw = case(10, vec![(0, 1, 9), (1, 2, 9)]);
+        let min = shrink(&raw, |c| c.edges.len() >= 2);
+        assert!(min.edges.len() >= 2);
+    }
+}

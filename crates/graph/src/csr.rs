@@ -262,6 +262,21 @@ impl CsrGraph {
         let mut seen: Vec<Option<(VertexId, VertexId, Weight)>> = vec![None; m];
         for v in 0..n as VertexId {
             for e in self.neighbors(v) {
+                // Reservation-word soundness: the MST codes pack each arc as
+                // `(weight << 32) | edge_id` and use `u64::MAX` as the
+                // atomicMin "empty" sentinel. An arc with both halves
+                // all-ones would be indistinguishable from an empty slot and
+                // silently vanish from every reservation, so it is rejected
+                // here, at the same boundary that enforces the other CSR
+                // invariants. (Builder-produced graphs cannot hit this: edge
+                // ids are dense and capped at 2^31.)
+                if e.weight == u32::MAX && e.id == u32::MAX {
+                    return Err(format!(
+                        "arc {v}->{} packs to the reservation-word sentinel \
+                         (weight == u32::MAX and edge id == u32::MAX)",
+                        e.dst
+                    ));
+                }
                 if e.dst as usize >= n {
                     return Err(format!(
                         "arc from {v} points to out-of-range vertex {}",
@@ -402,6 +417,30 @@ mod tests {
         // Two arcs that both go 0 -> 1 (id 0 used twice in the same direction).
         let g = CsrGraph::from_parts_unchecked(vec![0, 2, 2], vec![1, 1], vec![3, 3], vec![0, 0]);
         assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_reservation_sentinel_collision() {
+        // weight == u32::MAX with an all-ones edge id packs to u64::MAX,
+        // the atomicMin "empty" sentinel — must be rejected with a
+        // sentinel-specific error, not pass or fail for an unrelated reason.
+        let g = CsrGraph::from_parts_unchecked(
+            vec![0, 1, 2],
+            vec![1, 0],
+            vec![u32::MAX, u32::MAX],
+            vec![u32::MAX, u32::MAX],
+        );
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("sentinel"), "{err}");
+    }
+
+    #[test]
+    fn validate_accepts_max_weight_with_dense_ids() {
+        // weight == u32::MAX alone is fine: dense edge ids keep the packed
+        // word strictly below the sentinel.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, u32::MAX);
+        b.build().validate().unwrap();
     }
 
     #[test]

@@ -19,6 +19,57 @@ pub const MAGIC: u32 = 0x4543_4C47;
 /// Current binary format version.
 pub const VERSION: u32 = 1;
 
+/// Errors produced by the binary graph format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinaryError {
+    /// A count does not fit the 32-bit header fields — writing it would
+    /// silently truncate and corrupt the graph.
+    CountOverflow {
+        /// Which count overflowed (`"vertex"` or `"arc"`).
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+    },
+    /// Malformed framing or graph structure on the read path.
+    Format(String),
+}
+
+impl std::fmt::Display for BinaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinaryError::CountOverflow { what, value } => write!(
+                f,
+                "{what} count {value} exceeds the 32-bit binary CSR format"
+            ),
+            BinaryError::Format(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BinaryError {}
+
+impl From<String> for BinaryError {
+    fn from(msg: String) -> Self {
+        BinaryError::Format(msg)
+    }
+}
+
+/// Validates that the vertex and arc counts fit the 32-bit header fields.
+///
+/// Split out from [`to_binary`] so the overflow path is testable without
+/// materializing a ≥ 2^32-arc graph.
+fn check_counts(vertices: usize, arcs: usize) -> Result<(u32, u32), BinaryError> {
+    let n = u32::try_from(vertices).map_err(|_| BinaryError::CountOverflow {
+        what: "vertex",
+        value: vertices,
+    })?;
+    let a = u32::try_from(arcs).map_err(|_| BinaryError::CountOverflow {
+        what: "arc",
+        value: arcs,
+    })?;
+    Ok((n, a))
+}
+
 fn put_u32_le(buf: &mut Vec<u8>, x: u32) {
     buf.extend_from_slice(&x.to_le_bytes());
 }
@@ -32,12 +83,17 @@ fn get_u32_le(data: &mut &[u8]) -> u32 {
 }
 
 /// Serializes a graph into the ECL binary CSR format.
-pub fn to_binary(g: &CsrGraph) -> Vec<u8> {
+///
+/// Returns [`BinaryError::CountOverflow`] when a count does not fit the
+/// 32-bit header — the format cannot represent such graphs, and writing a
+/// truncated header would deserialize into a different (corrupt) graph.
+pub fn to_binary(g: &CsrGraph) -> Result<Vec<u8>, BinaryError> {
+    let (n, arcs) = check_counts(g.num_vertices(), g.num_arcs())?;
     let mut buf = Vec::with_capacity(16 + 4 * (g.row_starts().len() + 3 * g.num_arcs()));
     put_u32_le(&mut buf, MAGIC);
     put_u32_le(&mut buf, VERSION);
-    put_u32_le(&mut buf, g.num_vertices() as u32);
-    put_u32_le(&mut buf, g.num_arcs() as u32);
+    put_u32_le(&mut buf, n);
+    put_u32_le(&mut buf, arcs);
     for &x in g.row_starts() {
         put_u32_le(&mut buf, x);
     }
@@ -50,29 +106,49 @@ pub fn to_binary(g: &CsrGraph) -> Vec<u8> {
     for &x in g.arc_edge_ids() {
         put_u32_le(&mut buf, x);
     }
-    buf
+    Ok(buf)
 }
 
 /// Deserializes a graph from the ECL binary CSR format, validating both the
 /// framing and the graph invariants.
-pub fn from_binary(mut data: &[u8]) -> Result<CsrGraph, String> {
+///
+/// The header is distrusted: counts that disagree with the payload length,
+/// odd arc counts (impossible for an undirected graph), and arrays that
+/// violate any CSR invariant are all rejected.
+pub fn from_binary(mut data: &[u8]) -> Result<CsrGraph, BinaryError> {
     if data.len() < 16 {
-        return Err("truncated header".into());
+        return Err(BinaryError::Format("truncated header".into()));
     }
     let magic = get_u32_le(&mut data);
     if magic != MAGIC {
-        return Err(format!("bad magic {magic:#x}, expected {MAGIC:#x}"));
+        return Err(BinaryError::Format(format!(
+            "bad magic {magic:#x}, expected {MAGIC:#x}"
+        )));
     }
     let version = get_u32_le(&mut data);
     if version != VERSION {
-        return Err(format!("unsupported version {version}"));
+        return Err(BinaryError::Format(format!(
+            "unsupported version {version}"
+        )));
     }
-    let n = get_u32_le(&mut data) as usize;
-    let arcs = get_u32_le(&mut data) as usize;
-    let need = 4 * ((n + 1) + 3 * arcs);
-    if data.len() != need {
-        return Err(format!("payload length {} != expected {need}", data.len()));
+    let n = get_u32_le(&mut data) as u64;
+    let arcs = get_u32_le(&mut data) as u64;
+    if !arcs.is_multiple_of(2) {
+        return Err(BinaryError::Format(format!(
+            "header arc count {arcs} is odd (undirected graphs store mirror arc pairs)"
+        )));
     }
+    // u64 arithmetic: the worst-case expected length (~64 GiB) overflows
+    // usize on 32-bit hosts, and a header must never be able to trigger
+    // that overflow into a spurious length match.
+    let need = 4u64 * ((n + 1) + 3 * arcs);
+    if data.len() as u64 != need {
+        return Err(BinaryError::Format(format!(
+            "payload length {} disagrees with header counts (n={n}, arcs={arcs}): expected {need}",
+            data.len()
+        )));
+    }
+    let (n, arcs) = (n as usize, arcs as usize);
     let mut read_vec =
         |len: usize| -> Vec<u32> { (0..len).map(|_| get_u32_le(&mut data)).collect() };
     let row_starts = read_vec(n + 1);
@@ -80,11 +156,13 @@ pub fn from_binary(mut data: &[u8]) -> Result<CsrGraph, String> {
     let arc_weights = read_vec(arcs);
     let arc_edge_ids = read_vec(arcs);
     CsrGraph::from_parts(row_starts, adjacency, arc_weights, arc_edge_ids)
+        .map_err(BinaryError::from)
 }
 
 /// Writes the binary format to a file.
 pub fn write_binary(g: &CsrGraph, path: &Path) -> io::Result<()> {
-    File::create(path)?.write_all(&to_binary(g))
+    let bytes = to_binary(g).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    File::create(path)?.write_all(&bytes)
 }
 
 /// Reads the binary format from a file.
@@ -164,7 +242,7 @@ mod tests {
     #[test]
     fn binary_roundtrip() {
         let g = grid2d(9, 4);
-        let bytes = to_binary(&g);
+        let bytes = to_binary(&g).unwrap();
         let h = from_binary(&bytes).unwrap();
         assert_eq!(g, h);
     }
@@ -172,15 +250,18 @@ mod tests {
     #[test]
     fn binary_rejects_bad_magic() {
         let g = grid2d(3, 1);
-        let mut bytes = to_binary(&g).to_vec();
+        let mut bytes = to_binary(&g).unwrap();
         bytes[0] ^= 0xFF;
-        assert!(from_binary(&bytes).unwrap_err().contains("magic"));
+        assert!(from_binary(&bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
     }
 
     #[test]
     fn binary_rejects_truncation() {
         let g = grid2d(3, 1);
-        let bytes = to_binary(&g);
+        let bytes = to_binary(&g).unwrap();
         assert!(from_binary(&bytes[..bytes.len() - 4]).is_err());
         assert!(from_binary(&bytes[..8]).is_err());
     }
@@ -188,11 +269,65 @@ mod tests {
     #[test]
     fn binary_rejects_corrupted_payload() {
         let g = grid2d(3, 1);
-        let mut bytes = to_binary(&g).to_vec();
+        let mut bytes = to_binary(&g).unwrap();
         // Corrupt an adjacency entry to an out-of-range vertex.
         let header = 16 + 4 * g.row_starts().len();
         bytes[header..header + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(from_binary(&bytes).is_err());
+    }
+
+    #[test]
+    fn counts_beyond_u32_are_typed_errors() {
+        // A graph with ≥ 2^32 arcs cannot be materialized in a test, so the
+        // overflow guard is exercised directly: pre-fix, these counts were
+        // silently truncated by `as u32`.
+        let over = (u32::MAX as usize) + 1;
+        assert_eq!(
+            check_counts(over, 0),
+            Err(BinaryError::CountOverflow {
+                what: "vertex",
+                value: over
+            })
+        );
+        assert_eq!(
+            check_counts(3, over),
+            Err(BinaryError::CountOverflow {
+                what: "arc",
+                value: over
+            })
+        );
+        assert_eq!(check_counts(3, 4), Ok((3, 4)));
+        let err = BinaryError::CountOverflow {
+            what: "arc",
+            value: over,
+        };
+        assert!(err.to_string().contains("32-bit"), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_odd_header_arc_count() {
+        // Framing-level check: an odd arc count is caught before any array
+        // is parsed, with an arc-pair-specific error.
+        let mut bytes = Vec::new();
+        put_u32_le(&mut bytes, MAGIC);
+        put_u32_le(&mut bytes, VERSION);
+        put_u32_le(&mut bytes, 0); // n = 0
+        put_u32_le(&mut bytes, 1); // arcs = 1 (odd)
+        bytes.extend_from_slice(&[0u8; 16]); // length-consistent payload
+        let err = from_binary(&bytes).unwrap_err().to_string();
+        assert!(err.contains("odd"), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_header_payload_disagreement() {
+        let g = grid2d(4, 2);
+        let mut bytes = to_binary(&g).unwrap();
+        // Inflate the header arc count (keeping it even); the payload no
+        // longer matches.
+        let arcs = g.num_arcs() as u32 + 2;
+        bytes[12..16].copy_from_slice(&arcs.to_le_bytes());
+        let err = from_binary(&bytes).unwrap_err().to_string();
+        assert!(err.contains("disagrees"), "{err}");
     }
 
     #[test]

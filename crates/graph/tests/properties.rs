@@ -31,7 +31,7 @@ proptest! {
 
     #[test]
     fn binary_roundtrip_is_identity(g in arb_graph()) {
-        let bytes = io::to_binary(&g);
+        let bytes = io::to_binary(&g).unwrap();
         let h = io::from_binary(&bytes).unwrap();
         prop_assert_eq!(g, h);
     }
@@ -51,7 +51,7 @@ proptest! {
 
     #[test]
     fn from_binary_rejects_any_truncation(g in arb_graph()) {
-        let bytes = io::to_binary(&g);
+        let bytes = io::to_binary(&g).unwrap();
         if bytes.len() >= 4 {
             let cut = bytes.len() - 4;
             prop_assert!(io::from_binary(&bytes[..cut]).is_err());

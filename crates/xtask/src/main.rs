@@ -43,6 +43,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint-metering") => lint_metering(),
+        Some("fuzz") => fuzz(args),
         Some(other) => {
             eprintln!("unknown task '{other}'\n");
             usage();
@@ -62,6 +63,42 @@ fn usage() {
         "  lint-metering   flag unmetered host accessors and trace ranges inside kernel\n\
          \u{20}                 launch closures, and unbalanced raw open_range/close_range pairs"
     );
+    eprintln!(
+        "  fuzz [--cases N] [--seed S] [--sample-every K]\n\
+         \u{20}                 run the ecl-fuzz differential campaign (release build);\n\
+         \u{20}                 minimized failures land in tests/corpus/"
+    );
+}
+
+/// Runs the ecl-fuzz differential campaign in release mode, pointing its
+/// corpus output at the checked-in `tests/corpus/` directory so any newly
+/// minimized failure is immediately replayable by `cargo test`.
+fn fuzz(extra: impl Iterator<Item = String>) -> ExitCode {
+    let root = workspace_root();
+    let corpus = root.join("tests/corpus");
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(&root)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "ecl-fuzz",
+            "--bin",
+            "ecl-fuzz",
+            "--",
+        ])
+        .arg("--corpus")
+        .arg(&corpus)
+        .args(extra)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("failed to launch ecl-fuzz: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn workspace_root() -> PathBuf {

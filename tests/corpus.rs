@@ -1,0 +1,53 @@
+//! Regression-corpus replay.
+//!
+//! Every file under `tests/corpus/` is a minimized (or seed) fuzz case in
+//! the text edge-list format. Replay runs the full differential check —
+//! all 31 backends, the IO round-trips, and the sanitizer/tracer pass —
+//! on each entry, so once a divergence lands in the corpus it can never
+//! silently return. New entries are added by `cargo xtask fuzz` when a
+//! campaign finds and shrinks a failure.
+
+use ecl_fuzz::{backends, check_backends, check_instrumented, check_io, corpus};
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_replays_clean_across_all_backends() {
+    let entries = corpus::load_dir(&corpus_dir()).expect("load tests/corpus");
+    assert!(
+        entries.len() >= 8,
+        "the seed corpus must keep at least its 8 original entries, found {}",
+        entries.len()
+    );
+    let registry = backends::registry();
+    for (path, g) in &entries {
+        check_backends(g, &registry).unwrap_or_else(|f| panic!("{} diverged: {f}", path.display()));
+        check_io(g).unwrap_or_else(|f| panic!("{} IO: {f}", path.display()));
+    }
+}
+
+#[test]
+fn corpus_replays_clean_under_instrumentation() {
+    // Corpus graphs are tiny, so the sanitizer + tracer pass is cheap
+    // enough to run on every entry rather than a sample.
+    for (path, g) in corpus::load_dir(&corpus_dir()).expect("load tests/corpus") {
+        check_instrumented(&g).unwrap_or_else(|f| panic!("{}: {f}", path.display()));
+    }
+}
+
+#[test]
+fn corpus_entries_state_their_provenance() {
+    // Each entry must carry at least one comment line explaining what it
+    // pins — the corpus is documentation as much as it is a test.
+    for (path, _) in corpus::load_dir(&corpus_dir()).expect("load tests/corpus") {
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().any(|l| l.starts_with("c ")),
+            "{} has no provenance comment",
+            path.display()
+        );
+    }
+}

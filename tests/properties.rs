@@ -96,7 +96,7 @@ proptest! {
 
     #[test]
     fn graph_roundtrip_preserves_mst(g in graph_strategy()) {
-        let bytes = io::to_binary(&g);
+        let bytes = io::to_binary(&g).unwrap();
         let h = io::from_binary(&bytes).unwrap();
         prop_assert_eq!(ecl_mst_cpu(&g).in_mst, ecl_mst_cpu(&h).in_mst);
     }
