@@ -2,6 +2,11 @@
 //! workload): per-code host wall-clock and simulated seconds, plus process
 //! peak RSS, written as JSON for regression tracking.
 //!
+//! Snapshots chain: each run writes the next `BENCH_<N+1>.json` beside the
+//! existing links and, when the newest previous link describes the same
+//! workload (scale, repeats, unsanitized), reports it as the baseline in
+//! `baseline_wall_seconds` / `speedup_vs_baseline`.
+//!
 //! Reproduce with:
 //!
 //! ```text
@@ -21,18 +26,21 @@ use ecl_mst_bench::runner::{
     peak_rss_bytes, sanitize_from_args, scale_from_args, trace_from_args, wall,
     with_optional_sanitizer, with_optional_trace_profile, Repeats,
 };
+use ecl_mst_bench::{simcache, snapshot};
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-/// Wall-clock seconds of the Table 3 workload before this refactor.
+/// Wall-clock seconds of the Table 3 workload at the seed commit — the
+/// fallback baseline when no earlier `BENCH_N.json` of the same workload
+/// exists in the working directory.
 ///
 /// Methodology: the seed commit (2727883) was rebuilt in a scratch worktree
 /// (plus the vendored-dependency wiring it predates, nothing else), and its
 /// `table3 --repeats 3` binary was raced against the refactored one in
 /// alternating runs on the same container to cancel background load. Median
-/// of 7 interleaved pairs: seed 11.174 s, refactored 6.083 s (1.84×). The
-/// JSON reports current/baseline speedup against that seed median.
-const BASELINE_WALL_SECONDS: f64 = 11.174;
+/// of 7 interleaved pairs: seed 11.174 s. Only comparable at scale Small
+/// with 3 repeats, unsanitized.
+const SEED_BASELINE_WALL_SECONDS: f64 = 11.174;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,11 +99,35 @@ fn main() {
         })
     });
 
+    // Chain link: the previous snapshot (same directory, highest N) is the
+    // baseline whenever it describes the same workload — same scale, same
+    // repeats, neither run sanitized — so speedup_vs_baseline tracks the
+    // harness PR over PR. The seed-commit constant only backstops the very
+    // first Small/3-repeats link.
+    let dir = Path::new(".");
+    let prev_index = snapshot::latest_index(dir);
+    let out = format!("BENCH_{}.json", prev_index + 1);
+    let scale_name = format!("{scale:?}");
+    let current_repeats = repeats.0.max(1) as u64;
+    let baseline: Option<(f64, String)> = snapshot::read_snapshot(dir, prev_index)
+        .filter(|p| p.comparable_to(&scale_name, current_repeats))
+        .map(|p| (p.total_wall_seconds, p.file.clone()))
+        .or_else(|| {
+            (scale_name == "Small" && current_repeats == 3 && !sanitize).then(|| {
+                (
+                    SEED_BASELINE_WALL_SECONDS,
+                    "seed commit 2727883".to_string(),
+                )
+            })
+        });
+
     let (const_bytes, pooled_bytes) = scratch_footprint();
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"workload\": \"table3\",");
-    let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
-    let _ = writeln!(json, "  \"repeats\": {},", repeats.0.max(1));
+    let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
+    let _ = writeln!(json, "  \"repeats\": {current_repeats},");
+    let _ = writeln!(json, "  \"sanitize\": {sanitize},");
+    let _ = writeln!(json, "  \"sim_cache\": {},", simcache::enabled());
     let _ = writeln!(json, "  \"inputs\": {n_inputs},");
     let _ = writeln!(json, "  \"codes\": [");
     for (c, code) in codes.iter().enumerate() {
@@ -110,21 +142,17 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"total_wall_seconds\": {total_wall:.4},");
-    // The baseline constant was measured at scale Small / 3 repeats; a
-    // cross-scale ratio would be meaningless, so other workloads get null.
-    if matches!(scale, ecl_graph::SuiteScale::Small) && repeats.0.max(1) == 3 && !sanitize {
-        let _ = writeln!(
-            json,
-            "  \"baseline_wall_seconds\": {BASELINE_WALL_SECONDS:.4},"
-        );
-        let _ = writeln!(
-            json,
-            "  \"speedup_vs_baseline\": {:.3},",
-            BASELINE_WALL_SECONDS / total_wall
-        );
-    } else {
-        let _ = writeln!(json, "  \"baseline_wall_seconds\": null,");
-        let _ = writeln!(json, "  \"speedup_vs_baseline\": null,");
+    match &baseline {
+        Some((base, source)) => {
+            let _ = writeln!(json, "  \"baseline_wall_seconds\": {base:.4},");
+            let _ = writeln!(json, "  \"baseline_source\": \"{source}\",");
+            let _ = writeln!(json, "  \"speedup_vs_baseline\": {:.3},", base / total_wall);
+        }
+        None => {
+            let _ = writeln!(json, "  \"baseline_wall_seconds\": null,");
+            let _ = writeln!(json, "  \"baseline_source\": null,");
+            let _ = writeln!(json, "  \"speedup_vs_baseline\": null,");
+        }
     }
     let _ = writeln!(
         json,
@@ -135,8 +163,7 @@ fn main() {
     let _ = writeln!(json, "  \"scratch_pooled_bytes\": {pooled_bytes}");
     json.push_str("}\n");
 
-    let out = "BENCH_1.json";
-    std::fs::write(out, &json).expect("write snapshot");
+    std::fs::write(&out, &json).expect("write snapshot");
     print!("{json}");
     eprintln!("wrote {out}");
 

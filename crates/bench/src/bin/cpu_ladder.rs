@@ -5,7 +5,7 @@
 //! host it mainly isolates the algorithmic-work effects (one-direction
 //! processing, filtering, data-driven worklists).
 //!
-//! Usage: `cpu_ladder [--scale tiny|small|medium] [--repeats N]`
+//! Usage: `cpu_ladder [--scale tiny|small|medium|large] [--repeats N]`
 
 use ecl_graph::suite;
 use ecl_mst::{deopt_ladder, ecl_mst_cpu_with};

@@ -2,7 +2,7 @@
 //! throughput in millions of edges per second for every code on every
 //! input, as bar charts plus the §5.2 geometric-mean summary.
 //!
-//! Usage: `fig3_4 --system 1|2 [--scale tiny|small|medium] [--repeats N]`
+//! Usage: `fig3_4 --system 1|2 [--scale tiny|small|medium|large] [--repeats N]`
 
 use ecl_gpu_sim::GpuProfile;
 use ecl_mst_bench::run_throughput_figure;

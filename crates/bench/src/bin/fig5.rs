@@ -2,21 +2,23 @@
 //! performance optimizations, with the Jucele reference series): bar charts
 //! of Medges/s per rung per single-component input.
 //!
-//! Usage: `fig5 [--scale tiny|small|medium] [--repeats N]`
+//! Usage: `fig5 [--scale tiny|small|medium|large]`
+//!
+//! Every bar is a simulated clock — bit-deterministic — so each cell is
+//! evaluated once; with the `ECL_SIM_CACHE` store on, the ladder cells are
+//! replayed straight from the Table 5 run of the same sweep.
 
 use ecl_baselines::jucele_gpu;
 use ecl_gpu_sim::GpuProfile;
 use ecl_graph::suite;
 use ecl_mst::{deopt_ladder, ecl_mst_gpu_with};
 use ecl_mst_bench::chart::bar_chart;
-use ecl_mst_bench::runner::{
-    median_time, scale_from_args, trace_from_args, with_optional_trace, Repeats,
-};
+use ecl_mst_bench::runner::{scale_from_args, trace_from_args, with_optional_trace};
+use ecl_mst_bench::simcache;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
-    let repeats = Repeats::from_args(&args);
     let profile = GpuProfile::RTX_3080_TI;
     let ladder = deopt_ladder();
 
@@ -31,16 +33,20 @@ fn main() {
             let mut series: Vec<(String, f64)> = ladder
                 .iter()
                 .map(|(name, cfg)| {
-                    let s = median_time(repeats, || {
-                        Some(ecl_mst_gpu_with(&e.graph, cfg, profile).kernel_seconds)
-                    })
-                    .expect("always succeeds");
+                    let s = simcache::sim_cell(
+                        "eclmst",
+                        &format!("{cfg:?}|{}", profile.name),
+                        &e.graph,
+                        || ecl_mst_gpu_with(&e.graph, cfg, profile).kernel_seconds,
+                    );
                     (name.to_string(), arcs / s / 1e6)
                 })
                 .collect();
             // Jucele reference bar, as in the figure.
-            let jucele = median_time(repeats, || {
-                jucele_gpu(&e.graph, profile).ok().map(|r| r.kernel_seconds)
+            // Same (kind, fingerprint) the registry stores its Table 4
+            // column under, so this bar replays that run from the store.
+            let jucele = simcache::sim_result_cell("Jucele GPU", profile.name, &e.graph, || {
+                jucele_gpu(&e.graph, profile).map(|r| r.kernel_seconds)
             })
             .expect("single-CC inputs only");
             series.push(("Jucele (ref)".to_string(), arcs / jucele / 1e6));

@@ -3,13 +3,15 @@
 //! seeds per input and prints the box-and-whisker five-number summary.
 //! §5.4 runs 99 seeds; `--seeds N` overrides.
 //!
-//! Usage: `fig6_seeds [--scale tiny|small|medium] [--seeds N]`
+//! Usage: `fig6_seeds [--scale tiny|small|medium|large] [--seeds N]`
 
 use ecl_gpu_sim::GpuProfile;
 use ecl_graph::suite;
+use ecl_mst::filter::{plan_filter, FilterPlan};
 use ecl_mst::{ecl_mst_gpu_with, OptConfig};
 use ecl_mst_bench::chart::{box_row, five_num};
 use ecl_mst_bench::runner::{scale_from_args, trace_from_args, with_optional_trace};
+use ecl_mst_bench::simcache;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,13 +32,36 @@ fn main() {
         for e in suite(scale) {
             eprintln!("measuring {} ...", e.name);
             let arcs = e.graph.num_arcs() as f64;
-            let tputs: Vec<f64> = (0..seeds)
-                .map(|seed| {
-                    let run =
-                        ecl_mst_gpu_with(&e.graph, &OptConfig::full().with_seed(seed), profile);
-                    arcs / run.kernel_seconds / 1e6
-                })
-                .collect();
+            // The seed's entire influence on a run is the filter plan it
+            // samples (`plan_filter` is its only consumer), so the run is a
+            // pure function of (graph, plan, profile): seeds that draw the
+            // same 20-sample threshold replay the same bit-deterministic
+            // simulation. The 99 seeds collapse to one simulation per
+            // distinct plan — on average-degree < 4 inputs that is a single
+            // SinglePhase cell (§3.2: no filtering), matching the closing
+            // note's zero spread.
+            let c = OptConfig::full().filter_c;
+            let mut by_plan: Vec<(FilterPlan, f64)> = Vec::new();
+            let mut tputs: Vec<f64> = Vec::with_capacity(seeds as usize);
+            for seed in 0..seeds {
+                let plan = plan_filter(&e.graph, c, seed);
+                let t = match by_plan.iter().find(|(p, _)| *p == plan) {
+                    Some((_, t)) => *t,
+                    None => {
+                        let cfg = OptConfig::full().with_seed(seed);
+                        let s = simcache::sim_cell(
+                            "eclmst-plan",
+                            &format!("{plan:?}|{}", profile.name),
+                            &e.graph,
+                            || ecl_mst_gpu_with(&e.graph, &cfg, profile).kernel_seconds,
+                        );
+                        let t = arcs / s / 1e6;
+                        by_plan.push((plan, t));
+                        t
+                    }
+                };
+                tputs.push(t);
+            }
             let f = five_num(&tputs);
             let spread = 100.0 * (f.max - f.min) / f.median;
             println!(

@@ -2,7 +2,7 @@
 //! threshold): for every input that filters, how far the 20-sample estimate
 //! lands from 3·|V| edges (the paper's stated aim), as a signed percentage.
 //!
-//! Usage: `fig7_threshold [--scale tiny|small|medium] [--seed N]`
+//! Usage: `fig7_threshold [--scale tiny|small|medium|large] [--seed N]`
 
 use ecl_graph::suite;
 use ecl_mst::filter::threshold_accuracy;

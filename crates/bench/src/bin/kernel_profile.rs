@@ -9,7 +9,7 @@
 //! `Device::records()`. `tests/trace_profile.rs` pins the two paths to
 //! bit-identical seconds.
 //!
-//! Usage: `kernel_profile [--scale tiny|small|medium] [--trace STEM.json]`
+//! Usage: `kernel_profile [--scale tiny|small|medium|large] [--trace STEM.json]`
 //!
 //! With `--trace STEM.json`, every input additionally writes a
 //! Perfetto-loadable Chrome trace to `STEM-<input>.json` and its profile to

@@ -3,7 +3,7 @@
 //! "and converts them into the various needed formats". Reads each file
 //! back and re-validates it before reporting success.
 //!
-//! Usage: `make_inputs [--scale tiny|small|medium] [--dir PATH]`
+//! Usage: `make_inputs [--scale tiny|small|medium|large] [--dir PATH]`
 
 use ecl_graph::{io, suite};
 use ecl_mst_bench::runner::scale_from_args;

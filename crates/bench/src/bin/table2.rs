@@ -2,7 +2,7 @@
 //! properties of the synthetic twins side by side with the paper's
 //! reference values for the originals.
 //!
-//! Usage: `table2 [--scale tiny|small|medium]`
+//! Usage: `table2 [--scale tiny|small|medium|large]`
 
 use ecl_graph::stats::GraphStats;
 use ecl_graph::suite;

@@ -3,7 +3,7 @@
 //! geometric-mean rows. GPU codes report simulated seconds from the Titan V
 //! cost profile; CPU codes report real wall-clock on this host.
 //!
-//! Usage: `table3 [--scale tiny|small|medium] [--repeats N] [--csv]`
+//! Usage: `table3 [--scale tiny|small|medium|large] [--repeats N] [--csv]`
 
 use ecl_gpu_sim::GpuProfile;
 use ecl_mst_bench::{run_system_table, SystemTableArgs};

@@ -2,7 +2,7 @@
 //! seconds), including the cuGraph column that only runs on System 2 in the
 //! paper.
 //!
-//! Usage: `table4 [--scale tiny|small|medium] [--repeats N] [--csv]`
+//! Usage: `table4 [--scale tiny|small|medium|large] [--repeats N] [--csv]`
 
 use ecl_gpu_sim::GpuProfile;
 use ecl_mst_bench::{run_system_table, SystemTableArgs};

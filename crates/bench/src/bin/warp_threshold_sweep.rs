@@ -4,18 +4,20 @@
 //! The paper fixes 4; the benefit concentrates on high-skew inputs ("not
 //! all inputs benefit from this optimization", §5.3).
 //!
-//! Usage: `warp_threshold_sweep [--scale tiny|small|medium] [--repeats N]`
+//! Usage: `warp_threshold_sweep [--scale tiny|small|medium|large]`
+//!
+//! Simulated cells are bit-deterministic, so each is evaluated once.
 
 use ecl_gpu_sim::GpuProfile;
 use ecl_graph::suite;
 use ecl_mst::{ecl_mst_gpu_with, OptConfig};
-use ecl_mst_bench::runner::{geomean, median_time, scale_from_args, Repeats};
+use ecl_mst_bench::runner::{geomean, scale_from_args};
+use ecl_mst_bench::simcache;
 use ecl_mst_bench::table::Table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
-    let repeats = Repeats::from_args(&args);
     let profile = GpuProfile::RTX_3080_TI;
     let thresholds: [(Option<usize>, &str); 6] = [
         (Some(2), "warp>=2"),
@@ -45,10 +47,12 @@ fn main() {
                     ..OptConfig::full()
                 },
             };
-            let s = median_time(repeats, || {
-                Some(ecl_mst_gpu_with(&e.graph, &cfg, profile).kernel_seconds)
-            })
-            .expect("always succeeds");
+            let s = simcache::sim_cell(
+                "eclmst",
+                &format!("{cfg:?}|{}", profile.name),
+                &e.graph,
+                || ecl_mst_gpu_with(&e.graph, &cfg, profile).kernel_seconds,
+            );
             per[k].push(s);
             cells.push(format!("{:.1}", s * 1e6));
         }

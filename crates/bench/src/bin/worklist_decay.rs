@@ -5,7 +5,7 @@
 //! per-iteration worklist sizes (the kernel-1 task counts from the device's
 //! kernel log) so that decay is visible input by input.
 //!
-//! Usage: `worklist_decay [--scale tiny|small|medium]`
+//! Usage: `worklist_decay [--scale tiny|small|medium|large]`
 
 use ecl_gpu_sim::GpuProfile;
 use ecl_graph::suite;

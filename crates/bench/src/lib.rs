@@ -10,6 +10,8 @@ pub mod chart;
 pub mod experiments;
 pub mod registry;
 pub mod runner;
+pub mod simcache;
+pub mod snapshot;
 pub mod table;
 
 pub use experiments::{

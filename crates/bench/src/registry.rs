@@ -33,7 +33,10 @@ thread_local! {
 }
 
 /// Runs `run` once per (code, graph, profile) and replays the simulated
-/// timing (or the "NC" verdict) on subsequent calls.
+/// timing (or the "NC" verdict) on subsequent calls — from the in-process
+/// memo first, then from the cross-process measurement store when
+/// `ECL_SIM_CACHE` is set (so a `run_all.sh` sweep simulates each cell once
+/// across all its binaries).
 fn sim_cached(
     name: &'static str,
     g: &CsrGraph,
@@ -50,7 +53,7 @@ fn sim_cached(
     if let Some(r) = hit {
         return r;
     }
-    let r = run();
+    let r = crate::simcache::sim_result_cell(name, p.name, g, run);
     SIM_MEMO.with(|m| m.borrow_mut().push((key.0, key.1, key.2, r.clone())));
     r
 }

@@ -26,19 +26,26 @@ impl Repeats {
     }
 }
 
-/// Parses `--scale tiny|small|medium` (default small) from arguments.
+/// Parses `--scale tiny|small|medium|large` (default small) from arguments.
+/// Unknown values — including a trailing `--scale` with no value — are a
+/// hard error naming the valid scales, never a silent default.
 pub fn scale_from_args(args: &[String]) -> ecl_graph::SuiteScale {
     use ecl_graph::SuiteScale::*;
-    match args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-    {
-        Some("tiny") => Tiny,
-        Some("medium") => Medium,
-        Some("small") | None => Small,
-        Some(other) => panic!("unknown --scale '{other}' (tiny|small|medium)"),
+    match args.iter().position(|a| a == "--scale") {
+        None => Small,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("tiny") => Tiny,
+            Some("small") => Small,
+            Some("medium") => Medium,
+            Some("large") => Large,
+            other => {
+                eprintln!(
+                    "error: unknown --scale '{}' (valid scales: tiny|small|medium|large)",
+                    other.unwrap_or("<missing>")
+                );
+                std::process::exit(2);
+            }
+        },
     }
 }
 

@@ -1,0 +1,255 @@
+//! Opt-in on-disk measurement store shared by the experiment binaries.
+//!
+//! `run_all.sh` regenerates every table and figure in one sweep, and many of
+//! those binaries evaluate the *same cell*: fig5 re-times the exact
+//! (graph, config, profile) ladder cells Table 5 just timed, and the CPU
+//! wall-clock columns of Tables 3 and 4 are the same profile-independent
+//! measurements. Pointing `ECL_SIM_CACHE` at a directory turns those
+//! re-evaluations into replays:
+//!
+//! * **Simulated cells** ([`sim_cell`], [`sim_result_cell`]) are pure
+//!   functions of (graph, config, profile) — the simulator is
+//!   single-threaded and bit-deterministic — so replaying one is exact, not
+//!   approximate. They are stored keyed by the graph's
+//!   [`CsrGraph::content_hash`] plus a caller-supplied config/profile
+//!   fingerprint.
+//! * **Wall-clock CPU cells** ([`cpu_cell`]) are real measurements; the
+//!   store replays the *median already measured for the identical cell*
+//!   (same code, same graph bytes, same repeat count) rather than measuring
+//!   the same quantity twice in one sweep — the CPU codes never read the
+//!   GPU profile, so a Table 4 cell is the Table 3 cell. The stored value
+//!   is still an honest median of real runs taken in an exclusive phase.
+//!
+//! The store is only valid within a single build: `run_all.sh` clears it at
+//! the start of every sweep. When `ECL_SIM_CACHE` is unset (the default for
+//! direct binary invocations and all tests) every path measures live.
+
+use ecl_graph::CsrGraph;
+use ecl_mst::MstError;
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// The store directory from `ECL_SIM_CACHE`, or `None` when disabled.
+pub fn store_dir() -> Option<&'static Path> {
+    static DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
+    DIR.get_or_init(|| match std::env::var("ECL_SIM_CACHE") {
+        Ok(v) if !v.is_empty() && v != "0" => Some(PathBuf::from(v)),
+        _ => None,
+    })
+    .as_deref()
+}
+
+/// True when the on-disk store is enabled for this process.
+pub fn enabled() -> bool {
+    store_dir().is_some()
+}
+
+/// SplitMix-style string digest for config/profile fingerprints.
+fn str_hash(s: &str) -> u64 {
+    let mut h = 0x7369_6D63_6163_6865u64;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h = h.rotate_left(27).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 31;
+    }
+    h
+}
+
+// Content hashing walks every CSR array, so digest each graph once per
+// process (uids are process-unique and never reused; a handful of suite
+// entries means a linear scan suffices).
+thread_local! {
+    static GRAPH_HASHES: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn graph_hash(g: &CsrGraph) -> u64 {
+    let uid = g.uid();
+    let hit = GRAPH_HASHES.with(|m| m.borrow().iter().find(|(u, _)| *u == uid).map(|(_, h)| *h));
+    if let Some(h) = hit {
+        return h;
+    }
+    let h = g.content_hash();
+    GRAPH_HASHES.with(|m| m.borrow_mut().push((uid, h)));
+    h
+}
+
+fn cell_path(dir: &Path, kind: &str, fingerprint: &str, g: &CsrGraph) -> PathBuf {
+    dir.join(format!(
+        "{kind}-{:016x}-{:016x}.cell",
+        graph_hash(g),
+        str_hash(fingerprint)
+    ))
+}
+
+/// `Some(Some(s))` = stored seconds, `Some(None)` = stored "NC",
+/// `None` = no (readable) entry.
+fn load(path: &Path) -> Option<Option<f64>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let text = text.trim();
+    if text == "NC" {
+        return Some(None);
+    }
+    text.parse::<f64>().ok().filter(|s| s.is_finite()).map(Some)
+}
+
+/// Best-effort atomic store: concurrent binaries may race on the same cell,
+/// so write a temp file and rename (equal contents either way — the cell is
+/// a pure function of its key). Failures only cost a future replay.
+fn store(path: &Path, value: Option<f64>) {
+    let Some(dir) = path.parent() else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let body = match value {
+        Some(s) => format!("{s:.17e}\n"),
+        None => "NC\n".to_string(),
+    };
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    if std::fs::write(&tmp, body).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+fn cached(
+    dir: Option<&Path>,
+    kind: &str,
+    fingerprint: &str,
+    g: &CsrGraph,
+    f: impl FnOnce() -> Option<f64>,
+) -> Option<f64> {
+    let Some(dir) = dir else { return f() };
+    let path = cell_path(dir, kind, fingerprint, g);
+    if let Some(v) = load(&path) {
+        return v;
+    }
+    let v = f();
+    store(&path, v);
+    v
+}
+
+/// A bit-deterministic simulated cell: evaluates `f` **once** (the
+/// simulated clock is a pure function of its inputs, so the median of any
+/// number of repeats is that single value) and replays it from the store on
+/// later evaluations of the same (graph, fingerprint) in any process.
+pub fn sim_cell(kind: &str, fingerprint: &str, g: &CsrGraph, f: impl FnOnce() -> f64) -> f64 {
+    cached(store_dir(), kind, fingerprint, g, || Some(f()))
+        .expect("sim_cell stores only Some values")
+}
+
+/// [`sim_cell`] for simulated codes that may decline an input: the paper's
+/// "NC" verdict is as deterministic as the clock, so it is stored and
+/// replayed the same way.
+pub fn sim_result_cell(
+    kind: &str,
+    fingerprint: &str,
+    g: &CsrGraph,
+    f: impl FnOnce() -> Result<f64, MstError>,
+) -> Result<f64, MstError> {
+    cached(store_dir(), kind, fingerprint, g, || f().ok()).ok_or(MstError::NotConnected)
+}
+
+/// A measured wall-clock cell: `f` must produce an honest median of real
+/// runs (measured with the worker pool quiesced); the store replays it for
+/// the identical (code, graph bytes, repeats) cell so one sweep never
+/// measures the same quantity twice. CPU codes ignore the GPU profile, so
+/// the fingerprint deliberately excludes it.
+pub fn cpu_cell(
+    code: &str,
+    repeats: usize,
+    g: &CsrGraph,
+    f: impl FnOnce() -> Option<f64>,
+) -> Option<f64> {
+    cached(store_dir(), "cpu", &format!("{code}|r{repeats}"), g, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_graph::generators::grid2d;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ecl-simcache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn replays_seconds_and_nc_without_reevaluating() {
+        let dir = tmpdir("replay");
+        let g = grid2d(8, 1);
+        let mut calls = 0;
+        let first = cached(Some(&dir), "t", "cfg", &g, || {
+            calls += 1;
+            Some(1.25)
+        });
+        assert_eq!(first, Some(1.25));
+        let second = cached(Some(&dir), "t", "cfg", &g, || {
+            calls += 1;
+            Some(99.0)
+        });
+        assert_eq!(second, Some(1.25), "must replay the stored cell");
+        assert_eq!(calls, 1);
+        // NC verdicts replay too.
+        let nc = cached(Some(&dir), "t", "nc-cfg", &g, || None);
+        assert_eq!(nc, None);
+        let nc2 = cached(Some(&dir), "t", "nc-cfg", &g, || Some(3.0));
+        assert_eq!(nc2, None, "stored NC wins over a fresh value");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_fingerprints_and_graphs_get_distinct_cells() {
+        let dir = tmpdir("keys");
+        let g8 = grid2d(8, 1);
+        let g9 = grid2d(9, 1);
+        assert_eq!(cached(Some(&dir), "t", "a", &g8, || Some(1.0)), Some(1.0));
+        assert_eq!(cached(Some(&dir), "t", "b", &g8, || Some(2.0)), Some(2.0));
+        assert_eq!(cached(Some(&dir), "t", "a", &g9, || Some(3.0)), Some(3.0));
+        assert_eq!(cached(Some(&dir), "u", "a", &g8, || Some(4.0)), Some(4.0));
+        assert_eq!(cached(Some(&dir), "t", "a", &g8, || Some(9.0)), Some(1.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn roundtrip_preserves_full_precision() {
+        let dir = tmpdir("precision");
+        let g = grid2d(4, 1);
+        let exact = 1.0 / 3.0 * 1e-7;
+        assert_eq!(
+            cached(Some(&dir), "t", "p", &g, || Some(exact)),
+            Some(exact)
+        );
+        assert_eq!(cached(Some(&dir), "t", "p", &g, || Some(0.0)), Some(exact));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_store_measures_live_every_time() {
+        let g = grid2d(4, 1);
+        let mut calls = 0;
+        for _ in 0..3 {
+            cached(None, "t", "x", &g, || {
+                calls += 1;
+                Some(calls as f64)
+            });
+        }
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn equal_content_shares_a_cell_across_instances() {
+        let dir = tmpdir("content");
+        // Two builds of the same generator: different uids, same bytes.
+        let a = grid2d(8, 7);
+        let b = grid2d(8, 7);
+        assert_ne!(a.uid(), b.uid());
+        assert_eq!(cached(Some(&dir), "t", "c", &a, || Some(5.0)), Some(5.0));
+        assert_eq!(
+            cached(Some(&dir), "t", "c", &b, || Some(8.0)),
+            Some(5.0),
+            "content-equal graph must replay the stored cell"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

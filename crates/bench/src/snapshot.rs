@@ -1,0 +1,182 @@
+//! Helpers for the `BENCH_N.json` wall-clock snapshot chain.
+//!
+//! Every `bench_snapshot` run appends the next link: it scans the working
+//! directory for existing `BENCH_<N>.json` files, writes `BENCH_<N+1>.json`,
+//! and — when the newest previous snapshot describes the *same workload*
+//! (equal scale and repeat count, neither run sanitized) — reports that
+//! snapshot's total wall seconds as the baseline, so
+//! `speedup_vs_baseline` tracks regression/improvement PR over PR without
+//! hand-maintained constants.
+
+use std::path::Path;
+
+/// Fields of a previous snapshot needed to decide baseline comparability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrevSnapshot {
+    /// File name the snapshot was read from (e.g. `BENCH_1.json`).
+    pub file: String,
+    /// `total_wall_seconds` field.
+    pub total_wall_seconds: f64,
+    /// `scale` field (Debug spelling, e.g. `Small`).
+    pub scale: Option<String>,
+    /// `repeats` field.
+    pub repeats: Option<u64>,
+    /// `sanitize` field (absent in pre-chain snapshots = unsanitized).
+    pub sanitize: bool,
+}
+
+impl PrevSnapshot {
+    /// True when this snapshot's workload matches the given one, making its
+    /// wall time an apples-to-apples baseline.
+    pub fn comparable_to(&self, scale: &str, repeats: u64) -> bool {
+        !self.sanitize && self.scale.as_deref() == Some(scale) && self.repeats == Some(repeats)
+    }
+}
+
+/// Index of a `BENCH_<N>.json` file name, if it is one.
+fn snapshot_index(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+    (!rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+        .then(|| rest.parse().ok())
+        .flatten()
+}
+
+/// Highest existing snapshot index in `dir` (0 when none exist).
+pub fn latest_index(dir: &Path) -> u32 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| snapshot_index(&e.file_name().to_string_lossy()))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Parses the previous snapshot `BENCH_<index>.json` in `dir`, if present
+/// and well-formed enough to carry a total.
+pub fn read_snapshot(dir: &Path, index: u32) -> Option<PrevSnapshot> {
+    let file = format!("BENCH_{index}.json");
+    let text = std::fs::read_to_string(dir.join(&file)).ok()?;
+    Some(PrevSnapshot {
+        file,
+        total_wall_seconds: json_number(&text, "total_wall_seconds")?,
+        scale: json_string(&text, "scale"),
+        repeats: json_number(&text, "repeats").map(|r| r as u64),
+        sanitize: json_bool(&text, "sanitize").unwrap_or(false),
+    })
+}
+
+/// Value text following `"key":` at the top level of our own flat snapshot
+/// format (one `"key": value` pair per line, no nesting of these keys).
+fn json_value<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let at = json.find(&tag)? + tag.len();
+    let rest = json[at..].trim_start();
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    json_value(json, key)?.parse().ok()
+}
+
+fn json_string(json: &str, key: &str) -> Option<String> {
+    let v = json_value(json, key)?;
+    Some(v.strip_prefix('"')?.strip_suffix('"')?.to_string())
+}
+
+fn json_bool(json: &str, key: &str) -> Option<bool> {
+    match json_value(json, key)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ecl-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    const SAMPLE: &str = r#"{
+  "workload": "table3",
+  "scale": "Small",
+  "repeats": 3,
+  "inputs": 17,
+  "codes": [
+    {"name": "ECL-MST", "wall_seconds": 0.1234, "simulated_ms": 1.5}
+  ],
+  "total_wall_seconds": 6.0830,
+  "baseline_wall_seconds": 11.1740,
+  "speedup_vs_baseline": 1.837,
+  "peak_rss_bytes": 123
+}
+"#;
+
+    #[test]
+    fn parses_the_existing_snapshot_format() {
+        let d = tmpdir("parse");
+        std::fs::write(d.join("BENCH_1.json"), SAMPLE).unwrap();
+        let s = read_snapshot(&d, 1).unwrap();
+        assert_eq!(s.total_wall_seconds, 6.083);
+        assert_eq!(s.scale.as_deref(), Some("Small"));
+        assert_eq!(s.repeats, Some(3));
+        assert!(!s.sanitize);
+        assert!(s.comparable_to("Small", 3));
+        assert!(!s.comparable_to("Small", 9));
+        assert!(!s.comparable_to("Tiny", 3));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn sanitized_snapshots_are_never_baselines() {
+        let d = tmpdir("sanitized");
+        let text = SAMPLE.replace("\"repeats\": 3,", "\"repeats\": 3,\n  \"sanitize\": true,");
+        std::fs::write(d.join("BENCH_4.json"), text).unwrap();
+        let s = read_snapshot(&d, 4).unwrap();
+        assert!(s.sanitize);
+        assert!(!s.comparable_to("Small", 3));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn latest_index_scans_the_chain() {
+        let d = tmpdir("latest");
+        assert_eq!(latest_index(&d), 0);
+        for (name, body) in [
+            ("BENCH_1.json", SAMPLE),
+            ("BENCH_3.json", SAMPLE),
+            ("BENCH_x.json", SAMPLE), // not a chain link
+            ("BENCH_2.json.bak", SAMPLE),
+        ] {
+            std::fs::write(d.join(name), body).unwrap();
+        }
+        assert_eq!(latest_index(&d), 3);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn missing_or_malformed_snapshots_read_as_none() {
+        let d = tmpdir("missing");
+        assert_eq!(read_snapshot(&d, 1), None);
+        std::fs::write(d.join("BENCH_2.json"), "{ not json").unwrap();
+        assert_eq!(read_snapshot(&d, 2), None);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn index_parsing_rejects_non_chain_names() {
+        assert_eq!(snapshot_index("BENCH_12.json"), Some(12));
+        assert_eq!(snapshot_index("BENCH_.json"), None);
+        assert_eq!(snapshot_index("BENCH_1.json.tmp"), None);
+        assert_eq!(snapshot_index("bench_1.json"), None);
+    }
+}

@@ -48,5 +48,7 @@ pub use counters::{aggregate_records, KernelBreakdown, KernelRecord, LaunchStats
 pub use device::Device;
 pub use memory::{BufU32, BufU64, ConstBuf};
 pub use profile::GpuProfile;
-pub use sanitize::{with_sanitizer, SanitizerReport, Violation, ViolationKind};
+pub use sanitize::{
+    enabled as sanitize_enabled, with_sanitizer, SanitizerReport, Violation, ViolationKind,
+};
 pub use warp::{WarpCtx, WARP_SIZE};

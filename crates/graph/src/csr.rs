@@ -109,6 +109,32 @@ impl CsrGraph {
         self.uid
     }
 
+    /// 64-bit digest of the four CSR arrays — structural content only, so
+    /// two [`PartialEq`]-equal graphs digest equally while the process-local
+    /// [`CsrGraph::uid`] plays no part. This is the cross-process analogue
+    /// of `uid`: on-disk measurement stores key replayed timings by it.
+    pub fn content_hash(&self) -> u64 {
+        const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+        fn mix(mut h: u64, x: u64) -> u64 {
+            h ^= x.wrapping_mul(GAMMA);
+            h = h.rotate_left(27).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^ (h >> 31)
+        }
+        let mut h = mix(0x6563_6C67_7270_6831, self.row_starts.len() as u64);
+        for part in [
+            &self.row_starts,
+            &self.adjacency,
+            &self.arc_weights,
+            &self.arc_edge_ids,
+        ] {
+            h = mix(h, part.len() as u64);
+            for &x in part.iter() {
+                h = mix(h, u64::from(x));
+            }
+        }
+        h
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -453,5 +479,18 @@ mod tests {
         marks[edges[0].id as usize] = true;
         marks[edges[1].id as usize] = true;
         assert_eq!(g.edge_set_weight(&marks), 12);
+    }
+
+    #[test]
+    fn content_hash_tracks_structural_equality() {
+        let a = triangle();
+        let b = triangle();
+        assert_ne!(a.uid(), b.uid());
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.content_hash(), a.clone().content_hash());
+        let mut other = GraphBuilder::new(3);
+        other.add_edge(0, 1, 99);
+        other.add_edge(1, 2, 7);
+        assert_ne!(a.content_hash(), other.build().content_hash());
     }
 }

@@ -3,9 +3,10 @@
 //! (citation networks), and `in-2004` (web-crawl host clusters with a
 //! moderate number of connected components).
 
-use crate::weights::WeightGen;
+use crate::par;
 use crate::{CsrGraph, GraphBuilder, VertexId};
 use rand::{Rng, SeedableRng};
+use std::ops::Range;
 
 /// Co-authorship twin (`coPapersDBLP`): vertices grouped into communities of
 /// geometric size; each community is a clique (papers induce author
@@ -16,9 +17,13 @@ use rand::{Rng, SeedableRng};
 /// filter-seed variance is largest.
 pub fn copapers(n: usize, mean_community: usize, seed: u64) -> CsrGraph {
     assert!(n >= 2 && mean_community >= 2);
+    // Community sizes are the only topology draws (one per community); a
+    // cheap serial prescan fixes each community's bounds, after which the
+    // clique and chain emissions — the O(n · mean) bulk — chunk per
+    // community, one weight draw per emission.
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut wg = WeightGen::new(seed ^ 0xC0FA);
-    let mut b = GraphBuilder::with_capacity(n, n * mean_community / 2);
+    let mut comms: Vec<(usize, usize, Option<VertexId>)> =
+        Vec::with_capacity(n / mean_community + 1);
     let mut start = 0usize;
     let mut prev_member: Option<VertexId> = None;
     while start < n {
@@ -27,19 +32,26 @@ pub fn copapers(n: usize, mean_community: usize, seed: u64) -> CsrGraph {
             .min(n - start)
             .max(1);
         let end = start + size;
-        for i in start..end {
-            for j in (i + 1)..end {
-                b.add_edge(i as VertexId, j as VertexId, wg.next());
-            }
-        }
-        // Chain to the previous community through one shared-author edge.
-        if let Some(p) = prev_member {
-            b.add_edge(p, start as VertexId, wg.next());
-        }
+        comms.push((start, end, prev_member));
         prev_member = Some((end - 1) as VertexId);
         start = end;
     }
-    b.build()
+    let pairs = par::par_map(&comms, |_, &(start, end, prev)| {
+        let size = end - start;
+        let mut out: Vec<(VertexId, VertexId)> = Vec::with_capacity(size * size / 2 + 1);
+        for i in start..end {
+            for j in (i + 1)..end {
+                out.push((i as VertexId, j as VertexId));
+            }
+        }
+        // Chain to the previous community through one shared-author edge.
+        if let Some(p) = prev {
+            out.push((p, start as VertexId));
+        }
+        out
+    });
+    let triples = super::weighted(seed ^ 0xC0FA, 0, &pairs.concat());
+    GraphBuilder::from_normalized(n, triples).build()
 }
 
 /// Citation-network twin (`citationCiteseer`, `cit-Patents`): each vertex
@@ -52,31 +64,44 @@ pub fn citation(n: usize, cites: usize, components: usize, seed: u64) -> CsrGrap
         n >= 2 * components,
         "need at least two vertices per component"
     );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut wg = WeightGen::new(seed ^ 0xC17E);
-    let mut b = GraphBuilder::with_capacity(n, n * cites);
+    // Vertex i of a component makes min(cites, i) citations, each exactly
+    // one draw and one emission, so both streams sit at the closed-form
+    // prefix `capped_sum(cites, i − 1)` — vertex subranges chunk freely.
     let base = n / components;
+    // (component start, vertex subrange within it, topology-stream base)
+    let mut tasks: Vec<(usize, Range<usize>, u64)> = Vec::new();
     let mut start = 0usize;
+    let mut draws = 0u64;
     for comp in 0..components {
         let len = if comp == components - 1 {
             n - start
         } else {
             base
         };
-        for i in 1..len {
-            let v = (start + i) as VertexId;
+        for r in par::chunk_ranges(len - 1, super::EMIT_CHUNK / cites.max(1)) {
+            let (lo, hi) = (r.start + 1, r.end + 1);
+            tasks.push((start, lo..hi, draws + super::capped_sum(cites, lo - 1)));
+        }
+        draws += super::capped_sum(cites, len - 1);
+        start += len;
+    }
+    let pairs = par::par_map(&tasks, |_, (cstart, vr, sbase)| {
+        let mut rng = rand::rngs::StdRng::seed_at(seed, *sbase);
+        let mut out: Vec<(VertexId, VertexId)> = Vec::with_capacity(vr.len() * cites);
+        for i in vr.clone() {
+            let v = (cstart + i) as VertexId;
             // Recency bias: cite within a window growing with sqrt(i).
             let window = ((i as f64).sqrt() as usize * 8 + 4).min(i);
             let k = cites.min(i);
             for _ in 0..k {
                 let back = rng.gen_range(1..=window);
-                let t = (start + i - back) as VertexId;
-                b.add_edge(v, t, wg.next());
+                out.push(((cstart + i - back) as VertexId, v));
             }
         }
-        start += len;
-    }
-    b.build()
+        out
+    });
+    let triples = super::weighted(seed ^ 0xC17E, 0, &pairs.concat());
+    GraphBuilder::from_normalized(n, triples).build()
 }
 
 /// Web-crawl twin (`in-2004`): host-sized clusters where pages attach
@@ -85,17 +110,37 @@ pub fn citation(n: usize, cites: usize, components: usize, seed: u64) -> CsrGrap
 pub fn webcrawl(n: usize, edges_per_vertex: usize, components: usize, seed: u64) -> CsrGraph {
     let components = components.max(1);
     assert!(n >= components * (edges_per_vertex + 1));
+    // Host sizes drive the loop structure, so a serial prescan replays just
+    // the size draws — hopping over each host's attachment draws in O(1)
+    // via the closed-form `capped_sum` and `StdRng::advance` — to find every
+    // component's stream base. The per-host urn walks, the real work, then
+    // run per component in parallel.
+    let base_len = n / components;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut wg = WeightGen::new(seed ^ 0x3EB);
-    let mut b = GraphBuilder::with_capacity(n, n * edges_per_vertex);
-    let base = n / components;
+    let mut comps: Vec<(usize, usize, u64)> = Vec::with_capacity(components);
     let mut start = 0usize;
+    let mut pos = 0u64;
     for comp in 0..components {
         let len = if comp == components - 1 {
             n - start
         } else {
-            base
+            base_len
         };
+        comps.push((start, len, pos));
+        let mut host_start = start;
+        while host_start < start + len {
+            let host_len = (rng.gen_range(2..200)).min(start + len - host_start);
+            pos += 1;
+            let attempts = super::capped_sum(edges_per_vertex, host_len - 1);
+            rng.advance(attempts);
+            pos += attempts;
+            host_start += host_len;
+        }
+        start += len;
+    }
+    let comp_pairs = par::par_map(&comps, |_, &(start, len, rng_base)| {
+        let mut rng = rand::rngs::StdRng::seed_at(seed, rng_base);
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(len * edges_per_vertex);
         // Within a crawl: hosts of ~geometric size, preferential inside.
         let mut host_start = start;
         let mut prev_host_hub: Option<VertexId> = None;
@@ -109,21 +154,23 @@ pub fn webcrawl(n: usize, edges_per_vertex: usize, components: usize, seed: u64)
                 for _ in 0..k {
                     let t = urn[rng.gen_range(0..urn.len())];
                     if t != v {
-                        b.add_edge(v, t, wg.next());
+                        // The urn holds the hub and earlier pages, all < v.
+                        pairs.push((t, v));
                     }
                 }
                 urn.push(v);
                 urn.push(hub); // hub bias: site navigation links
             }
             if let Some(p) = prev_host_hub {
-                b.add_edge(p, hub, wg.next());
+                pairs.push((p, hub));
             }
             prev_host_hub = Some(hub);
             host_start += host_len;
         }
-        start += len;
-    }
-    b.build()
+        pairs
+    });
+    let triples = super::weighted(seed ^ 0x3EB, 0, &comp_pairs.concat());
+    GraphBuilder::from_normalized(n, triples).build()
 }
 
 #[cfg(test)]

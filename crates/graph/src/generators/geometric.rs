@@ -3,8 +3,9 @@
 //! closest synthetic analogue to sensor networks and mesh-like inputs, and
 //! the natural setting for the paper's power-grid motivation (§1).
 
+use crate::par;
 use crate::{CsrGraph, GraphBuilder, VertexId, Weight};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Generates a random geometric graph: `n` points uniform in the unit
 /// square, an edge between every pair within distance `radius`, weighted by
@@ -15,8 +16,15 @@ use rand::{Rng, SeedableRng};
 pub fn geometric(n: usize, radius: f64, seed: u64) -> CsrGraph {
     assert!(n >= 1);
     assert!(radius > 0.0 && radius <= 1.0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    // Point coordinates take two draws each, so chunk c opens the stream at
+    // 2 · c.start. Everything downstream is draw-free: the bucketing pass is
+    // a cheap serial O(n), and the neighbor scan chunks over points with
+    // weights derived from distances rather than a stream.
+    let pts: Vec<(f64, f64)> = par::run_chunks(n, super::EMIT_CHUNK / 2, |r| {
+        let mut rng = rand::rngs::StdRng::seed_at(seed, 2 * r.start as u64);
+        r.map(|_| (rng.gen(), rng.gen())).collect::<Vec<_>>()
+    })
+    .concat();
 
     // Bucket points into radius-sized cells.
     let cells = ((1.0 / radius).floor() as usize).max(1);
@@ -27,29 +35,34 @@ pub fn geometric(n: usize, radius: f64, seed: u64) -> CsrGraph {
     }
 
     let r2 = radius * radius;
-    let mut b = GraphBuilder::new(n);
-    for (i, &(x, y)) in pts.iter().enumerate() {
-        let (cx, cy) = (cell_of(x), cell_of(y));
-        for dy in cy.saturating_sub(1)..=(cy + 1).min(cells - 1) {
-            for dx in cx.saturating_sub(1)..=(cx + 1).min(cells - 1) {
-                for &j in &grid[dy * cells + dx] {
-                    if j as usize <= i {
-                        continue; // one direction; builder mirrors
-                    }
-                    let (px, py) = pts[j as usize];
-                    let d2 = (x - px) * (x - px) + (y - py) * (y - py);
-                    if d2 <= r2 {
-                        // Scaled squared distance as the line cost; +1
-                        // keeps weights positive, and adding the pair hash
-                        // via the builder's id tie-break keeps MSTs unique.
-                        let w = (d2 / r2 * 1_000_000.0) as Weight + 1;
-                        b.add_edge(i as VertexId, j, w);
+    let triples: Vec<(VertexId, VertexId, Weight)> = par::run_chunks(n, 1 << 12, |ir| {
+        let mut out = Vec::new();
+        for i in ir {
+            let (x, y) = pts[i];
+            let (cx, cy) = (cell_of(x), cell_of(y));
+            for dy in cy.saturating_sub(1)..=(cy + 1).min(cells - 1) {
+                for dx in cx.saturating_sub(1)..=(cx + 1).min(cells - 1) {
+                    for &j in &grid[dy * cells + dx] {
+                        if j as usize <= i {
+                            continue; // one direction; builder mirrors
+                        }
+                        let (px, py) = pts[j as usize];
+                        let d2 = (x - px) * (x - px) + (y - py) * (y - py);
+                        if d2 <= r2 {
+                            // Scaled squared distance as the line cost; +1
+                            // keeps weights positive, and adding the pair hash
+                            // via the builder's id tie-break keeps MSTs unique.
+                            let w = (d2 / r2 * 1_000_000.0) as Weight + 1;
+                            out.push((i as VertexId, j, w));
+                        }
                     }
                 }
             }
         }
-    }
-    b.build()
+        out
+    })
+    .concat();
+    GraphBuilder::from_normalized(n, triples).build()
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! 2D grid generator — twin of `2d-2e20.sym` (type "grid", average degree
 //! 4.0, maximum degree 4, single connected component).
 
+use crate::par;
 use crate::weights::WeightGen;
 use crate::{CsrGraph, GraphBuilder, VertexId};
 
@@ -19,20 +20,28 @@ use crate::{CsrGraph, GraphBuilder, VertexId};
 pub fn grid2d(side: usize, seed: u64) -> CsrGraph {
     assert!(side >= 1, "grid needs at least one vertex per side");
     let n = side * side;
-    let mut wg = WeightGen::new(seed);
-    let mut b = GraphBuilder::with_capacity(n, 2 * side * (side - 1));
     let at = |r: usize, c: usize| (r * side + c) as VertexId;
-    for r in 0..side {
-        for c in 0..side {
-            if c + 1 < side {
-                b.add_edge(at(r, c), at(r, c + 1), wg.next());
-            }
-            if r + 1 < side {
-                b.add_edge(at(r, c), at(r + 1, c), wg.next());
+    // Every full row consumes 2·side − 1 weight draws (side − 1 rightward,
+    // side downward); only the last row differs and no chunk starts after
+    // it, so a row chunk opens the stream at r · (2·side − 1).
+    let rows_per_chunk = (super::EMIT_CHUNK / (2 * side)).max(1);
+    let triples = par::run_chunks(side, rows_per_chunk, |rows| {
+        let mut wg = WeightGen::at(seed, (rows.start * (2 * side - 1)) as u64);
+        let mut out = Vec::with_capacity(rows.len() * 2 * side);
+        for r in rows {
+            for c in 0..side {
+                if c + 1 < side {
+                    out.push((at(r, c), at(r, c + 1), wg.next()));
+                }
+                if r + 1 < side {
+                    out.push((at(r, c), at(r + 1, c), wg.next()));
+                }
             }
         }
-    }
-    b.build()
+        out
+    })
+    .concat();
+    GraphBuilder::from_normalized(n, triples).build()
 }
 
 #[cfg(test)]

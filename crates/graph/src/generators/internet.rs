@@ -2,9 +2,9 @@
 //! maximum degree ~151, single component): router-level topologies are
 //! sparse trees-with-shortcuts whose few exchange points have high degree.
 
-use crate::weights::WeightGen;
+use crate::par;
 use crate::{CsrGraph, GraphBuilder, VertexId};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Generates a sparse preferential-attachment **tree** plus a sprinkle of
 /// extra degree-biased shortcut edges, reaching the target `avg_degree`
@@ -15,31 +15,57 @@ pub fn internet_topo(n: usize, avg_degree: f64, seed: u64) -> CsrGraph {
         (2.0..4.0).contains(&avg_degree),
         "internet twin is sparse (< 4)"
     );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut wg = WeightGen::new(seed ^ 0x1_7e7);
-    let mut b = GraphBuilder::with_capacity(n, (n as f64 * avg_degree / 2.0) as usize + 1);
+    let target_edges = (n as f64 * avg_degree / 2.0) as usize;
 
-    // Preferential-attachment tree: the urn trick again, starting from a
-    // single root edge.
-    let mut urn: Vec<VertexId> = vec![0, 1];
-    b.add_edge(0, 1, wg.next());
-    for v in 2..n as VertexId {
-        let t = urn[rng.gen_range(0..urn.len())];
-        b.add_edge(v, t, wg.next());
+    // Preferential-attachment tree via the urn trick, starting from a single
+    // root edge. The urn grows by two entries per vertex, so it has the
+    // deterministic length 2(v − 1) when vertex v attaches — all urn indices
+    // can be drawn in parallel chunks (vertex v's draw is stream position
+    // v − 2); only the O(n) draw-free urn resolution is serial.
+    let rs = par::run_chunks(n.saturating_sub(2), super::EMIT_CHUNK, |r| {
+        let mut rng = rand::rngs::StdRng::seed_at(seed, r.start as u64);
+        r.map(|j| {
+            let v = j + 2;
+            rng.gen_range(0..2 * (v - 1))
+        })
+        .collect::<Vec<usize>>()
+    })
+    .concat();
+    let mut urn: Vec<VertexId> = Vec::with_capacity(2 * (n - 1));
+    urn.push(0);
+    urn.push(1);
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(target_edges + 1);
+    pairs.push((0, 1));
+    for (j, &r) in rs.iter().enumerate() {
+        let v = (j + 2) as VertexId;
+        let t = urn[r];
+        // The urn holds only earlier vertices, so (t, v) is normalized.
+        pairs.push((t, v));
         urn.push(v);
         urn.push(t);
     }
-    // Shortcuts: degree-biased pairs until the average-degree target.
-    let target_edges = (n as f64 * avg_degree / 2.0) as usize;
+
+    // Shortcuts: degree-biased pairs until the average-degree target. The
+    // urn is frozen now, so attempt j draws its two endpoints at stream
+    // position (n − 2) + 2·j; self-loops drop before a weight is consumed.
     let extra = target_edges.saturating_sub(n - 1);
-    for _ in 0..extra {
-        let u = urn[rng.gen_range(0..urn.len())];
-        let v = urn[rng.gen_range(0..urn.len())];
-        if u != v {
-            b.add_edge(u, v, wg.next());
+    let shortcuts = par::run_chunks(extra, super::EMIT_CHUNK / 2, |r| {
+        let mut rng = rand::rngs::StdRng::seed_at(seed, (n as u64 - 2) + 2 * r.start as u64);
+        let mut out = Vec::with_capacity(r.len());
+        for _ in r {
+            let u = urn[rng.gen_range(0..urn.len())];
+            let v = urn[rng.gen_range(0..urn.len())];
+            if u != v {
+                out.push((u.min(v), u.max(v)));
+            }
         }
-    }
-    b.build()
+        out
+    })
+    .concat();
+    pairs.extend(shortcuts);
+
+    let triples = super::weighted(seed ^ 0x1_7e7, 0, &pairs);
+    GraphBuilder::from_normalized(n, triples).build()
 }
 
 #[cfg(test)]

@@ -7,7 +7,29 @@
 //! connected-component structure (MST vs MSF inputs), and a CPU-feasible
 //! size. The twin-to-original mapping lives in [`crate::suite()`].
 //!
-//! All generators are deterministic in their seed.
+//! All generators are deterministic in their seed — and, since the chunked
+//! rewrite, deterministic in the thread budget too. Each generator splits
+//! its work into data-size-keyed chunks whose RNG streams open mid-way via
+//! `StdRng::seed_at` / [`WeightGen::at`] at *closed-form* offsets (one
+//! counter jump, no replay), so the emitted edge multiset is byte-identical
+//! to the historical serial emission at any thread count. Two facts carry
+//! the scheme:
+//!
+//! * the builder canonicalizes by sorting `(u, v, w)` triples, so only the
+//!   *multiset* of emissions matters, never their order;
+//! * every generator consumes exactly one weight draw per emitted edge (the
+//!   sole exception, `small_world`, burns a draw on dropped self-loops and
+//!   accounts for it explicitly), so the weight stream can be chunk-attached
+//!   after topology by emission index.
+//!
+//! Where a topology stream is value-dependent (urn processes, shuffles), the
+//! serial part is confined to the cheapest possible scan — component stream
+//! bases, an O(n) urn resolution — and everything else still chunks. The
+//! golden hashes in `tests/golden_hashes.rs` pin the bytes.
+
+use crate::par;
+use crate::weights::WeightGen;
+use crate::{VertexId, Weight};
 
 pub mod communities;
 pub mod geometric;
@@ -30,3 +52,62 @@ pub use random::uniform_random;
 pub use rmat::{kronecker, rmat};
 pub use road::road_map;
 pub use smallworld::small_world;
+
+/// Emissions per parallel chunk for the helpers below.
+pub(crate) const EMIT_CHUNK: usize = 1 << 16;
+
+/// Attaches `wseed`'s weight stream to `pairs`: pair `k` receives draw
+/// `skip + k`, exactly as if a serial loop had called `wg.next()` once per
+/// emission. Chunk `c` opens the stream at `skip + c.start` in O(1).
+pub(crate) fn weighted(
+    wseed: u64,
+    skip: u64,
+    pairs: &[(VertexId, VertexId)],
+) -> Vec<(VertexId, VertexId, Weight)> {
+    par::run_chunks(pairs.len(), EMIT_CHUNK, |r| {
+        let mut wg = WeightGen::at(wseed, skip + r.start as u64);
+        pairs[r]
+            .iter()
+            .map(|&(u, v)| (u, v, wg.next()))
+            .collect::<Vec<_>>()
+    })
+    .concat()
+}
+
+/// `Σ_{j=1..upto} min(cap, j)` — the closed-form draw count of loops that
+/// make `min(cap, i)` draws for vertex `i`, used by the community
+/// generators to jump their streams to a vertex or host boundary.
+pub(crate) fn capped_sum(cap: usize, upto: usize) -> u64 {
+    let (cap, upto) = (cap as u64, upto as u64);
+    if upto <= cap {
+        upto * (upto + 1) / 2
+    } else {
+        cap * (cap + 1) / 2 + (upto - cap) * cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_matches_serial_stream() {
+        let pairs: Vec<(VertexId, VertexId)> = (0..1000).map(|i| (i, i + 1)).collect();
+        let chunked = weighted(42, 7, &pairs);
+        let mut wg = WeightGen::at(42, 7);
+        for (k, &(u, v, w)) in chunked.iter().enumerate() {
+            assert_eq!((u, v), pairs[k]);
+            assert_eq!(w, wg.next());
+        }
+    }
+
+    #[test]
+    fn capped_sum_matches_naive() {
+        for cap in [1usize, 3, 8] {
+            for upto in 0..50 {
+                let naive: u64 = (1..=upto).map(|j| j.min(cap) as u64).sum();
+                assert_eq!(capped_sum(cap, upto), naive, "cap {cap} upto {upto}");
+            }
+        }
+    }
+}

@@ -1,9 +1,10 @@
 //! Planar triangulation generator — twin of `delaunay_n24` (Delaunay
 //! triangulation: average degree 6, maximum degree 26, single component).
 
+use crate::par;
 use crate::weights::WeightGen;
 use crate::{CsrGraph, GraphBuilder, VertexId};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Generates a triangulated `side × side` lattice: all grid edges plus one
 /// randomly oriented diagonal per cell. This matches a Delaunay
@@ -13,29 +14,38 @@ use rand::{Rng, SeedableRng};
 pub fn delaunay_like(side: usize, seed: u64) -> CsrGraph {
     assert!(side >= 2);
     let n = side * side;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut wg = WeightGen::new(seed ^ 0xDE1A);
     let at = |r: usize, c: usize| (r * side + c) as VertexId;
-    let mut b = GraphBuilder::with_capacity(n, 3 * n);
-    for r in 0..side {
-        for c in 0..side {
-            if c + 1 < side {
-                b.add_edge(at(r, c), at(r, c + 1), wg.next());
-            }
-            if r + 1 < side {
-                b.add_edge(at(r, c), at(r + 1, c), wg.next());
-            }
-            if r + 1 < side && c + 1 < side {
-                // One diagonal per cell, random orientation.
-                if rng.gen::<bool>() {
-                    b.add_edge(at(r, c), at(r + 1, c + 1), wg.next());
-                } else {
-                    b.add_edge(at(r, c + 1), at(r + 1, c), wg.next());
+    // Rows before the last consume side − 1 orientation bits and 3·side − 2
+    // weight draws each; the last row draws side − 1 weights and no bits.
+    // No chunk starts after the last row, so both streams open at
+    // closed-form per-row offsets.
+    let rows_per_chunk = (super::EMIT_CHUNK / (3 * side)).max(1);
+    let triples = par::run_chunks(side, rows_per_chunk, |rows| {
+        let mut rng = rand::rngs::StdRng::seed_at(seed, (rows.start * (side - 1)) as u64);
+        let mut wg = WeightGen::at(seed ^ 0xDE1A, (rows.start * (3 * side - 2)) as u64);
+        let mut out = Vec::with_capacity(rows.len() * 3 * side);
+        for r in rows {
+            for c in 0..side {
+                if c + 1 < side {
+                    out.push((at(r, c), at(r, c + 1), wg.next()));
+                }
+                if r + 1 < side {
+                    out.push((at(r, c), at(r + 1, c), wg.next()));
+                }
+                if r + 1 < side && c + 1 < side {
+                    // One diagonal per cell, random orientation.
+                    if rng.gen::<bool>() {
+                        out.push((at(r, c), at(r + 1, c + 1), wg.next()));
+                    } else {
+                        out.push((at(r, c + 1), at(r + 1, c), wg.next()));
+                    }
                 }
             }
         }
-    }
-    b.build()
+        out
+    })
+    .concat();
+    GraphBuilder::from_normalized(n, triples).build()
 }
 
 #[cfg(test)]

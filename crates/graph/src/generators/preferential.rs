@@ -4,9 +4,9 @@
 //! small number of very high-degree hubs, where vertex-centric codes lose
 //! load balance and ECL-MST's hybrid parallelization shines.
 
-use crate::weights::WeightGen;
+use crate::par;
 use crate::{CsrGraph, GraphBuilder, VertexId};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Barabási–Albert preferential attachment: each new vertex attaches to
 /// `edges_per_vertex` existing vertices chosen proportionally to degree
@@ -27,29 +27,39 @@ pub fn preferential_attachment(
         n >= components * (edges_per_vertex + 1),
         "each component needs at least edges_per_vertex + 1 vertices"
     );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut wg = WeightGen::new(seed ^ 0xBA);
-    let mut b = GraphBuilder::with_capacity(n, n * edges_per_vertex);
 
     // Partition vertices into `components` contiguous ranges; the first gets
     // the remainder so it dominates (real inputs have one giant component).
+    // Every attachment attempt consumes exactly one topology draw (the
+    // self-loop check happens after the draw), so each component's stream
+    // base is the closed-form Σ (len − k) · edges_per_vertex and components
+    // generate in parallel; the urn walk inside a component stays serial.
     let base = n / components;
+    let k = edges_per_vertex + 1;
+    let mut comps: Vec<(usize, usize, u64)> = Vec::with_capacity(components);
     let mut start = 0usize;
+    let mut draws = 0u64;
     for comp in 0..components {
         let len = if comp == components - 1 {
             n - start
         } else {
             base.min(n - start)
         };
+        comps.push((start, len, draws));
+        draws += ((len - k) * edges_per_vertex) as u64;
+        start += len;
+    }
+    let comp_pairs = par::par_map(&comps, |_, &(start, len, rng_base)| {
+        let mut rng = rand::rngs::StdRng::seed_at(seed, rng_base);
         // Urn of endpoints; every arc endpoint appears once, so sampling
         // uniformly from the urn is degree-proportional sampling.
         let mut urn: Vec<VertexId> = Vec::with_capacity(2 * len * edges_per_vertex);
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(len * edges_per_vertex);
         // Seed clique over the first edges_per_vertex + 1 vertices.
-        let k = edges_per_vertex + 1;
         for i in 0..k {
             for j in (i + 1)..k {
                 let (u, v) = ((start + i) as VertexId, (start + j) as VertexId);
-                b.add_edge(u, v, wg.next());
+                pairs.push((u, v));
                 urn.push(u);
                 urn.push(v);
             }
@@ -59,15 +69,19 @@ pub fn preferential_attachment(
             for _ in 0..edges_per_vertex {
                 let t = urn[rng.gen_range(0..urn.len())];
                 if t != v {
-                    b.add_edge(v, t, wg.next());
+                    // The urn holds only v and earlier vertices, so (t, v)
+                    // is already normalized.
+                    pairs.push((t, v));
                     urn.push(v);
                     urn.push(t);
                 }
             }
         }
-        start += len;
-    }
-    b.build()
+        pairs
+    });
+    // One weight per emitted edge, consecutive across components.
+    let triples = super::weighted(seed ^ 0xBA, 0, &comp_pairs.concat());
+    GraphBuilder::from_normalized(n, triples).build()
 }
 
 #[cfg(test)]

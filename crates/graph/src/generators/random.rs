@@ -1,7 +1,7 @@
 //! Uniform random graph generator — twin of `r4-2e23.sym` (type "random",
 //! average degree 8, tight maximum degree, single connected component).
 
-use crate::weights::WeightGen;
+use crate::par;
 use crate::{CsrGraph, GraphBuilder, VertexId};
 use rand::{Rng, SeedableRng};
 
@@ -18,32 +18,45 @@ pub fn uniform_random(n: usize, avg_degree: f64, seed: u64) -> CsrGraph {
         avg_degree >= 2.0,
         "connected backbone already uses degree 2"
     );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut wg = WeightGen::new(seed ^ 0xDEAD_BEEF);
     let target_edges = ((n as f64) * avg_degree / 2.0) as usize;
-    let mut b = GraphBuilder::with_capacity(n, target_edges + n);
 
-    // Connectivity backbone: random permutation path (n - 1 edges).
+    // Connectivity backbone: random permutation path (n − 1 edges). The
+    // Fisher–Yates shuffle is inherently serial and consumes the stream's
+    // first n − 1 draws; everything after it chunks.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();
     for i in (1..n).rev() {
         order.swap(i, rng.gen_range(0..=i));
     }
-    for w in order.windows(2) {
-        b.add_edge(w[0], w[1], wg.next());
-    }
+    let backbone: Vec<(VertexId, VertexId)> = order
+        .windows(2)
+        .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+        .collect();
 
-    // Remaining edges uniformly at random. Duplicates collapse in the
-    // builder, so slightly overshoot to land near the target.
+    // Remaining edges uniformly at random; duplicates collapse in the
+    // builder, so slightly overshoot to land near the target. Attempt j
+    // draws its endpoints at stream position (n − 1) + 2·j, and self-loops
+    // are dropped before a weight is consumed.
     let remaining = target_edges.saturating_sub(n - 1);
     let overshoot = remaining + remaining / 64;
-    for _ in 0..overshoot {
-        let u = rng.gen_range(0..n as u32);
-        let v = rng.gen_range(0..n as u32);
-        if u != v {
-            b.add_edge(u, v, wg.next());
+    let extra = par::run_chunks(overshoot, super::EMIT_CHUNK / 2, |r| {
+        let mut rng = rand::rngs::StdRng::seed_at(seed, (n - 1 + 2 * r.start) as u64);
+        let mut out = Vec::with_capacity(r.len());
+        for _ in r {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                out.push((u.min(v), u.max(v)));
+            }
         }
-    }
-    b.build()
+        out
+    })
+    .concat();
+
+    let wseed = seed ^ 0xDEAD_BEEF;
+    let mut triples = super::weighted(wseed, 0, &backbone);
+    triples.extend(super::weighted(wseed, (n - 1) as u64, &extra));
+    GraphBuilder::from_normalized(n, triples).build()
 }
 
 #[cfg(test)]

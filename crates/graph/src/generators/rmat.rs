@@ -4,9 +4,9 @@
 //! Kronecker: extreme skew, very high average degree, most vertices
 //! isolated).
 
-use crate::weights::WeightGen;
-use crate::{CsrGraph, GraphBuilder};
-use rand::{Rng, SeedableRng};
+use crate::par;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::Rng;
 
 /// Probabilities of the four RMAT quadrants; must sum to ~1.
 #[derive(Debug, Clone, Copy)]
@@ -56,33 +56,43 @@ pub fn rmat_with_params(scale: u32, edge_factor: usize, p: RmatParams, seed: u64
     );
     let n = 1usize << scale;
     let m = edge_factor * n;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut wg = WeightGen::new(seed ^ 0x5EED);
-    let mut b = GraphBuilder::with_capacity(n, m);
-    for _ in 0..m {
-        let (mut lo_u, mut lo_v) = (0usize, 0usize);
-        let mut half = n >> 1;
-        while half > 0 {
-            // Add per-level noise like GTgraph to avoid exact self-similarity.
-            let r: f64 = rng.gen();
-            let (du, dv) = if r < p.a {
-                (0, 0)
-            } else if r < p.a + p.b {
-                (0, half)
-            } else if r < p.a + p.b + p.c {
-                (half, 0)
-            } else {
-                (half, half)
-            };
-            lo_u += du;
-            lo_v += dv;
-            half >>= 1;
+    // Every attempt walks `scale` quadrant levels, one draw per level,
+    // whether or not it survives the self-loop check — so attempt i opens
+    // the topology stream at i · scale, and chunks of attempts are
+    // independent. Weights go to surviving attempts only, one per emission.
+    let attempts_per_chunk = (super::EMIT_CHUNK / scale as usize).max(1);
+    let pairs = par::run_chunks(m, attempts_per_chunk, |attempts| {
+        let mut rng = rand::rngs::StdRng::seed_at(seed, attempts.start as u64 * u64::from(scale));
+        let mut out: Vec<(VertexId, VertexId)> = Vec::with_capacity(attempts.len());
+        for _ in attempts {
+            let (mut lo_u, mut lo_v) = (0usize, 0usize);
+            let mut half = n >> 1;
+            while half > 0 {
+                // Add per-level noise like GTgraph to avoid exact self-similarity.
+                let r: f64 = rng.gen();
+                let (du, dv) = if r < p.a {
+                    (0, 0)
+                } else if r < p.a + p.b {
+                    (0, half)
+                } else if r < p.a + p.b + p.c {
+                    (half, 0)
+                } else {
+                    (half, half)
+                };
+                lo_u += du;
+                lo_v += dv;
+                half >>= 1;
+            }
+            if lo_u != lo_v {
+                let (u, v) = (lo_u as VertexId, lo_v as VertexId);
+                out.push((u.min(v), u.max(v)));
+            }
         }
-        if lo_u != lo_v {
-            b.add_edge(lo_u as u32, lo_v as u32, wg.next());
-        }
-    }
-    b.build()
+        out
+    })
+    .concat();
+    let triples = super::weighted(seed ^ 0x5EED, 0, &pairs);
+    GraphBuilder::from_normalized(n, triples).build()
 }
 
 /// RMAT graph with the classic parameter set (twin of `rmat16/22.sym`).

@@ -2,7 +2,7 @@
 //! `europe_osm` (average degree 2.1–2.8, maximum degree ≤ 13, single
 //! component, enormous diameter).
 
-use crate::weights::WeightGen;
+use crate::par;
 use crate::{CsrGraph, GraphBuilder, VertexId};
 use rand::{Rng, SeedableRng};
 
@@ -19,24 +19,31 @@ pub fn road_map(side: usize, avg_degree: f64, seed: u64) -> CsrGraph {
         "road maps have average degree in [2, 4)"
     );
     let n = side * side;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut wg = WeightGen::new(seed ^ 0x0AD5);
 
-    // Enumerate lattice edges.
+    // Enumerate lattice edges — deterministic, so row chunks need no stream
+    // at all. The Fisher–Yates shuffle (one draw per swap) and the
+    // union-find maze scan (draw-free) are inherently serial; the weight
+    // stream, one draw per emitted edge, chunk-attaches afterwards.
     let at = |r: usize, c: usize| (r * side + c) as VertexId;
-    let mut lattice: Vec<(VertexId, VertexId)> = Vec::with_capacity(2 * side * (side - 1));
-    for r in 0..side {
-        for c in 0..side {
-            if c + 1 < side {
-                lattice.push((at(r, c), at(r, c + 1)));
-            }
-            if r + 1 < side {
-                lattice.push((at(r, c), at(r + 1, c)));
+    let rows_per_chunk = (super::EMIT_CHUNK / (2 * side)).max(1);
+    let mut lattice: Vec<(VertexId, VertexId)> = par::run_chunks(side, rows_per_chunk, |rows| {
+        let mut out = Vec::with_capacity(rows.len() * 2 * side);
+        for r in rows {
+            for c in 0..side {
+                if c + 1 < side {
+                    out.push((at(r, c), at(r, c + 1)));
+                }
+                if r + 1 < side {
+                    out.push((at(r, c), at(r + 1, c)));
+                }
             }
         }
-    }
+        out
+    })
+    .concat();
     // Shuffle, then take a spanning tree via union-find (random-order
     // Kruskal = uniform-ish random maze).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     for i in (1..lattice.len()).rev() {
         lattice.swap(i, rng.gen_range(0..=i));
     }
@@ -48,13 +55,13 @@ pub fn road_map(side: usize, avg_degree: f64, seed: u64) -> CsrGraph {
         }
         x
     }
-    let mut b = GraphBuilder::with_capacity(n, (n as f64 * avg_degree / 2.0) as usize + 1);
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(n);
     let mut extras: Vec<(VertexId, VertexId)> = Vec::new();
     for (u, v) in lattice {
         let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
         if ru != rv {
             parent[ru as usize] = rv;
-            b.add_edge(u, v, wg.next());
+            pairs.push((u, v));
         } else {
             extras.push((u, v));
         }
@@ -62,10 +69,10 @@ pub fn road_map(side: usize, avg_degree: f64, seed: u64) -> CsrGraph {
     // Add back random lattice edges until the average degree target is hit.
     let target_edges = (n as f64 * avg_degree / 2.0) as usize;
     let need = target_edges.saturating_sub(n - 1).min(extras.len());
-    for &(u, v) in extras.iter().take(need) {
-        b.add_edge(u, v, wg.next());
-    }
-    b.build()
+    pairs.extend(extras.into_iter().take(need));
+
+    let triples = super::weighted(seed ^ 0x0AD5, 0, &pairs);
+    GraphBuilder::from_normalized(n, triples).build()
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 //! like a grid, yet low diameter like a scale-free graph, which separates
 //! the effects of Borůvka round count from degree skew.
 
+use crate::par;
 use crate::weights::WeightGen;
 use crate::{CsrGraph, GraphBuilder, VertexId};
 use rand::{Rng, SeedableRng};
@@ -18,9 +19,15 @@ pub fn small_world(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
     assert!(n >= 2 * k + 2, "ring needs n > 2k + 1");
     assert!(k >= 1);
     assert!((0.0..=1.0).contains(&beta));
+    // The rewiring decision consumes one draw and a rewire one more, so
+    // topology stream positions are value-dependent: that scan stays serial.
+    // A pair with equal endpoints records a rewired self-loop — dropped, but
+    // its weight draw was still consumed (the historical serial path
+    // evaluated `wg.next()` before the builder rejected the loop), so the
+    // weight index is the *iteration* index, not the emission index.
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut wg = WeightGen::new(seed ^ 0x5311);
-    let mut b = GraphBuilder::with_capacity(n, n * k);
+    let total = n * k;
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(total);
     for v in 0..n {
         for off in 1..=k {
             let mut dst = ((v + off) % n) as VertexId;
@@ -29,10 +36,23 @@ pub fn small_world(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
                 // duplicates collapse in the builder).
                 dst = rng.gen_range(0..n as u32);
             }
-            b.add_edge(v as VertexId, dst, wg.next());
+            let u = v as VertexId;
+            pairs.push((u.min(dst), u.max(dst)));
         }
     }
-    b.build()
+    let wseed = seed ^ 0x5311;
+    let triples = par::run_chunks(total, super::EMIT_CHUNK, |r| {
+        let mut wg = WeightGen::at(wseed, r.start as u64);
+        pairs[r]
+            .iter()
+            .filter_map(|&(u, v)| {
+                let w = wg.next();
+                (u != v).then_some((u, v, w))
+            })
+            .collect::<Vec<_>>()
+    })
+    .concat();
+    GraphBuilder::from_normalized(n, triples).build()
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ pub mod csr;
 pub mod generators;
 pub mod io;
 pub mod io_dimacs;
+pub mod par;
 pub mod stats;
 pub mod suite;
 pub mod weights;
@@ -35,7 +36,7 @@ pub mod weights;
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeRef};
 pub use stats::GraphStats;
-pub use suite::{suite, SuiteEntry, SuiteScale};
+pub use suite::{suite, suite_specs, SuiteEntry, SuiteScale, SuiteSpec};
 
 /// Vertex identifier. The paper's codes support up to ~2 billion vertices;
 /// `u32` matches the artifact's "binary 32-bit CSR format".

@@ -25,6 +25,10 @@ pub enum SuiteScale {
     Small,
     /// ~32 k–1 M vertices: slower, closer-to-paper runs.
     Medium,
+    /// ~256 k–8 M vertices: the closest to the paper's sizes the chunked
+    /// parallel input pipeline makes practical (tens of millions of edges
+    /// on the densest entries).
+    Large,
 }
 
 impl SuiteScale {
@@ -34,6 +38,7 @@ impl SuiteScale {
             SuiteScale::Tiny => 1 << 11,
             SuiteScale::Small => 1 << 15,
             SuiteScale::Medium => 1 << 17,
+            SuiteScale::Large => 1 << 20,
         }
     }
 
@@ -43,6 +48,17 @@ impl SuiteScale {
             SuiteScale::Tiny => 11,
             SuiteScale::Small => 15,
             SuiteScale::Medium => 17,
+            SuiteScale::Large => 20,
+        }
+    }
+
+    /// The `--scale` spelling of this scale.
+    pub fn name(self) -> &'static str {
+        match self {
+            SuiteScale::Tiny => "tiny",
+            SuiteScale::Small => "small",
+            SuiteScale::Medium => "medium",
+            SuiteScale::Large => "large",
         }
     }
 }
@@ -82,21 +98,64 @@ impl SuiteEntry {
     }
 }
 
+/// One suite input recipe: everything in a [`SuiteEntry`] except the built
+/// twin itself. Specs are cheap to construct, so a harness can list the
+/// whole suite first and fan the expensive [`SuiteSpec::build`] calls out
+/// over a thread pool (the chunked generators produce identical bytes on
+/// any thread budget, so the resulting entries do not depend on the
+/// schedule).
+pub struct SuiteSpec {
+    /// Original graph name from Table 2.
+    pub name: &'static str,
+    /// Type string from Table 2 (e.g. "grid", "road map").
+    pub kind: &'static str,
+    /// The paper's reference properties for the original.
+    pub paper: PaperRow,
+    /// Deterministic twin recipe.
+    gen: Box<dyn Fn() -> CsrGraph + Send + Sync>,
+}
+
+impl SuiteSpec {
+    /// Generates and builds this entry's twin graph.
+    pub fn build(&self) -> SuiteEntry {
+        SuiteEntry {
+            name: self.name,
+            kind: self.kind,
+            graph: (self.gen)(),
+            paper: self.paper,
+        }
+    }
+}
+
 /// Deterministic per-graph generation seed (arbitrary but fixed, so every
 /// experiment sees identical inputs).
 const SUITE_SEED: u64 = 0x5EED_2023;
 
 /// Generates all 17 twins at the given scale, in Table 2 order.
+///
+/// The per-entry builds run concurrently on the input pool (and each
+/// generator is chunk-parallel internally — mild thread oversubscription
+/// that the self-scheduling helpers absorb); the returned vector is in Table
+/// 2 order and byte-identical to a serial build, entry by entry.
 pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
+    let specs = suite_specs(scale);
+    crate::par::par_map(&specs, |_, s| s.build())
+}
+
+/// The recipes behind [`suite`], in Table 2 order, without building any
+/// graph yet.
+pub fn suite_specs(scale: SuiteScale) -> Vec<SuiteSpec> {
     let n0 = scale.base();
     let s0 = scale.log2_base();
-    let isqrt = |x: usize| (x as f64).sqrt() as usize;
+    fn isqrt(x: usize) -> usize {
+        (x as f64).sqrt() as usize
+    }
 
     vec![
-        SuiteEntry {
+        SuiteSpec {
             name: "2d-2e20.sym",
             kind: "grid",
-            graph: grid2d(isqrt(n0), SUITE_SEED ^ 1),
+            gen: Box::new(move || grid2d(isqrt(n0), SUITE_SEED ^ 1)),
             // Table 2 rounds d-avg to 4.0, but 4,190,208 / 1,048,576 < 4 and
             // §5.4 confirms this input skips filtering, so record the exact value.
             paper: PaperRow {
@@ -107,10 +166,10 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 4,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "amazon0601",
             kind: "co-purchases",
-            graph: preferential_attachment(n0 / 4, 6, 7, SUITE_SEED ^ 2),
+            gen: Box::new(move || preferential_attachment(n0 / 4, 6, 7, SUITE_SEED ^ 2)),
             paper: PaperRow {
                 arcs: 4_886_816,
                 vertices: 403_394,
@@ -119,11 +178,13 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 2_752,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "as-skitter",
             kind: "Internet topo.",
             // 756 CCs in the original; scale the count with the vertex ratio.
-            graph: preferential_attachment(n0 / 2, 6, (n0 / 2048).max(4), SUITE_SEED ^ 3),
+            gen: Box::new(move || {
+                preferential_attachment(n0 / 2, 6, (n0 / 2048).max(4), SUITE_SEED ^ 3)
+            }),
             paper: PaperRow {
                 arcs: 22_190_596,
                 vertices: 1_696_415,
@@ -132,10 +193,10 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 35_455,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "citationCiteseer",
             kind: "publication cit.",
-            graph: citation(n0 / 4, 4, 1, SUITE_SEED ^ 4),
+            gen: Box::new(move || citation(n0 / 4, 4, 1, SUITE_SEED ^ 4)),
             paper: PaperRow {
                 arcs: 2_313_294,
                 vertices: 268_495,
@@ -144,10 +205,10 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 1_318,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "cit-Patents",
             kind: "patent cit.",
-            graph: citation(n0, 4, (n0 / 1024).max(8), SUITE_SEED ^ 5),
+            gen: Box::new(move || citation(n0, 4, (n0 / 1024).max(8), SUITE_SEED ^ 5)),
             paper: PaperRow {
                 arcs: 33_037_894,
                 vertices: 3_774_768,
@@ -156,10 +217,10 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 793,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "coPapersDBLP",
             kind: "publication cit.",
-            graph: copapers(n0 / 2, 28, SUITE_SEED ^ 6),
+            gen: Box::new(move || copapers(n0 / 2, 28, SUITE_SEED ^ 6)),
             paper: PaperRow {
                 arcs: 30_491_458,
                 vertices: 540_486,
@@ -168,10 +229,10 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 3_299,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "delaunay_n24",
             kind: "triangulation",
-            graph: delaunay_like(isqrt(2 * n0), SUITE_SEED ^ 7),
+            gen: Box::new(move || delaunay_like(isqrt(2 * n0), SUITE_SEED ^ 7)),
             paper: PaperRow {
                 arcs: 100_663_202,
                 vertices: 16_777_216,
@@ -180,10 +241,10 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 26,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "europe_osm",
             kind: "road map",
-            graph: road_map(isqrt(4 * n0), 2.1, SUITE_SEED ^ 8),
+            gen: Box::new(move || road_map(isqrt(4 * n0), 2.1, SUITE_SEED ^ 8)),
             paper: PaperRow {
                 arcs: 108_109_320,
                 vertices: 50_912_018,
@@ -192,10 +253,10 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 13,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "in-2004",
             kind: "web links",
-            graph: webcrawl(n0 / 2, 10, (n0 / 4096).max(4), SUITE_SEED ^ 9),
+            gen: Box::new(move || webcrawl(n0 / 2, 10, (n0 / 4096).max(4), SUITE_SEED ^ 9)),
             paper: PaperRow {
                 arcs: 27_182_946,
                 vertices: 1_382_908,
@@ -204,10 +265,10 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 21_869,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "internet",
             kind: "Internet topo.",
-            graph: internet_topo(n0 / 8, 3.1, SUITE_SEED ^ 10),
+            gen: Box::new(move || internet_topo(n0 / 8, 3.1, SUITE_SEED ^ 10)),
             paper: PaperRow {
                 arcs: 387_240,
                 vertices: 124_651,
@@ -216,11 +277,13 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 151,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "kron_g500-logn21",
             kind: "Kronecker",
             // 553,159 CCs of 2,097,152 vertices ~= 26% pad (see rmat16 note).
-            graph: append_isolated(&kronecker(s0 - 1, 43, SUITE_SEED ^ 11), (n0 / 2) * 26 / 100),
+            gen: Box::new(move || {
+                append_isolated(&kronecker(s0 - 1, 43, SUITE_SEED ^ 11), (n0 / 2) * 26 / 100)
+            }),
             paper: PaperRow {
                 arcs: 182_081_864,
                 vertices: 2_097_152,
@@ -229,10 +292,10 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 213_904,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "r4-2e23.sym",
             kind: "random",
-            graph: uniform_random(n0, 8.0, SUITE_SEED ^ 12),
+            gen: Box::new(move || uniform_random(n0, 8.0, SUITE_SEED ^ 12)),
             paper: PaperRow {
                 arcs: 67_108_846,
                 vertices: 8_388_608,
@@ -241,13 +304,15 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 26,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "rmat16.sym",
             kind: "RMAT",
             // The original GTgraph inputs are padded to a power-of-two vertex
             // count; the unreached pad vertices supply most of the CC count
             // (rmat16: 3,900 CCs of 65,536 vertices ~= 6%).
-            graph: append_isolated(&rmat(s0 - 3, 8, SUITE_SEED ^ 13), (n0 / 8) * 6 / 100),
+            gen: Box::new(move || {
+                append_isolated(&rmat(s0 - 3, 8, SUITE_SEED ^ 13), (n0 / 8) * 6 / 100)
+            }),
             paper: PaperRow {
                 arcs: 967_866,
                 vertices: 65_536,
@@ -256,11 +321,11 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 569,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "rmat22.sym",
             kind: "RMAT",
             // 428,640 CCs of 4,194,304 vertices ~= 10% pad (see rmat16 note).
-            graph: append_isolated(&rmat(s0, 8, SUITE_SEED ^ 14), n0 / 10),
+            gen: Box::new(move || append_isolated(&rmat(s0, 8, SUITE_SEED ^ 14), n0 / 10)),
             paper: PaperRow {
                 arcs: 65_660_814,
                 vertices: 4_194_304,
@@ -269,10 +334,12 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 3_687,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "soc-LiveJournal1",
             kind: "community",
-            graph: preferential_attachment(n0, 9, (n0 / 1024).max(8), SUITE_SEED ^ 15),
+            gen: Box::new(move || {
+                preferential_attachment(n0, 9, (n0 / 1024).max(8), SUITE_SEED ^ 15)
+            }),
             paper: PaperRow {
                 arcs: 85_702_474,
                 vertices: 4_847_571,
@@ -281,10 +348,10 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 20_333,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "USA-road-d.NY",
             kind: "road map",
-            graph: road_map(isqrt(n0 / 8), 2.8, SUITE_SEED ^ 16),
+            gen: Box::new(move || road_map(isqrt(n0 / 8), 2.8, SUITE_SEED ^ 16)),
             paper: PaperRow {
                 arcs: 730_100,
                 vertices: 264_346,
@@ -293,10 +360,10 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteEntry> {
                 d_max: 8,
             },
         },
-        SuiteEntry {
+        SuiteSpec {
             name: "USA-road-d.USA",
             kind: "road map",
-            graph: road_map(isqrt(2 * n0), 2.4, SUITE_SEED ^ 17),
+            gen: Box::new(move || road_map(isqrt(2 * n0), 2.4, SUITE_SEED ^ 17)),
             paper: PaperRow {
                 arcs: 57_708_624,
                 vertices: 23_947_347,

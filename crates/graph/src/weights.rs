@@ -35,6 +35,18 @@ impl WeightGen {
         }
     }
 
+    /// The generator positioned `skip` draws into `seed`'s stream:
+    /// equivalent to `new(seed)` followed by `skip` discarded draws, in
+    /// O(1). Each [`next`](Self::next) consumes exactly one underlying draw,
+    /// so `skip` is simply "how many weights were handed out before this
+    /// point" — the anchor the chunked generators use to start mid-stream.
+    pub fn at(seed: u64, skip: u64) -> Self {
+        Self {
+            rng: rand::rngs::StdRng::seed_at(seed, skip),
+            max: MAX_WEIGHT,
+        }
+    }
+
     /// Next random weight.
     // Deliberately named like the generator it is; an Iterator impl would
     // suggest an unbounded stream is its main interface, which it is not.

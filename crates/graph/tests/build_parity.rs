@@ -1,0 +1,138 @@
+//! Parallel-vs-serial CSR build parity.
+//!
+//! `GraphBuilder::build_chunked` (the chunk-parallel arc sort + row merge
+//! behind `build`) must produce bit-identical CSRs to
+//! `GraphBuilder::build_serial` (the legacy counting sort kept as the
+//! oracle) on every suite topology — same row starts, same
+//! adjacency order, same weights, same edge-id assignment. The parallel path
+//! must also be schedule-independent: pinning it to one thread via
+//! `par::with_serial_input` cannot change a byte.
+
+use ecl_graph::par::with_serial_input;
+use ecl_graph::{suite, CsrGraph, GraphBuilder, SuiteScale};
+
+/// Rebuilds `g`'s edge list through both build paths and compares.
+fn assert_parity(name: &str, g: &CsrGraph) {
+    // Recover the undirected edge list in edge-id order, then feed it to
+    // fresh builders in a scrambled order so the comparison exercises the
+    // sort + dedup stages, not just pass-through.
+    let mut edges: Vec<(u32, u32, u32)> = g
+        .edges()
+        .map(|e| (e.src.max(e.dst), e.src.min(e.dst), e.weight))
+        .collect();
+    edges.reverse();
+    // A few duplicates with heavier weights: dedup must keep the originals.
+    let dupes: Vec<_> = edges
+        .iter()
+        .step_by(7)
+        .map(|&(u, v, w)| (v, u, w.saturating_add(1)))
+        .collect();
+    edges.extend(dupes);
+
+    let n = g.num_vertices();
+    let build = |serial: bool| -> CsrGraph {
+        let mut b = GraphBuilder::with_capacity(n, edges.len());
+        b.extend_edges(edges.iter().copied());
+        if serial {
+            b.build_serial()
+        } else {
+            b.build_chunked()
+        }
+    };
+    let parallel = build(false);
+    let serial = build(true);
+    assert_eq!(
+        parallel, serial,
+        "{name}: parallel build diverged from the serial oracle"
+    );
+    let pinned = with_serial_input(|| build(false));
+    assert_eq!(
+        parallel, pinned,
+        "{name}: parallel build is schedule-dependent"
+    );
+    parallel
+        .validate()
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+}
+
+#[test]
+fn suite_entries_build_identically() {
+    for e in suite(SuiteScale::Tiny) {
+        assert_parity(e.name, &e.graph);
+    }
+}
+
+#[test]
+fn empty_and_degenerate_graphs() {
+    for (n, edges) in [
+        (0usize, vec![]),
+        (1, vec![]),
+        (5, vec![]),
+        (2, vec![(0u32, 1u32, 7u32)]),
+        (3, vec![(0, 1, 1), (0, 1, 2), (1, 0, 1), (1, 2, 5)]),
+    ] {
+        let mk = |serial: bool| {
+            let mut b = GraphBuilder::new(n);
+            b.extend_edges(edges.iter().copied());
+            if serial {
+                b.build_serial()
+            } else {
+                b.build_chunked()
+            }
+        };
+        assert_eq!(mk(false), mk(true), "n={n}");
+        mk(false).validate().unwrap();
+    }
+}
+
+#[test]
+fn msf_counters_identical_across_paths() {
+    // The built CSR feeds the MST codes; identical bytes must give
+    // identical forests. Spot-check with the serial Kruskal reference on a
+    // scrambled rebuild of one multi-component suite entry.
+    let entries = suite(SuiteScale::Tiny);
+    let e = entries
+        .iter()
+        .find(|e| !e.is_mst_input())
+        .expect("suite has MSF inputs");
+    let edges: Vec<(u32, u32, u32)> = e
+        .graph
+        .edges()
+        .map(|ed| (ed.src, ed.dst, ed.weight))
+        .collect();
+    let n = e.graph.num_vertices();
+    let forest_weight = |g: &CsrGraph| {
+        let mut sorted: Vec<(u32, u32, u32)> =
+            g.edges().map(|ed| (ed.weight, ed.src, ed.dst)).collect();
+        sorted.sort_unstable();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let mut total = 0u64;
+        for (w, u, v) in sorted {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru as usize] = rv;
+                total += u64::from(w);
+            }
+        }
+        total
+    };
+    let mk = |serial: bool| {
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(edges.iter().copied());
+        if serial {
+            b.build_serial()
+        } else {
+            b.build_chunked()
+        }
+    };
+    let (p, s) = (mk(false), mk(true));
+    assert_eq!(p, s);
+    assert_eq!(forest_weight(&p), forest_weight(&s));
+}

@@ -23,6 +23,14 @@
 //! nesting. `range!(` / `open_range(` inside a launch span is flagged, and
 //! any file pairing raw `open_range(` calls with `close_range(` must keep
 //! them balanced (prefer the `range!` guard, which cannot leak).
+//!
+//! A third pass guards the parallel CSR construction hot path
+//! (`GraphBuilder::build`): a bare `for` loop or serial `.sort_unstable(`
+//! outside every `par::`-helper call span would quietly reintroduce the
+//! single-thread bottleneck the chunked build replaced, so it fails the
+//! lint unless the line (or the line above) carries a
+//! `lint-metering: serial-ok` waiver. The `build_serial` reference oracle
+//! is exempt — only `fn build_chunked(` is scanned.
 
 #![forbid(unsafe_code)]
 
@@ -38,6 +46,29 @@ const FORBIDDEN: &[&str] = &["host_read(", "host_write", ".to_vec()", "as_slice(
 /// Trace-range tokens that must not appear inside a launch span: ranges
 /// bracket launches from the host, they never open mid-kernel.
 const TRACE_FORBIDDEN: &[&str] = &["range!(", "open_range("];
+
+/// The parallel CSR construction hot path guarded against serial creep.
+const BUILDER_FILE: &str = "crates/graph/src/builder.rs";
+
+/// Parallel-helper call spans inside `GraphBuilder::build`; loops and sorts
+/// inside these run chunked under the pool and are fine.
+const PAR_SPANS: &[&str] = &[
+    "par::run_chunks(",
+    "par::par_map(",
+    "par::par_tasks(",
+    "par::par_split_mut(",
+    "par::sorted_key_offsets(",
+    "par::chunk_ranges(",
+    ".par_sort_unstable(",
+];
+
+/// Serial tokens that must not appear on `build_chunked`'s hot path: a
+/// bare `for` loop or a non-parallel slice sort there reintroduces the
+/// single-thread bottleneck the chunked path replaced. `build_serial` (the
+/// parity oracle) is exempt by construction — only `fn build_chunked(` is
+/// scanned — and deliberate serial steps carry a `lint-metering: serial-ok`
+/// marker.
+const BUILDER_SERIAL_TOKENS: &[&str] = &["for ", ".sort_unstable("];
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -61,7 +92,8 @@ fn usage() {
     eprintln!("tasks:");
     eprintln!(
         "  lint-metering   flag unmetered host accessors and trace ranges inside kernel\n\
-         \u{20}                 launch closures, and unbalanced raw open_range/close_range pairs"
+         \u{20}                 launch closures, unbalanced raw open_range/close_range pairs,\n\
+         \u{20}                 and serial loops/sorts on the parallel CSR build hot path"
     );
     eprintln!(
         "  fuzz [--cases N] [--seed S] [--sample-every K]\n\
@@ -124,8 +156,14 @@ fn lint_metering() -> ExitCode {
             check_range_balance(&rel, &blank_comments_and_strings(&source), &mut findings);
         }
     }
+    {
+        let file = root.join(BUILDER_FILE);
+        let source = std::fs::read_to_string(&file).expect("read builder source");
+        check_builder_hot_path(Path::new(BUILDER_FILE), &source, &mut findings);
+        files += 1;
+    }
     if findings.is_empty() {
-        println!("lint-metering: {spans} launch spans across {files} files, all clean");
+        println!("lint-metering: {spans} launch spans across {files} files (incl. builder hot path), all clean");
         ExitCode::SUCCESS
     } else {
         for f in &findings {
@@ -243,6 +281,101 @@ fn check_range_balance(rel: &Path, code: &str, findings: &mut Vec<String>) {
             rel.display()
         ));
     }
+}
+
+/// Guards the parallel CSR hot path: inside `fn build_chunked(` (and only
+/// there — `build_serial` is the reference oracle), a `for` loop or serial
+/// `.sort_unstable(` outside every parallel-helper call span is flagged
+/// unless its line carries a `lint-metering: serial-ok` marker.
+fn check_builder_hot_path(rel: &Path, source: &str, findings: &mut Vec<String>) {
+    let code = blank_comments_and_strings(source);
+    let Some(body) = fn_body_span(&code, "fn build_chunked(") else {
+        findings.push(format!(
+            "{}: `fn build_chunked(` not found — builder hot-path lint has nothing to guard",
+            rel.display()
+        ));
+        return;
+    };
+    // Every parallel-helper call span inside the body is covered territory.
+    let mut covered: Vec<(usize, usize)> = Vec::new();
+    for pat in PAR_SPANS {
+        let mut from = body.0;
+        while let Some(hit) = code[from..body.1].find(pat) {
+            let open = from + hit + pat.len() - 1;
+            from = open + 1;
+            if let Some(close) = matching_paren(&code, open) {
+                covered.push((open, close.min(body.1)));
+            }
+        }
+    }
+    for token in BUILDER_SERIAL_TOKENS {
+        let mut from = body.0;
+        while let Some(hit) = code[from..body.1].find(token) {
+            let at = from + hit;
+            from = at + token.len();
+            // Word boundary so identifiers ending in `for` don't match
+            // (only meaningful for tokens that start mid-word).
+            let prev = at.checked_sub(1).map(|i| code.as_bytes()[i]);
+            if token.starts_with(|c: char| c.is_ascii_alphanumeric())
+                && prev.is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                continue;
+            }
+            if covered.iter().any(|&(lo, hi)| at > lo && at < hi) {
+                continue;
+            }
+            let line = code[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+            let text = source.lines().nth(line - 1).unwrap_or("");
+            // The waiver marker may trail the statement or sit on its own
+            // line directly above it.
+            let above = line.checked_sub(2).and_then(|i| source.lines().nth(i));
+            if [Some(text), above]
+                .iter()
+                .flatten()
+                .any(|l| l.contains("lint-metering: serial-ok"))
+            {
+                continue;
+            }
+            findings.push(format!(
+                "{}:{line}: serial `{}` on the parallel build hot path \
+                 (outside every par-helper span): {}",
+                rel.display(),
+                token.trim(),
+                text.trim()
+            ));
+        }
+    }
+}
+
+/// Byte span `(open_brace, close_brace)` of the body of the first function
+/// whose definition starts with `pat` (e.g. `"fn build("`), in blanked code.
+/// The parameter list's parens are skipped so `fn build(mut self)` works.
+fn fn_body_span(code: &str, pat: &str) -> Option<(usize, usize)> {
+    let def = code.find(pat)?;
+    let params_open = def + pat.len() - 1;
+    let params_close = matching_paren(code, params_open)?;
+    let brace = params_close + code[params_close..].find('{')?;
+    let close = matching_brace(code, brace)?;
+    Some((brace, close))
+}
+
+/// Index of the `}` matching the `{` at `open` (source already blanked).
+fn matching_brace(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Index of the `)` matching the `(` at `open` (source already blanked).
@@ -411,6 +544,62 @@ mod tests {
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].contains("trace range opened"));
         assert!(findings[0].contains("t.rs:10"));
+    }
+
+    #[test]
+    fn builder_lint_flags_serial_creep_outside_par_spans() {
+        let src = r#"
+            impl GraphBuilder {
+                pub fn build_chunked(mut self) -> CsrGraph {
+                    self.edges.par_sort_unstable(); // parallel: fine
+                    par::par_tasks(tasks, |task| {
+                        for s in task.vertices.clone() { body(s); } // covered
+                    });
+                    for e in &self.edges { serial(e); }
+                    self.edges.sort_unstable();
+                    out
+                }
+                pub fn build_serial(mut self) -> CsrGraph {
+                    for e in &self.edges { serial(e); } // oracle: exempt
+                    out
+                }
+            }
+        "#;
+        let mut findings = Vec::new();
+        check_builder_hot_path(Path::new("builder.rs"), src, &mut findings);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].contains("`for`"), "{findings:?}");
+        assert!(findings[1].contains(".sort_unstable("), "{findings:?}");
+    }
+
+    #[test]
+    fn builder_lint_honors_serial_ok_waivers() {
+        let src = r#"
+            fn build_chunked(mut self) -> CsrGraph {
+                for r in chunks { partition(r); } // lint-metering: serial-ok (O(#chunks))
+                // lint-metering: serial-ok (tiny fixed-size pass)
+                for r in chunks { partition(r); }
+                out
+            }
+        "#;
+        let mut findings = Vec::new();
+        check_builder_hot_path(Path::new("builder.rs"), src, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn builder_lint_requires_build_to_exist() {
+        let mut findings = Vec::new();
+        check_builder_hot_path(Path::new("builder.rs"), "fn other() {}", &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("nothing to guard"));
+    }
+
+    #[test]
+    fn matching_brace_finds_fn_bodies() {
+        let code = "fn build_chunked(a: A) -> B { x { y } z }";
+        let (open, close) = fn_body_span(code, "fn build_chunked(").unwrap();
+        assert_eq!(&code[open..=close], "{ x { y } z }");
     }
 
     #[test]

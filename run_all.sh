@@ -3,11 +3,18 @@
 # the analogue of the artifact's run_all_compare.sh / run_all_deoptimize.sh.
 # Outputs land in results/.
 #
-# Usage: ./run_all.sh [--scale tiny|small|medium] [--repeats N]
+# Usage: ./run_all.sh [--scale tiny|small|medium|large] [--repeats N]
 set -euo pipefail
 cd "$(dirname "$0")"
 ARGS=("$@")
 mkdir -p results
+
+# One measurement store per sweep: deterministic simulated cells (and CPU
+# medians of identical cells) measured by one binary are replayed by the
+# later ones instead of recomputed. Cleared up front so every sweep's
+# numbers come from this build.
+export ECL_SIM_CACHE="results/.sim-cache"
+rm -rf "$ECL_SIM_CACHE"
 
 run() {
     local name=$1; shift

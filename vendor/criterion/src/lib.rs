@@ -59,6 +59,7 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.into(),
+            throughput: None,
         }
     }
 
@@ -67,25 +68,54 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(self, id, f);
+        run_one(self, None, id, f);
         self
     }
+}
+
+/// Throughput of one benchmark iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration (printed as Melem/s).
+    Elements(u64),
+    /// Bytes processed per iteration (printed as MiB/s).
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the mini-harness re-runs setup per
+/// call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input for every single call.
+    PerIteration,
 }
 
 /// A group of related benchmarks sharing an id prefix.
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput of subsequent benchmarks in
+    /// this group; their report lines gain a rate column.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Runs one benchmark in the group.
     pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id);
-        run_one(self.criterion, &full, f);
+        run_one(self.criterion, self.throughput, &full, f);
         self
     }
 
@@ -100,7 +130,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.id);
-        run_one(self.criterion, &full, |b| f(b, input));
+        run_one(self.criterion, self.throughput, &full, |b| f(b, input));
         self
     }
 
@@ -169,9 +199,56 @@ impl Bencher<'_> {
             self.samples.push(t0.elapsed() / calls_per_sample);
         }
     }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time —
+    /// for payloads that consume their input (e.g. builder `build()` calls).
+    /// The mini-harness runs setup once per call; `_size` is accepted for
+    /// API compatibility only.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        let mut warm_in_routine = Duration::ZERO;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            warm_in_routine += t0.elapsed();
+            warm_calls += 1;
+            if warm_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        let per_call = warm_in_routine / warm_calls.max(1) as u32;
+        let target = self.config.measurement_time / self.config.sample_size as u32;
+        let calls_per_sample = if per_call.is_zero() {
+            1
+        } else {
+            (target.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 1 << 20) as u32
+        };
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let mut acc = Duration::ZERO;
+            for _ in 0..calls_per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                acc += t0.elapsed();
+            }
+            self.samples.push(acc / calls_per_sample);
+        }
+    }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, id: &str, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    throughput: Option<Throughput>,
+    id: &str,
+    mut f: F,
+) {
     let mut bencher = Bencher {
         config: criterion,
         samples: Vec::new(),
@@ -183,8 +260,19 @@ fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, id: &str, mut f: F) {
     }
     let mean: Duration = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
     let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(
+            "   {:>10.2} Melem/s",
+            n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE) / 1e6
+        ),
+        Some(Throughput::Bytes(n)) => format!(
+            "   {:>10.2} MiB/s",
+            n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE) / (1024.0 * 1024.0)
+        ),
+        None => String::new(),
+    };
     println!(
-        "bench {id:<48} mean {:>12.1} ns/iter   min {:>12.1} ns/iter",
+        "bench {id:<48} mean {:>12.1} ns/iter   min {:>12.1} ns/iter{rate}",
         mean.as_nanos() as f64,
         min.as_nanos() as f64
     );

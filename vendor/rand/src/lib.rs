@@ -181,6 +181,27 @@ mod tests {
     }
 
     #[test]
+    fn advance_matches_discarding_draws() {
+        let mut skipped = StdRng::seed_from_u64(1234);
+        for _ in 0..977 {
+            skipped.next_u64();
+        }
+        let mut jumped = StdRng::seed_from_u64(1234);
+        jumped.advance(977);
+        assert_eq!(jumped, skipped);
+        assert_eq!(StdRng::seed_at(1234, 977), jumped);
+        assert_eq!(jumped.next_u64(), skipped.next_u64());
+
+        // Draw-position accounting used by the chunked generators: exactly
+        // one `next_u64` per `gen_range`, `gen::<f64>` and `gen::<bool>`.
+        let mut counted = StdRng::seed_from_u64(55);
+        let _: usize = counted.gen_range(0..10);
+        let _: f64 = counted.gen();
+        let _: bool = counted.gen();
+        assert_eq!(counted, StdRng::seed_at(55, 3));
+    }
+
+    #[test]
     fn shuffle_is_permutation() {
         use crate::seq::SliceRandom;
         let mut v: Vec<u32> = (0..50).collect();

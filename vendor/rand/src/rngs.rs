@@ -11,6 +11,30 @@ pub struct StdRng {
     state: u64,
 }
 
+impl StdRng {
+    /// Skips `n` draws in O(1).
+    ///
+    /// SplitMix64 is a counter-based generator: each [`RngCore::next_u64`]
+    /// adds the golden-ratio gamma to the state and hashes it, so the state
+    /// after `n` draws is `state + n * gamma` regardless of the values drawn.
+    /// This makes every position in a seed's stream addressable, which is
+    /// what lets the graph generators hand disjoint, *byte-identical*
+    /// sub-streams of one logical sequence to parallel workers.
+    pub fn advance(&mut self, n: u64) {
+        self.state = self
+            .state
+            .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+
+    /// The rng positioned `n` draws into `seed`'s stream: equivalent to
+    /// `seed_from_u64(seed)` followed by `n` discarded draws.
+    pub fn seed_at(seed: u64, n: u64) -> Self {
+        let mut rng = <Self as SeedableRng>::seed_from_u64(seed);
+        rng.advance(n);
+        rng
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         StdRng {

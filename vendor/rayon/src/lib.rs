@@ -1,14 +1,42 @@
-//! Offline drop-in subset of the `rayon` API, executed **sequentially**.
+//! Offline drop-in subset of the `rayon` API.
 //!
 //! The workspace builds in environments with no crates.io access, so the
-//! external `rayon` dependency is replaced by this vendored shim: the same
-//! `par_iter`/`into_par_iter`/`scope` surface, run on the calling thread in
-//! deterministic order. Algorithms keep their data-parallel shape (and their
-//! atomics stay correct under it); only host-side speedup is forgone. The
-//! sequential order is also what makes the golden-counter regression tests
-//! exactly reproducible.
+//! external `rayon` dependency is replaced by this vendored shim. Two
+//! different execution contracts coexist here, on purpose:
+//!
+//! * The **iterator surface** (`par_iter`/`into_par_iter`/`scope`/`join`)
+//!   runs on the calling thread in deterministic sequential order. The
+//!   gpu-sim metering layer and the golden-counter regression tests depend
+//!   on launches executing in program order — parallelizing these would
+//!   change CAS-retry counts and atomic interleavings. Algorithms keep their
+//!   data-parallel shape; only host-side speedup is forgone.
+//! * [`ParallelSliceMut::par_sort_unstable`] uses **real threads** (scoped,
+//!   budgeted by [`current_num_threads`]). A full-`Ord` sort has exactly one
+//!   observable result whenever `Ord`-equal elements are indistinguishable —
+//!   true for every workspace caller, which all sort plain integer tuples —
+//!   so threading it cannot perturb any golden output.
+//!   `par_sort_unstable_by_key` stays sequential: with a projected key,
+//!   `Ord`-equal is *not* bit-equal and tie order would become
+//!   thread-count-dependent.
 
 #![forbid(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// Number of worker threads real-parallel operations may use: the
+/// `RAYON_NUM_THREADS` environment variable when set (0 or 1 forces
+/// sequential execution), otherwise [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
 
 /// Parallel-iterator adapter over a plain [`Iterator`], consumed eagerly on
 /// the calling thread.
@@ -180,21 +208,98 @@ impl<T, C: Extend<T>> ParallelExtend<T> for C {
 
 /// Parallel slice sorting (`rayon::slice::ParallelSliceMut`).
 pub trait ParallelSliceMut<T> {
-    /// Unstable sort, run sequentially.
+    /// Unstable sort on real threads (see the crate docs for why this one
+    /// operation may thread while the iterator surface must not).
     fn par_sort_unstable(&mut self)
     where
-        T: Ord;
+        T: Ord + Send;
 
-    /// Unstable sort by key, run sequentially.
+    /// Unstable sort by key, run sequentially (tie order under a projected
+    /// key would otherwise depend on the thread count).
     fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+/// Below this length a sort runs sequentially regardless of thread budget:
+/// scoped-thread setup (~tens of µs) dwarfs the sort itself.
+const PAR_SORT_MIN: usize = 1 << 14;
+
+/// Sorts `v` by splitting it across up to 2^`depth` scoped threads, then
+/// merging halves in place on the way back up.
+fn par_merge_sort<T: Ord + Send>(v: &mut [T], depth: u32) {
+    if depth == 0 || v.len() < PAR_SORT_MIN {
+        v.sort_unstable();
+        return;
+    }
+    let mid = v.len() / 2;
+    let (lo, hi) = v.split_at_mut(mid);
+    std::thread::scope(|s| {
+        s.spawn(|| par_merge_sort(lo, depth - 1));
+        par_merge_sort(hi, depth - 1);
+    });
+    sym_merge(v, mid);
+}
+
+/// In-place merge of the sorted halves `v[..mid]` and `v[mid..]` (SymMerge,
+/// Kim & Kutzner 2004 — the rotation-based merge in Go's standard sort).
+/// Safe code only: the data moves are `rotate_left` calls.
+fn sym_merge<T: Ord>(v: &mut [T], mid: usize) {
+    let len = v.len();
+    if mid == 0 || mid == len {
+        return;
+    }
+    // A one-element side reduces to a binary-search insertion (rotation).
+    if mid == 1 {
+        let pos = v[1..].partition_point(|x| *x < v[0]);
+        v[..=pos].rotate_left(1);
+        return;
+    }
+    if len - mid == 1 {
+        let pos = v[..mid].partition_point(|x| *x <= v[mid]);
+        v[pos..].rotate_right(1);
+        return;
+    }
+    let half = len / 2;
+    let n = half + mid;
+    let (mut start, mut r) = if mid > half {
+        (n - len, half)
+    } else {
+        (0, mid)
+    };
+    let p = n - 1;
+    while start < r {
+        let c = (start + r) / 2;
+        if v[p - c] >= v[c] {
+            start = c + 1;
+        } else {
+            r = c;
+        }
+    }
+    let end = n - start;
+    if start < mid && mid < end {
+        v[start..end].rotate_left(mid - start);
+    }
+    if start > 0 && start < half {
+        sym_merge(&mut v[..half], start);
+    }
+    if end > half && end < len {
+        let shifted = end - half;
+        sym_merge(&mut v[half..], shifted);
+    }
 }
 
 impl<T> ParallelSliceMut<T> for [T] {
     fn par_sort_unstable(&mut self)
     where
-        T: Ord,
+        T: Ord + Send,
     {
-        self.sort_unstable();
+        let threads = current_num_threads();
+        if threads <= 1 || self.len() < PAR_SORT_MIN {
+            self.sort_unstable();
+        } else {
+            // ceil(log2(threads)) split levels saturate the budget.
+            let depth = usize::BITS - (threads - 1).leading_zeros();
+            par_merge_sort(self, depth);
+        }
     }
 
     fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
@@ -255,6 +360,44 @@ mod tests {
         let mut out: Vec<u32> = Vec::new();
         out.par_extend(v.par_iter().filter_map(|&x| (x > 2).then_some(x)));
         assert_eq!(out, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn threaded_merge_sort_matches_sequential() {
+        // Exercise par_merge_sort directly at a forced depth so the test is
+        // independent of the host's core count / RAYON_NUM_THREADS.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for &len in &[0usize, 1, 2, 1000, super::PAR_SORT_MIN + 12345] {
+            let v: Vec<(u32, u32)> = (0..len)
+                .map(|_| (next() as u32 % 97, next() as u32))
+                .collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            let mut got = v;
+            super::par_merge_sort(&mut got, 3);
+            assert_eq!(got, expect, "len {len}");
+        }
+    }
+
+    #[test]
+    fn sym_merge_merges_all_splits() {
+        for len in 0..40usize {
+            for mid in 0..=len {
+                let mut v: Vec<u32> = (0..len as u32).map(|i| i.wrapping_mul(37) % 11).collect();
+                v[..mid].sort_unstable();
+                v[mid..].sort_unstable();
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                super::sym_merge(&mut v, mid);
+                assert_eq!(v, expect, "len {len} mid {mid}");
+            }
+        }
     }
 
     #[test]
