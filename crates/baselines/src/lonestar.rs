@@ -10,40 +10,73 @@
 
 use ecl_dsu::{AtomicDsu, FindPolicy};
 use ecl_graph::CsrGraph;
-use ecl_mst::{pack, unpack, MstResult, EMPTY};
+use ecl_mst::{unpack, MstResult, EMPTY};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Computes the MSF with component-loop Borůvka.
 pub fn lonestar_cpu(g: &CsrGraph) -> MstResult {
+    let _r = ecl_trace::range!(wall: "lonestar_cpu");
     let n = g.num_vertices();
     let m = g.num_edges();
     let dsu = AtomicDsu::new(n);
-    let policy = FindPolicy::Halving;
+    let policy = FindPolicy::BlockedHalving;
     let min_edge: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(EMPTY)).collect();
     let in_mst: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
+    let (row, adj) = (g.row_starts(), g.adjacency());
+    // Packed reservation value of every arc, computed once up front (the
+    // chunked pack scan) instead of per cross-arc per round — part 1
+    // rescans all arcs every round.
+    let mut arc_val = Vec::new();
+    ecl_graph::simd::pack_into(g.arc_weights(), g.arc_edge_ids(), &mut arc_val);
     // id -> endpoints, so part 2 can merge along a recorded edge without
-    // rescanning adjacency (Lonestar's indirect edge relaxation).
+    // rescanning adjacency (Lonestar's indirect edge relaxation). One
+    // direct CSR pass over the `src < dst` arc of each edge.
+    let ids = g.arc_edge_ids();
     let mut endpoints = vec![(0u32, 0u32); m];
-    for e in g.edges() {
-        endpoints[e.id as usize] = (e.src, e.dst);
+    for v in 0..n as u32 {
+        for a in row[v as usize] as usize..row[v as usize + 1] as usize {
+            let d = adj[a];
+            if v < d {
+                endpoints[ids[a] as usize] = (v, d);
+            }
+        }
     }
 
+    // A row whose arcs are all intra-component can never offer a candidate
+    // again — components only grow — so part 1 records that (for free, it
+    // already scans the whole row) and skips the row in every later round.
+    let dead: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let mut labels = Vec::new();
     loop {
+        // The structure is quiescent between rounds (part 2 of the previous
+        // round is barrier-separated), so a single O(n) flat-labeling pass
+        // replaces the two pointer-chasing finds per arc part 1 used to do:
+        // `labels[v]` equals `dsu.find(v)` exactly.
+        dsu.flat_labels_into(&mut labels);
+        let labels = &labels;
         // Part 1 (read-only): every vertex offers its lightest
         // cross-component edge to its component representative.
         let progressed = AtomicBool::new(false);
         (0..n as u32).into_par_iter().for_each(|v| {
-            let rv = dsu.find(v, policy);
+            if dead[v as usize].load(Ordering::Relaxed) {
+                return;
+            }
+            let rv = labels[v as usize];
             let mut best = EMPTY;
-            for e in g.neighbors(v) {
-                if dsu.find(e.dst, policy) != rv {
-                    best = best.min(pack(e.weight, e.id));
+            let mut crossing = false;
+            for a in row[v as usize] as usize..row[v as usize + 1] as usize {
+                if labels[adj[a] as usize] != rv {
+                    crossing = true;
+                    best = best.min(arc_val[a]);
                 }
             }
             if best != EMPTY {
                 min_edge[rv as usize].fetch_min(best, Ordering::AcqRel);
                 progressed.store(true, Ordering::Relaxed);
+            }
+            if !crossing {
+                dead[v as usize].store(true, Ordering::Relaxed);
             }
         });
         if !progressed.load(Ordering::Relaxed) {
@@ -53,6 +86,12 @@ pub fn lonestar_cpu(g: &CsrGraph) -> MstResult {
         // lock-free. Distinct components may record the same edge (both of
         // its endpoints); the double union is idempotent.
         (0..n as u32).into_par_iter().for_each(|r| {
+            // Part 1 keys `min_edge` by the snapshot labels, so only a
+            // snapshot representative can hold a candidate — skip the
+            // atomic swap (a write per vertex per round) for everyone else.
+            if labels[r as usize] != r {
+                return;
+            }
             let val = min_edge[r as usize].swap(EMPTY, Ordering::AcqRel);
             if val == EMPTY {
                 return;

@@ -59,10 +59,129 @@ impl RoundScratch {
     }
 }
 
+/// Serial specialization of [`contract_round`], dispatched when the ambient
+/// rayon pool has a single thread (the common wall-clock bench shape): the
+/// same seven steps, but fused into plain indexed loops with unsynchronized
+/// accesses, and the Jacobi pointer-jump sweeps replaced by a direct
+/// root-chase with path compression — per vertex, the chase reaches exactly
+/// the pseudo-tree root the sweeps converge every color to, so the resulting
+/// `color` array (and therefore the contraction) is bit-identical.
+fn contract_round_serial(
+    n: usize,
+    edges: &[CEdge],
+    in_mst: &[AtomicBool],
+    scratch: &mut RoundScratch,
+) -> (Vec<CEdge>, usize) {
+    // 1. Minimum packed value per vertex.
+    for a in scratch.min_at[..n].iter_mut() {
+        *a.get_mut() = EMPTY;
+    }
+    for e in edges {
+        let val = pack(e.w, e.id);
+        let mu = scratch.min_at[e.u as usize].get_mut();
+        if val < *mu {
+            *mu = val;
+        }
+        let mv = scratch.min_at[e.v as usize].get_mut();
+        if val < *mv {
+            *mv = val;
+        }
+    }
+    // 2 + 3. Winning edge per vertex: record the successor and mark the
+    // pick in the MST — one fused pass instead of two.
+    for (i, s) in scratch.succ[..n].iter_mut().enumerate() {
+        *s.get_mut() = i as u32;
+    }
+    for e in edges {
+        let val = pack(e.w, e.id);
+        let wins_u = *scratch.min_at[e.u as usize].get_mut() == val;
+        let wins_v = *scratch.min_at[e.v as usize].get_mut() == val;
+        if wins_u {
+            *scratch.succ[e.u as usize].get_mut() = e.v;
+        }
+        if wins_v {
+            *scratch.succ[e.v as usize].get_mut() = e.u;
+        }
+        if wins_u || wins_v {
+            in_mst[e.id as usize].store(true, Ordering::Relaxed);
+        }
+    }
+    // 4. Break mirrored picks (smaller index of a mutual pair is the root).
+    for i in 0..n {
+        let v = i as u32;
+        let s = *scratch.succ[i].get_mut();
+        scratch.color[i] = if *scratch.succ[s as usize].get_mut() == v && v < s {
+            v
+        } else {
+            s
+        };
+    }
+    // 5. Color propagation: chase each vertex to its pseudo-tree root and
+    // compress the visited path (mirror-break guarantees every chain ends
+    // at a self-colored root, so the chase terminates).
+    for v in 0..n as u32 {
+        let mut r = v;
+        while scratch.color[r as usize] != r {
+            r = scratch.color[r as usize];
+        }
+        let mut c = v;
+        while scratch.color[c as usize] != r {
+            let next = scratch.color[c as usize];
+            scratch.color[c as usize] = r;
+            c = next;
+        }
+    }
+    let color = &scratch.color[..n];
+    // 6. Renumber roots densely.
+    let new_id = &mut scratch.new_id[..n];
+    let mut k = 0u32;
+    for v in 0..n {
+        new_id[v] = if color[v] == v as u32 {
+            k += 1;
+            k - 1
+        } else {
+            u32::MAX
+        };
+    }
+    // 7. Rebuild the edge list for the contracted graph (same order as the
+    // parallel filter_map, which is index-preserving).
+    let new_id = &scratch.new_id[..n];
+    let mut next_edges = Vec::new();
+    for e in edges {
+        let cu = new_id[color[e.u as usize] as usize];
+        let cv = new_id[color[e.v as usize] as usize];
+        if cu != cv {
+            next_edges.push(CEdge {
+                u: cu,
+                v: cv,
+                w: e.w,
+                id: e.id,
+            });
+        }
+    }
+    (next_edges, k as usize)
+}
+
 /// One contraction round on the host (the CPU baseline). Returns the
 /// contracted edge list and new vertex count; marks picked edges in
-/// `in_mst` (atomic: the pick pass writes concurrently).
+/// `in_mst` (atomic: the pick pass writes concurrently). Dispatches to the
+/// fused serial specialization when the thread budget is one.
 fn contract_round(
+    n: usize,
+    edges: &[CEdge],
+    in_mst: &[AtomicBool],
+    scratch: &mut RoundScratch,
+) -> (Vec<CEdge>, usize) {
+    if rayon::current_num_threads() == 1 {
+        contract_round_serial(n, edges, in_mst, scratch)
+    } else {
+        contract_round_parallel(n, edges, in_mst, scratch)
+    }
+}
+
+/// Data-parallel contraction round (the shape the original UMinho code has;
+/// every pass is a `par_iter` over vertices or edges).
+fn contract_round_parallel(
     n: usize,
     edges: &[CEdge],
     in_mst: &[AtomicBool],
@@ -165,6 +284,7 @@ fn contract_round(
 
 /// CPU-parallel contraction Borůvka (the paper's "UMinho CPU" column).
 pub fn uminho_cpu(g: &CsrGraph) -> MstResult {
+    let _r = ecl_trace::range!(wall: "uminho_cpu");
     let in_mst: Vec<AtomicBool> = (0..g.num_edges()).map(|_| AtomicBool::new(false)).collect();
     let mut edges = initial_edges(g);
     let mut n = g.num_vertices();
@@ -460,6 +580,39 @@ mod tests {
     fn trivial() {
         check_cpu(&GraphBuilder::new(0).build());
         check_cpu(&GraphBuilder::new(4).build());
+    }
+
+    type RoundFn = fn(usize, &[CEdge], &[AtomicBool], &mut RoundScratch) -> (Vec<CEdge>, usize);
+
+    /// Runs the full contraction loop with a forced round implementation.
+    fn solve_with(g: &CsrGraph, round: RoundFn) -> Vec<bool> {
+        let in_mst: Vec<AtomicBool> = (0..g.num_edges()).map(|_| AtomicBool::new(false)).collect();
+        let mut edges = initial_edges(g);
+        let mut n = g.num_vertices();
+        let mut scratch = RoundScratch::new(n);
+        while !edges.is_empty() {
+            let (next, k) = round(n, &edges, &in_mst, &mut scratch);
+            edges = next;
+            n = k;
+        }
+        in_mst.iter().map(|b| b.load(Ordering::Acquire)).collect()
+    }
+
+    #[test]
+    fn serial_round_matches_parallel_round() {
+        // The fused serial specialization must be bit-identical to the
+        // data-parallel round, whichever one `contract_round` dispatches to.
+        for g in [
+            preferential_attachment(500, 5, 1, 9),
+            rmat(8, 4, 6),
+            grid2d(9, 3),
+            GraphBuilder::new(0).build(),
+        ] {
+            let ser = solve_with(&g, contract_round_serial);
+            let par = solve_with(&g, contract_round_parallel);
+            assert_eq!(ser, par, "round implementations diverge");
+            assert_eq!(ser, serial_kruskal(&g).in_mst, "reference MSF");
+        }
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks of the chunked CPU kernels behind the
+//! wall-clock MST path: weight packing, threshold counting/partitioning,
+//! and the DSU find/labeling variants. Each group sets
+//! `Throughput::Elements` so the report carries an elements-per-second rate
+//! column, which is the number the cache-blocking parameters were tuned on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ecl_dsu::{AtomicDsu, FindPolicy};
+use ecl_graph::simd;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 1 << 20;
+
+fn weights_and_ids(seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let ws: Vec<u32> = (0..N).map(|_| rng.gen_range(1..100_000_000)).collect();
+    let ids: Vec<u32> = (0..N as u32).collect();
+    (ws, ids)
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let (ws, ids) = weights_and_ids(1);
+    let mut group = c.benchmark_group("cpu_kernels/pack");
+    group.throughput(Throughput::Elements(N as u64));
+    let mut out = Vec::new();
+    group.bench_function("pack_into_scalar", |b| {
+        b.iter(|| {
+            simd::pack_into_scalar(&ws, &ids, &mut out);
+            out.last().copied()
+        })
+    });
+    group.bench_function("pack_into_chunked", |b| {
+        b.iter(|| {
+            simd::pack_into_chunked(&ws, &ids, &mut out);
+            out.last().copied()
+        })
+    });
+    group.finish();
+}
+
+fn bench_count_and_partition(c: &mut Criterion) {
+    let (ws, ids) = weights_and_ids(2);
+    let threshold = 50_000_000;
+    let mut group = c.benchmark_group("cpu_kernels/filter");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("count_lt_scalar", |b| {
+        b.iter(|| simd::count_lt_scalar(&ws, threshold))
+    });
+    group.bench_function("count_lt_swar", |b| {
+        b.iter(|| simd::count_lt_swar(&ws, threshold))
+    });
+    group.bench_function("has_empty_pack_scalar", |b| {
+        b.iter(|| simd::has_empty_pack_scalar(&ws, &ids))
+    });
+    group.bench_function("has_empty_pack_swar", |b| {
+        b.iter(|| simd::has_empty_pack_swar(&ws, &ids))
+    });
+    // The fused pack+partition pattern the PBBS path runs: one pass that
+    // packs and splits into light/heavy without an intermediate edge list.
+    group.bench_function("fused_pack_partition", |b| {
+        let t = (threshold as u64) << 32;
+        let (mut light, mut heavy) = (Vec::new(), Vec::new());
+        b.iter(|| {
+            light.clear();
+            heavy.clear();
+            for i in 0..N {
+                let val = ((ws[i] as u64) << 32) | ids[i] as u64;
+                if val <= t {
+                    light.push(val);
+                } else {
+                    heavy.push(val);
+                }
+            }
+            (light.len(), heavy.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_dsu_find(c: &mut Criterion) {
+    // A realistic mid-solve forest: random unions over n vertices, then a
+    // find storm in locality order vs random order under each policy.
+    let n = 1 << 18;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let dsu = AtomicDsu::new(n);
+    for _ in 0..n {
+        let x = rng.gen_range(0..n as u32);
+        let y = rng.gen_range(0..n as u32);
+        dsu.union(x, y, FindPolicy::Halving);
+    }
+    let random_q: Vec<u32> = (0..n as u32).map(|_| rng.gen_range(0..n as u32)).collect();
+    let mut group = c.benchmark_group("cpu_kernels/dsu_find");
+    group.throughput(Throughput::Elements(n as u64));
+    for policy in [
+        FindPolicy::NoCompression,
+        FindPolicy::Halving,
+        FindPolicy::BlockedHalving,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("find_random_order", format!("{policy:?}")),
+            &random_q,
+            |b, qs| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &q in qs {
+                        acc = acc.wrapping_add(dsu.find(q, policy) as u64);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.bench_function("flat_labels_into", |b| {
+        let mut labels = Vec::new();
+        b.iter(|| {
+            dsu.flat_labels_into(&mut labels);
+            labels.last().copied()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pack,
+    bench_count_and_partition,
+    bench_dsu_find
+);
+criterion_main!(benches);

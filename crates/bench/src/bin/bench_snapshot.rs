@@ -24,7 +24,7 @@ use ecl_graph::suite;
 use ecl_mst_bench::registry::{all_codes, MstCode};
 use ecl_mst_bench::runner::{
     peak_rss_bytes, sanitize_from_args, scale_from_args, trace_from_args, wall,
-    with_optional_sanitizer, with_optional_trace_profile, Repeats,
+    with_optional_sanitizer, with_optional_trace_breakdown, Repeats,
 };
 use ecl_mst_bench::{simcache, snapshot};
 use std::fmt::Write as _;
@@ -75,7 +75,7 @@ fn main() {
         eprintln!("--diff needs --trace (the diff compares the fresh trace profile)");
         std::process::exit(2);
     }
-    let (total_wall, trace_profile) = with_optional_trace_profile(trace.as_deref(), || {
+    let (total_wall, trace_profile) = with_optional_trace_breakdown(trace.as_deref(), || {
         with_optional_sanitizer(sanitize, || {
             wall(|| {
                 let entries = suite(scale);
@@ -142,6 +142,35 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"total_wall_seconds\": {total_wall:.4},");
+    // Per-kernel shares from the traced run (absent without --trace). These
+    // sit after the keys `snapshot::read_snapshot` parses by first
+    // occurrence, so nested "name"/"share" keys cannot shadow them.
+    if let Some((profile, breakdown)) = &trace_profile {
+        let _ = writeln!(json, "  \"kernel_breakdown\": [");
+        for (i, k) in profile.kernels.iter().enumerate() {
+            let comma = if i + 1 < profile.kernels.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                json,
+                "    {{\"name\": \"{}\", \"share\": {:.4}, \"sim_seconds\": {:.6}}}{comma}",
+                k.name, k.share, k.sim_seconds
+            );
+        }
+        let _ = writeln!(json, "  ],");
+        let _ = writeln!(json, "  \"wall_breakdown\": [");
+        for (i, k) in breakdown.iter().enumerate() {
+            let comma = if i + 1 < breakdown.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{\"name\": \"{}\", \"calls\": {}, \"total_seconds\": {:.4}, \"self_seconds\": {:.4}}}{comma}",
+                k.name, k.calls, k.total_seconds, k.self_seconds
+            );
+        }
+        let _ = writeln!(json, "  ],");
+    }
     match &baseline {
         Some((base, source)) => {
             let _ = writeln!(json, "  \"baseline_wall_seconds\": {base:.4},");
@@ -168,7 +197,7 @@ fn main() {
     eprintln!("wrote {out}");
 
     // CI trace gate: compare the fresh profile against a checked-in one.
-    if let (Some(base_path), Some(profile)) = (diff_baseline, trace_profile) {
+    if let (Some(base_path), Some((profile, _))) = (diff_baseline, trace_profile) {
         let text = std::fs::read_to_string(&base_path).unwrap_or_else(|e| {
             eprintln!("--diff: cannot read {}: {e}", base_path.display());
             std::process::exit(2);

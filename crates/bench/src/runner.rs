@@ -111,9 +111,21 @@ pub fn with_optional_trace_profile<R>(
     path: Option<&Path>,
     f: impl FnOnce() -> R,
 ) -> (R, Option<ecl_trace::Profile>) {
+    let (out, pb) = with_optional_trace_breakdown(path, f);
+    (out, pb.map(|(p, _)| p))
+}
+
+/// [`with_optional_trace_profile`] that also returns the session's
+/// wall-clock span breakdown (per-kernel self/total host seconds) — the
+/// per-kernel cost table the bench snapshot embeds for the CPU codes.
+pub fn with_optional_trace_breakdown<R>(
+    path: Option<&Path>,
+    f: impl FnOnce() -> R,
+) -> (R, Option<(ecl_trace::Profile, Vec<ecl_trace::WallKernel>)>) {
     let Some(path) = path else { return (f(), None) };
     let (out, session) = ecl_trace::with_trace(f);
     let profile = session.profile();
+    let breakdown = session.wall_breakdown();
     eprint!("{}", profile.round_table());
     eprint!("{}", profile.kernel_table());
     std::fs::write(path, session.chrome_trace())
@@ -122,7 +134,7 @@ pub fn with_optional_trace_profile<R>(
     std::fs::write(&pp, profile.to_json())
         .unwrap_or_else(|e| panic!("--trace: cannot write {}: {e}", pp.display()));
     eprintln!("--trace: wrote {} and {}", path.display(), pp.display());
-    (out, Some(profile))
+    (out, Some((profile, breakdown)))
 }
 
 /// [`with_optional_trace_profile`] for callers that don't need the profile.

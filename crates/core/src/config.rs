@@ -36,6 +36,13 @@ pub struct OptConfig {
     /// ("Vertex-Centric"), each thread owns a vertex and processes all of
     /// its edges.
     pub edge_centric: bool,
+    /// Locality pre-pass: group the initial worklist by source-vertex block
+    /// (a degree-aware counting sort) so consecutive items touch nearby
+    /// parent-array and reservation slots. Order-only — the MSF is unique
+    /// under the packed `(weight, id)` tie-break, so any worklist permutation
+    /// yields the identical result; this is a CPU cache optimization with no
+    /// Table 5 counterpart and it defaults on.
+    pub locality_order: bool,
     /// The `c` in the filtering heuristic: aim to process the `c·|V|`
     /// lightest edges in phase 1; no filtering below average degree `c`.
     pub filter_c: u32,
@@ -57,6 +64,7 @@ impl Default for OptConfig {
             tuples: true,
             data_driven: true,
             edge_centric: true,
+            locality_order: true,
             filter_c: 4,
             seed: 0x1234_5678,
             warp_degree_threshold: 4,
@@ -110,7 +118,7 @@ mod tests {
         let c = OptConfig::default();
         assert!(c.atomic_guards && c.hybrid_warp && c.filtering);
         assert!(c.implicit_compression && c.one_direction && c.tuples);
-        assert!(c.data_driven && c.edge_centric);
+        assert!(c.data_driven && c.edge_centric && c.locality_order);
         assert_eq!(c.filter_c, 4);
     }
 

@@ -88,6 +88,13 @@ struct State<'g> {
     min_edge: Vec<AtomicU64>,
     in_mst: Vec<AtomicBool>,
     iterations: usize,
+    /// Flat-label scratch reused by the label fast paths (one allocation
+    /// per solve, refilled per round).
+    labels: Vec<u32>,
+    /// Whether a trace session is active: finds route through
+    /// `find_counted` so the profile's find-hop totals cover the CPU
+    /// backend too. Captured once — the hot path must not re-query.
+    collect_hops: bool,
 }
 
 impl<'g> State<'g> {
@@ -97,8 +104,9 @@ impl<'g> State<'g> {
             // next worklist carries representatives instead of endpoints.
             FindPolicy::NoCompression
         } else {
-            // The de-optimized variant compresses explicitly at use sites.
-            FindPolicy::Halving
+            // The de-optimized variant compresses explicitly at use sites,
+            // with the cache-blocked bounded variant of path halving.
+            FindPolicy::BlockedHalving
         };
         Self {
             g,
@@ -110,6 +118,21 @@ impl<'g> State<'g> {
                 .collect(),
             in_mst: (0..g.num_edges()).map(|_| AtomicBool::new(false)).collect(),
             iterations: 0,
+            labels: Vec::new(),
+            collect_hops: ecl_trace::active(),
+        }
+    }
+
+    /// A find that feeds the trace profile's hop counters when a session is
+    /// active (the branch is a field load; finds stay policy-driven).
+    #[inline]
+    fn find(&self, x: u32) -> u32 {
+        if self.collect_hops {
+            let (r, h) = self.dsu.find_counted(x, self.policy);
+            ecl_trace::record_find_hops(h);
+            r
+        } else {
+            self.dsu.find(x, self.policy)
         }
     }
 
@@ -123,36 +146,52 @@ impl<'g> State<'g> {
         cell.fetch_min(val, Ordering::AcqRel);
     }
 
-    /// Populates a worklist from the graph (Lines 1–11 of Alg. 2).
-    ///
-    /// `phase2` inverts the threshold condition and maps endpoints through
-    /// `set()` (dropping intra-set edges — the actual filtering step).
-    fn populate(&self, threshold: Option<Weight>, phase2: bool) -> Vec<Item> {
+    /// Groups a fresh worklist by source-key block — a stable counting sort
+    /// on `item[0] >> shift` (the vertex in phase 1, the representative in
+    /// phase 2), with the block size chosen degree-aware so one block's
+    /// parent and reservation slots stay cache-resident while its items
+    /// stream. Order-only: the MSF is unique under the packed `(weight, id)`
+    /// tie-break, so any worklist permutation yields the identical result.
+    fn locality_sort(&self, items: Vec<Item>) -> Vec<Item> {
+        let n = self.g.num_vertices();
+        if !self.cfg.locality_order || items.len() < 2 || n == 0 {
+            return items;
+        }
+        // Aim for ~8k items per block: denser graphs get smaller vertex
+        // blocks (their items concentrate), sparser ones larger.
+        let avg_deg = (items.len() / n).max(1);
+        let block = (8192 / avg_deg).next_power_of_two().clamp(256, 65_536);
+        let shift = block.trailing_zeros();
+        let buckets = (n - 1) / block + 2;
+        let mut starts = vec![0usize; buckets];
+        for i in 0..items.len() {
+            starts[(items[i][0] as usize >> shift) + 1] += 1;
+        }
+        for b in 1..buckets {
+            starts[b] += starts[b - 1];
+        }
+        let mut out = vec![[0u32; 4]; items.len()];
+        for it in items {
+            let b = it[0] as usize >> shift;
+            out[starts[b]] = it;
+            starts[b] += 1;
+        }
+        out
+    }
+
+    /// Populates the single-phase worklist from the graph (Lines 1–11 of
+    /// Alg. 2), reading the CSR arrays as raw slices.
+    fn populate(&self) -> Vec<Item> {
         let _r = ecl_trace::range!(wall: "populate");
         let g = self.g;
         let cfg = &self.cfg;
-        let admit = |w: Weight| match (threshold, phase2) {
-            (None, _) => true,
-            (Some(t), false) => w < t,
-            (Some(t), true) => w >= t,
-        };
+        let (adj, wts, ids) = (g.adjacency(), g.arc_weights(), g.arc_edge_ids());
         let expand = |v: u32, a: usize| -> Option<Item> {
-            let n = g.arc_dst(a);
+            let n = adj[a];
             if cfg.one_direction && v >= n {
                 return None; // only process each edge in one direction
             }
-            let w = g.arc_weight(a);
-            if !admit(w) {
-                return None;
-            }
-            let id = g.arc_edge_id(a);
-            if phase2 {
-                let p = self.dsu.find(v, self.policy);
-                let q = self.dsu.find(n, self.policy);
-                (p != q).then_some([p, q, w, id])
-            } else {
-                Some([v, n, w, id])
-            }
+            Some([v, n, wts[a], ids[a]])
         };
 
         let nv = g.num_vertices() as u32;
@@ -182,23 +221,108 @@ impl<'g> State<'g> {
         }
     }
 
+    /// Phase-1 populate fused with heavy-edge capture: one pass over the
+    /// CSR slices yields the light worklist **and** the raw heavy arc list,
+    /// so the two-phase path never rescans the whole graph to build phase 2
+    /// (the old `populate(Some(t), true)` second sweep).
+    fn populate_split(&self, threshold: Weight) -> (Vec<Item>, Vec<Item>) {
+        let _r = ecl_trace::range!(wall: "populate");
+        let g = self.g;
+        let one_dir = self.cfg.one_direction;
+        let (row, adj) = (g.row_starts(), g.adjacency());
+        let (wts, ids) = (g.arc_weights(), g.arc_edge_ids());
+        (0..g.num_vertices() as u32)
+            .into_par_iter()
+            .fold(
+                || (Vec::new(), Vec::new()),
+                |(mut light, mut heavy): (Vec<Item>, Vec<Item>), v| {
+                    for a in row[v as usize] as usize..row[v as usize + 1] as usize {
+                        let n = adj[a];
+                        if one_dir && v >= n {
+                            continue;
+                        }
+                        let it = [v, n, wts[a], ids[a]];
+                        if wts[a] < threshold {
+                            light.push(it);
+                        } else {
+                            heavy.push(it);
+                        }
+                    }
+                    (light, heavy)
+                },
+            )
+            .reduce(
+                || (Vec::new(), Vec::new()),
+                |(mut l1, mut h1), (l2, h2)| {
+                    l1.extend(l2);
+                    h1.extend(h2);
+                    (l1, h1)
+                },
+            )
+    }
+
+    /// Builds the phase-2 worklist from the captured heavy arcs: map both
+    /// endpoints through the (now quiescent) forest and drop intra-set
+    /// edges — the actual filtering step. With read-only finds one O(n)
+    /// flat-labeling pass replaces two pointer chases per arc.
+    fn populate_phase2_from(&mut self, heavy: &[Item]) -> Vec<Item> {
+        let _r = ecl_trace::range!(wall: "populate");
+        if self.policy == FindPolicy::NoCompression && !self.collect_hops {
+            self.dsu.flat_labels_into(&mut self.labels);
+            let labels = &self.labels;
+            heavy
+                .par_iter()
+                .filter_map(|&[v, n, w, id]| {
+                    let (p, q) = (labels[v as usize], labels[n as usize]);
+                    (p != q).then_some([p, q, w, id])
+                })
+                .collect()
+        } else {
+            let st = &*self;
+            heavy
+                .par_iter()
+                .filter_map(|&[v, n, w, id]| {
+                    let p = st.find(v);
+                    let q = st.find(n);
+                    (p != q).then_some([p, q, w, id])
+                })
+                .collect()
+        }
+    }
+
     /// Kernel 1 (Lines 14–23): cycle check, implicit path compression,
     /// deterministic reservations. Consumes `wl1`, returns the next list.
     fn reserve_kernel(&mut self, wl1: &Worklist) -> Vec<Item> {
         self.iterations += 1;
+        // The structure is quiescent at kernel entry (unions happen only in
+        // the barrier-separated select kernel), so when finds are read-only
+        // and the worklist covers a sizable fraction of the vertex set, one
+        // O(n) flat-labeling pass is cheaper than two pointer chases per
+        // item. Skipped while hop-tracing so profiles keep real chase data.
+        let use_labels = self.policy == FindPolicy::NoCompression
+            && !self.collect_hops
+            && wl1.len() >= self.g.num_vertices() / 4;
+        if use_labels {
+            self.dsu.flat_labels_into(&mut self.labels);
+        }
+        let st = &*self;
+        let labels = &st.labels;
         (0..wl1.len())
             .into_par_iter()
             .filter_map(|i| {
                 let [v, n, w, id] = wl1.get(i);
-                let p = self.dsu.find(v, self.policy);
-                let q = self.dsu.find(n, self.policy);
+                let (p, q) = if use_labels {
+                    (labels[v as usize], labels[n as usize])
+                } else {
+                    (st.find(v), st.find(n))
+                };
                 if p == q {
                     return None; // edge closes a cycle: discard
                 }
                 let val = pack(w, id);
-                self.reserve(p, val);
-                self.reserve(q, val);
-                Some(if self.cfg.implicit_compression {
+                st.reserve(p, val);
+                st.reserve(q, val);
+                Some(if st.cfg.implicit_compression {
                     [p, q, w, id] // store representatives (impl. path compr.)
                 } else {
                     [v, n, w, id]
@@ -214,7 +338,7 @@ impl<'g> State<'g> {
             let (p, q) = if self.cfg.implicit_compression {
                 (v, n) // entries already hold the reps recorded in kernel 1
             } else {
-                (self.dsu.find(v, self.policy), self.dsu.find(n, self.policy))
+                (self.find(v), self.find(n))
             };
             let val = pack(w, id);
             if self.min_edge[p as usize].load(Ordering::Acquire) == val
@@ -233,7 +357,7 @@ impl<'g> State<'g> {
             let (p, q) = if self.cfg.implicit_compression {
                 (v, n)
             } else {
-                (self.dsu.find(v, self.policy), self.dsu.find(n, self.policy))
+                (self.find(v), self.find(n))
             };
             self.min_edge[p as usize].store(EMPTY, Ordering::Release);
             self.min_edge[q as usize].store(EMPTY, Ordering::Release);
@@ -243,6 +367,7 @@ impl<'g> State<'g> {
     /// The data-driven main loop (Lines 12–39) over one phase's worklist.
     fn run_loop(&mut self, initial: Vec<Item>) {
         let tuples = self.cfg.tuples;
+        let initial = self.locality_sort(initial);
         let mut wl1 = Worklist::from_items(initial, tuples);
         while !wl1.is_empty() {
             let _round = ecl_trace::range!(wall: "round");
@@ -296,8 +421,8 @@ impl<'g> State<'g> {
                 if one_dir && v >= n {
                     return;
                 }
-                let p = self.dsu.find(v, self.policy);
-                let q = self.dsu.find(n, self.policy);
+                let p = self.find(v);
+                let q = self.find(n);
                 if p != q {
                     live.store(true, Ordering::Relaxed);
                     let val = pack(g.arc_weight(a), g.arc_edge_id(a));
@@ -310,8 +435,8 @@ impl<'g> State<'g> {
                 if one_dir && v >= n {
                     return;
                 }
-                let p = self.dsu.find(v, self.policy);
-                let q = self.dsu.find(n, self.policy);
+                let p = self.find(v);
+                let q = self.find(n);
                 if p == q {
                     return;
                 }
@@ -395,19 +520,22 @@ pub fn ecl_mst_cpu_with(g: &CsrGraph, cfg: &OptConfig) -> CpuRun {
         match plan {
             FilterPlan::SinglePhase => {
                 let _p = ecl_trace::range!(wall: "phase1");
-                let wl = st.populate(None, false);
+                let wl = st.populate();
                 st.run_loop(wl);
             }
             FilterPlan::TwoPhase { threshold } => {
                 phases = 2;
+                let heavy;
                 {
                     let _p = ecl_trace::range!(wall: "phase1");
-                    let wl = st.populate(Some(threshold), false);
+                    let (wl, h) = st.populate_split(threshold);
+                    heavy = h;
                     st.run_loop(wl);
                 }
                 {
                     let _p = ecl_trace::range!(wall: "phase2");
-                    let wl = st.populate(Some(threshold), true);
+                    let wl = st.populate_phase2_from(&heavy);
+                    drop(heavy);
                     st.run_loop(wl);
                 }
             }
@@ -544,6 +672,65 @@ mod tests {
             let got = ecl_mst_cpu_with(&g, &OptConfig::full().with_seed(seed));
             assert_eq!(got.result.in_mst, expected.in_mst, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn locality_order_off_is_bit_identical() {
+        // The pre-pass is order-only: same edge set AND same round count
+        // (round structure is order-independent — every round processes the
+        // whole worklist).
+        for g in [
+            copapers(600, 16, 2),
+            preferential_attachment(1000, 6, 1, 7),
+            rmat(9, 4, 4),
+        ] {
+            let on = ecl_mst_cpu_with(&g, &OptConfig::full());
+            let mut cfg = OptConfig::full();
+            cfg.locality_order = false;
+            let off = ecl_mst_cpu_with(&g, &cfg);
+            assert_eq!(on.result.in_mst, off.result.in_mst, "edge set");
+            assert_eq!(on.iterations, off.iterations, "round count");
+            assert_eq!(on.phases, off.phases, "phases");
+        }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_cpu_hops() {
+        // Tracing flips the find path to find_counted and disables the
+        // flat-label fast paths — the result must not change, and the CPU
+        // backend must now feed the profile's hop histogram.
+        let g = copapers(500, 14, 3);
+        let plain = ecl_mst_cpu_with(&g, &OptConfig::full());
+        let (traced, session) = ecl_trace::with_trace(|| ecl_mst_cpu_with(&g, &OptConfig::full()));
+        assert_eq!(traced.result.in_mst, plain.result.in_mst, "edge set");
+        assert_eq!(traced.iterations, plain.iterations, "round count");
+        let profile = session.profile();
+        assert!(profile.hops.calls > 0, "CPU finds must record hops");
+    }
+
+    #[test]
+    fn adversarial_weight_corners() {
+        // Saturated and tied weights through the filter + SWAR paths: the
+        // packed (weight, id) tie-break keeps the MSF unique even when every
+        // weight is u32::MAX or zero.
+        for w in [0u32, 1, u32::MAX - 1, u32::MAX] {
+            let mut b = GraphBuilder::new(9);
+            for u in 0..9u32 {
+                for v in (u + 1)..9 {
+                    b.add_edge(u, v, w);
+                }
+            }
+            check(&b.build(), &OptConfig::full());
+        }
+        // Mixed: half the edges saturated, half zero — exercises both sides
+        // of any threshold the sampler can produce.
+        let mut b = GraphBuilder::new(16);
+        for u in 0..16u32 {
+            for v in (u + 1)..16 {
+                b.add_edge(u, v, if (u + v) % 2 == 0 { u32::MAX } else { 0 });
+            }
+        }
+        check(&b.build(), &OptConfig::full());
     }
 
     #[test]

@@ -51,14 +51,16 @@ pub fn plan_filter(g: &CsrGraph, c: u32, seed: u64) -> FilterPlan {
         return FilterPlan::SinglePhase;
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut samples: Vec<Weight> = (0..SAMPLE_SIZE)
-        .map(|_| {
-            // Sample an undirected edge uniformly by drawing an arc: every
-            // edge has exactly two arcs, so arc-uniform = edge-uniform.
-            let a = rng.gen_range(0..g.num_arcs());
-            g.arc_weight(a)
-        })
-        .collect();
+    // 20 draws land in a stack array read straight off the CSR weight slice
+    // — no heap allocation or per-draw accessor indirection on this path,
+    // which runs once per solve.
+    let wts = g.arc_weights();
+    let mut samples = [0 as Weight; SAMPLE_SIZE];
+    for s in samples.iter_mut() {
+        // Sample an undirected edge uniformly by drawing an arc: every
+        // edge has exactly two arcs, so arc-uniform = edge-uniform.
+        *s = wts[rng.gen_range(0..wts.len())];
+    }
     samples.sort_unstable();
     // The ceil(q·20)-th smallest sample estimates the q-quantile.
     let idx = ((q * SAMPLE_SIZE as f64).ceil() as usize).clamp(1, SAMPLE_SIZE) - 1;
@@ -89,7 +91,10 @@ pub fn threshold_accuracy(
     match plan_filter(g, c, seed) {
         FilterPlan::SinglePhase => None,
         FilterPlan::TwoPhase { threshold } => {
-            let below = g.edges().filter(|e| e.weight < threshold).count();
+            // Chunked scan over the raw arc weights; every edge contributes
+            // exactly two equal-weight arcs, so halving the arc count gives
+            // the edge count without materializing an edge iterator.
+            let below = ecl_graph::simd::count_lt(g.arc_weights(), threshold) / 2;
             let target = (target_factor as usize) * g.num_vertices();
             if target == 0 {
                 // A zero target (target_factor == 0) has no meaningful

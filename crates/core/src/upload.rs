@@ -46,10 +46,7 @@ impl DeviceCsr {
         // smuggled past validation; debug-only to keep the release hot path
         // allocation- and scan-free.
         debug_assert!(
-            g.arc_weights()
-                .iter()
-                .zip(g.arc_edge_ids())
-                .all(|(&w, &id)| w != u32::MAX || id != u32::MAX),
+            !ecl_graph::simd::has_empty_pack(g.arc_weights(), g.arc_edge_ids()),
             "arc packs to the reservation-word EMPTY sentinel"
         );
         let key = g.uid();

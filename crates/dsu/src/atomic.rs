@@ -24,7 +24,27 @@ pub enum FindPolicy {
     /// Intermediate pointer jumping (Jaiganesh & Burtscher): every node on
     /// the walked path is re-pointed at its grandparent.
     IntermediatePointerJumping,
+    /// Cache-blocked grandparent chasing with *bounded* path halving: the
+    /// walk loads parent and grandparent like [`FindPolicy::Halving`], but a
+    /// halving store is issued only (a) for the first
+    /// [`HALVING_WRITE_BOUND`] steps of the walk and (b) when the walked
+    /// node sits in the same [`CACHE_BLOCK_VERTICES`]-element block of the
+    /// parent array as the query, so compression never dirties cache lines
+    /// outside the block a scan is currently streaming through. Returns the
+    /// same root as every other policy (halving stores are root-preserving).
+    BlockedHalving,
 }
+
+/// Maximum halving stores one [`FindPolicy::BlockedHalving`] find issues.
+/// Long chains beyond the bound are chased read-only; the next find over the
+/// same region finishes the compression incrementally.
+pub const HALVING_WRITE_BOUND: u32 = 4;
+
+/// Block granularity (in elements) of the [`FindPolicy::BlockedHalving`]
+/// same-block test: 16 Ki parents × 4 B = 64 KiB, a handful of L2 pages, so
+/// a blocked scan's compression writes stay inside the region it already
+/// owns. Must be a power of two (the test is a single XOR + mask).
+pub const CACHE_BLOCK_VERTICES: u32 = 1 << 14;
 
 /// Lock-free disjoint-set forest over elements `0..n`.
 ///
@@ -133,6 +153,30 @@ impl AtomicDsu {
                     hops += 1;
                 }
             }
+            FindPolicy::BlockedHalving => {
+                let block = x & !(CACHE_BLOCK_VERTICES - 1);
+                let mut cur = x;
+                let mut hops = 0;
+                let mut writes = 0;
+                loop {
+                    let p = self.load_parent(cur);
+                    if p == cur {
+                        return (cur, hops);
+                    }
+                    let g = self.load_parent(p);
+                    if g != p
+                        && writes < HALVING_WRITE_BOUND
+                        && cur & !(CACHE_BLOCK_VERTICES - 1) == block
+                    {
+                        // Benign race, as in `Halving`: a losing writer
+                        // leaves a still-valid ancestor in place.
+                        self.parent[cur as usize].store(g, Ordering::Relaxed);
+                        writes += 1;
+                    }
+                    cur = g;
+                    hops += 1;
+                }
+            }
         }
     }
 
@@ -201,6 +245,27 @@ impl AtomicDsu {
             .map(|v| self.find(v, policy))
             .collect()
     }
+
+    /// Fills `out` with the representative of every element in **one**
+    /// streaming pass — no pointer chasing. Quiescent states only.
+    ///
+    /// Union by index maintains `parent[v] >= v` (a root is only ever
+    /// CAS-ed to a *higher* root, and halving stores re-point nodes at
+    /// ancestors), so walking indices downward guarantees `out[parent[v]]`
+    /// is already final when `v` is visited: each label is one sequential
+    /// load plus one (already-cached, since `parent[v] >= v` was just
+    /// written) lookup. Exactly equal to `labels(...)` but O(n) total
+    /// instead of O(n · chain length) — the flat-DSU labeling pass the CPU
+    /// codes run between their (barrier-separated) rounds.
+    pub fn flat_labels_into(&self, out: &mut Vec<u32>) {
+        let n = self.parent.len();
+        out.clear();
+        out.resize(n, 0);
+        for v in (0..n).rev() {
+            let p = self.load_parent(v as u32);
+            out[v] = if p as usize == v { p } else { out[p as usize] };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -209,10 +274,11 @@ mod tests {
     use crate::seq::{Compression, SeqDsu, UnionPolicy};
     use rand::{Rng, SeedableRng};
 
-    const POLICIES: [FindPolicy; 3] = [
+    const POLICIES: [FindPolicy; 4] = [
         FindPolicy::NoCompression,
         FindPolicy::Halving,
         FindPolicy::IntermediatePointerJumping,
+        FindPolicy::BlockedHalving,
     ];
 
     #[test]
@@ -382,5 +448,83 @@ mod tests {
         d.union(0, 1, FindPolicy::Halving);
         d.reset();
         assert_eq!(d.num_sets(), 5);
+    }
+
+    #[test]
+    fn flat_labels_match_find_labels() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for n in [0usize, 1, 2, 17, 500] {
+            let d = AtomicDsu::new(n);
+            for _ in 0..(2 * n) {
+                let x = rng.gen_range(0..n.max(1) as u32);
+                let y = rng.gen_range(0..n.max(1) as u32);
+                d.union(x, y, FindPolicy::Halving);
+            }
+            let mut flat = Vec::new();
+            d.flat_labels_into(&mut flat);
+            assert_eq!(flat, d.labels(FindPolicy::NoCompression), "n={n}");
+        }
+    }
+
+    #[test]
+    fn flat_labels_reuses_buffer() {
+        let d = AtomicDsu::new(8);
+        d.union(2, 7, FindPolicy::NoCompression);
+        let mut out = vec![99; 3]; // wrong size and stale content
+        d.flat_labels_into(&mut out);
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[2], 7);
+        assert_eq!(out[7], 7);
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn blocked_halving_bounds_writes_and_compresses() {
+        // A 64-long chain: one blocked find may rewrite at most
+        // HALVING_WRITE_BOUND parents, and the root must be exact.
+        let d = AtomicDsu::new(64);
+        let p = FindPolicy::NoCompression;
+        for i in 0..63 {
+            d.union(i, i + 1, p);
+        }
+        let before: Vec<u32> = (0..64).map(|v| d.load_parent(v)).collect();
+        let (root, _) = d.find_counted(0, FindPolicy::BlockedHalving);
+        assert_eq!(root, 63);
+        let after: Vec<u32> = (0..64).map(|v| d.load_parent(v)).collect();
+        let rewritten = before.iter().zip(&after).filter(|(b, a)| b != a).count() as u32;
+        assert!(rewritten >= 1, "should compress something");
+        assert!(
+            rewritten <= HALVING_WRITE_BOUND,
+            "writes {rewritten} exceed bound"
+        );
+        // Repeated finds keep shortening the chain without changing roots.
+        let (_, h1) = d.find_counted(0, FindPolicy::NoCompression);
+        let _ = d.find(0, FindPolicy::BlockedHalving);
+        let (_, h2) = d.find_counted(0, FindPolicy::NoCompression);
+        assert!(h2 < h1);
+    }
+
+    #[test]
+    fn blocked_halving_skips_out_of_block_writes() {
+        // Chain crossing a cache-block boundary: nodes outside the query's
+        // block must keep their parents even within the write bound.
+        let n = CACHE_BLOCK_VERTICES as usize + 8;
+        let d = AtomicDsu::new(n);
+        let p = FindPolicy::NoCompression;
+        // x at the end of block 0 links into block 1's chain.
+        let x = CACHE_BLOCK_VERTICES - 1;
+        d.union(x, CACHE_BLOCK_VERTICES, p);
+        for i in CACHE_BLOCK_VERTICES..(n as u32 - 1) {
+            d.union(i, i + 1, p);
+        }
+        let before: Vec<u32> = (CACHE_BLOCK_VERTICES..n as u32)
+            .map(|v| d.load_parent(v))
+            .collect();
+        let (root, _) = d.find_counted(x, FindPolicy::BlockedHalving);
+        assert_eq!(root, n as u32 - 1);
+        let after: Vec<u32> = (CACHE_BLOCK_VERTICES..n as u32)
+            .map(|v| d.load_parent(v))
+            .collect();
+        assert_eq!(before, after, "out-of-block parents must be untouched");
     }
 }

@@ -31,7 +31,7 @@ proptest! {
     #[test]
     fn atomic_all_find_policies_match_naive((n, edges) in edges_strategy()) {
         let reference = naive_partition(n, &edges);
-        for p in [FindPolicy::NoCompression, FindPolicy::Halving, FindPolicy::IntermediatePointerJumping] {
+        for p in [FindPolicy::NoCompression, FindPolicy::Halving, FindPolicy::IntermediatePointerJumping, FindPolicy::BlockedHalving] {
             let d = AtomicDsu::new(n);
             for &(x, y) in &edges {
                 d.union(x, y, p);

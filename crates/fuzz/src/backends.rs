@@ -92,6 +92,13 @@ pub fn registry() -> Vec<Backend> {
     v.push(Backend::msf("gpu/ECL-MST@3080Ti", |g| {
         ecl_mst_gpu_with(g, &OptConfig::full(), GpuProfile::RTX_3080_TI).result
     }));
+    v.push(Backend::msf("cpu/ECL-MST-no-locality", |g| {
+        let cfg = OptConfig {
+            locality_order: false,
+            ..OptConfig::full()
+        };
+        ecl_mst_cpu_with(g, &cfg).result
+    }));
     v.push(Backend::msf("baseline/prim", serial_prim));
     v.push(Backend::msf("baseline/filter_kruskal", filter_kruskal));
     v.push(Backend::msf("baseline/pbbs_serial", pbbs_serial));
@@ -125,8 +132,9 @@ mod tests {
     fn registry_covers_every_code() {
         let reg = registry();
         // 1 reference + 9 CPU rungs + 9 GPU rungs + 1 second profile
-        // + 7 CPU baselines + 2 GPU baselines + 2 MST-only codes.
-        assert_eq!(reg.len(), 1 + 9 + 9 + 1 + 7 + 2 + 2);
+        // + 1 locality-order-off CPU variant + 7 CPU baselines
+        // + 2 GPU baselines + 2 MST-only codes.
+        assert_eq!(reg.len(), 1 + 9 + 9 + 1 + 1 + 7 + 2 + 2);
         let names: std::collections::HashSet<_> = reg.iter().map(|b| b.name.clone()).collect();
         assert_eq!(names.len(), reg.len(), "backend names must be unique");
         assert_eq!(

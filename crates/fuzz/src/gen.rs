@@ -38,7 +38,7 @@ impl RawCase {
 }
 
 /// Number of distinct adversarial families cycled by [`generate`].
-pub const NUM_FAMILIES: usize = 14;
+pub const NUM_FAMILIES: usize = 15;
 
 /// Generates the deterministic case for `(seed, case)`.
 ///
@@ -64,7 +64,8 @@ pub fn generate(seed: u64, case: usize) -> RawCase {
         10 => degree_skew(&mut rng),
         11 => near_zero_weights(&mut rng),
         12 => sparse_random(&mut rng),
-        _ => sentinel_probe(&mut rng),
+        13 => sentinel_probe(&mut rng),
+        _ => community_blocks(&mut rng),
     }
 }
 
@@ -314,6 +315,55 @@ fn sentinel_probe(rng: &mut StdRng) -> RawCase {
     }
     RawCase {
         family: "sentinel_probe",
+        num_vertices: n,
+        edges,
+    }
+}
+
+/// Dense vertex-blocks joined by a sparse random cut, with the edge list
+/// emitted in block-interleaved order: the worst realistic input for the
+/// CPU path's locality pre-pass, which must regroup the worklist by
+/// component block without changing the forest. Weights come from the same
+/// deterministic hash stream the suite generators use.
+fn community_blocks(rng: &mut StdRng) -> RawCase {
+    let blocks = rng.gen_range(2..=5usize);
+    let block_size = rng.gen_range(4..=16usize);
+    let n = blocks * block_size;
+    // Intra-block pairs, interleaved across blocks so generation order has
+    // deliberately poor component locality.
+    let mut pairs = Vec::new();
+    for i in 0..block_size as u32 {
+        for j in (i + 1)..block_size as u32 {
+            for b in 0..blocks as u32 {
+                if rng.gen_range(0..3u32) != 0 {
+                    let base = b * block_size as u32;
+                    pairs.push((base + i, base + j));
+                }
+            }
+        }
+    }
+    // Sparse inter-block cut.
+    let cut = rng.gen_range(1..=2 * blocks);
+    for _ in 0..cut {
+        let bu = rng.gen_range(0..blocks) * block_size;
+        let bv = rng.gen_range(0..blocks) * block_size;
+        pairs.push((
+            (bu + rng.gen_range(0..block_size)) as u32,
+            (bv + rng.gen_range(0..block_size)) as u32,
+        ));
+    }
+    // Weights come from the chunked hash kernel, which doubles as ambient
+    // coverage of its scalar/SIMD parity on irregular lengths.
+    let salt: u64 = rng.gen();
+    let mut ws = Vec::new();
+    ecl_graph::weights::hash_weights_into(&pairs, salt, &mut ws);
+    let edges = pairs
+        .iter()
+        .zip(&ws)
+        .map(|(&(u, v), &w)| (u, v, w))
+        .collect();
+    RawCase {
+        family: "community_blocks",
         num_vertices: n,
         edges,
     }

@@ -29,6 +29,7 @@ pub mod generators;
 pub mod io;
 pub mod io_dimacs;
 pub mod par;
+pub mod simd;
 pub mod stats;
 pub mod suite;
 pub mod weights;

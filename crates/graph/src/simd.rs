@@ -1,0 +1,303 @@
+//! Chunked SWAR kernels for the hot weight scans.
+//!
+//! Stable Rust (and this workspace's `forbid(unsafe_code)`) rules out both
+//! `core::simd` and `std::arch` intrinsics, so the vectorized paths here use
+//! SWAR — *SIMD within a register*: two 32-bit weight lanes packed into one
+//! `u64` and compared branch-free with carry-isolated arithmetic. The scans
+//! additionally process their input in [`CHUNK`]-sized blocks so one block of
+//! weights plus its output stays L1-resident, and the inner loops are written
+//! over `chunks_exact` pairs so the compiler can unroll and autovectorize
+//! them on top of the SWAR math.
+//!
+//! **Parity contract**: every kernel keeps its scalar oracle (`*_scalar`)
+//! compiled in all configurations, and the dispatching public function is
+//! required to be *bit-identical* to the oracle on every input — not just on
+//! well-formed graphs but on adversarial corners (`u32::MAX` weights, empty
+//! slices, odd lengths, all-tied values). The `force-scalar` cargo feature
+//! reroutes the public functions to the oracles wholesale, which CI uses to
+//! prove no caller depends on anything but the contract. Property tests at
+//! the bottom of this file pin the equivalence.
+
+use crate::Weight;
+
+/// Elements per cache block: 4096 `u32`s = 16 KiB of input, small enough
+/// that a block plus a same-sized `u64` output window fits in a 48 KiB L1d.
+pub const CHUNK: usize = 4096;
+
+/// Per-lane MSB mask for two 32-bit lanes in a `u64`.
+const LANE_MSB: u64 = 0x8000_0000_8000_0000;
+
+/// Packs two `u32` lanes into one SWAR word (lane 0 low, lane 1 high).
+#[inline]
+fn lanes(lo: u32, hi: u32) -> u64 {
+    lo as u64 | (hi as u64) << 32
+}
+
+/// Per-lane unsigned `x < y` over two packed 32-bit lanes. The result has
+/// the MSB of each lane set exactly where the comparison holds.
+///
+/// Derivation: `r = (x | MSB) - (y & !MSB)` performs both lane subtractions
+/// without cross-lane borrow (each lane's minuend has its MSB set and its
+/// subtrahend has it clear, so every lane difference is nonnegative), and
+/// the MSB of `r`'s lane is clear exactly when the low 31 bits of `x` are
+/// below those of `y`. The lane MSBs of `x` and `y` themselves are then
+/// folded in by ordinary bitwise logic.
+#[inline]
+fn lanes_lt(x: u64, y: u64) -> u64 {
+    let r = (x | LANE_MSB).wrapping_sub(y & !LANE_MSB);
+    ((!x & y) | (!(x ^ y) & !r)) & LANE_MSB
+}
+
+/// Scalar oracle for [`count_lt`].
+pub fn count_lt_scalar(ws: &[Weight], t: Weight) -> usize {
+    ws.iter().filter(|&&w| w < t).count()
+}
+
+/// SWAR implementation of [`count_lt`]: two lanes per compare, popcount of
+/// the lane mask, blocked in [`CHUNK`]s.
+pub fn count_lt_swar(ws: &[Weight], t: Weight) -> usize {
+    let tt = lanes(t, t);
+    let mut total = 0u64;
+    for block in ws.chunks(CHUNK) {
+        let mut pairs = block.chunks_exact(2);
+        for p in pairs.by_ref() {
+            total += lanes_lt(lanes(p[0], p[1]), tt).count_ones() as u64;
+        }
+        for &w in pairs.remainder() {
+            // lint-metering: simd-ok (sub-pair remainder, at most 1 element)
+            total += (w < t) as u64;
+        }
+    }
+    total as usize
+}
+
+/// Number of weights strictly below `t` (the phase-1 filter predicate).
+#[cfg(not(feature = "force-scalar"))]
+#[inline]
+pub fn count_lt(ws: &[Weight], t: Weight) -> usize {
+    count_lt_swar(ws, t)
+}
+
+/// Number of weights strictly below `t` (the phase-1 filter predicate).
+#[cfg(feature = "force-scalar")]
+#[inline]
+pub fn count_lt(ws: &[Weight], t: Weight) -> usize {
+    count_lt_scalar(ws, t)
+}
+
+/// Scalar oracle for [`pack_into`].
+pub fn pack_into_scalar(ws: &[Weight], ids: &[u32], out: &mut Vec<u64>) {
+    assert_eq!(ws.len(), ids.len());
+    out.clear();
+    out.reserve_exact(ws.len());
+    for (&w, &id) in ws.iter().zip(ids) {
+        // lint-metering: simd-ok (this IS the scalar oracle)
+        out.push((w as u64) << 32 | id as u64);
+    }
+}
+
+/// Chunked implementation of [`pack_into`]: the weight/id slices advance in
+/// lockstep [`CHUNK`]s, and each block is an exact-bounds zip the compiler
+/// turns into wide moves (no per-element bounds checks, no `Edge` structs).
+pub fn pack_into_chunked(ws: &[Weight], ids: &[u32], out: &mut Vec<u64>) {
+    assert_eq!(ws.len(), ids.len());
+    out.clear();
+    out.reserve_exact(ws.len());
+    for (wb, ib) in ws.chunks(CHUNK).zip(ids.chunks(CHUNK)) {
+        out.extend(
+            wb.iter()
+                .zip(ib)
+                .map(|(&w, &id)| (w as u64) << 32 | id as u64),
+        );
+    }
+}
+
+/// Fills `out` with the packed reservation words `(weight << 32) | id` for
+/// a weight/id slice pair — the ECL-MST 64-bit `atomicMin` payload.
+#[cfg(not(feature = "force-scalar"))]
+#[inline]
+pub fn pack_into(ws: &[Weight], ids: &[u32], out: &mut Vec<u64>) {
+    pack_into_chunked(ws, ids, out);
+}
+
+/// Fills `out` with the packed reservation words `(weight << 32) | id` for
+/// a weight/id slice pair — the ECL-MST 64-bit `atomicMin` payload.
+#[cfg(feature = "force-scalar")]
+#[inline]
+pub fn pack_into(ws: &[Weight], ids: &[u32], out: &mut Vec<u64>) {
+    pack_into_scalar(ws, ids, out);
+}
+
+/// Scalar oracle for [`has_empty_pack`].
+pub fn has_empty_pack_scalar(ws: &[Weight], ids: &[u32]) -> bool {
+    ws.iter()
+        .zip(ids)
+        .any(|(&w, &id)| w == u32::MAX && id == u32::MAX)
+}
+
+/// SWAR implementation of [`has_empty_pack`]: an arc packs to the `EMPTY`
+/// sentinel iff `w & id == u32::MAX`, i.e. iff a lane of `!(w & id)` is
+/// zero — detected two lanes at a time with the classic SWAR zero-lane
+/// probe `(v - 1·lanes) & !v & MSB·lanes` (borrow across lanes can only
+/// flag a false extra lane when a lower lane really was zero, which leaves
+/// the *any*-lane answer exact).
+pub fn has_empty_pack_swar(ws: &[Weight], ids: &[u32]) -> bool {
+    const LANE_LSB: u64 = 0x0000_0001_0000_0001;
+    debug_assert_eq!(ws.len(), ids.len());
+    for (wb, ib) in ws.chunks(CHUNK).zip(ids.chunks(CHUNK)) {
+        let mut wp = wb.chunks_exact(2);
+        let mut ip = ib.chunks_exact(2);
+        for (w, i) in wp.by_ref().zip(ip.by_ref()) {
+            let v = !lanes(w[0] & i[0], w[1] & i[1]);
+            if v.wrapping_sub(LANE_LSB) & !v & LANE_MSB != 0 {
+                return true;
+            }
+        }
+        for (&w, &i) in wp.remainder().iter().zip(ip.remainder()) {
+            // lint-metering: simd-ok (sub-pair remainder, at most 1 element)
+            if w & i == u32::MAX {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// True when any arc would pack to the reservation-word `EMPTY` sentinel
+/// (`weight == u32::MAX && id == u32::MAX`) — the upload-boundary backstop.
+#[cfg(not(feature = "force-scalar"))]
+#[inline]
+pub fn has_empty_pack(ws: &[Weight], ids: &[u32]) -> bool {
+    has_empty_pack_swar(ws, ids)
+}
+
+/// True when any arc would pack to the reservation-word `EMPTY` sentinel
+/// (`weight == u32::MAX && id == u32::MAX`) — the upload-boundary backstop.
+#[cfg(feature = "force-scalar")]
+#[inline]
+pub fn has_empty_pack(ws: &[Weight], ids: &[u32]) -> bool {
+    has_empty_pack_scalar(ws, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lanes_lt_truth_table_corners() {
+        let cases = [
+            (0u32, 0u32, false),
+            (0, 1, true),
+            (1, 0, false),
+            (5, 7, true),
+            (7, 5, false),
+            (u32::MAX, u32::MAX, false),
+            (u32::MAX - 1, u32::MAX, true),
+            (u32::MAX, 0, false),
+            (0, u32::MAX, true),
+            (0x8000_0000, 0x7FFF_FFFF, false),
+            (0x7FFF_FFFF, 0x8000_0000, true),
+            (0x8000_0000, 0x8000_0001, true),
+        ];
+        for &(x0, y0, e0) in &cases {
+            for &(x1, y1, e1) in &cases {
+                let m = lanes_lt(lanes(x0, x1), lanes(y0, y1));
+                assert_eq!(m & 0x8000_0000 != 0, e0, "low lane {x0} < {y0}");
+                assert_eq!(m >> 63 != 0, e1, "high lane {x1} < {y1}");
+                assert_eq!(m & !LANE_MSB, 0, "only lane MSBs may be set");
+            }
+        }
+    }
+
+    #[test]
+    fn count_lt_adversarial_corners() {
+        // Empty, all-tied, zero threshold, MAX weights, odd lengths.
+        let corners: [(&[u32], u32); 8] = [
+            (&[], 5),
+            (&[42; 7], 42),
+            (&[42; 7], 43),
+            (&[0, 1, 2], 0),
+            (&[u32::MAX, u32::MAX, 0], u32::MAX),
+            (&[u32::MAX - 1], u32::MAX),
+            (&[1], 2),
+            (&[0x8000_0000, 0x7FFF_FFFF, 0x8000_0001], 0x8000_0000),
+        ];
+        for (ws, t) in corners {
+            assert_eq!(
+                count_lt_swar(ws, t),
+                count_lt_scalar(ws, t),
+                "ws={ws:?} t={t}"
+            );
+            assert_eq!(count_lt(ws, t), count_lt_scalar(ws, t));
+        }
+    }
+
+    #[test]
+    fn has_empty_pack_corners() {
+        let max = u32::MAX;
+        // (ws, ids, expected)
+        let cases: [(&[u32], &[u32], bool); 7] = [
+            (&[], &[], false),
+            (&[max], &[max], true),
+            (&[max], &[0], false),
+            (&[0], &[max], false),
+            (&[1, max, 3], &[1, max, 3], true),
+            (&[1, 2, max], &[1, 2, max], true),
+            (&[max, max, max], &[max - 1, 7, 0], false),
+        ];
+        for (ws, ids, expected) in cases {
+            assert_eq!(has_empty_pack_swar(ws, ids), expected, "{ws:?}/{ids:?}");
+            assert_eq!(has_empty_pack_scalar(ws, ids), expected);
+            assert_eq!(has_empty_pack(ws, ids), expected);
+        }
+    }
+
+    #[test]
+    fn pack_into_matches_scalar_on_boundaries() {
+        let ws = [0u32, 1, u32::MAX, 7, u32::MAX - 1];
+        let ids = [u32::MAX, 0, 3, 9, 1];
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        pack_into_chunked(&ws, &ids, &mut a);
+        pack_into_scalar(&ws, &ids, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a[0], u32::MAX as u64);
+        assert_eq!(a[1], 1u64 << 32);
+    }
+
+    proptest! {
+        #[test]
+        fn count_lt_parity(ws in proptest::collection::vec(any::<u32>(), 0..6000),
+                           t in any::<u32>()) {
+            prop_assert_eq!(count_lt_swar(&ws, t), count_lt_scalar(&ws, t));
+        }
+
+        #[test]
+        fn count_lt_parity_tied(w in any::<u32>(), len in 0usize..5000, t in any::<u32>()) {
+            // All-tied inputs: the worst case for lane-comparison mistakes.
+            let ws = vec![w; len];
+            prop_assert_eq!(count_lt_swar(&ws, t), count_lt_scalar(&ws, t));
+        }
+
+        #[test]
+        fn pack_into_parity(pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..6000)) {
+            let ws: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            let ids: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            pack_into_chunked(&ws, &ids, &mut a);
+            pack_into_scalar(&ws, &ids, &mut b);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn has_empty_pack_parity(pairs in proptest::collection::vec(
+            // Bias lanes toward u32::MAX so real sentinels actually occur.
+            (any::<u32>(), any::<u32>(), any::<bool>(), any::<bool>()),
+            0..5000,
+        )) {
+            let ws: Vec<u32> = pairs.iter().map(|p| if p.2 { u32::MAX } else { p.0 }).collect();
+            let ids: Vec<u32> = pairs.iter().map(|p| if p.3 { u32::MAX } else { p.1 }).collect();
+            prop_assert_eq!(has_empty_pack_swar(&ws, &ids), has_empty_pack_scalar(&ws, &ids));
+        }
+    }
+}

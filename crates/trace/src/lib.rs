@@ -203,6 +203,20 @@ impl Event {
     }
 }
 
+/// Aggregate of one wall-clock span name over a session (see
+/// [`TraceSession::wall_breakdown`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallKernel {
+    /// Span name as opened by `range!(wall: ...)`.
+    pub name: String,
+    /// Number of times a span with this name closed.
+    pub calls: u64,
+    /// Inclusive wall seconds (nested spans counted).
+    pub total_seconds: f64,
+    /// Exclusive wall seconds (time not inside any nested wall span).
+    pub self_seconds: f64,
+}
+
 /// Session-wide running totals used for per-span delta metrics.
 #[derive(Debug, Clone, Copy, Default)]
 struct Totals {
@@ -325,6 +339,68 @@ impl TraceSession {
     /// Session-wide find-hop histogram.
     pub fn hop_histogram(&self) -> &HopHistogram {
         &self.hops
+    }
+
+    /// Aggregates the **wall-clock** spans by name: inclusive and exclusive
+    /// (self) seconds per span name, in first-seen order. This is the
+    /// host-side per-kernel cost table the bench snapshot embeds; it is
+    /// deliberately *not* part of [`Profile`]'s serialized JSON, which must
+    /// stay byte-stable on deterministic sim-only runs.
+    ///
+    /// Simulated spans are walked for nesting (an `End` is positional and
+    /// may close either clock) but contribute no wall time; a wall span
+    /// nested through a sim span still credits its nearest wall ancestor.
+    pub fn wall_breakdown(&self) -> Vec<WallKernel> {
+        struct Frame {
+            name: Cow<'static, str>,
+            wall: bool,
+            begin_us: f64,
+            child_us: f64,
+        }
+        let mut out: Vec<WallKernel> = Vec::new();
+        let mut stack: Vec<Frame> = Vec::new();
+        for ev in &self.events {
+            match ev {
+                Event::Begin { name, clock, ts_us } => stack.push(Frame {
+                    name: name.clone(),
+                    wall: *clock == Clock::Wall,
+                    begin_us: *ts_us,
+                    child_us: 0.0,
+                }),
+                Event::End { ts_us, .. } => {
+                    // Positional close; a missing Begin (dropped past
+                    // MAX_EVENTS) leaves the stack untouched.
+                    let Some(f) = stack.pop() else { continue };
+                    if f.wall {
+                        let total_us = ts_us - f.begin_us;
+                        let k = match out.iter_mut().find(|k| k.name == f.name) {
+                            Some(k) => k,
+                            None => {
+                                out.push(WallKernel {
+                                    name: f.name.to_string(),
+                                    calls: 0,
+                                    total_seconds: 0.0,
+                                    self_seconds: 0.0,
+                                });
+                                out.last_mut().expect("just pushed")
+                            }
+                        };
+                        k.calls += 1;
+                        k.total_seconds += total_us / 1e6;
+                        k.self_seconds += (total_us - f.child_us) / 1e6;
+                        if let Some(parent) = stack.last_mut() {
+                            parent.child_us += total_us;
+                        }
+                    } else if let Some(parent) = stack.last_mut() {
+                        // Sim spans take no wall time themselves; pass any
+                        // nested wall time through to the enclosing span.
+                        parent.child_us += f.child_us;
+                    }
+                }
+                Event::Launch { .. } | Event::Memcpy { .. } => {}
+            }
+        }
+        out
     }
 
     /// Final simulated timestamp (microseconds): total device time the
@@ -696,6 +772,35 @@ mod tests {
         assert_eq!(h.buckets[HOP_BUCKETS - 1], 1);
         assert_eq!(h.max_bucket(), HOP_BUCKETS - 1);
         assert!((h.mean() - 103.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_breakdown_aggregates_self_and_total() {
+        let ((), session) = with_trace(|| {
+            let _outer = range!(wall: "solve");
+            for _ in 0..2 {
+                let _inner = range!(wall: "kernel1");
+                std::hint::black_box(0u64);
+            }
+            // A sim span nested in the wall span must not break the
+            // wall-ancestor crediting.
+            let _sim = range!(sim: "round");
+            let _deep = range!(wall: "kernel2");
+        });
+        let bd = session.wall_breakdown();
+        let names: Vec<_> = bd.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(names, ["kernel1", "kernel2", "solve"]);
+        let solve = bd.iter().find(|k| k.name == "solve").unwrap();
+        let k1 = bd.iter().find(|k| k.name == "kernel1").unwrap();
+        let k2 = bd.iter().find(|k| k.name == "kernel2").unwrap();
+        assert_eq!(k1.calls, 2);
+        assert_eq!(solve.calls, 1);
+        assert!(solve.total_seconds >= k1.total_seconds + k2.total_seconds);
+        // Self time excludes every nested wall span, including kernel2
+        // reached through the sim span.
+        let expect_self = solve.total_seconds - k1.total_seconds - k2.total_seconds;
+        assert!((solve.self_seconds - expect_self).abs() < 1e-9);
+        assert!(bd.iter().all(|k| k.self_seconds >= 0.0));
     }
 
     #[test]

@@ -31,6 +31,15 @@
 //! lint unless the line (or the line above) carries a
 //! `lint-metering: serial-ok` waiver. The `build_serial` reference oracle
 //! is exempt — only `fn build_chunked(` is scanned.
+//!
+//! A fourth pass guards the chunked SWAR kernels in `ecl-graph` the same
+//! way: inside the blessed hot functions (`count_lt_swar`,
+//! `pack_into_chunked`, `has_empty_pack_swar`, `hash_weights_into`), every
+//! `for` loop must iterate the chunk pipeline — its line must mention
+//! `chunks`, `by_ref`, or `remainder` — or carry a
+//! `lint-metering: simd-ok` waiver. A plain whole-slice loop there would
+//! silently degrade the kernel back to the scalar oracle while parity
+//! tests keep passing.
 
 #![forbid(unsafe_code)]
 
@@ -70,6 +79,24 @@ const PAR_SPANS: &[&str] = &[
 /// marker.
 const BUILDER_SERIAL_TOKENS: &[&str] = &["for ", ".sort_unstable("];
 
+/// Chunked SWAR kernel files and the blessed hot functions inside them
+/// whose loops must run through the chunk pipeline.
+const SIMD_HOT_FNS: &[(&str, &[&str])] = &[
+    (
+        "crates/graph/src/simd.rs",
+        &[
+            "fn count_lt_swar(",
+            "fn pack_into_chunked(",
+            "fn has_empty_pack_swar(",
+        ],
+    ),
+    ("crates/graph/src/weights.rs", &["fn hash_weights_into("]),
+];
+
+/// A `for` line inside a blessed SWAR kernel must carry one of these —
+/// iterate chunk blocks, the exact-pair stream, or its remainder tail.
+const SIMD_CHUNK_TOKENS: &[&str] = &["chunks", "by_ref", "remainder"];
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
@@ -96,29 +123,33 @@ fn usage() {
          \u{20}                 and serial loops/sorts on the parallel CSR build hot path"
     );
     eprintln!(
-        "  fuzz [--cases N] [--seed S] [--sample-every K]\n\
+        "  fuzz [--cases N] [--seed S] [--sample-every K] [--force-scalar]\n\
          \u{20}                 run the ecl-fuzz differential campaign (release build);\n\
-         \u{20}                 minimized failures land in tests/corpus/"
+         \u{20}                 minimized failures land in tests/corpus/; --force-scalar\n\
+         \u{20}                 rebuilds the solvers on the scalar oracle paths first"
     );
 }
 
 /// Runs the ecl-fuzz differential campaign in release mode, pointing its
 /// corpus output at the checked-in `tests/corpus/` directory so any newly
 /// minimized failure is immediately replayable by `cargo test`.
+///
+/// `--force-scalar` is consumed here (it's a build flag, not a campaign
+/// flag): the fuzz binary is rebuilt with the `force-scalar` feature so the
+/// whole differential run exercises the scalar oracle paths.
 fn fuzz(extra: impl Iterator<Item = String>) -> ExitCode {
     let root = workspace_root();
     let corpus = root.join("tests/corpus");
+    let mut extra: Vec<String> = extra.collect();
+    let mut cargo_args = vec!["run", "--release", "-p", "ecl-fuzz"];
+    if let Some(i) = extra.iter().position(|a| a == "--force-scalar") {
+        extra.remove(i);
+        cargo_args.extend(["--features", "force-scalar"]);
+    }
+    cargo_args.extend(["--bin", "ecl-fuzz", "--"]);
     let status = std::process::Command::new(env!("CARGO"))
         .current_dir(&root)
-        .args([
-            "run",
-            "--release",
-            "-p",
-            "ecl-fuzz",
-            "--bin",
-            "ecl-fuzz",
-            "--",
-        ])
+        .args(cargo_args)
         .arg("--corpus")
         .arg(&corpus)
         .args(extra)
@@ -162,8 +193,14 @@ fn lint_metering() -> ExitCode {
         check_builder_hot_path(Path::new(BUILDER_FILE), &source, &mut findings);
         files += 1;
     }
+    for (rel, fns) in SIMD_HOT_FNS {
+        let file = root.join(rel);
+        let source = std::fs::read_to_string(&file).expect("read SWAR kernel source");
+        check_simd_spans(Path::new(rel), &source, fns, &mut findings);
+        files += 1;
+    }
     if findings.is_empty() {
-        println!("lint-metering: {spans} launch spans across {files} files (incl. builder hot path), all clean");
+        println!("lint-metering: {spans} launch spans across {files} files (incl. builder hot path and SWAR kernels), all clean");
         ExitCode::SUCCESS
     } else {
         for f in &findings {
@@ -341,6 +378,54 @@ fn check_builder_hot_path(rel: &Path, source: &str, findings: &mut Vec<String>) 
                  (outside every par-helper span): {}",
                 rel.display(),
                 token.trim(),
+                text.trim()
+            ));
+        }
+    }
+}
+
+/// Guards the chunked SWAR kernels: inside each blessed hot function, a
+/// `for` loop whose line doesn't mention the chunk pipeline (`chunks`,
+/// `by_ref`, `remainder`) is flagged unless the line (or the line directly
+/// above) carries a `lint-metering: simd-ok` waiver. The scalar oracles
+/// (`*_scalar`) are exempt by construction — they're not in the blessed
+/// list.
+fn check_simd_spans(rel: &Path, source: &str, fns: &[&str], findings: &mut Vec<String>) {
+    let code = blank_comments_and_strings(source);
+    for pat in fns {
+        let Some(body) = fn_body_span(&code, pat) else {
+            findings.push(format!(
+                "{}: `{pat}` not found — SWAR kernel lint has nothing to guard",
+                rel.display()
+            ));
+            continue;
+        };
+        let mut from = body.0;
+        while let Some(hit) = code[from..body.1].find("for ") {
+            let at = from + hit;
+            from = at + 4;
+            // Word boundary so identifiers ending in `for` don't match.
+            let prev = at.checked_sub(1).map(|i| code.as_bytes()[i]);
+            if prev.is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+                continue;
+            }
+            let line = code[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+            let text = source.lines().nth(line - 1).unwrap_or("");
+            if SIMD_CHUNK_TOKENS.iter().any(|t| text.contains(t)) {
+                continue;
+            }
+            let above = line.checked_sub(2).and_then(|i| source.lines().nth(i));
+            if [Some(text), above]
+                .iter()
+                .flatten()
+                .any(|l| l.contains("lint-metering: simd-ok"))
+            {
+                continue;
+            }
+            findings.push(format!(
+                "{}:{line}: non-chunked `for` inside SWAR kernel `{}`: {}",
+                rel.display(),
+                pat.trim_end_matches('('),
                 text.trim()
             ));
         }
@@ -584,6 +669,68 @@ mod tests {
         "#;
         let mut findings = Vec::new();
         check_builder_hot_path(Path::new("builder.rs"), src, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn simd_lint_flags_non_chunked_loops_in_blessed_fns() {
+        let src = r#"
+            pub fn count_lt_scalar(ws: &[u32], t: u32) -> usize {
+                for &w in ws { scan(w); } // oracle: exempt
+                0
+            }
+            pub fn count_lt_swar(ws: &[u32], t: u32) -> usize {
+                for block in ws.chunks(CHUNK) {
+                    let mut pairs = block.chunks_exact(2);
+                    for p in pairs.by_ref() { scan(p); }
+                    for &w in pairs.remainder() { scan(w); }
+                }
+                for &w in ws { scan(w); }
+                0
+            }
+        "#;
+        let mut findings = Vec::new();
+        check_simd_spans(
+            Path::new("simd.rs"),
+            src,
+            &["fn count_lt_swar("],
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("non-chunked"), "{findings:?}");
+        assert!(findings[0].contains("count_lt_swar"));
+    }
+
+    #[test]
+    fn simd_lint_honors_simd_ok_waiver_and_missing_fn() {
+        let src = r#"
+            pub fn pack_into_chunked(ws: &[u32]) {
+                // lint-metering: simd-ok (bounded warmup, not the scan)
+                for w in head { prime(w); }
+                for block in ws.chunks(CHUNK) { pack(block); }
+            }
+        "#;
+        let mut findings = Vec::new();
+        check_simd_spans(
+            Path::new("simd.rs"),
+            src,
+            &["fn pack_into_chunked("],
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        check_simd_spans(Path::new("simd.rs"), src, &["fn absent("], &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("nothing to guard"));
+    }
+
+    #[test]
+    fn simd_lint_is_clean_on_the_real_kernels() {
+        let root = workspace_root();
+        let mut findings = Vec::new();
+        for (rel, fns) in SIMD_HOT_FNS {
+            let source = std::fs::read_to_string(root.join(rel)).expect("read kernel source");
+            check_simd_spans(Path::new(rel), &source, fns, &mut findings);
+        }
         assert!(findings.is_empty(), "{findings:?}");
     }
 
