@@ -103,8 +103,11 @@ pub fn setia_prim(g: &CsrGraph, threads: usize, seed: u64) -> MstResult {
                 collided_roots.push((r.root, r.collided_with, r.heap));
             }
             // Workers that neither collided nor have frontier left are done.
-            let mut pools: std::collections::HashMap<u32, Frontier> =
-                std::collections::HashMap::new();
+            // BTreeMap, not HashMap: `pools` is drained into the next
+            // round's `live` worklist below, so its iteration order seeds
+            // the worker spawn order — keep that order deterministic.
+            let mut pools: std::collections::BTreeMap<u32, Frontier> =
+                std::collections::BTreeMap::new();
             for (root, collided, heap) in collided_roots {
                 if collided.is_none() && heap.is_empty() {
                     continue; // tree finished its component

@@ -172,6 +172,10 @@ fn contract_round(
     in_mst: &[AtomicBool],
     scratch: &mut RoundScratch,
 ) -> (Vec<CEdge>, usize) {
+    // The serial specialization is parity-tested bit-identical to the
+    // parallel round, so the thread budget picks an implementation, never
+    // a result.
+    // ecl-lint: allow(thread-count-dependence) dispatch only (see above)
     if rayon::current_num_threads() == 1 {
         contract_round_serial(n, edges, in_mst, scratch)
     } else {

@@ -7,7 +7,22 @@
 //! (union by index), which makes `union` lock-free without per-node rank
 //! storage — concurrent winners simply retry from the new roots.
 
+#[cfg(ecl_model)]
+use crate::model::shim::{AtomicU32, Ordering};
+#[cfg(not(ecl_model))]
 use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Orderings of the union compare-exchange (success, failure). AcqRel: a
+/// successful union publishes the merge before any subsequent reservation
+/// check observes the new root.
+#[cfg(not(ecl_model_weak_union))]
+const UNION_CAS_ORD: (Ordering, Ordering) = (Ordering::AcqRel, Ordering::Acquire);
+
+/// Deliberately broken orderings for the model-checker's negative test:
+/// under `--cfg ecl_model_weak_union` the union CAS is weakened to
+/// `Relaxed` and the checker's ordering contract must flag every merge.
+#[cfg(ecl_model_weak_union)]
+const UNION_CAS_ORD: (Ordering, Ordering) = (Ordering::Relaxed, Ordering::Relaxed);
 
 /// Find strategy used by [`AtomicDsu::find`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -206,13 +221,14 @@ impl AtomicDsu {
             }
             let (lo, hi) = (rx.min(ry), rx.max(ry));
             attempts += 1;
-            // AcqRel: a successful union publishes the merge before any
-            // subsequent reservation check observes the new root.
+            // See `UNION_CAS_ORD`: AcqRel so a successful union publishes
+            // the merge before any subsequent reservation check observes
+            // the new root.
             match self.parent[lo as usize].compare_exchange(
                 lo,
                 hi,
-                Ordering::AcqRel,
-                Ordering::Acquire,
+                UNION_CAS_ORD.0,
+                UNION_CAS_ORD.1,
             ) {
                 Ok(_) => return (true, attempts),
                 Err(_) => {
@@ -391,6 +407,9 @@ mod tests {
         // of successful unions equals n - final_sets.
         let n = 1_000usize;
         let d = AtomicDsu::new(n);
+        // Full path: under `--cfg ecl_model` the module-level `Ordering` is
+        // the model shim's, which `AtomicUsize` does not accept.
+        use std::sync::atomic::Ordering::Relaxed;
         let wins = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|s| {
             for t in 0..8 {
@@ -402,13 +421,13 @@ mod tests {
                         let x = rng.gen_range(0..n as u32);
                         let y = rng.gen_range(0..n as u32);
                         if x != y && d.union(x, y, FindPolicy::Halving) {
-                            wins.fetch_add(1, Ordering::Relaxed);
+                            wins.fetch_add(1, Relaxed);
                         }
                     }
                 });
             }
         });
-        assert_eq!(wins.load(Ordering::Relaxed), n - d.num_sets());
+        assert_eq!(wins.load(Relaxed), n - d.num_sets());
     }
 
     #[test]

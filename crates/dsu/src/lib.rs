@@ -16,9 +16,16 @@
 //!   scheme used by the "No Implicit Path Compression" de-optimization).
 
 #![forbid(unsafe_code)]
+// Belt under the forbid above: if an audited `unsafe` block is ever
+// admitted here, its unsafe operations must still be spelled out inside
+// nested `unsafe {}` with their own SAFETY justification (the ecl-lint
+// unsafe-audit rule checks both).
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod atomic;
+#[cfg(ecl_model)]
+pub mod model;
 pub mod seq;
 pub mod verify;
 

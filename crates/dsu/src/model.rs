@@ -1,0 +1,393 @@
+//! Exhaustive interleaving checker for [`crate::AtomicDsu`].
+//!
+//! Compiled only under `--cfg ecl_model`. In that configuration
+//! [`crate::atomic`] swaps its `std::sync::atomic` imports for the
+//! [`shim`] types below, which route every atomic operation through a
+//! cooperative scheduler: each worker thread parks at a *yield point*
+//! immediately before each load/store/CAS, and a controller thread grants
+//! the floor to exactly one runnable worker per step. [`explore`] then
+//! drives a depth-first search over every such grant sequence — an
+//! exhaustive enumeration of the sequentially-consistent interleavings of
+//! the scenario — replaying a decision prefix and branching on the last
+//! step with an untried choice until the schedule tree is exhausted.
+//!
+//! # What is checked on every explored schedule
+//!
+//! * **Linearizability of the final partition** — the scenario's `check`
+//!   closure runs after all workers join and typically compares the
+//!   quiescent partition against [`crate::SeqDsu`] over the same edge
+//!   multiset (any interleaving of correct unions must yield the unique
+//!   reference partition).
+//! * **Dynamic memory-ordering contracts** — exploration itself is
+//!   sequentially consistent (the shim executes every operation with
+//!   `SeqCst`), so weaker-than-declared orderings cannot be *observed*
+//!   directly; instead the shim checks the *declared* orderings against
+//!   the crate's documented protocol:
+//!   - every `compare_exchange` must publish with at least
+//!     `AcqRel`/`Acquire` (the union CAS is the only release point that
+//!     makes a merge visible to the reservation checks downstream), and
+//!   - every relaxed `store` must be **root-preserving**: the stored
+//!     parent may only move a node *up* its own ancestor chain
+//!     (`new >= old` under union-by-index), which is exactly the benign
+//!     race the halving comments claim.
+//!
+//!   The `--cfg ecl_model_weak_union` test configuration weakens the
+//!   union CAS to `Relaxed`; the contract check turns that into a
+//!   violation on every schedule that attempts a merge, which the test
+//!   suite asserts.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// One global exploration at a time: the shim's thread-locals are
+/// per-worker, but pinned schedule counts assume no foreign threads
+/// interleave with a scenario, so explorations from concurrently running
+/// `#[test]`s serialize here.
+fn explore_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+thread_local! {
+    /// Set while the current thread is a registered scenario worker; shim
+    /// operations consult this to find their gate. Unset (e.g. on the
+    /// controller thread, or in ordinary unit tests compiled under
+    /// `ecl_model`) the shim executes operations directly, unscheduled.
+    static WORKER: std::cell::RefCell<Option<(Arc<Gate>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Worker status as seen by the controller.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Running user code between yield points.
+    Running,
+    /// Parked at a yield point, waiting for the floor.
+    Parked,
+    /// Body returned.
+    Finished,
+}
+
+/// One scheduling decision: `(chosen index, number of runnable workers)`.
+type Decision = (usize, usize);
+
+struct GateState {
+    status: Vec<Status>,
+    /// The worker currently holding the floor, if any.
+    active: Option<usize>,
+    /// Decisions taken so far this run.
+    trace: Vec<Decision>,
+    /// Decision prefix to replay (DFS backtracking state).
+    prefix: Vec<usize>,
+    /// Contract violations observed this run.
+    violations: Vec<String>,
+}
+
+/// Cooperative gate serializing scenario workers: one runnable worker holds
+/// the floor at a time, and the controller picks who goes next.
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(workers: usize, prefix: Vec<usize>) -> Self {
+        Self {
+            state: Mutex::new(GateState {
+                status: vec![Status::Running; workers],
+                active: None,
+                trace: Vec::new(),
+                prefix,
+                violations: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, GateState> {
+        self.state.lock().expect("model gate poisoned")
+    }
+
+    /// Parks the calling worker until the controller grants it the floor.
+    /// Called by the shim immediately before every atomic operation.
+    fn yield_point(&self, tid: usize) {
+        let mut st = self.lock();
+        if st.active == Some(tid) {
+            st.active = None;
+        }
+        st.status[tid] = Status::Parked;
+        self.cv.notify_all();
+        while st.active != Some(tid) {
+            st = self.cv.wait(st).expect("model gate poisoned");
+        }
+        st.status[tid] = Status::Running;
+        // Keep `active == Some(tid)`: the floor is held through the
+        // operation and released at the next yield point (or at finish).
+    }
+
+    /// Marks the calling worker finished and releases the floor.
+    fn finish(&self, tid: usize) {
+        let mut st = self.lock();
+        st.status[tid] = Status::Finished;
+        if st.active == Some(tid) {
+            st.active = None;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Records a contract violation (worker context only).
+    fn violation(&self, msg: String) {
+        let mut st = self.lock();
+        if st.violations.len() < 64 {
+            st.violations.push(msg);
+        }
+    }
+
+    /// Drives one full run: repeatedly waits for quiescence (no worker
+    /// holds the floor, none is running) and grants the floor to the
+    /// runnable worker selected by the replay prefix, defaulting to the
+    /// first. Returns when every worker has finished.
+    fn controller(&self) {
+        let mut st = self.lock();
+        loop {
+            while st.active.is_some() || st.status.iter().any(|s| *s == Status::Running) {
+                st = self.cv.wait(st).expect("model gate poisoned");
+            }
+            let runnable: Vec<usize> = (0..st.status.len())
+                .filter(|&t| st.status[t] == Status::Parked)
+                .collect();
+            if runnable.is_empty() {
+                return; // all finished
+            }
+            let step = st.trace.len();
+            let choice = st.prefix.get(step).copied().unwrap_or(0);
+            assert!(
+                choice < runnable.len(),
+                "nondeterministic scenario: replay step {step} expects choice {choice} \
+                 but only {} workers are runnable",
+                runnable.len()
+            );
+            st.trace.push((choice, runnable.len()));
+            st.active = Some(runnable[choice]);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Shim replacements for `std::sync::atomic` used by [`crate::atomic`]
+/// under `--cfg ecl_model`.
+///
+/// Operations execute with real `SeqCst` atomics (the exploration is over
+/// sequentially-consistent interleavings); the *declared* ordering is kept
+/// only for the dynamic contract checks described at the module level.
+pub mod shim {
+    use super::WORKER;
+
+    /// Mirror of `std::sync::atomic::Ordering` carrying the ordering the
+    /// call site *declared* (execution is always `SeqCst`).
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    #[allow(missing_docs)]
+    pub enum Ordering {
+        Relaxed,
+        Acquire,
+        Release,
+        AcqRel,
+        SeqCst,
+    }
+
+    impl Ordering {
+        fn publishes(self) -> bool {
+            matches!(self, Ordering::AcqRel | Ordering::SeqCst)
+        }
+        fn acquires(self) -> bool {
+            matches!(
+                self,
+                Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+            )
+        }
+    }
+
+    use std::sync::atomic::Ordering::SeqCst;
+
+    /// Model-checked stand-in for `std::sync::atomic::AtomicU32`: yields to
+    /// the scheduler before every operation and enforces the DSU's
+    /// memory-ordering contracts.
+    #[derive(Debug)]
+    pub struct AtomicU32 {
+        inner: std::sync::atomic::AtomicU32,
+    }
+
+    /// Runs `f` after parking at a yield point when the calling thread is a
+    /// registered scenario worker; otherwise runs it directly.
+    fn scheduled<R>(f: impl FnOnce(Option<&super::Gate>) -> R) -> R {
+        WORKER.with(|w| {
+            let guard = w.borrow();
+            match guard.as_ref() {
+                Some((gate, tid)) => {
+                    gate.yield_point(*tid);
+                    f(Some(gate))
+                }
+                None => f(None),
+            }
+        })
+    }
+
+    impl AtomicU32 {
+        /// Creates a new atomic (no yield: construction is pre-scenario).
+        pub fn new(v: u32) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicU32::new(v),
+            }
+        }
+
+        /// Scheduled load. The declared ordering is recorded but carries no
+        /// contract: the DSU tolerates arbitrarily stale parent reads.
+        pub fn load(&self, _order: Ordering) -> u32 {
+            scheduled(|_| self.inner.load(SeqCst))
+        }
+
+        /// Scheduled store. Contract: a parent store may only move a node
+        /// *up* its ancestor chain (`new >= old`), the benign race the
+        /// halving paths rely on.
+        pub fn store(&self, val: u32, _order: Ordering) {
+            scheduled(|gate| {
+                let old = self.inner.load(SeqCst);
+                if val < old {
+                    if let Some(g) = gate {
+                        g.violation(format!(
+                            "store contract: parent moved down its chain ({old} -> {val})"
+                        ));
+                    }
+                }
+                self.inner.store(val, SeqCst);
+            })
+        }
+
+        /// Scheduled compare-exchange. Contract: the union CAS is the sole
+        /// release point that publishes a merge, so the declared success
+        /// ordering must be at least `AcqRel` and the failure ordering at
+        /// least `Acquire`.
+        pub fn compare_exchange(
+            &self,
+            current: u32,
+            new: u32,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u32, u32> {
+            scheduled(|gate| {
+                if let Some(g) = gate {
+                    if !success.publishes() {
+                        g.violation(format!(
+                            "ordering contract: union CAS success ordering {success:?} \
+                             is weaker than AcqRel — a winning merge may not be \
+                             published before dependent reads"
+                        ));
+                    }
+                    if !failure.acquires() {
+                        g.violation(format!(
+                            "ordering contract: union CAS failure ordering {failure:?} \
+                             is weaker than Acquire — a losing thread may retry \
+                             against an unsynchronized root"
+                        ));
+                    }
+                }
+                self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+            })
+        }
+
+        /// Exclusive access (no yield: `&mut self` proves quiescence).
+        pub fn get_mut(&mut self) -> &mut u32 {
+            self.inner.get_mut()
+        }
+    }
+}
+
+/// Result of one [`explore`] call.
+#[derive(Debug)]
+pub struct Explored {
+    /// Number of distinct schedules (grant sequences) explored.
+    pub schedules: u64,
+    /// Contract violations and `check` failures, tagged with the schedule
+    /// index they occurred on (capped; exploration continues regardless).
+    pub violations: Vec<String>,
+}
+
+/// Exhaustively explores every sequentially-consistent interleaving of a
+/// scenario.
+///
+/// * `threads` — number of worker threads (decision points multiply
+///   fast; keep scenarios at 2–3 workers over 4–8 vertices).
+/// * `setup` — builds the fresh shared state for one run; runs on the
+///   controller thread, unscheduled.
+/// * `body` — the per-worker code, `body(tid, &state)`; every shim atomic
+///   operation inside is a scheduling point.
+/// * `check` — runs after all workers join (quiescent); push a message to
+///   report a property violation on this schedule.
+///
+/// Returns the number of schedules explored and all recorded violations.
+/// Scenarios must be deterministic apart from scheduling: a replayed
+/// prefix meeting a different runnable count panics.
+pub fn explore<S: Sync>(
+    threads: usize,
+    mut setup: impl FnMut() -> S,
+    body: impl Fn(usize, &S) + Send + Sync,
+    mut check: impl FnMut(&S, &mut Vec<String>),
+) -> Explored {
+    let _serial = explore_lock().lock().expect("explore lock poisoned");
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0u64;
+    let mut violations = Vec::new();
+    loop {
+        let gate = Arc::new(Gate::new(threads, std::mem::take(&mut prefix)));
+        let state = setup();
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let gate = Arc::clone(&gate);
+                let state = &state;
+                let body = &body;
+                s.spawn(move || {
+                    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&gate), tid)));
+                    body(tid, state);
+                    WORKER.with(|w| *w.borrow_mut() = None);
+                    gate.finish(tid);
+                });
+            }
+            gate.controller();
+        });
+        schedules += 1;
+
+        let mut st = gate.lock();
+        for v in st.violations.drain(..) {
+            if violations.len() < 64 {
+                violations.push(format!("schedule {schedules}: {v}"));
+            }
+        }
+        let mut run_checks = Vec::new();
+        check(&state, &mut run_checks);
+        for v in run_checks {
+            if violations.len() < 64 {
+                violations.push(format!("schedule {schedules}: {v}"));
+            }
+        }
+
+        // DFS backtrack: rewind to the deepest decision with an untried
+        // alternative and replay up to it.
+        let mut decisions = std::mem::take(&mut st.trace);
+        drop(st);
+        loop {
+            match decisions.pop() {
+                None => {
+                    return Explored {
+                        schedules,
+                        violations,
+                    }
+                }
+                Some((c, n)) if c + 1 < n => {
+                    prefix = decisions.iter().map(|&(c, _)| c).collect();
+                    prefix.push(c + 1);
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Exhaustive interleaving checks for `AtomicDsu` (`--cfg ecl_model`).
+//!
+//! Every test enumerates *all* sequentially-consistent schedules of a
+//! small scenario via `ecl_dsu::model::explore` and asserts that the final
+//! partition is linearizable — equal to the `SeqDsu` partition of the same
+//! edge multiset — and that no dynamic contract (union-CAS ordering,
+//! root-preserving stores) is violated on any schedule. Schedule counts
+//! are pinned: a drift means yield points moved (an atomic op was added,
+//! removed, or reordered) and the constants must be re-derived, not
+//! papered over.
+//!
+//! Run with: `RUSTFLAGS="--cfg ecl_model" cargo test -p ecl-dsu --test model`
+#![cfg(ecl_model)]
+
+use ecl_dsu::model::explore;
+use ecl_dsu::{AtomicDsu, FindPolicy, SeqDsu};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+/// Pushes a violation for every vertex pair on which the quiescent
+/// partition differs from the sequential partition of `edges`.
+fn check_partition(d: &AtomicDsu, n: usize, edges: &[(u32, u32)], out: &mut Vec<String>) {
+    let mut seq = SeqDsu::new(n);
+    for &(x, y) in edges {
+        seq.union(x, y);
+    }
+    let labels = d.labels(FindPolicy::NoCompression);
+    for x in 0..n as u32 {
+        for y in (x + 1)..n as u32 {
+            let together = labels[x as usize] == labels[y as usize];
+            if together != seq.same(x, y) {
+                out.push(format!(
+                    "non-linearizable partition at ({x},{y}): atomic={together}, seq={}",
+                    !together
+                ));
+            }
+        }
+    }
+    // Union by index must hold in every quiescent state: parent[v] >= v.
+    let mut flat = Vec::new();
+    d.flat_labels_into(&mut flat);
+    let slow = d.labels(FindPolicy::NoCompression);
+    if flat != slow {
+        out.push(format!("flat_labels_into diverges: {flat:?} vs {slow:?}"));
+    }
+}
+
+/// Explores two workers each performing one union, checking partition
+/// linearizability and `flat_labels_into` agreement on every schedule.
+/// Returns the number of schedules explored.
+fn explore_two_unions(n: usize, e0: (u32, u32), e1: (u32, u32), policy: FindPolicy) -> u64 {
+    let edges = [e0, e1];
+    let r = explore(
+        2,
+        || AtomicDsu::new(n),
+        move |tid, d: &AtomicDsu| {
+            let (x, y) = edges[tid];
+            d.union(x, y, policy);
+        },
+        |d, out| check_partition(d, n, &edges, out),
+    );
+    assert_eq!(r.violations, Vec::<String>::new());
+    r.schedules
+}
+
+#[test]
+#[cfg_attr(
+    ecl_model_weak_union,
+    ignore = "weak-union build breaks orderings on purpose"
+)]
+fn disjoint_unions_linearize() {
+    let schedules = explore_two_unions(4, (0, 1), (2, 3), FindPolicy::Halving);
+    // Pinned: 3 scheduled ops per worker (2 root loads + 1 CAS), all
+    // interleavings of two independent 3-op threads = C(6,3) = 20.
+    assert_eq!(schedules, 20);
+}
+
+#[test]
+#[cfg_attr(
+    ecl_model_weak_union,
+    ignore = "weak-union build breaks orderings on purpose"
+)]
+fn overlapping_unions_linearize() {
+    // Shared vertex 1 — yet the two CASes still hit different slots (each
+    // pair's lower root), so no schedule forces a retry and the count
+    // matches the disjoint case.
+    let schedules = explore_two_unions(3, (0, 1), (1, 2), FindPolicy::Halving);
+    assert_eq!(schedules, 20);
+}
+
+#[test]
+#[cfg_attr(
+    ecl_model_weak_union,
+    ignore = "weak-union build breaks orderings on purpose"
+)]
+fn overlapping_unions_linearize_without_compression() {
+    let schedules = explore_two_unions(3, (0, 1), (1, 2), FindPolicy::NoCompression);
+    assert_eq!(schedules, 20);
+}
+
+#[test]
+#[cfg_attr(
+    ecl_model_weak_union,
+    ignore = "weak-union build breaks orderings on purpose"
+)]
+fn contended_same_edge_has_exactly_one_winner() {
+    struct St {
+        d: AtomicDsu,
+        wins: AtomicUsize,
+    }
+    let r = explore(
+        2,
+        || St {
+            d: AtomicDsu::new(2),
+            wins: AtomicUsize::new(0),
+        },
+        |_tid, st: &St| {
+            if st.d.union(0, 1, FindPolicy::Halving) {
+                st.wins.fetch_add(1, Relaxed);
+            }
+        },
+        |st, out| {
+            if st.wins.load(Relaxed) != 1 {
+                out.push(format!(
+                    "expected exactly one winning union, got {}",
+                    st.wins.load(Relaxed)
+                ));
+            }
+            check_partition(&st.d, 2, &[(0, 1), (0, 1)], out);
+        },
+    );
+    assert_eq!(r.violations, Vec::<String>::new());
+    assert_eq!(r.schedules, 20);
+}
+
+#[test]
+#[cfg_attr(
+    ecl_model_weak_union,
+    ignore = "weak-union build breaks orderings on purpose"
+)]
+fn three_workers_on_a_triangle_linearize() {
+    let edges = [(0u32, 1u32), (1, 2), (0, 2)];
+    let r = explore(
+        3,
+        || AtomicDsu::new(3),
+        move |tid, d: &AtomicDsu| {
+            let (x, y) = edges[tid];
+            d.union(x, y, FindPolicy::NoCompression);
+        },
+        |d, out| check_partition(d, 3, &edges, out),
+    );
+    assert_eq!(r.violations, Vec::<String>::new());
+    assert_eq!(r.schedules, 5_532);
+}
+
+#[test]
+#[cfg_attr(
+    ecl_model_weak_union,
+    ignore = "weak-union build breaks orderings on purpose"
+)]
+fn halving_races_union_on_a_chain() {
+    // Worker 0 compresses the chain 0->1->2->3 with path-halving finds
+    // while worker 1 unions a new vertex onto it. The halving stores race
+    // the union CAS; every interleaving must keep the partition intact
+    // and every store must move parents only up the chain (the shim's
+    // store contract checks that on each schedule).
+    let setup = || {
+        let d = AtomicDsu::new(5);
+        d.union(0, 1, FindPolicy::NoCompression); // 0 -> 1
+        d.union(1, 2, FindPolicy::NoCompression); // 1 -> 2
+        d.union(2, 3, FindPolicy::NoCompression); // 2 -> 3
+        d
+    };
+    let r = explore(
+        2,
+        setup,
+        |tid, d: &AtomicDsu| {
+            if tid == 0 {
+                d.find(0, FindPolicy::Halving);
+            } else {
+                d.union(4, 0, FindPolicy::Halving);
+            }
+        },
+        |d, out| {
+            let edges = [(0, 1), (1, 2), (2, 3), (4, 0)];
+            check_partition(d, 5, &edges, out);
+        },
+    );
+    assert_eq!(r.violations, Vec::<String>::new());
+    assert_eq!(r.schedules, 2_590);
+}
+
+#[test]
+#[cfg_attr(
+    ecl_model_weak_union,
+    ignore = "weak-union build breaks orderings on purpose"
+)]
+fn blocked_halving_races_stay_root_preserving() {
+    // Two workers run BlockedHalving finds over the same chain
+    // concurrently: all stores are compression, and the store contract
+    // (parent moves only upward) must hold on every schedule, as must the
+    // roots both workers return.
+    struct St {
+        d: AtomicDsu,
+        roots: [AtomicUsize; 2],
+    }
+    let r = explore(
+        2,
+        || {
+            let d = AtomicDsu::new(6);
+            for i in 0..5 {
+                d.union(i, i + 1, FindPolicy::NoCompression); // chain 0->..->5
+            }
+            St {
+                d,
+                roots: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            }
+        },
+        |tid, st: &St| {
+            let r = st.d.find(tid as u32, FindPolicy::BlockedHalving);
+            st.roots[tid].store(r as usize, Relaxed);
+        },
+        |st, out| {
+            for (tid, r) in st.roots.iter().enumerate() {
+                if r.load(Relaxed) != 5 {
+                    out.push(format!(
+                        "worker {tid} found root {} on a 0..=5 chain",
+                        r.load(Relaxed)
+                    ));
+                }
+            }
+            let edges: Vec<(u32, u32)> = (0..5).map(|i| (i, i + 1)).collect();
+            check_partition(&st.d, 6, &edges, out);
+        },
+    );
+    assert_eq!(r.violations, Vec::<String>::new());
+    assert_eq!(r.schedules, 9_712);
+}
+
+/// Negative test: with the union CAS deliberately weakened to `Relaxed`
+/// (`--cfg ecl_model_weak_union`), the checker's ordering contract must
+/// flag every schedule that performs a merge.
+#[test]
+#[cfg(ecl_model_weak_union)]
+fn weakened_union_cas_is_caught() {
+    let r = explore(
+        2,
+        || AtomicDsu::new(4),
+        |tid, d: &AtomicDsu| {
+            let (x, y) = [(0, 1), (2, 3)][tid];
+            d.union(x, y, FindPolicy::Halving);
+        },
+        |_d, _out| {},
+    );
+    assert!(
+        !r.violations.is_empty(),
+        "Relaxed union CAS must violate the ordering contract"
+    );
+    assert!(
+        r.violations
+            .iter()
+            .any(|v| v.contains("weaker than AcqRel")),
+        "violations should name the weak success ordering: {:?}",
+        r.violations
+    );
+}

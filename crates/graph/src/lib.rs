@@ -21,6 +21,11 @@
 //! * [`suite()`] — the named 17-graph twin suite used by every experiment.
 
 #![forbid(unsafe_code)]
+// Belt under the forbid above: if an audited `unsafe` block is ever
+// admitted here, its unsafe operations must still be spelled out inside
+// nested `unsafe {}` with their own SAFETY justification (the ecl-lint
+// unsafe-audit rule checks both).
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod builder;

@@ -64,7 +64,6 @@ pub fn count_lt_swar(ws: &[Weight], t: Weight) -> usize {
             total += lanes_lt(lanes(p[0], p[1]), tt).count_ones() as u64;
         }
         for &w in pairs.remainder() {
-            // lint-metering: simd-ok (sub-pair remainder, at most 1 element)
             total += (w < t) as u64;
         }
     }
@@ -91,7 +90,6 @@ pub fn pack_into_scalar(ws: &[Weight], ids: &[u32], out: &mut Vec<u64>) {
     out.clear();
     out.reserve_exact(ws.len());
     for (&w, &id) in ws.iter().zip(ids) {
-        // lint-metering: simd-ok (this IS the scalar oracle)
         out.push((w as u64) << 32 | id as u64);
     }
 }
@@ -154,7 +152,6 @@ pub fn has_empty_pack_swar(ws: &[Weight], ids: &[u32]) -> bool {
             }
         }
         for (&w, &i) in wp.remainder().iter().zip(ip.remainder()) {
-            // lint-metering: simd-ok (sub-pair remainder, at most 1 element)
             if w & i == u32::MAX {
                 return true;
             }

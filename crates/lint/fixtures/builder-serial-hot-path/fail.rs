@@ -1,0 +1,11 @@
+//! Fixture: a bare loop and a serial sort on the hot path.
+impl GraphBuilder {
+    pub fn build_chunked(self) -> CsrGraph {
+        let mut edges = self.edges;
+        edges.sort_unstable();
+        for e in &edges {
+            consume(e);
+        }
+        finish(edges)
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: all loops and sorts run inside par:: helper spans.
+impl GraphBuilder {
+    pub fn build_chunked(self) -> CsrGraph {
+        let mut edges = self.edges;
+        let offsets = par::sorted_key_offsets(&mut edges, |e| e.0);
+        par::run_chunks(&offsets, |chunk| {
+            for e in chunk {
+                consume(e);
+            }
+            chunk.par_sort_unstable();
+        });
+        finish(edges, offsets)
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: waivers consume both hot-path findings.
+impl GraphBuilder {
+    pub fn build_chunked(self) -> CsrGraph {
+        let mut edges = self.edges;
+        // ecl-lint: allow(builder-serial-hot-path) fixture: tiny fixed-size sort
+        edges.sort_unstable();
+        // ecl-lint: allow(builder-serial-hot-path) fixture: O(#chunks) loop
+        for e in &edges {
+            consume(e);
+        }
+        finish(edges)
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: draining a HashMap leaks its randomized order into the output.
+use std::collections::HashMap;
+pub fn pools_to_worklist(n: u32) -> Vec<(u32, u32)> {
+    let mut pools: HashMap<u32, u32> = HashMap::new();
+    pools.insert(n, n);
+    pools.drain().collect()
+}

@@ -1,0 +1,9 @@
+//! Fixture: keyed lookup into a hash container is deterministic and fine.
+use std::collections::HashMap;
+pub fn lookup(keys: &[u32]) -> Vec<u32> {
+    let mut index: HashMap<u32, u32> = HashMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        index.insert(k, i as u32);
+    }
+    keys.iter().filter_map(|k| index.get(k).copied()).collect()
+}

@@ -1,0 +1,10 @@
+//! Fixture: keyed access needs no waiver, so the waiver is an error.
+use std::collections::HashMap;
+pub fn lookup(keys: &[u32]) -> Vec<u32> {
+    let mut index: HashMap<u32, u32> = HashMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        index.insert(k, i as u32);
+    }
+    // ecl-lint: allow(hash-iteration-order) nothing to suppress here
+    keys.iter().filter_map(|k| index.get(k).copied()).collect()
+}

@@ -1,0 +1,8 @@
+//! Fixture: waiver consumes the iteration-order finding.
+use std::collections::HashMap;
+pub fn pools_to_worklist(n: u32) -> Vec<(u32, u32)> {
+    let mut pools: HashMap<u32, u32> = HashMap::new();
+    pools.insert(n, n);
+    // ecl-lint: allow(hash-iteration-order) fixture: order re-sorted below
+    pools.drain().collect()
+}

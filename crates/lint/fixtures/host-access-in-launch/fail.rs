@@ -1,0 +1,7 @@
+//! Fixture: host_read inside a launch closure bypasses the cost model.
+pub fn kernel(sim: &Sim, buf: &Buf<u32>) {
+    sim.launch(4, |ctx| {
+        let v = buf.host_read(0);
+        buf.st(ctx, 1, v);
+    });
+}

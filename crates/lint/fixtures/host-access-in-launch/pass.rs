@@ -1,0 +1,8 @@
+//! Fixture: host accessors outside launch spans are free by design.
+pub fn kernel(sim: &Sim, buf: &Buf<u32>) {
+    sim.launch(4, |ctx| {
+        let v = buf.ld(ctx, 0);
+        buf.st(ctx, 1, v);
+    });
+    let _host = buf.host_read(0); // outside the launch span: fine
+}

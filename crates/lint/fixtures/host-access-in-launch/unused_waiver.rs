@@ -1,0 +1,8 @@
+//! Fixture: the waiver suppresses nothing, which is itself an error.
+pub fn kernel(sim: &Sim, buf: &Buf<u32>) {
+    sim.launch(4, |ctx| {
+        // ecl-lint: allow(host-access-in-launch) nothing here needs this
+        let v = buf.ld(ctx, 0);
+        buf.st(ctx, 1, v);
+    });
+}

@@ -1,0 +1,8 @@
+//! Fixture: a waiver on the line above suppresses (and consumes) the finding.
+pub fn kernel(sim: &Sim, buf: &Buf<u32>) {
+    sim.launch(4, |ctx| {
+        // ecl-lint: allow(host-access-in-launch) fixture: deliberate host read
+        let v = buf.host_read(0);
+        buf.st(ctx, 1, v);
+    });
+}

@@ -1,0 +1,9 @@
+//! Fixture: the kernel mutates raw slices and never touches the cost model.
+pub fn run(sim: &Sim, data: &mut [u32]) {
+    sim.launch(4, |_ctx| {
+        helper(data);
+    });
+}
+fn helper(data: &mut [u32]) {
+    data[0] = 1;
+}

@@ -1,0 +1,10 @@
+//! Fixture: the launch reaches a metered accessor through a local helper.
+pub fn run(sim: &Sim, buf: &Buf<u32>) {
+    sim.launch(4, |ctx| {
+        helper(ctx, buf);
+    });
+}
+fn helper(ctx: &mut LaunchCtx, buf: &Buf<u32>) {
+    let v = buf.ld(ctx, 0);
+    buf.st(ctx, 1, v + 1);
+}

@@ -1,0 +1,8 @@
+//! Fixture: the launch is metered, so the waiver is an error.
+pub fn run(sim: &Sim, buf: &Buf<u32>) {
+    // ecl-lint: allow(metering-completeness) nothing to suppress here
+    sim.launch(4, |ctx| {
+        let v = buf.ld(ctx, 0);
+        buf.st(ctx, 1, v);
+    });
+}

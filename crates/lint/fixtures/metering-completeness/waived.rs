@@ -1,0 +1,10 @@
+//! Fixture: waiver consumes the unmetered-kernel finding.
+pub fn run(sim: &Sim, data: &mut [u32]) {
+    // ecl-lint: allow(metering-completeness) fixture: warmup-only launch
+    sim.launch(4, |_ctx| {
+        helper(data);
+    });
+}
+fn helper(data: &mut [u32]) {
+    data[0] = 1;
+}

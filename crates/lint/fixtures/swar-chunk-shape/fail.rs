@@ -1,0 +1,21 @@
+//! Fixture: a whole-slice loop silently degrades a kernel to scalar.
+pub fn count_lt_swar(ws: &[u32], t: u32) -> u64 {
+    let mut total = 0u64;
+    for &w in ws {
+        total += (w < t) as u64;
+    }
+    total
+}
+pub fn pack_into_chunked(ws: &[u32], out: &mut Vec<u64>) {
+    for block in ws.chunks(8) {
+        pack_block(block, out);
+    }
+}
+pub fn has_empty_pack_swar(ws: &[u32]) -> bool {
+    for block in ws.chunks(8) {
+        if probe(block) {
+            return true;
+        }
+    }
+    false
+}

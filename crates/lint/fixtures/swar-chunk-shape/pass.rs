@@ -1,0 +1,27 @@
+//! Fixture: every loop in the blessed kernels iterates the chunk pipeline.
+pub fn count_lt_swar(ws: &[u32], t: u32) -> u64 {
+    let mut total = 0u64;
+    for block in ws.chunks(8) {
+        let mut pairs = block.chunks_exact(2);
+        for p in pairs.by_ref() {
+            total += swar_pair(p, t);
+        }
+        for &w in pairs.remainder() {
+            total += (w < t) as u64;
+        }
+    }
+    total
+}
+pub fn pack_into_chunked(ws: &[u32], out: &mut Vec<u64>) {
+    for block in ws.chunks(8) {
+        pack_block(block, out);
+    }
+}
+pub fn has_empty_pack_swar(ws: &[u32]) -> bool {
+    for block in ws.chunks(8) {
+        if probe(block) {
+            return true;
+        }
+    }
+    false
+}

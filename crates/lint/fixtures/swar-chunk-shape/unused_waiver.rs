@@ -1,0 +1,22 @@
+//! Fixture: chunked loops need no waiver, so the waiver is an error.
+pub fn count_lt_swar(ws: &[u32], t: u32) -> u64 {
+    let mut total = 0u64;
+    // ecl-lint: allow(swar-chunk-shape) the loop below is already chunked
+    for block in ws.chunks(8) {
+        total += block_sum(block, t);
+    }
+    total
+}
+pub fn pack_into_chunked(ws: &[u32], out: &mut Vec<u64>) {
+    for block in ws.chunks(8) {
+        pack_block(block, out);
+    }
+}
+pub fn has_empty_pack_swar(ws: &[u32]) -> bool {
+    for block in ws.chunks(8) {
+        if probe(block) {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,5 @@
+//! Fixture: a raw thread-budget read shapes the result per machine.
+pub fn chunk_len(items: &[u32]) -> usize {
+    let t = rayon::current_num_threads();
+    items.len() / t.max(1)
+}

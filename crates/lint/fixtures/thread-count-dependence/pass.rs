@@ -1,0 +1,6 @@
+//! Fixture: chunk shapes come from the blessed par helpers.
+pub fn total(items: &[u32]) -> u32 {
+    par::run_chunks(items, |chunk| chunk.iter().sum::<u32>())
+        .into_iter()
+        .sum()
+}

@@ -1,0 +1,7 @@
+//! Fixture: no thread-budget read, so the waiver is an error.
+pub fn total(items: &[u32]) -> u32 {
+    // ecl-lint: allow(thread-count-dependence) nothing to suppress here
+    par::run_chunks(items, |chunk| chunk.iter().sum::<u32>())
+        .into_iter()
+        .sum()
+}

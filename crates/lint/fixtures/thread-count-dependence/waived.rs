@@ -1,0 +1,9 @@
+//! Fixture: waiver consumes the thread-budget finding.
+pub fn serial_or_parallel(items: &[u32]) -> u32 {
+    // ecl-lint: allow(thread-count-dependence) fixture: parity-tested dispatch
+    if rayon::current_num_threads() == 1 {
+        serial(items)
+    } else {
+        parallel(items)
+    }
+}

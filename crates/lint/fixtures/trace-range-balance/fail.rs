@@ -1,0 +1,4 @@
+//! Fixture: an open_range with no matching close leaks a span.
+pub fn traced(session: &Session) {
+    let _id = session.open_range("span that never closes");
+}

@@ -1,0 +1,5 @@
+//! Fixture: raw open/close pairs balance within the file.
+pub fn traced(session: &Session) {
+    let id = session.open_range("span");
+    session.close_range(id);
+}

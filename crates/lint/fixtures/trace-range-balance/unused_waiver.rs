@@ -1,0 +1,6 @@
+//! Fixture: balanced spans make the waiver dead weight.
+pub fn traced(session: &Session) {
+    // ecl-lint: allow(trace-range-balance) nothing to suppress here
+    let id = session.open_range("span");
+    session.close_range(id);
+}

@@ -1,0 +1,5 @@
+//! Fixture: waiver consumes the unbalanced-span finding.
+pub fn traced(session: &Session) {
+    // ecl-lint: allow(trace-range-balance) fixture: closed by the caller
+    let _id = session.open_range("span closed elsewhere");
+}

@@ -1,0 +1,7 @@
+//! Fixture: a range opened inside the kernel closure corrupts nesting.
+pub fn kernel(sim: &Sim, buf: &Buf<u32>) {
+    sim.launch(2, |ctx| {
+        let _r = range!("inside the kernel");
+        buf.st(ctx, 0, 1);
+    });
+}

@@ -1,0 +1,7 @@
+//! Fixture: trace ranges bracket launches from the host side.
+pub fn kernel(sim: &Sim, buf: &Buf<u32>) {
+    let _r = range!("host side");
+    sim.launch(2, |ctx| {
+        buf.st(ctx, 0, 1);
+    });
+}

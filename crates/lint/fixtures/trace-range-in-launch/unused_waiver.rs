@@ -1,0 +1,8 @@
+//! Fixture: stray waiver with nothing to suppress.
+pub fn kernel(sim: &Sim, buf: &Buf<u32>) {
+    // ecl-lint: allow(trace-range-in-launch) nothing to suppress here
+    let _r = range!("host side");
+    sim.launch(2, |ctx| {
+        buf.st(ctx, 0, 1);
+    });
+}

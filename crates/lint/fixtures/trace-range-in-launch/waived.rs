@@ -1,0 +1,8 @@
+//! Fixture: waiver consumes the in-launch range finding.
+pub fn kernel(sim: &Sim, buf: &Buf<u32>) {
+    sim.launch(2, |ctx| {
+        // ecl-lint: allow(trace-range-in-launch) fixture: deliberate
+        let _r = range!("inside the kernel");
+        buf.st(ctx, 0, 1);
+    });
+}

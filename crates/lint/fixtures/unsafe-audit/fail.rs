@@ -1,0 +1,4 @@
+//! Fixture: an `unsafe` block with no SAFETY justification.
+pub fn read(xs: &[u32], i: usize) -> u32 {
+    unsafe { *xs.get_unchecked(i) }
+}

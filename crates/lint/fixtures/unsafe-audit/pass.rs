@@ -1,0 +1,7 @@
+//! Fixture: every `unsafe` is justified by a SAFETY comment.
+pub fn read(xs: &[u32], i: usize) -> u32 {
+    debug_assert!(i < xs.len());
+    // SAFETY: the caller guarantees `i < xs.len()`; the debug assert above
+    // checks it in test builds.
+    unsafe { *xs.get_unchecked(i) }
+}

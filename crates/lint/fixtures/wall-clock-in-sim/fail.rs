@@ -1,0 +1,5 @@
+//! Fixture: a wall-clock read leaks host jitter into simulated results.
+pub fn kernel_cycles() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,4 @@
+//! Fixture: simulated numbers derive from the deterministic cost model.
+pub fn kernel_cycles(ctx: &LaunchCtx) -> u64 {
+    ctx.elapsed_cycles()
+}

@@ -1,0 +1,5 @@
+//! Fixture: no wall-clock read, so the waiver is an error.
+pub fn kernel_cycles(ctx: &LaunchCtx) -> u64 {
+    // ecl-lint: allow(wall-clock-in-sim) nothing to suppress here
+    ctx.elapsed_cycles()
+}

@@ -1,0 +1,6 @@
+//! Fixture: waiver consumes the wall-clock finding.
+pub fn kernel_cycles() -> u128 {
+    // ecl-lint: allow(wall-clock-in-sim) fixture: diagnostic-only timer
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

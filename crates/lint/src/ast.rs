@@ -1,0 +1,375 @@
+//! Structural index over the token stream: function items, `#[cfg(test)]`
+//! module spans, call sites, and `for`-loops. This is the "AST-grade" layer
+//! the rules visit — not a full parse tree, but real token-structural
+//! facts (matched delimiters, item boundaries, call shapes) that
+//! line-oriented greps cannot express.
+
+use crate::lexer::{lex, matching_close, Tok, TokKind};
+use crate::source::SourceFile;
+
+/// A `fn` item: its name and the *token indices* of its parameter list and
+/// (when present) body delimiters.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// Token index of the name identifier.
+    pub name_tok: usize,
+    /// Token indices of the parameter-list `(` and `)`.
+    pub params: (usize, usize),
+    /// Token indices of the body `{` and `}` (None for trait declarations).
+    pub body: Option<(usize, usize)>,
+}
+
+/// A method- or function-call site: `recv.name(args…)` / `name(args…)`.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    /// Token index of the callee name.
+    pub name_tok: usize,
+    /// Token indices of the argument-list `(` and `)`.
+    pub args: (usize, usize),
+    /// True when the call is a method call (preceded by `.`).
+    pub is_method: bool,
+}
+
+/// Token-structural index of one file.
+#[derive(Debug)]
+pub struct FileIndex {
+    pub toks: Vec<Tok>,
+    fns: Vec<FnDef>,
+    /// Byte spans of `#[cfg(test)] mod … { … }` bodies.
+    test_spans: Vec<(usize, usize)>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "fn", "let",
+    "mut", "pub", "impl", "trait", "struct", "enum", "mod", "use", "move", "ref", "in", "as",
+    "where", "unsafe", "const", "static", "dyn", "crate", "self", "Self", "super", "true", "false",
+];
+
+impl FileIndex {
+    pub fn new(sf: &SourceFile) -> Self {
+        let toks = lex(&sf.code);
+        let fns = find_fns(&sf.code, &toks);
+        let test_spans = find_test_mods(&sf.code, &toks);
+        Self {
+            toks,
+            fns,
+            test_spans,
+        }
+    }
+
+    /// All function items in the file.
+    pub fn fns(&self) -> &[FnDef] {
+        &self.fns
+    }
+
+    /// The first function named `name`, if any.
+    pub fn find_fn(&self, name: &str) -> Option<&FnDef> {
+        self.fns.iter().find(|f| f.name == name)
+    }
+
+    /// Byte span of a function's body (including braces).
+    pub fn body_span(&self, f: &FnDef) -> Option<(usize, usize)> {
+        let (o, c) = f.body?;
+        Some((self.toks[o].lo, self.toks[c].hi))
+    }
+
+    /// True when the byte offset falls inside a `#[cfg(test)]` module.
+    pub fn in_test_mod(&self, offset: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(lo, hi)| offset >= lo && offset < hi)
+    }
+
+    /// Method-call sites `.name(` for a given callee name.
+    pub fn method_calls<'a>(
+        &'a self,
+        code: &'a str,
+        name: &'a str,
+    ) -> impl Iterator<Item = CallSite> + 'a {
+        self.calls(code)
+            .filter(move |c| c.is_method && self.toks[c.name_tok].is_ident(code, name))
+    }
+
+    /// Every call site in the file, in source order. Macro invocations
+    /// (`name!(…)`) and definitions (`fn name(`) are excluded.
+    pub fn calls<'a>(&'a self, code: &'a str) -> impl Iterator<Item = CallSite> + 'a {
+        let toks = &self.toks;
+        (0..toks.len()).filter_map(move |i| {
+            let t = toks[i];
+            if t.kind != TokKind::Ident || KEYWORDS.contains(&t.text(code)) {
+                return None;
+            }
+            let next = toks.get(i + 1)?;
+            if next.kind != TokKind::Open(b'(') {
+                return None;
+            }
+            let prev = i.checked_sub(1).map(|j| toks[j]);
+            if prev.is_some_and(|p| p.is_punct(b'!') || p.is_ident(code, "fn")) {
+                return None;
+            }
+            let close = matching_close(toks, i + 1)?;
+            Some(CallSite {
+                name_tok: i,
+                args: (i + 1, close),
+                is_method: prev.is_some_and(|p| p.is_punct(b'.')),
+            })
+        })
+    }
+
+    /// Call sites whose argument list starts within byte range `[lo, hi)`.
+    pub fn calls_in<'a>(
+        &'a self,
+        code: &'a str,
+        lo: usize,
+        hi: usize,
+    ) -> impl Iterator<Item = CallSite> + 'a {
+        let toks = &self.toks;
+        self.calls(code)
+            .filter(move |c| toks[c.name_tok].lo >= lo && toks[c.name_tok].lo < hi)
+    }
+
+    /// Token indices of loop-`for` keywords within byte range `[lo, hi)`
+    /// (`impl Trait for Type` headers are excluded by requiring a
+    /// following `in` before the loop body opens).
+    pub fn for_loops_in<'a>(
+        &'a self,
+        code: &'a str,
+        lo: usize,
+        hi: usize,
+    ) -> impl Iterator<Item = usize> + 'a {
+        let toks = &self.toks;
+        (0..toks.len()).filter(move |&i| {
+            let t = toks[i];
+            if !(t.kind == TokKind::Ident && t.lo >= lo && t.lo < hi && t.is_ident(code, "for")) {
+                return false;
+            }
+            // A loop header contains `in` before its `{` at depth 0.
+            let mut depth = 0usize;
+            for t2 in &toks[i + 1..] {
+                match t2.kind {
+                    TokKind::Open(b'{') if depth == 0 => return false,
+                    TokKind::Open(_) => depth += 1,
+                    TokKind::Close(_) => {
+                        if depth == 0 {
+                            return false;
+                        }
+                        depth -= 1;
+                    }
+                    TokKind::Ident if depth == 0 && t2.is_ident(code, "in") => return true,
+                    _ => {}
+                }
+            }
+            false
+        })
+    }
+
+    /// Byte span `[start, end)` of the loop header: from the `for` keyword
+    /// to the `{` that opens the loop body (exclusive). Returns `None` when
+    /// the header never closes.
+    pub fn for_header_span(&self, for_tok: usize) -> Option<(usize, usize)> {
+        let toks = &self.toks;
+        let mut depth = 0usize;
+        for (j, t) in toks.iter().enumerate().skip(for_tok + 1) {
+            match t.kind {
+                TokKind::Open(b'{') if depth == 0 => return Some((toks[for_tok].lo, toks[j].lo)),
+                TokKind::Open(_) => depth += 1,
+                TokKind::Close(_) => depth = depth.checked_sub(1)?,
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// Scans the token stream for `fn` items.
+fn find_fns(code: &str, toks: &[Tok]) -> Vec<FnDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !toks[i].is_ident(code, "fn") || toks[i + 1].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name_tok = i + 1;
+        let name = toks[name_tok].text(code).to_string();
+        let mut j = name_tok + 1;
+        // Skip generic parameters `<…>`, minding `->` arrows and nested
+        // angle brackets; `>>` lexes as two `>` puncts and nests correctly.
+        if toks.get(j).is_some_and(|t| t.is_punct(b'<')) {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                let t = toks[j];
+                if t.is_punct(b'<') {
+                    depth += 1;
+                } else if t.is_punct(b'>') {
+                    let arrow = j
+                        .checked_sub(1)
+                        .is_some_and(|k| toks[k].is_punct(b'-') && toks[k].hi == t.lo);
+                    if !arrow {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+        let Some(open) = toks.get(j).filter(|t| t.kind == TokKind::Open(b'(')) else {
+            i += 1;
+            continue;
+        };
+        let _ = open;
+        let Some(close) = matching_close(toks, j) else {
+            i += 1;
+            continue;
+        };
+        // Body: the first top-level `{` before any top-level `;`.
+        let mut body = None;
+        let mut k = close + 1;
+        let mut depth = 0usize;
+        while k < toks.len() {
+            match toks[k].kind {
+                TokKind::Open(b'{') if depth == 0 => {
+                    if let Some(bc) = matching_close(toks, k) {
+                        body = Some((k, bc));
+                    }
+                    break;
+                }
+                TokKind::Punct(b';') if depth == 0 => break,
+                TokKind::Open(_) => depth += 1,
+                TokKind::Close(_) => {
+                    if depth == 0 {
+                        break; // end of enclosing item: malformed, bail
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(FnDef {
+            name,
+            name_tok,
+            params: (j, close),
+            body,
+        });
+        i = close;
+    }
+    out
+}
+
+/// Byte spans of module bodies annotated `#[cfg(test)]`.
+fn find_test_mods(code: &str, toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 4 < toks.len() {
+        // Pattern: `#` `[` `cfg` `(` `test` …
+        let is_cfg_test = toks[i].is_punct(b'#')
+            && toks[i + 1].kind == TokKind::Open(b'[')
+            && toks[i + 2].is_ident(code, "cfg")
+            && toks[i + 3].kind == TokKind::Open(b'(')
+            && toks[i + 4].is_ident(code, "test");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let Some(attr_close) = matching_close(toks, i + 1) else {
+            i += 1;
+            continue;
+        };
+        // Skip any further attributes, then expect `mod name {`.
+        let mut j = attr_close + 1;
+        while toks.get(j).is_some_and(|t| t.is_punct(b'#'))
+            && toks
+                .get(j + 1)
+                .is_some_and(|t| t.kind == TokKind::Open(b'['))
+        {
+            match matching_close(toks, j + 1) {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        if toks.get(j).is_some_and(|t| t.is_ident(code, "mod")) {
+            // `mod name {` — find the brace.
+            let mut k = j + 1;
+            while k < toks.len() && toks[k].kind != TokKind::Open(b'{') {
+                if toks[k].is_punct(b';') {
+                    break;
+                }
+                k += 1;
+            }
+            if toks.get(k).is_some_and(|t| t.kind == TokKind::Open(b'{')) {
+                if let Some(c) = matching_close(toks, k) {
+                    out.push((toks[k].lo, toks[c].hi));
+                }
+            }
+        }
+        i = attr_close + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(src: &str) -> (SourceFile, FileIndex) {
+        let sf = SourceFile::new("t.rs", src);
+        let ix = FileIndex::new(&sf);
+        (sf, ix)
+    }
+
+    #[test]
+    fn finds_fns_with_generics_and_bodies() {
+        let (sf, ix) = index(
+            "fn plain(a: u32) -> u32 { a }\n\
+             fn gen<T: Fn(u32) -> u32>(f: T) { f(1); }\n\
+             trait T { fn decl(&self); }\n",
+        );
+        let names: Vec<_> = ix.fns().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["plain", "gen", "decl"]);
+        assert!(ix.find_fn("plain").unwrap().body.is_some());
+        assert!(ix.find_fn("decl").unwrap().body.is_none());
+        let (lo, hi) = ix.body_span(ix.find_fn("gen").unwrap()).unwrap();
+        assert_eq!(&sf.code[lo..hi], "{ f(1); }");
+    }
+
+    #[test]
+    fn detects_test_modules() {
+        let (sf, ix) = index("fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n");
+        let helper = ix.find_fn("helper").unwrap();
+        assert!(ix.in_test_mod(ix.toks[helper.name_tok].lo));
+        let live = ix.find_fn("live").unwrap();
+        assert!(!ix.in_test_mod(ix.toks[live.name_tok].lo));
+        let _ = sf;
+    }
+
+    #[test]
+    fn call_sites_distinguish_methods_macros_and_defs() {
+        let (sf, ix) = index("fn f(d: &D) { d.launch(1); free(2); mac!(3); }");
+        let calls: Vec<_> = ix.calls(&sf.code).collect();
+        let names: Vec<_> = calls
+            .iter()
+            .map(|c| ix.toks[c.name_tok].text(&sf.code))
+            .collect();
+        assert_eq!(names, ["launch", "free"]);
+        assert!(calls[0].is_method);
+        assert!(!calls[1].is_method);
+    }
+
+    #[test]
+    fn for_loops_exclude_impl_headers() {
+        let (sf, ix) = index("impl Trait for Type { fn m(&self) { for x in 0..3 { use_(x); } } }");
+        let hits: Vec<_> = ix.for_loops_in(&sf.code, 0, sf.code.len()).collect();
+        assert_eq!(hits.len(), 1);
+        let (lo, hi) = ix.for_header_span(hits[0]).unwrap();
+        assert!(
+            sf.code[lo..hi].contains("x in 0..3"),
+            "{}",
+            &sf.code[lo..hi]
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Diagnostics and the machine-readable report.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One finding, anchored to an exact source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule that produced the finding (`unused-waiver` for the meta rule).
+    pub rule: String,
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    pub message: String,
+    /// Trimmed text of the offending line.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}: {}",
+            self.file.display(),
+            self.line,
+            self.col,
+            self.rule,
+            self.message,
+            self.snippet
+        )
+    }
+}
+
+/// Name/description pair for a registered rule, echoed into the report.
+#[derive(Debug, Clone)]
+pub struct RuleInfo {
+    pub name: &'static str,
+    pub description: &'static str,
+}
+
+/// The result of a full lint run.
+#[derive(Debug)]
+pub struct Report {
+    pub rules: Vec<RuleInfo>,
+    pub findings: Vec<Diagnostic>,
+    /// Waivers that suppressed nothing — errors in their own right.
+    pub unused_waivers: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the tree passed: no findings and no unused waivers.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.unused_waivers.is_empty()
+    }
+
+    /// All error diagnostics (findings then unused waivers), sorted.
+    pub fn all_errors(&self) -> Vec<&Diagnostic> {
+        let mut v: Vec<&Diagnostic> = self.findings.iter().chain(&self.unused_waivers).collect();
+        v.sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+        v
+    }
+
+    /// Renders the `ecl-lint/1` JSON document. Hand-rolled (the workspace
+    /// vendors no serde) and deterministic: keys in fixed order, findings
+    /// sorted by position.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": \"ecl-lint/1\",\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        s.push_str("  \"rules\": [\n");
+        for (i, r) in self.rules.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"name\": {}, \"description\": {}}}",
+                json_str(r.name),
+                json_str(r.description)
+            );
+            s.push_str(if i + 1 < self.rules.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+        for (key, list) in [
+            ("findings", &self.findings),
+            ("unused_waivers", &self.unused_waivers),
+        ] {
+            let mut sorted: Vec<&Diagnostic> = list.iter().collect();
+            sorted.sort_by(|a, b| {
+                (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule))
+            });
+            let _ = writeln!(s, "  \"{key}\": [");
+            for (i, d) in sorted.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
+                     \"message\": {}, \"snippet\": {}}}",
+                    json_str(&d.rule),
+                    json_str(&d.file.display().to_string()),
+                    d.line,
+                    d.col,
+                    json_str(&d.message),
+                    json_str(&d.snippet)
+                );
+                s.push_str(if i + 1 < sorted.len() { ",\n" } else { "\n" });
+            }
+            s.push_str("  ],\n");
+        }
+        let _ = write!(
+            s,
+            "  \"clean\": {}\n}}\n",
+            if self.is_clean() { "true" } else { "false" }
+        );
+        s
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_sorts() {
+        let report = Report {
+            rules: vec![RuleInfo {
+                name: "r",
+                description: "desc with \"quotes\"",
+            }],
+            findings: vec![
+                Diagnostic {
+                    rule: "r".into(),
+                    file: "b.rs".into(),
+                    line: 2,
+                    col: 1,
+                    message: "m".into(),
+                    snippet: "s".into(),
+                },
+                Diagnostic {
+                    rule: "r".into(),
+                    file: "a.rs".into(),
+                    line: 9,
+                    col: 4,
+                    message: "tab\there".into(),
+                    snippet: "x".into(),
+                },
+            ],
+            unused_waivers: vec![],
+            files_scanned: 2,
+        };
+        let j = report.to_json();
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("tab\\there"));
+        assert!(j.find("a.rs").unwrap() < j.find("b.rs").unwrap());
+        assert!(j.contains("\"clean\": false"));
+    }
+}

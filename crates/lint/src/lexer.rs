@@ -1,0 +1,197 @@
+//! A minimal Rust lexer over blanked code.
+//!
+//! The blanking pass (see [`crate::source`]) has already erased comments
+//! and literal contents, so the lexer only has to recognize identifiers,
+//! punctuation, and delimiters — every token carries its byte span into the
+//! original file, which is what makes `file:line:col` diagnostics exact.
+
+/// Token kind. Literal bodies were blanked away, so only structure remains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `for`, `launch`, …).
+    Ident,
+    /// Integer/float literal remnant (digits survive blanking).
+    Number,
+    /// A lifetime tick + name (`'a`).
+    Lifetime,
+    /// One of `( [ {`.
+    Open(u8),
+    /// One of `) ] }`.
+    Close(u8),
+    /// Any other punctuation byte (`. , ; : = & | # -> …`, one byte each).
+    Punct(u8),
+}
+
+/// One token with its byte span `[lo, hi)` in the (blanked == original
+/// length) source.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl Tok {
+    /// The token's text in the given (blanked) code.
+    pub fn text<'a>(&self, code: &'a str) -> &'a str {
+        &code[self.lo..self.hi]
+    }
+
+    /// True when this is the identifier `word`.
+    pub fn is_ident(&self, code: &str, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(code) == word
+    }
+
+    /// True for punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+/// Lexes blanked code into a token stream.
+pub fn lex(code: &str) -> Vec<Tok> {
+    let bytes = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' | b'[' | b'{' => {
+                toks.push(Tok {
+                    kind: TokKind::Open(b),
+                    lo: i,
+                    hi: i + 1,
+                });
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                toks.push(Tok {
+                    kind: TokKind::Close(b),
+                    lo: i,
+                    hi: i + 1,
+                });
+                i += 1;
+            }
+            b'\'' => {
+                // Blanking left only lifetimes; consume tick + name.
+                let lo = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    lo,
+                    hi: i,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let lo = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // `1.0` vs `x.y`: a digit start means a numeric literal;
+                    // trailing `.` method calls on numbers don't occur in
+                    // this codebase's lint scopes.
+                    if bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|c| !c.is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Number,
+                    lo,
+                    hi: i,
+                });
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let lo = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    lo,
+                    hi: i,
+                });
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct(b),
+                    lo: i,
+                    hi: i + 1,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Index of the token matching the opening delimiter at `toks[open]`.
+/// `toks[open]` must be a `TokKind::Open`. Returns `None` on imbalance.
+pub fn matching_close(toks: &[Tok], open: usize) -> Option<usize> {
+    let TokKind::Open(ob) = toks[open].kind else {
+        return None;
+    };
+    let cb = match ob {
+        b'(' => b')',
+        b'[' => b']',
+        _ => b'}',
+    };
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Open(b) if b == ob => depth += 1,
+            TokKind::Close(b) if b == cb => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_idents_and_delims_with_spans() {
+        let code = "fn f(x: u32) { x.launch(3) }";
+        let toks = lex(code);
+        assert!(toks[0].is_ident(code, "fn"));
+        assert!(toks[1].is_ident(code, "f"));
+        let open = toks
+            .iter()
+            .position(|t| t.kind == TokKind::Open(b'{'))
+            .unwrap();
+        let close = matching_close(&toks, open).unwrap();
+        assert_eq!(toks[close].kind, TokKind::Close(b'}'));
+        assert_eq!(&code[toks[open].lo..=toks[close].lo], "{ x.launch(3) }");
+    }
+
+    #[test]
+    fn lifetimes_and_numbers() {
+        let code = "fn f<'a>(x: &'a u32) -> u64 { 4096 + 1.5 }";
+        let toks = lex(code);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Number && t.text(code) == "4096"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Number && t.text(code) == "1.5"));
+    }
+
+    #[test]
+    fn matching_close_handles_nesting() {
+        let code = "((a)(b))";
+        let toks = lex(code);
+        assert_eq!(matching_close(&toks, 0), Some(toks.len() - 1));
+    }
+}

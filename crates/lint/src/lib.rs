@@ -1,0 +1,271 @@
+//! `ecl-lint` — syntax-aware static analysis for the ECL-MST workspace.
+//!
+//! The performance story of this repo rests on invariants the compiler
+//! cannot see: metered kernel spans, chunk-shaped SWAR scans, deterministic
+//! chunk-parallel construction, and the benign-race contract inside the
+//! atomic DSU. This crate checks them with *structural* rules — a lexer +
+//! token-tree layer (`source`/`lexer`/`ast`) instead of line greps — and
+//! reports span-accurate `file:line:col` diagnostics, machine-readable
+//! JSON, and a waiver system in which unused waivers are themselves errors.
+//!
+//! The rule catalogue lives in [`rules`]; the DSU's concurrency contract is
+//! model-checked separately by `ecl-dsu`'s `cfg(ecl_model)` harness (see
+//! DESIGN.md §16).
+
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod waiver;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use ast::FileIndex;
+use diag::{Diagnostic, Report, RuleInfo};
+use source::SourceFile;
+use waiver::Waiver;
+
+/// One loaded + indexed source file.
+#[derive(Debug)]
+pub struct LoadedFile {
+    pub sf: SourceFile,
+    pub ix: FileIndex,
+}
+
+/// The set of files a lint run sees.
+#[derive(Debug)]
+pub struct Workspace {
+    pub files: Vec<LoadedFile>,
+}
+
+impl Workspace {
+    /// Loads every `.rs` file under the union of the given rules' scopes,
+    /// rooted at `root`. Paths are stored workspace-relative.
+    pub fn load(root: &Path, rules: &[Box<dyn Rule>]) -> std::io::Result<Self> {
+        let mut rels: Vec<PathBuf> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for rule in rules {
+            for scope in rule.scope() {
+                let abs = root.join(scope);
+                if abs.is_file() {
+                    if seen.insert(PathBuf::from(scope)) {
+                        rels.push(PathBuf::from(scope));
+                    }
+                } else if abs.is_dir() {
+                    for f in rust_files(&abs) {
+                        let rel = f
+                            .strip_prefix(root)
+                            .expect("walked under root")
+                            .to_path_buf();
+                        if seen.insert(rel.clone()) {
+                            rels.push(rel);
+                        }
+                    }
+                }
+                // A missing scope is not an error here: rules report
+                // "nothing to guard" themselves when their anchors vanish.
+            }
+        }
+        rels.sort();
+        let mut files = Vec::with_capacity(rels.len());
+        for rel in rels {
+            let sf = SourceFile::load(root, &rel)?;
+            let ix = FileIndex::new(&sf);
+            files.push(LoadedFile { sf, ix });
+        }
+        Ok(Self { files })
+    }
+
+    /// Builds a workspace from in-memory sources (fixture tests).
+    pub fn from_sources(sources: &[(&str, &str)]) -> Self {
+        let files = sources
+            .iter()
+            .map(|(rel, text)| {
+                let sf = SourceFile::new(*rel, *text);
+                let ix = FileIndex::new(&sf);
+                LoadedFile { sf, ix }
+            })
+            .collect();
+        Self { files }
+    }
+
+    /// Files whose relative path starts with any of the given prefixes (or
+    /// equals one exactly).
+    pub fn in_scope<'a>(
+        &'a self,
+        scope: &'a [&'static str],
+    ) -> impl Iterator<Item = &'a LoadedFile> + 'a {
+        self.files.iter().filter(move |f| {
+            scope
+                .iter()
+                .any(|s| f.sf.rel == Path::new(s) || f.sf.rel.starts_with(s))
+        })
+    }
+}
+
+/// A lint rule: a name, a scope (path prefixes it inspects), and a visitor.
+pub trait Rule {
+    fn name(&self) -> &'static str;
+    fn description(&self) -> &'static str;
+    /// Workspace-relative path prefixes (dirs or exact files) this rule
+    /// inspects. Used both to load files and to account waivers.
+    fn scope(&self) -> &'static [&'static str];
+    fn run(&self, ws: &Workspace, ctx: &mut Ctx);
+}
+
+/// Shared run context: collects findings and arbitrates waivers.
+pub struct Ctx {
+    /// Per-file waivers, keyed by relative path.
+    waivers: BTreeMap<PathBuf, Vec<Waiver>>,
+    findings: Vec<Diagnostic>,
+}
+
+impl Ctx {
+    fn new(ws: &Workspace) -> Self {
+        let waivers = ws
+            .files
+            .iter()
+            .map(|f| (f.sf.rel.clone(), waiver::collect(&f.sf)))
+            .collect();
+        Self {
+            waivers,
+            findings: Vec::new(),
+        }
+    }
+
+    /// Reports a finding of `rule` at byte `offset` of `file`, unless a
+    /// waiver for that rule sits on the same line or the line directly
+    /// above (which consumes the waiver).
+    pub fn emit(&mut self, rule: &str, file: &SourceFile, offset: usize, message: String) {
+        let (line, col) = file.line_col(offset);
+        if self.try_waive(rule, &file.rel, line) {
+            return;
+        }
+        self.findings.push(Diagnostic {
+            rule: rule.to_string(),
+            file: file.rel.clone(),
+            line,
+            col,
+            message,
+            snippet: file.line_text(line).trim().to_string(),
+        });
+    }
+
+    /// Reports a whole-file finding (no meaningful position), waivable on
+    /// line 1.
+    pub fn emit_file(&mut self, rule: &str, file: &SourceFile, message: String) {
+        self.emit(rule, file, 0, message);
+    }
+
+    fn try_waive(&mut self, rule: &str, rel: &Path, line: usize) -> bool {
+        let Some(ws) = self.waivers.get_mut(rel) else {
+            return false;
+        };
+        for w in ws.iter_mut() {
+            if (w.line == line || w.line + 1 == line) && w.rules.iter().any(|r| r == rule) {
+                w.consumed = true;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Runs the given rules over a workspace and settles waiver accounting.
+pub fn run(ws: &Workspace, rules: &[Box<dyn Rule>]) -> Report {
+    let mut ctx = Ctx::new(ws);
+    for rule in rules {
+        rule.run(ws, &mut ctx);
+    }
+    let known: Vec<&'static str> = rules.iter().map(|r| r.name()).collect();
+    let mut unused = Vec::new();
+    for (rel, waivers) in &ctx.waivers {
+        let Some(file) = ws.files.iter().find(|f| &f.sf.rel == rel) else {
+            continue;
+        };
+        for w in waivers {
+            if w.consumed {
+                continue;
+            }
+            for r in &w.rules {
+                let diag = |rule: &str, msg: String| Diagnostic {
+                    rule: rule.to_string(),
+                    file: rel.clone(),
+                    line: w.line,
+                    col: 1,
+                    message: msg,
+                    snippet: file.sf.line_text(w.line).trim().to_string(),
+                };
+                if !known.contains(&r.as_str()) {
+                    // Only police unknown names on the full registry:
+                    // subset runs (xtask lint-metering) must not flag
+                    // waivers of rules they did not load.
+                    if known.len() == rules::all().len() {
+                        unused.push(diag(
+                            "unknown-waiver",
+                            format!("waiver names unknown rule `{r}`"),
+                        ));
+                    }
+                } else {
+                    unused.push(diag(
+                        "unused-waiver",
+                        format!("waiver for `{r}` suppresses no finding — delete it"),
+                    ));
+                }
+            }
+        }
+    }
+    Report {
+        rules: rules
+            .iter()
+            .map(|r| RuleInfo {
+                name: r.name(),
+                description: r.description(),
+            })
+            .collect(),
+        findings: std::mem::take(&mut ctx.findings),
+        unused_waivers: unused,
+        files_scanned: ws.files.len(),
+    }
+}
+
+/// Convenience: full-registry run over the on-disk tree.
+pub fn run_tree(root: &Path) -> std::io::Result<Report> {
+    let rules = rules::all();
+    let ws = Workspace::load(root, &rules)?;
+    Ok(run(&ws, &rules))
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Resolves the workspace root from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("ecl-lint lives two levels below the workspace root")
+        .to_path_buf()
+}

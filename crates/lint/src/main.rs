@@ -1,0 +1,108 @@
+//! `ecl-lint` CLI.
+//!
+//! ```text
+//! ecl-lint [--root DIR] [--json PATH] [--rule NAME]... [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings or unused waivers, `2` bad usage or
+//! I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut rule_names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json needs a path"),
+            },
+            "--rule" => match args.next() {
+                Some(v) => rule_names.push(v),
+                None => return usage("--rule needs a rule name"),
+            },
+            "--list-rules" => {
+                for r in ecl_lint::rules::all() {
+                    println!("{:<24} {}", r.name(), r.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ecl-lint [--root DIR] [--json PATH] [--rule NAME]... [--list-rules]\n\
+                     exit codes: 0 clean, 1 findings/unused waivers, 2 usage or I/O error"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let root = root.unwrap_or_else(ecl_lint::workspace_root);
+    let rules = if rule_names.is_empty() {
+        ecl_lint::rules::all()
+    } else {
+        let mut rules = Vec::new();
+        for n in &rule_names {
+            match ecl_lint::rules::by_name(n) {
+                Some(r) => rules.push(r),
+                None => return usage(&format!("unknown rule '{n}' (see --list-rules)")),
+            }
+        }
+        rules
+    };
+
+    let ws = match ecl_lint::Workspace::load(&root, &rules) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "ecl-lint: failed to load sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let report = ecl_lint::run(&ws, &rules);
+
+    if let Some(path) = &json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("ecl-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for d in report.all_errors() {
+        eprintln!("{d}");
+    }
+    if report.is_clean() {
+        println!(
+            "ecl-lint: {} rule(s) over {} file(s), all clean",
+            report.rules.len(),
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\necl-lint: {} finding(s), {} unused waiver(s).",
+            report.findings.len(),
+            report.unused_waivers.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!(
+        "ecl-lint: {msg}\n\
+         usage: ecl-lint [--root DIR] [--json PATH] [--rule NAME]... [--list-rules]"
+    );
+    ExitCode::from(2)
+}

@@ -1,0 +1,99 @@
+//! Guards the parallel CSR construction hot path.
+//!
+//! Inside `fn build_chunked(` (and only there — `build_serial` is the
+//! retained reference oracle), a bare `for` loop or a serial
+//! `.sort_unstable(` outside every parallel-helper call span would quietly
+//! reintroduce the single-thread bottleneck the chunked build replaced.
+//! Deliberate serial steps carry a waiver (`lint-metering: serial-ok` or
+//! `ecl-lint: allow(builder-serial-hot-path)`).
+
+use crate::{Ctx, Rule, Workspace};
+
+/// The file holding the guarded hot path.
+pub const BUILDER_FILE: &str = "crates/graph/src/builder.rs";
+
+/// Parallel-helper callees; loops and sorts inside their argument spans run
+/// chunked under the pool and are fine.
+const PAR_HELPERS: &[&str] = &[
+    "run_chunks",
+    "par_map",
+    "par_tasks",
+    "par_split_mut",
+    "sorted_key_offsets",
+    "chunk_ranges",
+    "par_sort_unstable",
+];
+
+pub struct BuilderSerialHotPath;
+
+impl Rule for BuilderSerialHotPath {
+    fn name(&self) -> &'static str {
+        "builder-serial-hot-path"
+    }
+    fn description(&self) -> &'static str {
+        "no serial `for` loops or `.sort_unstable(` on the chunk-parallel CSR build hot path \
+         (fn build_chunked) outside the par:: helper spans"
+    }
+    fn scope(&self) -> &'static [&'static str] {
+        &[BUILDER_FILE]
+    }
+
+    fn run(&self, ws: &Workspace, ctx: &mut Ctx) {
+        for file in ws.in_scope(self.scope()) {
+            let code = &file.sf.code;
+            let Some(f) = file.ix.find_fn("build_chunked") else {
+                ctx.emit_file(
+                    self.name(),
+                    &file.sf,
+                    "`fn build_chunked(` not found — builder hot-path lint has nothing to guard"
+                        .to_string(),
+                );
+                continue;
+            };
+            let Some((body_lo, body_hi)) = file.ix.body_span(f) else {
+                continue;
+            };
+            // Argument spans of parallel-helper calls are covered territory.
+            let covered: Vec<(usize, usize)> = file
+                .ix
+                .calls_in(code, body_lo, body_hi)
+                .filter(|c| {
+                    let name = file.ix.toks[c.name_tok].text(code);
+                    PAR_HELPERS.contains(&name)
+                })
+                .map(|c| {
+                    let (o, cl) = c.args;
+                    (file.ix.toks[o].lo, file.ix.toks[cl].hi.min(body_hi))
+                })
+                .collect();
+            let in_covered = |at: usize| covered.iter().any(|&(lo, hi)| at > lo && at < hi);
+
+            for for_tok in file.ix.for_loops_in(code, body_lo, body_hi) {
+                let at = file.ix.toks[for_tok].lo;
+                if in_covered(at) {
+                    continue;
+                }
+                ctx.emit(
+                    self.name(),
+                    &file.sf,
+                    at,
+                    "serial `for` on the parallel build hot path (outside every par-helper span)"
+                        .to_string(),
+                );
+            }
+            for call in file.ix.calls_in(code, body_lo, body_hi) {
+                let t = file.ix.toks[call.name_tok];
+                if call.is_method && t.is_ident(code, "sort_unstable") && !in_covered(t.lo) {
+                    ctx.emit(
+                        self.name(),
+                        &file.sf,
+                        t.lo,
+                        "serial `.sort_unstable(` on the parallel build hot path (outside every \
+                         par-helper span)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+}

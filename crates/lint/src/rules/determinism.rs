@@ -1,0 +1,283 @@
+//! Determinism rules for the chunk-parallel paths.
+//!
+//! DESIGN.md §14's contract is *bit-identical output at any thread count*.
+//! Three classes of constructs can silently break it:
+//!
+//! 1. **Hash iteration order** — `HashMap`/`HashSet` iterate in randomized
+//!    order; letting that order reach algorithm state (worklists, merge
+//!    order, output vectors) makes runs non-reproducible. Keyed lookup is
+//!    fine; iteration is flagged (use `BTreeMap` or a sorted `Vec`).
+//! 2. **Thread-count dependence** — reading the thread budget outside the
+//!    blessed `par` helpers lets chunk shapes (and therefore accumulation
+//!    order) vary with the machine. Result-identical dispatches (e.g. a
+//!    parity-tested serial specialization) carry a waiver.
+//! 3. **Wall-clock reads** — the simulated-time crates must derive every
+//!    number from the deterministic cost model; an `Instant::now()` there
+//!    leaks host jitter into simulated results. (ecl-trace and ecl-bench
+//!    are host-side by design and out of scope.)
+
+use crate::lexer::TokKind;
+use crate::{Ctx, LoadedFile, Rule, Workspace};
+
+/// Crates under the bit-identical determinism contract.
+const DETERMINISTIC_SCOPE: &[&str] = &[
+    "crates/graph/src",
+    "crates/core/src",
+    "crates/dsu/src",
+    "crates/baselines/src",
+    "crates/cc/src",
+];
+
+/// Method names that consume a container's iteration order.
+const ORDER_SINKS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "par_iter",
+];
+
+pub struct HashIterationOrder;
+
+impl HashIterationOrder {
+    /// Names of local bindings whose initializer or type mentions
+    /// `HashMap`/`HashSet`: walk back from each occurrence to the start of
+    /// the enclosing `let` statement and record the bound name.
+    fn tainted_bindings(file: &LoadedFile) -> Vec<(String, usize)> {
+        let code = &file.sf.code;
+        let toks = &file.ix.toks;
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            let t = toks[i];
+            if !(t.kind == TokKind::Ident
+                && (t.is_ident(code, "HashMap") || t.is_ident(code, "HashSet")))
+            {
+                continue;
+            }
+            // Scan backwards to the statement boundary, looking for
+            // `let [mut] NAME`.
+            let mut j = i;
+            while j > 0 {
+                let p = toks[j - 1];
+                if p.is_punct(b';') || matches!(p.kind, TokKind::Open(b'{') | TokKind::Close(b'}'))
+                {
+                    break;
+                }
+                j -= 1;
+            }
+            let mut k = j;
+            while k < i {
+                if toks[k].is_ident(code, "let") {
+                    let mut n = k + 1;
+                    if toks.get(n).is_some_and(|t| t.is_ident(code, "mut")) {
+                        n += 1;
+                    }
+                    if let Some(name_tok) = toks.get(n).filter(|t| t.kind == TokKind::Ident) {
+                        out.push((name_tok.text(code).to_string(), name_tok.lo));
+                    }
+                    break;
+                }
+                k += 1;
+            }
+        }
+        out
+    }
+}
+
+impl Rule for HashIterationOrder {
+    fn name(&self) -> &'static str {
+        "hash-iteration-order"
+    }
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet iteration order is randomized and must not reach algorithm state in \
+         the deterministic crates; use BTreeMap/BTreeSet or a sorted Vec (keyed lookup is fine)"
+    }
+    fn scope(&self) -> &'static [&'static str] {
+        DETERMINISTIC_SCOPE
+    }
+
+    fn run(&self, ws: &Workspace, ctx: &mut Ctx) {
+        for file in ws.in_scope(self.scope()) {
+            let code = &file.sf.code;
+            let toks = &file.ix.toks;
+            let tainted = Self::tainted_bindings(file);
+            if tainted.is_empty() {
+                continue;
+            }
+            let is_tainted = |name: &str| tainted.iter().any(|(n, _)| n == name);
+
+            // Order-consuming method calls on tainted receivers.
+            for call in file.ix.calls(code) {
+                if !call.is_method {
+                    continue;
+                }
+                let name = toks[call.name_tok].text(code);
+                if !ORDER_SINKS.contains(&name) {
+                    continue;
+                }
+                let recv = call
+                    .name_tok
+                    .checked_sub(2)
+                    .map(|r| toks[r])
+                    .filter(|r| r.kind == TokKind::Ident);
+                let Some(recv) = recv else { continue };
+                if file.ix.in_test_mod(recv.lo) || !is_tainted(recv.text(code)) {
+                    continue;
+                }
+                ctx.emit(
+                    self.name(),
+                    &file.sf,
+                    toks[call.name_tok].lo,
+                    format!(
+                        "`.{name}()` consumes the randomized iteration order of hash container \
+                         `{}`",
+                        recv.text(code)
+                    ),
+                );
+            }
+
+            // `for … in [&[mut]] tainted {` — direct iteration.
+            for for_tok in file.ix.for_loops_in(code, 0, code.len()) {
+                let Some((h_lo, h_hi)) = file.ix.for_header_span(for_tok) else {
+                    continue;
+                };
+                if file.ix.in_test_mod(h_lo) {
+                    continue;
+                }
+                for (i, t) in toks.iter().enumerate() {
+                    if t.lo < h_lo || t.lo >= h_hi || t.kind != TokKind::Ident {
+                        continue;
+                    }
+                    // Skip `x.method(…)` forms: the method-call check above
+                    // owns those (and `.len()`-style reads are harmless).
+                    if toks.get(i + 1).is_some_and(|n| n.is_punct(b'.')) {
+                        continue;
+                    }
+                    if is_tainted(t.text(code)) {
+                        ctx.emit(
+                            self.name(),
+                            &file.sf,
+                            t.lo,
+                            format!(
+                                "`for` iterates hash container `{}` in randomized order",
+                                t.text(code)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub struct ThreadCountDependence;
+
+impl Rule for ThreadCountDependence {
+    fn name(&self) -> &'static str {
+        "thread-count-dependence"
+    }
+    fn description(&self) -> &'static str {
+        "thread-budget reads (current_num_threads/available_parallelism/max_threads) outside \
+         the blessed par helpers let results vary with the machine; deterministic chunking must \
+         come from par::, and result-identical dispatches need a waiver"
+    }
+    fn scope(&self) -> &'static [&'static str] {
+        &[
+            "crates/graph/src",
+            "crates/core/src",
+            "crates/baselines/src",
+        ]
+    }
+
+    fn run(&self, ws: &Workspace, ctx: &mut Ctx) {
+        for file in ws.in_scope(self.scope()) {
+            // The par helper module is where the budget is *supposed* to be
+            // read; everything it exports is deterministic by contract.
+            if file.sf.rel.ends_with("graph/src/par.rs") {
+                continue;
+            }
+            let code = &file.sf.code;
+            for call in file.ix.calls(code) {
+                let t = file.ix.toks[call.name_tok];
+                let name = t.text(code);
+                if !matches!(
+                    name,
+                    "current_num_threads" | "available_parallelism" | "max_threads"
+                ) {
+                    continue;
+                }
+                if file.ix.in_test_mod(t.lo) {
+                    continue;
+                }
+                ctx.emit(
+                    self.name(),
+                    &file.sf,
+                    t.lo,
+                    format!("thread-budget read `{name}(…)` outside the blessed par helpers"),
+                );
+            }
+        }
+    }
+}
+
+pub struct WallClockInSim;
+
+impl Rule for WallClockInSim {
+    fn name(&self) -> &'static str {
+        "wall-clock-in-sim"
+    }
+    fn description(&self) -> &'static str {
+        "no Instant::now()/SystemTime::now() in the simulated-time crates: simulated numbers \
+         must derive from the deterministic cost model (ecl-trace/ecl-bench own the wall clock)"
+    }
+    fn scope(&self) -> &'static [&'static str] {
+        &[
+            "crates/core/src",
+            "crates/gpu-sim/src",
+            "crates/graph/src",
+            "crates/dsu/src",
+            "crates/baselines/src",
+            "crates/cc/src",
+        ]
+    }
+
+    fn run(&self, ws: &Workspace, ctx: &mut Ctx) {
+        for file in ws.in_scope(self.scope()) {
+            let code = &file.sf.code;
+            let toks = &file.ix.toks;
+            for call in file.ix.calls(code) {
+                let t = toks[call.name_tok];
+                if !t.is_ident(code, "now") || file.ix.in_test_mod(t.lo) {
+                    continue;
+                }
+                // Require the `Instant::now(` / `SystemTime::now(` path
+                // shape: ident `::` now — `::` lexes as two `:` puncts.
+                let ty = call
+                    .name_tok
+                    .checked_sub(3)
+                    .map(|i| toks[i])
+                    .filter(|_| {
+                        toks[call.name_tok - 1].is_punct(b':')
+                            && toks[call.name_tok - 2].is_punct(b':')
+                    })
+                    .filter(|ty| ty.kind == TokKind::Ident);
+                let Some(ty) = ty else { continue };
+                let ty_name = ty.text(code);
+                if ty_name == "Instant" || ty_name == "SystemTime" {
+                    ctx.emit(
+                        self.name(),
+                        &file.sf,
+                        ty.lo,
+                        format!("wall-clock read `{ty_name}::now()` inside a simulated-time crate"),
+                    );
+                }
+            }
+        }
+    }
+}

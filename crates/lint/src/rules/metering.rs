@@ -1,0 +1,172 @@
+//! Kernel-span metering rules (ports of the original `xtask lint-metering`
+//! grep passes onto the token-structural layer).
+//!
+//! The gpu-sim cost model only meters device traffic that flows through
+//! the buffer accessors (`ld`/`st`/`atomic_*`/…). Host-side accessors
+//! (`host_read`, `host_write*`, `to_vec`, `as_slice`) are free by design —
+//! they model driver-side work outside kernel time. Calling one *inside* a
+//! kernel closure therefore smuggles unmetered traffic into a launch and
+//! silently skews every simulated number downstream.
+//!
+//! ecl-trace ranges are host-side constructs that bracket launches on the
+//! session timeline; opening one inside a kernel closure would interleave
+//! per-task events into the launch's complete event and corrupt the trace
+//! nesting.
+
+use crate::ast::CallSite;
+use crate::{Ctx, LoadedFile, Rule, Workspace};
+
+/// Crates whose sources contain simulated GPU kernels.
+pub const KERNEL_SCOPE: &[&str] = &["crates/core/src", "crates/baselines/src", "crates/cc/src"];
+
+/// Launch call-sites (`.launch(…)` / `.launch_warps(…)`) in a file, as
+/// argument-list byte spans. Definition sites (`fn launch(`) are excluded
+/// because only *method calls* qualify.
+pub fn launch_spans(file: &LoadedFile) -> Vec<(CallSite, usize, usize)> {
+    let code = &file.sf.code;
+    let mut spans = Vec::new();
+    for name in ["launch", "launch_warps"] {
+        for call in file.ix.method_calls(code, name) {
+            let (o, c) = call.args;
+            spans.push((call, file.ix.toks[o].lo, file.ix.toks[c].hi));
+        }
+    }
+    spans.sort_by_key(|&(_, lo, _)| lo);
+    spans
+}
+
+/// Host accessors that bypass metering entirely. Raw host-slice indexing
+/// paired with an explicit `ctx.charge_*` call is fine and not flagged.
+fn is_host_accessor(name: &str) -> bool {
+    name == "host_read" || name.starts_with("host_write") || name == "to_vec" || name == "as_slice"
+}
+
+pub struct HostAccessInLaunch;
+
+impl Rule for HostAccessInLaunch {
+    fn name(&self) -> &'static str {
+        "host-access-in-launch"
+    }
+    fn description(&self) -> &'static str {
+        "unmetered host accessors (host_read/host_write*/to_vec/as_slice) must not be called \
+         inside a kernel launch closure; route traffic through ld/st/atomic_* or charge it \
+         explicitly via ctx.charge_*"
+    }
+    fn scope(&self) -> &'static [&'static str] {
+        KERNEL_SCOPE
+    }
+
+    fn run(&self, ws: &Workspace, ctx: &mut Ctx) {
+        for file in ws.in_scope(self.scope()) {
+            let code = &file.sf.code;
+            for (_, lo, hi) in launch_spans(file) {
+                for call in file.ix.calls_in(code, lo, hi) {
+                    let name = file.ix.toks[call.name_tok].text(code);
+                    if call.is_method && is_host_accessor(name) {
+                        ctx.emit(
+                            self.name(),
+                            &file.sf,
+                            file.ix.toks[call.name_tok].lo,
+                            format!("unmetered host access `{name}` inside a launch span"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub struct TraceRangeInLaunch;
+
+impl Rule for TraceRangeInLaunch {
+    fn name(&self) -> &'static str {
+        "trace-range-in-launch"
+    }
+    fn description(&self) -> &'static str {
+        "trace ranges bracket launches from the host; range!(…) or open_range(…) inside a \
+         kernel closure corrupts the trace nesting"
+    }
+    fn scope(&self) -> &'static [&'static str] {
+        KERNEL_SCOPE
+    }
+
+    fn run(&self, ws: &Workspace, ctx: &mut Ctx) {
+        for file in ws.in_scope(self.scope()) {
+            let code = &file.sf.code;
+            for (_, lo, hi) in launch_spans(file) {
+                // `open_range(…)` function calls.
+                for call in file.ix.calls_in(code, lo, hi) {
+                    if file.ix.toks[call.name_tok].is_ident(code, "open_range") {
+                        ctx.emit(
+                            self.name(),
+                            &file.sf,
+                            file.ix.toks[call.name_tok].lo,
+                            "trace range opened (`open_range`) inside a launch span".to_string(),
+                        );
+                    }
+                }
+                // `range!(…)` macro invocations (excluded from call sites).
+                let toks = &file.ix.toks;
+                for i in 0..toks.len() {
+                    let t = toks[i];
+                    if t.lo >= lo
+                        && t.lo < hi
+                        && t.is_ident(code, "range")
+                        && toks.get(i + 1).is_some_and(|n| n.is_punct(b'!'))
+                    {
+                        ctx.emit(
+                            self.name(),
+                            &file.sf,
+                            t.lo,
+                            "trace range opened (`range!`) inside a launch span".to_string(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub struct TraceRangeBalance;
+
+impl Rule for TraceRangeBalance {
+    fn name(&self) -> &'static str {
+        "trace-range-balance"
+    }
+    fn description(&self) -> &'static str {
+        "every raw open_range(…) needs a matching close_range(…) in the same file, or a span \
+         leaks and every later event nests wrongly (prefer the range! guard, which cannot leak)"
+    }
+    fn scope(&self) -> &'static [&'static str] {
+        KERNEL_SCOPE
+    }
+
+    fn run(&self, ws: &Workspace, ctx: &mut Ctx) {
+        for file in ws.in_scope(self.scope()) {
+            let code = &file.sf.code;
+            let mut opens = 0usize;
+            let mut closes = 0usize;
+            let mut first_open = None;
+            for call in file.ix.calls(code) {
+                let t = file.ix.toks[call.name_tok];
+                if t.is_ident(code, "open_range") {
+                    opens += 1;
+                    first_open.get_or_insert(t.lo);
+                } else if t.is_ident(code, "close_range") {
+                    closes += 1;
+                }
+            }
+            if opens != closes {
+                ctx.emit(
+                    self.name(),
+                    &file.sf,
+                    first_open.unwrap_or(0),
+                    format!(
+                        "{opens} open_range(…) vs {closes} close_range(…) — unbalanced raw \
+                         trace spans"
+                    ),
+                );
+            }
+        }
+    }
+}

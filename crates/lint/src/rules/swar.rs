@@ -1,0 +1,80 @@
+//! Guards the chunked SWAR kernels in `ecl-graph`.
+//!
+//! Inside each blessed hot function, every `for` loop must iterate the
+//! chunk pipeline — its header must mention `chunks`, `by_ref`, or
+//! `remainder` — or carry a waiver. A plain whole-slice loop there would
+//! silently degrade the kernel back to the scalar oracle while parity
+//! tests keep passing. The scalar oracles (`*_scalar`) are exempt by
+//! construction: they are not in the blessed list.
+
+use crate::{Ctx, Rule, Workspace};
+
+/// Blessed hot functions per file.
+const HOT_FNS: &[(&str, &[&str])] = &[
+    (
+        "crates/graph/src/simd.rs",
+        &["count_lt_swar", "pack_into_chunked", "has_empty_pack_swar"],
+    ),
+    ("crates/graph/src/weights.rs", &["hash_weights_into"]),
+];
+
+/// A `for` header inside a blessed SWAR kernel must mention one of these —
+/// chunk blocks, the exact-pair stream, or its remainder tail.
+const CHUNK_TOKENS: &[&str] = &["chunks", "by_ref", "remainder"];
+
+pub struct SwarChunkShape;
+
+impl Rule for SwarChunkShape {
+    fn name(&self) -> &'static str {
+        "swar-chunk-shape"
+    }
+    fn description(&self) -> &'static str {
+        "every loop in a blessed SWAR kernel must iterate the chunk pipeline \
+         (chunks/by_ref/remainder) so the kernel cannot silently degrade to a scalar scan"
+    }
+    fn scope(&self) -> &'static [&'static str] {
+        &["crates/graph/src/simd.rs", "crates/graph/src/weights.rs"]
+    }
+
+    fn run(&self, ws: &Workspace, ctx: &mut Ctx) {
+        for (rel, fns) in HOT_FNS {
+            let scope = [*rel];
+            let Some(file) = ws.in_scope(&scope).next() else {
+                continue;
+            };
+            let code = &file.sf.code;
+            for fn_name in *fns {
+                let Some(f) = file.ix.find_fn(fn_name) else {
+                    ctx.emit_file(
+                        self.name(),
+                        &file.sf,
+                        format!(
+                            "`fn {fn_name}(` not found — SWAR kernel lint has nothing to guard"
+                        ),
+                    );
+                    continue;
+                };
+                let Some((body_lo, body_hi)) = file.ix.body_span(f) else {
+                    continue;
+                };
+                for for_tok in file.ix.for_loops_in(code, body_lo, body_hi) {
+                    let at = file.ix.toks[for_tok].lo;
+                    let header = file
+                        .ix
+                        .for_header_span(for_tok)
+                        .map(|(lo, hi)| &code[lo..hi])
+                        .unwrap_or("");
+                    if CHUNK_TOKENS.iter().any(|t| header.contains(t)) {
+                        continue;
+                    }
+                    ctx.emit(
+                        self.name(),
+                        &file.sf,
+                        at,
+                        format!("non-chunked `for` inside SWAR kernel `{fn_name}`"),
+                    );
+                }
+            }
+        }
+    }
+}

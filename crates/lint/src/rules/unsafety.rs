@@ -1,0 +1,107 @@
+//! Unsafe-code audit for the data-plane crates.
+//!
+//! The audited crates (`graph`, `gpu-sim`, `dsu`, `trace`) hold the raw
+//! buffers, the atomics, and the tracing TLS — exactly where unsafety
+//! would be tempting and costly. The rule enforces a two-layer contract:
+//!
+//! 1. Each crate root (`src/lib.rs`) must carry `#![forbid(unsafe_code)]`
+//!    or, if it ever legitimately relaxes that, at least
+//!    `#![deny(unsafe_op_in_unsafe_fn)]`.
+//! 2. Every `unsafe` keyword (block, fn, impl, trait) must be justified by
+//!    a `// SAFETY:` comment naming the upheld invariant, on the same line
+//!    or in the comment block directly above.
+
+use crate::lexer::TokKind;
+use crate::{Ctx, Rule, Workspace};
+
+pub struct UnsafeAudit;
+
+impl Rule for UnsafeAudit {
+    fn name(&self) -> &'static str {
+        "unsafe-audit"
+    }
+    fn description(&self) -> &'static str {
+        "audited crates must forbid unsafe_code (or deny unsafe_op_in_unsafe_fn), and every \
+         `unsafe` must carry a `// SAFETY:` comment naming the upheld invariant"
+    }
+    fn scope(&self) -> &'static [&'static str] {
+        &[
+            "crates/graph/src",
+            "crates/gpu-sim/src",
+            "crates/dsu/src",
+            "crates/trace/src",
+        ]
+    }
+
+    fn run(&self, ws: &Workspace, ctx: &mut Ctx) {
+        for file in ws.in_scope(self.scope()) {
+            let code = &file.sf.code;
+            let toks = &file.ix.toks;
+
+            // Crate roots must pin the guard attributes.
+            if file.sf.rel.ends_with("src/lib.rs") {
+                let has_guard = (0..toks.len()).any(|i| {
+                    toks[i].is_punct(b'#')
+                        && toks.get(i + 1).is_some_and(|t| t.is_punct(b'!'))
+                        && toks
+                            .get(i + 2)
+                            .is_some_and(|t| t.kind == TokKind::Open(b'['))
+                        && toks
+                            .get(i + 3)
+                            .is_some_and(|t| t.is_ident(code, "forbid") || t.is_ident(code, "deny"))
+                        && toks.get(i + 5).is_some_and(|t| {
+                            t.is_ident(code, "unsafe_code")
+                                || t.is_ident(code, "unsafe_op_in_unsafe_fn")
+                        })
+                });
+                if !has_guard {
+                    ctx.emit_file(
+                        self.name(),
+                        &file.sf,
+                        "crate root lacks #![forbid(unsafe_code)] (or, for an unsafe-bearing \
+                         crate, #![deny(unsafe_op_in_unsafe_fn)])"
+                            .to_string(),
+                    );
+                }
+            }
+
+            // Every `unsafe` keyword needs a SAFETY justification.
+            for t in toks {
+                if !(t.kind == TokKind::Ident && t.is_ident(code, "unsafe")) {
+                    continue;
+                }
+                let line = file.sf.line_of(t.lo);
+                if has_safety_comment(&file.sf, line) {
+                    continue;
+                }
+                ctx.emit(
+                    self.name(),
+                    &file.sf,
+                    t.lo,
+                    "`unsafe` without a `// SAFETY:` comment naming the upheld invariant"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// True when the `unsafe` on 1-based `line` is covered by a SAFETY comment:
+/// on the same line, or in the contiguous comment block directly above.
+fn has_safety_comment(sf: &crate::source::SourceFile, line: usize) -> bool {
+    if sf.line_text(line).contains("SAFETY:") {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let text = sf.line_text(l).trim();
+        if !(text.starts_with("//") || text.starts_with("#[")) {
+            return false;
+        }
+        if text.contains("SAFETY:") {
+            return true;
+        }
+    }
+    false
+}

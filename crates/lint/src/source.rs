@@ -1,0 +1,275 @@
+//! Source-file loading and the blanking pre-pass.
+//!
+//! Every rule operates on *blanked* code: a byte-for-byte copy of the file
+//! in which comment bodies, string/char-literal contents, and the literal
+//! delimiters themselves are replaced by spaces (newlines are preserved so
+//! byte offsets, line numbers, and columns stay identical to the original).
+//! This removes the classic grep failure modes — tokens hiding in doc
+//! comments, kernel-name strings, or `'x'` literals — before the lexer ever
+//! runs, while keeping every span valid in the original text.
+
+use std::path::{Path, PathBuf};
+
+/// One loaded source file: original text, blanked text, and a line index.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path (diagnostics print this).
+    pub rel: PathBuf,
+    /// Original text, used for snippets and waiver comments.
+    pub raw: String,
+    /// Blanked text (same length as `raw`), used for all token matching.
+    pub code: String,
+    /// Byte offset of the start of each line.
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    pub fn new(rel: impl Into<PathBuf>, raw: impl Into<String>) -> Self {
+        let raw = raw.into();
+        let code = blank(&raw);
+        let mut line_starts = vec![0];
+        for (i, b) in raw.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Self {
+            rel: rel.into(),
+            raw,
+            code,
+            line_starts,
+        }
+    }
+
+    /// Reads a file from disk, storing `rel` as its diagnostic path.
+    pub fn load(root: &Path, rel: &Path) -> std::io::Result<Self> {
+        let raw = std::fs::read_to_string(root.join(rel))?;
+        Ok(Self::new(rel, raw))
+    }
+
+    /// 1-based `(line, col)` of a byte offset.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_col(offset).0
+    }
+
+    /// Trimmed original text of the 1-based line `line`.
+    pub fn line_text(&self, line: usize) -> &str {
+        self.raw.lines().nth(line - 1).unwrap_or("")
+    }
+
+    /// Number of lines in the file.
+    pub fn num_lines(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+/// Replaces comment and literal *contents and delimiters* with spaces,
+/// preserving length and newlines. Handles line/block (nested) comments,
+/// string literals with escapes, byte strings, raw (`r"…"`, `r#"…"#`) and
+/// raw-byte strings, and char literals (including `'"'`), while leaving
+/// lifetimes (`'a`) untouched.
+pub fn blank(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            // Raw strings: r"…", r#"…"#, br#"…"# — find the opening quote,
+            // count the hashes, then scan for `"` followed by that many `#`.
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let start = i;
+                if bytes[i] == b'b' {
+                    i += 1;
+                }
+                i += 1; // past 'r'
+                let mut hashes = 0;
+                while bytes.get(i) == Some(&b'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                i += 1; // past the opening quote
+                loop {
+                    match bytes.get(i) {
+                        None => break,
+                        Some(&b'"') if bytes[i + 1..].iter().take(hashes).all(|&b| b == b'#') => {
+                            i += 1 + hashes;
+                            break;
+                        }
+                        Some(_) => i += 1,
+                    }
+                }
+                for b in &mut out[start..i.min(bytes.len())] {
+                    if *b != b'\n' {
+                        *b = b' ';
+                    }
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                for b in &mut out[start..i.min(bytes.len())] {
+                    if *b != b'\n' {
+                        *b = b' ';
+                    }
+                }
+            }
+            // Char literal vs lifetime: 'x' / '\n' / '"' are literals; 'a
+            // (no closing quote within two bytes, unless escaped) is a
+            // lifetime and is left as-is.
+            b'\'' => {
+                let is_escaped = bytes.get(i + 1) == Some(&b'\\');
+                let closes = if is_escaped {
+                    // Escaped literal: scan to the closing quote (bounded).
+                    bytes[i + 2..].iter().take(8).any(|&b| b == b'\'')
+                } else {
+                    bytes.get(i + 2) == Some(&b'\'')
+                };
+                if closes {
+                    let start = i;
+                    i += 1;
+                    if bytes[i] == b'\\' {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1; // closing quote
+                    for b in &mut out[start..i.min(bytes.len())] {
+                        if *b != b'\n' {
+                            *b = b' ';
+                        }
+                    }
+                } else {
+                    i += 1; // lifetime: keep the tick, the lexer skips it
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("blanking only writes ASCII spaces")
+}
+
+/// True when `bytes[i..]` starts a raw (or raw-byte) string literal and not
+/// an identifier like `radius` or `break`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Must not be the tail of a longer identifier.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) != Some(&b'r') {
+            // b"..." (non-raw byte string): the '"' arm blanks it with full
+            // escape handling; only the harmless `b` prefix survives.
+            return false;
+        }
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanking_preserves_length_and_newlines() {
+        let src = "a // host_read(\nb \"to_vec()\" c /* x\ny */ d";
+        let out = blank(src);
+        assert_eq!(out.len(), src.len());
+        assert_eq!(out.matches('\n').count(), src.matches('\n').count());
+        assert!(!out.contains("host_read"));
+        assert!(!out.contains("to_vec"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let src = r####"let a = r#"launch("k")"#; let c = '"'; let d = '\n'; let e = b"st(";"####;
+        let out = blank(src);
+        assert_eq!(out.len(), src.len());
+        assert!(!out.contains("launch"));
+        assert!(!out.contains('"'));
+        assert!(!out.contains("st("));
+    }
+
+    #[test]
+    fn lifetimes_survive_blanking() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        assert_eq!(blank(src), src);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* x /* y */ z */ b";
+        let out = blank(src);
+        assert!(out.starts_with('a'));
+        assert!(out.ends_with('b'));
+        assert!(!out.contains('y'));
+        assert!(!out.contains('z'));
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let sf = SourceFile::new("t.rs", "ab\ncd\n");
+        assert_eq!(sf.line_col(0), (1, 1));
+        assert_eq!(sf.line_col(3), (2, 1));
+        assert_eq!(sf.line_col(4), (2, 2));
+        assert_eq!(sf.line_text(2), "cd");
+    }
+}

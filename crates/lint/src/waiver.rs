@@ -1,0 +1,115 @@
+//! The waiver system.
+//!
+//! A finding can be suppressed by a comment on the offending line or the
+//! line directly above it:
+//!
+//! ```text
+//! // ecl-lint: allow(rule-name, other-rule) why this is sound
+//! ```
+//!
+//! The legacy `lint-metering: serial-ok` / `lint-metering: simd-ok`
+//! markers from the grep-era linter are accepted as aliases for
+//! `allow(builder-serial-hot-path)` / `allow(swar-chunk-shape)`.
+//!
+//! Waivers are *accounted for*: one that suppresses no finding of a rule
+//! that actually ran over its file is itself reported as an
+//! `unused-waiver` error, so stale suppressions cannot accumulate. A
+//! waiver naming a rule the linter does not know is likewise an error
+//! (`unknown-waiver`) — typos must not silently waive nothing.
+
+use crate::source::SourceFile;
+
+/// One waiver comment in a file.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Rule names the waiver covers.
+    pub rules: Vec<String>,
+    /// The full comment text (for diagnostics).
+    pub text: String,
+    /// Set when a finding was suppressed by this waiver.
+    pub consumed: bool,
+}
+
+/// Scans a file's raw text for waiver comments.
+pub fn collect(sf: &SourceFile) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (i, (line, code_line)) in sf.raw.lines().zip(sf.code.lines()).enumerate() {
+        // Only genuine comment text counts: the `//` must open a comment,
+        // which means everything from it to end-of-line is blanked in the
+        // code view. A `//` inside a string literal leaves code (e.g. the
+        // closing `";`) after it and is rejected.
+        let Some(pos) = line
+            .match_indices("//")
+            .map(|(p, _)| p)
+            .find(|&p| code_line[p..].bytes().all(|b| b == b' '))
+        else {
+            continue;
+        };
+        let comment = &line[pos..];
+        let mut rules = Vec::new();
+        if let Some(a) = comment.find("ecl-lint: allow(") {
+            let rest = &comment[a + "ecl-lint: allow(".len()..];
+            if let Some(close) = rest.find(')') {
+                for r in rest[..close].split(',') {
+                    let r = r.trim();
+                    if !r.is_empty() {
+                        rules.push(r.to_string());
+                    }
+                }
+            }
+        }
+        if comment.contains("lint-metering: serial-ok") {
+            rules.push("builder-serial-hot-path".to_string());
+        }
+        if comment.contains("lint-metering: simd-ok") {
+            rules.push("swar-chunk-shape".to_string());
+        }
+        if !rules.is_empty() {
+            out.push(Waiver {
+                line: i + 1,
+                rules,
+                text: comment.trim().to_string(),
+                consumed: false,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_allow_lists_and_legacy_markers() {
+        let sf = SourceFile::new(
+            "t.rs",
+            "let x = 1; // ecl-lint: allow(rule-a, rule-b) because reasons\n\
+             // lint-metering: serial-ok (tiny pass)\n\
+             // lint-metering: simd-ok\n\
+             let y = 2; // plain comment\n",
+        );
+        let ws = collect(&sf);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].line, 1);
+        assert_eq!(ws[0].rules, ["rule-a", "rule-b"]);
+        assert_eq!(ws[1].rules, ["builder-serial-hot-path"]);
+        assert_eq!(ws[2].rules, ["swar-chunk-shape"]);
+    }
+
+    #[test]
+    fn code_outside_comments_is_ignored() {
+        let sf = SourceFile::new("t.rs", "let marker = \"ecl-lint: allow(x)\";\n");
+        assert!(collect(&sf).is_empty());
+        // `//` inside a string literal does not open a comment.
+        let sf = SourceFile::new("t.rs", "let s = \"// ecl-lint: allow(x)\"; let t = 2;\n");
+        assert!(collect(&sf).is_empty());
+        // …but a real trailing comment after such a string still counts.
+        let sf = SourceFile::new("t.rs", "let s = \"//x\"; // ecl-lint: allow(rule-a)\n");
+        let ws = collect(&sf);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rules, ["rule-a"]);
+    }
+}

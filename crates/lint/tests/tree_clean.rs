@@ -1,0 +1,20 @@
+//! The checked-in tree must be lint-clean: every rule passes and every
+//! waiver in the sources suppresses a real finding. This is the same run
+//! CI performs via `cargo xtask lint`, wired into `cargo test` so a dirty
+//! tree cannot land through the test gate either.
+
+#[test]
+fn workspace_tree_is_lint_clean() {
+    let root = ecl_lint::workspace_root();
+    let report = ecl_lint::run_tree(&root).expect("load workspace sources");
+    assert!(
+        report.files_scanned > 0,
+        "lint scanned no files — scope paths moved?"
+    );
+    let errors: Vec<String> = report.all_errors().iter().map(|d| d.to_string()).collect();
+    assert!(
+        report.is_clean(),
+        "tree has lint findings:\n{}",
+        errors.join("\n")
+    );
+}

@@ -35,6 +35,11 @@
 //! per-round snapshots without threading state through the algorithms.
 
 #![forbid(unsafe_code)]
+// Belt under the forbid above: if an audited `unsafe` block is ever
+// admitted here, its unsafe operations must still be spelled out inside
+// nested `unsafe {}` with their own SAFETY justification (the ecl-lint
+// unsafe-audit rule checks both).
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 use std::borrow::Cow;

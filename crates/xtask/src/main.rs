@@ -1,126 +1,68 @@
 //! Workspace automation tasks, invoked as `cargo xtask <task>` (see
 //! `.cargo/config.toml` for the alias).
 //!
-//! # `lint-metering`
+//! The static-analysis tasks are thin wrappers over the [`ecl_lint`]
+//! engine (`crates/lint`), which replaced this binary's original
+//! grep-based passes with token-level rules: span-accurate diagnostics,
+//! a waiver system whose unused waivers are themselves errors, and
+//! machine-readable JSON reports. `lint` runs the full registry; the
+//! `lint-metering` task keeps its historical name and scope (the metering
+//! and hot-path rules only) for muscle memory and CI compatibility.
 //!
-//! The gpu-sim cost model only meters device traffic that flows through the
-//! buffer accessors (`ld`/`st`/`atomic_*`/...). Host-side accessors
-//! (`host_read`, `host_write*`, `to_vec`, `as_slice`) are free by design —
-//! they model driver-side work outside kernel time. Calling one *inside* a
-//! kernel closure therefore smuggles unmetered traffic into a launch and
-//! silently skews every simulated number downstream.
+//! # Exit codes
 //!
-//! This lint scans the kernel-bearing crates for `launch(` / `launch_warps(`
-//! call spans and fails if a host accessor token appears inside one. Raw
-//! host-slice indexing paired with an explicit `ctx.charge_*` call is fine
-//! and not flagged; the tokens below are the accessors that bypass metering
-//! entirely.
+//! Every task uses the same convention:
 //!
-//! The same pass guards the tracing instrumentation: ecl-trace ranges are
-//! **host-side** constructs (they bracket launches on the session
-//! timeline), so opening one *inside* a kernel closure would interleave
-//! per-task events into the launch's complete event and corrupt the trace
-//! nesting. `range!(` / `open_range(` inside a launch span is flagged, and
-//! any file pairing raw `open_range(` calls with `close_range(` must keep
-//! them balanced (prefer the `range!` guard, which cannot leak).
-//!
-//! A third pass guards the parallel CSR construction hot path
-//! (`GraphBuilder::build`): a bare `for` loop or serial `.sort_unstable(`
-//! outside every `par::`-helper call span would quietly reintroduce the
-//! single-thread bottleneck the chunked build replaced, so it fails the
-//! lint unless the line (or the line above) carries a
-//! `lint-metering: serial-ok` waiver. The `build_serial` reference oracle
-//! is exempt — only `fn build_chunked(` is scanned.
-//!
-//! A fourth pass guards the chunked SWAR kernels in `ecl-graph` the same
-//! way: inside the blessed hot functions (`count_lt_swar`,
-//! `pack_into_chunked`, `has_empty_pack_swar`, `hash_weights_into`), every
-//! `for` loop must iterate the chunk pipeline — its line must mention
-//! `chunks`, `by_ref`, or `remainder` — or carry a
-//! `lint-metering: simd-ok` waiver. A plain whole-slice loop there would
-//! silently degrade the kernel back to the scalar oracle while parity
-//! tests keep passing.
+//! * `0` — success (lint: no findings and no unused waivers).
+//! * `1` — the task ran and failed (lint findings, fuzz mismatches).
+//! * `2` — usage error: unknown task or malformed arguments.
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Crates whose sources contain simulated GPU kernels.
-const KERNEL_DIRS: &[&str] = &["crates/core/src", "crates/baselines/src", "crates/cc/src"];
-
-/// Unmetered host-access tokens that must not appear inside a launch span.
-const FORBIDDEN: &[&str] = &["host_read(", "host_write", ".to_vec()", "as_slice("];
-
-/// Trace-range tokens that must not appear inside a launch span: ranges
-/// bracket launches from the host, they never open mid-kernel.
-const TRACE_FORBIDDEN: &[&str] = &["range!(", "open_range("];
-
-/// The parallel CSR construction hot path guarded against serial creep.
-const BUILDER_FILE: &str = "crates/graph/src/builder.rs";
-
-/// Parallel-helper call spans inside `GraphBuilder::build`; loops and sorts
-/// inside these run chunked under the pool and are fine.
-const PAR_SPANS: &[&str] = &[
-    "par::run_chunks(",
-    "par::par_map(",
-    "par::par_tasks(",
-    "par::par_split_mut(",
-    "par::sorted_key_offsets(",
-    "par::chunk_ranges(",
-    ".par_sort_unstable(",
-];
-
-/// Serial tokens that must not appear on `build_chunked`'s hot path: a
-/// bare `for` loop or a non-parallel slice sort there reintroduces the
-/// single-thread bottleneck the chunked path replaced. `build_serial` (the
-/// parity oracle) is exempt by construction — only `fn build_chunked(` is
-/// scanned — and deliberate serial steps carry a `lint-metering: serial-ok`
-/// marker.
-const BUILDER_SERIAL_TOKENS: &[&str] = &["for ", ".sort_unstable("];
-
-/// Chunked SWAR kernel files and the blessed hot functions inside them
-/// whose loops must run through the chunk pipeline.
-const SIMD_HOT_FNS: &[(&str, &[&str])] = &[
-    (
-        "crates/graph/src/simd.rs",
-        &[
-            "fn count_lt_swar(",
-            "fn pack_into_chunked(",
-            "fn has_empty_pack_swar(",
-        ],
-    ),
-    ("crates/graph/src/weights.rs", &["fn hash_weights_into("]),
-];
-
-/// A `for` line inside a blessed SWAR kernel must carry one of these —
-/// iterate chunk blocks, the exact-pair stream, or its remainder tail.
-const SIMD_CHUNK_TOKENS: &[&str] = &["chunks", "by_ref", "remainder"];
-
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("lint-metering") => lint_metering(),
+        Some("lint") => lint(args, ecl_lint::rules::all()),
+        Some("lint-metering") => lint(args, ecl_lint::rules::metering_subset()),
         Some("fuzz") => fuzz(args),
+        Some("--help" | "-h" | "help") => {
+            usage();
+            ExitCode::SUCCESS
+        }
         Some(other) => {
             eprintln!("unknown task '{other}'\n");
             usage();
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
         None => {
             usage();
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask <task>\n");
+    eprintln!("usage: cargo xtask <task> [task options]\n");
     eprintln!("tasks:");
     eprintln!(
-        "  lint-metering   flag unmetered host accessors and trace ranges inside kernel\n\
-         \u{20}                 launch closures, unbalanced raw open_range/close_range pairs,\n\
-         \u{20}                 and serial loops/sorts on the parallel CSR build hot path"
+        "  lint [--json PATH]\n\
+         \u{20}                 run every ecl-lint rule over the workspace sources:\n\
+         \u{20}                 metering/trace/hot-path guards plus the determinism,\n\
+         \u{20}                 metering-completeness, and unsafe-audit rules; --json\n\
+         \u{20}                 additionally writes a machine-readable report to PATH\n\
+         \u{20}                 (see `cargo run -p ecl-lint -- --list-rules` for the\n\
+         \u{20}                 rule catalogue and DESIGN.md §16 for the waiver policy)"
+    );
+    eprintln!(
+        "  lint-metering [--json PATH]\n\
+         \u{20}                 the historical subset: unmetered host accessors and\n\
+         \u{20}                 trace ranges inside kernel launch closures, unbalanced\n\
+         \u{20}                 open_range/close_range pairs, serial loops/sorts on the\n\
+         \u{20}                 parallel CSR build hot path, and non-chunked loops in\n\
+         \u{20}                 the blessed SWAR kernels"
     );
     eprintln!(
         "  fuzz [--cases N] [--seed S] [--sample-every K] [--force-scalar]\n\
@@ -128,6 +70,68 @@ fn usage() {
          \u{20}                 minimized failures land in tests/corpus/; --force-scalar\n\
          \u{20}                 rebuilds the solvers on the scalar oracle paths first"
     );
+    eprintln!(
+        "\nexit codes: 0 success, 1 task failure (findings, fuzz mismatch),\n\
+         \u{20}           2 unknown task or bad arguments"
+    );
+}
+
+/// Runs the given lint rules over the workspace tree, printing findings to
+/// stderr and optionally writing the JSON report.
+fn lint(extra: impl Iterator<Item = String>, rules: Vec<Box<dyn ecl_lint::Rule>>) -> ExitCode {
+    let mut json: Option<PathBuf> = None;
+    let mut extra = extra;
+    while let Some(a) = extra.next() {
+        match a.as_str() {
+            "--json" => match extra.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a path\n");
+                    usage();
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown lint option '{other}'\n");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let ws = match ecl_lint::Workspace::load(&root, &rules) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("lint: failed to load sources under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = ecl_lint::run(&ws, &rules);
+    if let Some(path) = &json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    for d in report.all_errors() {
+        eprintln!("{d}");
+    }
+    if report.is_clean() {
+        println!(
+            "lint: {} rule(s) over {} file(s), all clean",
+            report.rules.len(),
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nlint: {} finding(s), {} unused waiver(s).",
+            report.findings.len(),
+            report.unused_waivers.len()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 /// Runs the ecl-fuzz differential campaign in release mode, pointing its
@@ -171,611 +175,4 @@ fn workspace_root() -> PathBuf {
         .nth(2)
         .expect("xtask lives two levels below the workspace root")
         .to_path_buf()
-}
-
-fn lint_metering() -> ExitCode {
-    let root = workspace_root();
-    let mut findings = Vec::new();
-    let mut files = 0usize;
-    let mut spans = 0usize;
-    for dir in KERNEL_DIRS {
-        for file in rust_files(&root.join(dir)) {
-            files += 1;
-            let source = std::fs::read_to_string(&file).expect("read source file");
-            let rel = file.strip_prefix(&root).unwrap_or(&file).to_path_buf();
-            spans += check_file(&rel, &source, &mut findings);
-            check_range_balance(&rel, &blank_comments_and_strings(&source), &mut findings);
-        }
-    }
-    {
-        let file = root.join(BUILDER_FILE);
-        let source = std::fs::read_to_string(&file).expect("read builder source");
-        check_builder_hot_path(Path::new(BUILDER_FILE), &source, &mut findings);
-        files += 1;
-    }
-    for (rel, fns) in SIMD_HOT_FNS {
-        let file = root.join(rel);
-        let source = std::fs::read_to_string(&file).expect("read SWAR kernel source");
-        check_simd_spans(Path::new(rel), &source, fns, &mut findings);
-        files += 1;
-    }
-    if findings.is_empty() {
-        println!("lint-metering: {spans} launch spans across {files} files (incl. builder hot path and SWAR kernels), all clean");
-        ExitCode::SUCCESS
-    } else {
-        for f in &findings {
-            eprintln!("{f}");
-        }
-        eprintln!(
-            "\nlint-metering: {} violation(s).\n\
-             Inside a launch closure, route device traffic through the metered\n\
-             accessors (`ld`/`st`/`atomic_*`) or charge it explicitly via\n\
-             `ctx.charge_*`; open trace ranges outside the closure (prefer the\n\
-             `range!` guard over raw `open_range`/`close_range` pairs).",
-            findings.len()
-        );
-        ExitCode::FAILURE
-    }
-}
-
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let entries =
-            std::fs::read_dir(&d).unwrap_or_else(|e| panic!("read_dir {}: {e}", d.display()));
-        for entry in entries {
-            let path = entry.expect("dir entry").path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                out.push(path);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-/// Scans one file; appends `file:line: token` findings. Returns the number
-/// of launch spans inspected.
-fn check_file(rel: &Path, source: &str, findings: &mut Vec<String>) -> usize {
-    // Blank out comments and string literals first so tokens in docs or
-    // kernel-name strings don't trip the lint and parens stay balanced.
-    let code = blank_comments_and_strings(source);
-    let mut spans = 0;
-    for pat in ["launch(", "launch_warps("] {
-        let mut from = 0;
-        while let Some(hit) = code[from..].find(pat) {
-            let open = from + hit + pat.len() - 1;
-            from = open + 1;
-            // Require a call site (`.launch(...)`), not a definition.
-            let before = code[..open - pat.len() + 1].trim_end();
-            if !before.ends_with('.') {
-                continue;
-            }
-            let Some(close) = matching_paren(&code, open) else {
-                continue;
-            };
-            spans += 1;
-            scan_span(rel, source, &code, open, close, findings);
-        }
-    }
-    spans
-}
-
-fn scan_span(
-    rel: &Path,
-    source: &str,
-    code: &str,
-    open: usize,
-    close: usize,
-    findings: &mut Vec<String>,
-) {
-    let span = &code[open..close];
-    for (tokens, what) in [
-        (FORBIDDEN, "unmetered host access"),
-        (TRACE_FORBIDDEN, "trace range opened"),
-    ] {
-        for token in tokens {
-            let mut from = 0;
-            while let Some(hit) = span[from..].find(token) {
-                let at = open + from + hit;
-                let line = code[..at].bytes().filter(|&b| b == b'\n').count() + 1;
-                let text = source.lines().nth(line - 1).unwrap_or("").trim();
-                findings.push(format!(
-                    "{}:{line}: {what} (`{token}`) inside a launch span: {text}",
-                    rel.display()
-                ));
-                from += hit + token.len();
-            }
-        }
-    }
-}
-
-/// Counts occurrences of `token` in already-blanked code.
-fn count_token(code: &str, token: &str) -> usize {
-    let mut n = 0;
-    let mut from = 0;
-    while let Some(hit) = code[from..].find(token) {
-        n += 1;
-        from += hit + token.len();
-    }
-    n
-}
-
-/// Per-file balance check for raw trace-range calls: every `open_range(`
-/// needs a matching `close_range(` in the same file, or a span leaks and
-/// every later event nests wrongly. (`range!` closes via its guard and is
-/// exempt — it *expands* to a balanced pair.)
-fn check_range_balance(rel: &Path, code: &str, findings: &mut Vec<String>) {
-    let opens = count_token(code, "open_range(");
-    let closes = count_token(code, "close_range(");
-    if opens != closes {
-        findings.push(format!(
-            "{}: {opens} `open_range(` vs {closes} `close_range(` — \
-             unbalanced raw trace spans (prefer the `range!` guard)",
-            rel.display()
-        ));
-    }
-}
-
-/// Guards the parallel CSR hot path: inside `fn build_chunked(` (and only
-/// there — `build_serial` is the reference oracle), a `for` loop or serial
-/// `.sort_unstable(` outside every parallel-helper call span is flagged
-/// unless its line carries a `lint-metering: serial-ok` marker.
-fn check_builder_hot_path(rel: &Path, source: &str, findings: &mut Vec<String>) {
-    let code = blank_comments_and_strings(source);
-    let Some(body) = fn_body_span(&code, "fn build_chunked(") else {
-        findings.push(format!(
-            "{}: `fn build_chunked(` not found — builder hot-path lint has nothing to guard",
-            rel.display()
-        ));
-        return;
-    };
-    // Every parallel-helper call span inside the body is covered territory.
-    let mut covered: Vec<(usize, usize)> = Vec::new();
-    for pat in PAR_SPANS {
-        let mut from = body.0;
-        while let Some(hit) = code[from..body.1].find(pat) {
-            let open = from + hit + pat.len() - 1;
-            from = open + 1;
-            if let Some(close) = matching_paren(&code, open) {
-                covered.push((open, close.min(body.1)));
-            }
-        }
-    }
-    for token in BUILDER_SERIAL_TOKENS {
-        let mut from = body.0;
-        while let Some(hit) = code[from..body.1].find(token) {
-            let at = from + hit;
-            from = at + token.len();
-            // Word boundary so identifiers ending in `for` don't match
-            // (only meaningful for tokens that start mid-word).
-            let prev = at.checked_sub(1).map(|i| code.as_bytes()[i]);
-            if token.starts_with(|c: char| c.is_ascii_alphanumeric())
-                && prev.is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
-            {
-                continue;
-            }
-            if covered.iter().any(|&(lo, hi)| at > lo && at < hi) {
-                continue;
-            }
-            let line = code[..at].bytes().filter(|&b| b == b'\n').count() + 1;
-            let text = source.lines().nth(line - 1).unwrap_or("");
-            // The waiver marker may trail the statement or sit on its own
-            // line directly above it.
-            let above = line.checked_sub(2).and_then(|i| source.lines().nth(i));
-            if [Some(text), above]
-                .iter()
-                .flatten()
-                .any(|l| l.contains("lint-metering: serial-ok"))
-            {
-                continue;
-            }
-            findings.push(format!(
-                "{}:{line}: serial `{}` on the parallel build hot path \
-                 (outside every par-helper span): {}",
-                rel.display(),
-                token.trim(),
-                text.trim()
-            ));
-        }
-    }
-}
-
-/// Guards the chunked SWAR kernels: inside each blessed hot function, a
-/// `for` loop whose line doesn't mention the chunk pipeline (`chunks`,
-/// `by_ref`, `remainder`) is flagged unless the line (or the line directly
-/// above) carries a `lint-metering: simd-ok` waiver. The scalar oracles
-/// (`*_scalar`) are exempt by construction — they're not in the blessed
-/// list.
-fn check_simd_spans(rel: &Path, source: &str, fns: &[&str], findings: &mut Vec<String>) {
-    let code = blank_comments_and_strings(source);
-    for pat in fns {
-        let Some(body) = fn_body_span(&code, pat) else {
-            findings.push(format!(
-                "{}: `{pat}` not found — SWAR kernel lint has nothing to guard",
-                rel.display()
-            ));
-            continue;
-        };
-        let mut from = body.0;
-        while let Some(hit) = code[from..body.1].find("for ") {
-            let at = from + hit;
-            from = at + 4;
-            // Word boundary so identifiers ending in `for` don't match.
-            let prev = at.checked_sub(1).map(|i| code.as_bytes()[i]);
-            if prev.is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
-                continue;
-            }
-            let line = code[..at].bytes().filter(|&b| b == b'\n').count() + 1;
-            let text = source.lines().nth(line - 1).unwrap_or("");
-            if SIMD_CHUNK_TOKENS.iter().any(|t| text.contains(t)) {
-                continue;
-            }
-            let above = line.checked_sub(2).and_then(|i| source.lines().nth(i));
-            if [Some(text), above]
-                .iter()
-                .flatten()
-                .any(|l| l.contains("lint-metering: simd-ok"))
-            {
-                continue;
-            }
-            findings.push(format!(
-                "{}:{line}: non-chunked `for` inside SWAR kernel `{}`: {}",
-                rel.display(),
-                pat.trim_end_matches('('),
-                text.trim()
-            ));
-        }
-    }
-}
-
-/// Byte span `(open_brace, close_brace)` of the body of the first function
-/// whose definition starts with `pat` (e.g. `"fn build("`), in blanked code.
-/// The parameter list's parens are skipped so `fn build(mut self)` works.
-fn fn_body_span(code: &str, pat: &str) -> Option<(usize, usize)> {
-    let def = code.find(pat)?;
-    let params_open = def + pat.len() - 1;
-    let params_close = matching_paren(code, params_open)?;
-    let brace = params_close + code[params_close..].find('{')?;
-    let close = matching_brace(code, brace)?;
-    Some((brace, close))
-}
-
-/// Index of the `}` matching the `{` at `open` (source already blanked).
-fn matching_brace(code: &str, open: usize) -> Option<usize> {
-    let bytes = code.as_bytes();
-    let mut depth = 0usize;
-    for (i, &b) in bytes.iter().enumerate().skip(open) {
-        match b {
-            b'{' => depth += 1,
-            b'}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(i);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Index of the `)` matching the `(` at `open` (source already blanked).
-fn matching_paren(code: &str, open: usize) -> Option<usize> {
-    let bytes = code.as_bytes();
-    let mut depth = 0usize;
-    for (i, &b) in bytes.iter().enumerate().skip(open) {
-        match b {
-            b'(' => depth += 1,
-            b')' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(i);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Replaces the contents of `//` comments, `/* */` comments, and string
-/// literals with spaces, preserving byte offsets and newlines.
-fn blank_comments_and_strings(source: &str) -> String {
-    let bytes = source.as_bytes();
-    let mut out = bytes.to_vec();
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    out[i] = b' ';
-                    i += 1;
-                }
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                let mut depth = 0usize;
-                while i < bytes.len() {
-                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        out[i] = b' ';
-                        out[i + 1] = b' ';
-                        i += 2;
-                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                        out[i] = b' ';
-                        out[i + 1] = b' ';
-                        i += 2;
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    } else {
-                        if bytes[i] != b'\n' {
-                            out[i] = b' ';
-                        }
-                        i += 1;
-                    }
-                }
-            }
-            b'"' => {
-                out[i] = b' ';
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => {
-                            out[i] = b' ';
-                            if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
-                                out[i + 1] = b' ';
-                            }
-                            i += 2;
-                        }
-                        b'"' => {
-                            out[i] = b' ';
-                            i += 1;
-                            break;
-                        }
-                        b'\n' => i += 1,
-                        _ => {
-                            out[i] = b' ';
-                            i += 1;
-                        }
-                    }
-                }
-            }
-            _ => i += 1,
-        }
-    }
-    String::from_utf8(out).expect("blanking is ASCII-preserving")
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn blanking_preserves_offsets_and_lines() {
-        let src = "a // host_read(\nb \"to_vec()\" c /* x */ d";
-        let out = blank_comments_and_strings(src);
-        assert_eq!(out.len(), src.len());
-        assert!(!out.contains("host_read"));
-        assert!(!out.contains("to_vec"));
-        assert_eq!(out.matches('\n').count(), 1);
-    }
-
-    #[test]
-    fn flags_host_access_inside_launch_only() {
-        let src = r#"
-            fn ok(dev: &mut D, b: &B) {
-                let v = b.to_vec(); // outside: fine
-                let _ = dev.launch("k", 4, |i, ctx| {
-                    let _ = b.ld(ctx, i);
-                });
-            }
-            fn bad(dev: &mut D, b: &B) {
-                let _ = dev.launch("k", 4, |i, ctx| {
-                    let _ = b.host_read(i);
-                });
-            }
-        "#;
-        let mut findings = Vec::new();
-        let spans = check_file(Path::new("t.rs"), src, &mut findings);
-        assert_eq!(spans, 2);
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert!(findings[0].contains("host_read"));
-        assert!(findings[0].contains("t.rs:10"));
-    }
-
-    #[test]
-    fn launch_warps_spans_are_scanned_too() {
-        let src =
-            "fn f(d: &mut D, b: &B) { d.launch_warps(\"w\", 1, |_, w| { b.host_write(0, 1); }); }";
-        let mut findings = Vec::new();
-        let spans = check_file(Path::new("t.rs"), src, &mut findings);
-        assert_eq!(spans, 1);
-        assert_eq!(findings.len(), 1);
-    }
-
-    #[test]
-    fn definition_sites_are_not_call_spans() {
-        let src = "pub fn launch(&mut self, n: usize) { self.host_write(0, 0); }";
-        let mut findings = Vec::new();
-        let spans = check_file(Path::new("t.rs"), src, &mut findings);
-        assert_eq!(spans, 0);
-        assert!(findings.is_empty());
-    }
-
-    #[test]
-    fn trace_ranges_flagged_inside_launch_only() {
-        let src = r#"
-            fn ok(dev: &mut D, b: &B) {
-                let _round = ecl_trace::range!(sim: "round"); // outside: fine
-                let _ = dev.launch("k", 4, |i, ctx| {
-                    let _ = b.ld(ctx, i);
-                });
-            }
-            fn bad(dev: &mut D, b: &B) {
-                let _ = dev.launch("k", 4, |i, ctx| {
-                    let _g = ecl_trace::range!(sim: "per-task");
-                    let _ = b.ld(ctx, i);
-                });
-            }
-        "#;
-        let mut findings = Vec::new();
-        let spans = check_file(Path::new("t.rs"), src, &mut findings);
-        assert_eq!(spans, 2);
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert!(findings[0].contains("trace range opened"));
-        assert!(findings[0].contains("t.rs:10"));
-    }
-
-    #[test]
-    fn builder_lint_flags_serial_creep_outside_par_spans() {
-        let src = r#"
-            impl GraphBuilder {
-                pub fn build_chunked(mut self) -> CsrGraph {
-                    self.edges.par_sort_unstable(); // parallel: fine
-                    par::par_tasks(tasks, |task| {
-                        for s in task.vertices.clone() { body(s); } // covered
-                    });
-                    for e in &self.edges { serial(e); }
-                    self.edges.sort_unstable();
-                    out
-                }
-                pub fn build_serial(mut self) -> CsrGraph {
-                    for e in &self.edges { serial(e); } // oracle: exempt
-                    out
-                }
-            }
-        "#;
-        let mut findings = Vec::new();
-        check_builder_hot_path(Path::new("builder.rs"), src, &mut findings);
-        assert_eq!(findings.len(), 2, "{findings:?}");
-        assert!(findings[0].contains("`for`"), "{findings:?}");
-        assert!(findings[1].contains(".sort_unstable("), "{findings:?}");
-    }
-
-    #[test]
-    fn builder_lint_honors_serial_ok_waivers() {
-        let src = r#"
-            fn build_chunked(mut self) -> CsrGraph {
-                for r in chunks { partition(r); } // lint-metering: serial-ok (O(#chunks))
-                // lint-metering: serial-ok (tiny fixed-size pass)
-                for r in chunks { partition(r); }
-                out
-            }
-        "#;
-        let mut findings = Vec::new();
-        check_builder_hot_path(Path::new("builder.rs"), src, &mut findings);
-        assert!(findings.is_empty(), "{findings:?}");
-    }
-
-    #[test]
-    fn simd_lint_flags_non_chunked_loops_in_blessed_fns() {
-        let src = r#"
-            pub fn count_lt_scalar(ws: &[u32], t: u32) -> usize {
-                for &w in ws { scan(w); } // oracle: exempt
-                0
-            }
-            pub fn count_lt_swar(ws: &[u32], t: u32) -> usize {
-                for block in ws.chunks(CHUNK) {
-                    let mut pairs = block.chunks_exact(2);
-                    for p in pairs.by_ref() { scan(p); }
-                    for &w in pairs.remainder() { scan(w); }
-                }
-                for &w in ws { scan(w); }
-                0
-            }
-        "#;
-        let mut findings = Vec::new();
-        check_simd_spans(
-            Path::new("simd.rs"),
-            src,
-            &["fn count_lt_swar("],
-            &mut findings,
-        );
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert!(findings[0].contains("non-chunked"), "{findings:?}");
-        assert!(findings[0].contains("count_lt_swar"));
-    }
-
-    #[test]
-    fn simd_lint_honors_simd_ok_waiver_and_missing_fn() {
-        let src = r#"
-            pub fn pack_into_chunked(ws: &[u32]) {
-                // lint-metering: simd-ok (bounded warmup, not the scan)
-                for w in head { prime(w); }
-                for block in ws.chunks(CHUNK) { pack(block); }
-            }
-        "#;
-        let mut findings = Vec::new();
-        check_simd_spans(
-            Path::new("simd.rs"),
-            src,
-            &["fn pack_into_chunked("],
-            &mut findings,
-        );
-        assert!(findings.is_empty(), "{findings:?}");
-        check_simd_spans(Path::new("simd.rs"), src, &["fn absent("], &mut findings);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].contains("nothing to guard"));
-    }
-
-    #[test]
-    fn simd_lint_is_clean_on_the_real_kernels() {
-        let root = workspace_root();
-        let mut findings = Vec::new();
-        for (rel, fns) in SIMD_HOT_FNS {
-            let source = std::fs::read_to_string(root.join(rel)).expect("read kernel source");
-            check_simd_spans(Path::new(rel), &source, fns, &mut findings);
-        }
-        assert!(findings.is_empty(), "{findings:?}");
-    }
-
-    #[test]
-    fn builder_lint_requires_build_to_exist() {
-        let mut findings = Vec::new();
-        check_builder_hot_path(Path::new("builder.rs"), "fn other() {}", &mut findings);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].contains("nothing to guard"));
-    }
-
-    #[test]
-    fn matching_brace_finds_fn_bodies() {
-        let code = "fn build_chunked(a: A) -> B { x { y } z }";
-        let (open, close) = fn_body_span(code, "fn build_chunked(").unwrap();
-        assert_eq!(&code[open..=close], "{ x { y } z }");
-    }
-
-    #[test]
-    fn raw_open_range_must_balance_per_file() {
-        let balanced = "fn f() { ecl_trace::open_range(\"a\", C); ecl_trace::close_range(); }";
-        let mut findings = Vec::new();
-        check_range_balance(
-            Path::new("t.rs"),
-            &blank_comments_and_strings(balanced),
-            &mut findings,
-        );
-        assert!(findings.is_empty(), "{findings:?}");
-
-        let leaky = "fn f() { ecl_trace::open_range(\"a\", C); }";
-        check_range_balance(
-            Path::new("t.rs"),
-            &blank_comments_and_strings(leaky),
-            &mut findings,
-        );
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].contains("unbalanced"));
-        // Tokens inside comments and strings don't count.
-        let commented = "fn f() { /* open_range( */ let s = \"open_range(\"; }";
-        let mut f2 = Vec::new();
-        check_range_balance(
-            Path::new("t.rs"),
-            &blank_comments_and_strings(commented),
-            &mut f2,
-        );
-        assert!(f2.is_empty(), "{f2:?}");
-    }
 }
