@@ -18,13 +18,22 @@
 //! `--diff BASELINE.profile.json` then compares the fresh profile against a
 //! checked-in baseline and exits with status 4 when any per-kernel or total
 //! simulated time regressed by more than 5% (the CI trace gate).
+//!
+//! `--metrics [PATH]` records the workload under an ecl-metrics session,
+//! writes the byte-stable `ecl-metrics/1` JSON (plus the Prometheus text
+//! next to it), and embeds the stable counters — with derived
+//! `simcache_hit_rate` / `dsu_retry_total` headline keys — into the
+//! snapshot; `--metrics-diff BASELINE.json` then compares the fresh export
+//! against a checked-in baseline and exits with status 5 when any stable
+//! metric drifted more than 5% in either direction (the CI metrics gate —
+//! distinct from the trace gate's exit 4).
 
 use ecl_gpu_sim::{scratch_footprint, GpuProfile};
 use ecl_graph::suite;
 use ecl_mst_bench::registry::{all_codes, MstCode};
 use ecl_mst_bench::runner::{
-    peak_rss_bytes, sanitize_from_args, scale_from_args, trace_from_args, wall,
-    with_optional_sanitizer, with_optional_trace_breakdown, Repeats,
+    metrics_from_args, peak_rss_bytes, sanitize_from_args, scale_from_args, trace_from_args, wall,
+    with_optional_metrics, with_optional_sanitizer, with_optional_trace_breakdown, Repeats,
 };
 use ecl_mst_bench::{simcache, snapshot};
 use std::fmt::Write as _;
@@ -75,29 +84,51 @@ fn main() {
         eprintln!("--diff needs --trace (the diff compares the fresh trace profile)");
         std::process::exit(2);
     }
-    let (total_wall, trace_profile) = with_optional_trace_breakdown(trace.as_deref(), || {
-        with_optional_sanitizer(sanitize, || {
-            wall(|| {
-                let entries = suite(scale);
-                n_inputs = entries.len();
-                for e in &entries {
-                    eprintln!("measuring {} ...", e.name);
-                    for (c, code) in codes.iter().enumerate() {
-                        let mut sim = 0.0;
-                        wall_s[c] += wall(|| {
-                            for _ in 0..repeats.0.max(1) {
-                                if let Ok(s) = (code.run)(&e.graph, profile) {
-                                    sim += s;
-                                }
-                            }
-                        });
-                        sim_s[c] += sim;
-                    }
-                    ecl_mst::evict_graph(&e.graph);
+    let metrics = metrics_from_args(&args);
+    let metrics_diff: Option<PathBuf> =
+        args.iter()
+            .position(|a| a == "--metrics-diff")
+            .map(|i| match args.get(i + 1) {
+                Some(p) if !p.starts_with("--") => PathBuf::from(p),
+                _ => {
+                    eprintln!("--metrics-diff requires a baseline metrics path");
+                    std::process::exit(2);
                 }
-            })
-        })
-    });
+            });
+    if metrics_diff.is_some() && metrics.is_none() {
+        eprintln!("--metrics-diff needs --metrics (the diff compares the fresh export)");
+        std::process::exit(2);
+    }
+    // Metrics session outermost: the trace→metrics bridge publishes when
+    // the trace session closes, which must happen inside it.
+    let ((total_wall, trace_profile), metrics_snap) =
+        with_optional_metrics(metrics.as_deref(), || {
+            let r = with_optional_trace_breakdown(trace.as_deref(), || {
+                with_optional_sanitizer(sanitize, || {
+                    wall(|| {
+                        let entries = suite(scale);
+                        n_inputs = entries.len();
+                        for e in &entries {
+                            eprintln!("measuring {} ...", e.name);
+                            for (c, code) in codes.iter().enumerate() {
+                                let mut sim = 0.0;
+                                wall_s[c] += wall(|| {
+                                    for _ in 0..repeats.0.max(1) {
+                                        if let Ok(s) = (code.run)(&e.graph, profile) {
+                                            sim += s;
+                                        }
+                                    }
+                                });
+                                sim_s[c] += sim;
+                            }
+                            ecl_mst::evict_graph(&e.graph);
+                        }
+                    })
+                })
+            });
+            simcache::publish_store_stats();
+            r
+        });
 
     // Chain link: the previous snapshot (same directory, highest N) is the
     // baseline whenever it describes the same workload — same scale, same
@@ -110,15 +141,16 @@ fn main() {
     let scale_name = format!("{scale:?}");
     let current_repeats = repeats.0.max(1) as u64;
     let baseline: Option<(f64, String)> = snapshot::read_snapshot(dir, prev_index)
-        .filter(|p| p.comparable_to(&scale_name, current_repeats))
+        .filter(|p| p.comparable_to(&scale_name, current_repeats, simcache::enabled()))
         .map(|p| (p.total_wall_seconds, p.file.clone()))
         .or_else(|| {
-            (scale_name == "Small" && current_repeats == 3 && !sanitize).then(|| {
-                (
-                    SEED_BASELINE_WALL_SECONDS,
-                    "seed commit 2727883".to_string(),
-                )
-            })
+            (scale_name == "Small" && current_repeats == 3 && !sanitize && !simcache::enabled())
+                .then(|| {
+                    (
+                        SEED_BASELINE_WALL_SECONDS,
+                        "seed commit 2727883".to_string(),
+                    )
+                })
         });
 
     let (const_bytes, pooled_bytes) = scratch_footprint();
@@ -171,6 +203,41 @@ fn main() {
         }
         let _ = writeln!(json, "  ],");
     }
+    // Stable telemetry from the metered run (absent without --metrics).
+    // Keys all start "ecl." or are unique, so the first-occurrence parser
+    // in `snapshot::read_snapshot` (whose keys all appear above) is safe.
+    if let Some(snap) = &metrics_snap {
+        let hit = snap.counter("ecl.simcache.hit");
+        let looked = hit + snap.counter("ecl.simcache.miss") + snap.counter("ecl.simcache.stale");
+        let rate = if looked == 0 {
+            0.0
+        } else {
+            hit as f64 / looked as f64
+        };
+        let _ = writeln!(json, "  \"metrics\": {{");
+        let _ = writeln!(json, "    \"format\": \"ecl-metrics/1\",");
+        let _ = writeln!(json, "    \"simcache_hit_rate\": {rate:.4},");
+        let _ = writeln!(
+            json,
+            "    \"dsu_retry_total\": {},",
+            snap.counter("ecl.dsu.cas_retry")
+        );
+        let stable: Vec<_> = snap
+            .entries
+            .iter()
+            .filter(|e| e.stability == ecl_metrics::Stability::Stable)
+            .collect();
+        for (i, e) in stable.iter().enumerate() {
+            let comma = if i + 1 < stable.len() { "," } else { "" };
+            let _ = match e.kind {
+                ecl_metrics::Kind::Gauge => {
+                    writeln!(json, "    \"{}\": {}{comma}", e.name, e.gauge)
+                }
+                _ => writeln!(json, "    \"{}\": {}{comma}", e.name, e.count),
+            };
+        }
+        let _ = writeln!(json, "  }},");
+    }
     match &baseline {
         Some((base, source)) => {
             let _ = writeln!(json, "  \"baseline_wall_seconds\": {base:.4},");
@@ -195,6 +262,37 @@ fn main() {
     std::fs::write(&out, &json).expect("write snapshot");
     print!("{json}");
     eprintln!("wrote {out}");
+    simcache::log_summary();
+
+    // CI metrics gate: compare the fresh stable export against a
+    // checked-in baseline. Exit 5 (the trace gate below uses 4).
+    if let (Some(base_path), Some(snap)) = (&metrics_diff, &metrics_snap) {
+        let text = std::fs::read_to_string(base_path).unwrap_or_else(|e| {
+            eprintln!("--metrics-diff: cannot read {}: {e}", base_path.display());
+            std::process::exit(2);
+        });
+        let baseline = ecl_metrics::json::from_json(&text).unwrap_or_else(|e| {
+            eprintln!(
+                "--metrics-diff: {} is not a metrics export: {e}",
+                base_path.display()
+            );
+            std::process::exit(2);
+        });
+        let report = snap.diff(&baseline, 0.05);
+        println!("\nmetrics diff vs {}:", base_path.display());
+        for line in &report.lines {
+            println!("  {line}");
+        }
+        if report.is_pass() {
+            println!("--metrics-diff: PASS (no stable metric drifted above 5%)");
+        } else {
+            eprintln!(
+                "--metrics-diff: {} stable metric(s) drifted above 5%",
+                report.drifted
+            );
+            std::process::exit(5);
+        }
+    }
 
     // CI trace gate: compare the fresh profile against a checked-in one.
     if let (Some(base_path), Some((profile, _))) = (diff_baseline, trace_profile) {

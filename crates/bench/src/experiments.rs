@@ -3,8 +3,8 @@
 use crate::chart::bar_chart;
 use crate::registry::{all_codes, CodeKind, MstCode, Timing};
 use crate::runner::{
-    geomean, median_time, sanitize_from_args, scale_from_args, trace_from_args,
-    with_optional_sanitizer, with_optional_trace, Repeats,
+    geomean, median_time, metrics_from_args, sanitize_from_args, scale_from_args, trace_from_args,
+    with_optional_metrics, with_optional_sanitizer, with_optional_trace, Repeats,
 };
 use crate::simcache;
 use crate::table::{fmt_geomean, fmt_timing, Table};
@@ -52,9 +52,17 @@ pub fn measure_matrix(
     repeats: Repeats,
 ) -> Matrix {
     let codes: Vec<MstCode> = all_codes(with_cugraph);
+    // Per-phase wall histograms are host-side telemetry, gated on an active
+    // metrics session; the measured cells never read these clocks.
+    let timed = ecl_metrics::active();
+    ecl_metrics::gauge!(RUNNER_THREADS, par::max_threads());
 
     // Phase 1: prepare (parallel generate + build).
+    let t = timed.then(std::time::Instant::now);
     let entries = suite(scale);
+    if let Some(t) = t {
+        ecl_metrics::histogram!(RUNNER_PHASE_SECONDS, t.elapsed().as_secs_f64());
+    }
 
     // Phase 2: simulate (host-parallel across entries; `None` marks the
     // wall-clock cells phase 3 owns).
@@ -75,13 +83,18 @@ pub fn measure_matrix(
                 .collect::<Vec<Option<Timing>>>()
         })
     };
+    let t = timed.then(std::time::Instant::now);
     let sim_cells = if ecl_trace::enabled() || ecl_gpu_sim::sanitize_enabled() {
         par::with_serial_input(simulate)
     } else {
         simulate()
     };
+    if let Some(t) = t {
+        ecl_metrics::histogram!(RUNNER_PHASE_SECONDS, t.elapsed().as_secs_f64());
+    }
 
     // Phase 3: measure (exclusive wall-clock phase, pool quiesced).
+    let t = timed.then(std::time::Instant::now);
     let mut cells = Vec::with_capacity(entries.len());
     for (e, sims) in entries.iter().zip(sim_cells) {
         let row: Vec<Timing> = codes
@@ -105,6 +118,11 @@ pub fn measure_matrix(
         // uploads so scratch memory doesn't scale with the suite size.
         ecl_mst::evict_graph(&e.graph);
     }
+    if let Some(t) = t {
+        ecl_metrics::histogram!(RUNNER_PHASE_SECONDS, t.elapsed().as_secs_f64());
+    }
+    ecl_metrics::counter!(RUNNER_CELLS, (entries.len() * codes.len()) as u64);
+    simcache::publish_store_stats();
     Matrix {
         entries,
         code_names: codes.iter().map(|c| c.name).collect(),
@@ -150,9 +168,14 @@ pub fn run_system_table(a: SystemTableArgs) {
     let scale = scale_from_args(&a.args);
     let repeats = Repeats::from_args(&a.args);
     let trace = trace_from_args(&a.args);
-    let m = with_optional_trace(trace.as_deref(), || {
-        with_optional_sanitizer(sanitize_from_args(&a.args), || {
-            measure_matrix(a.profile, a.with_cugraph, scale, repeats)
+    let metrics = metrics_from_args(&a.args);
+    // Metrics outermost: the trace→metrics bridge publishes when a trace
+    // session closes, which must happen inside the metrics session.
+    let (m, _) = with_optional_metrics(metrics.as_deref(), || {
+        with_optional_trace(trace.as_deref(), || {
+            with_optional_sanitizer(sanitize_from_args(&a.args), || {
+                measure_matrix(a.profile, a.with_cugraph, scale, repeats)
+            })
         })
     });
 
@@ -182,6 +205,7 @@ pub fn run_system_table(a: SystemTableArgs) {
         print!("{}", t.render());
     }
     print_winner_summary(&m);
+    simcache::log_summary();
 }
 
 fn print_winner_summary(m: &Matrix) {
@@ -224,9 +248,12 @@ pub fn run_throughput_figure(
     let scale = scale_from_args(args);
     let repeats = Repeats::from_args(args);
     let trace = trace_from_args(args);
-    let m = with_optional_trace(trace.as_deref(), || {
-        with_optional_sanitizer(sanitize_from_args(args), || {
-            measure_matrix(profile, with_cugraph, scale, repeats)
+    let metrics = metrics_from_args(args);
+    let (m, _) = with_optional_metrics(metrics.as_deref(), || {
+        with_optional_trace(trace.as_deref(), || {
+            with_optional_sanitizer(sanitize_from_args(args), || {
+                measure_matrix(profile, with_cugraph, scale, repeats)
+            })
         })
     });
     println!("{title} (scale {scale:?}): throughput in millions of edges per second\n");
@@ -262,6 +289,7 @@ pub fn run_throughput_figure(
             }
         }
     }
+    simcache::log_summary();
 }
 
 #[cfg(test)]

@@ -51,6 +51,9 @@ fn sim_cached(
             .map(|(_, _, _, r)| r.clone())
     });
     if let Some(r) = hit {
+        // In-process memo replays (repeat loops, shared cells within one
+        // binary) are distinct from on-disk store hits.
+        ecl_metrics::counter!(SIMCACHE_REPLAY);
         return r;
     }
     let r = crate::simcache::sim_result_cell(name, p.name, g, run);

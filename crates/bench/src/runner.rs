@@ -142,6 +142,49 @@ pub fn with_optional_trace<R>(path: Option<&Path>, f: impl FnOnce() -> R) -> R {
     with_optional_trace_profile(path, f).0
 }
 
+/// Parses `--metrics [PATH]` into the metrics JSON output path. `--metrics`
+/// without a path (or the ambient `ECL_METRICS=1`) defaults to
+/// `metrics.json`. `None` means the telemetry registry stays off.
+pub fn metrics_from_args(args: &[String]) -> Option<PathBuf> {
+    if let Some(i) = args.iter().position(|a| a == "--metrics") {
+        let path = args
+            .get(i + 1)
+            .filter(|s| !s.starts_with("--"))
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("metrics.json"));
+        return Some(path);
+    }
+    match std::env::var("ECL_METRICS") {
+        Ok(v) if !v.is_empty() && v != "0" => Some(PathBuf::from("metrics.json")),
+        _ => None,
+    }
+}
+
+/// Sibling Prometheus text path for a metrics path: `out/metrics.json` →
+/// `out/metrics.prom`.
+pub fn prom_path(metrics: &Path) -> PathBuf {
+    metrics.with_extension("prom")
+}
+
+/// Runs `f` under an ecl-metrics session when `path` is set; otherwise
+/// calls it directly. On a metered run, writes the byte-stable
+/// `ecl-metrics/1` JSON export to `path`, the Prometheus text exposition
+/// next to it, and returns the snapshot alongside `f`'s result.
+pub fn with_optional_metrics<R>(
+    path: Option<&Path>,
+    f: impl FnOnce() -> R,
+) -> (R, Option<ecl_metrics::Snapshot>) {
+    let Some(path) = path else { return (f(), None) };
+    let (out, snap) = ecl_metrics::with_metrics(f);
+    std::fs::write(path, ecl_metrics::json::to_json(&snap))
+        .unwrap_or_else(|e| panic!("--metrics: cannot write {}: {e}", path.display()));
+    let pp = prom_path(path);
+    std::fs::write(&pp, ecl_metrics::prom::to_text(&snap))
+        .unwrap_or_else(|e| panic!("--metrics: cannot write {}: {e}", pp.display()));
+    eprintln!("--metrics: wrote {} and {}", path.display(), pp.display());
+    (out, Some(snap))
+}
+
 /// Wall-clock seconds of one invocation (for the real CPU codes).
 pub fn wall<T>(f: impl FnOnce() -> T) -> f64 {
     let start = Instant::now();
@@ -253,6 +296,33 @@ mod tests {
         let (v, p) = with_optional_trace_profile(None, || 7);
         assert_eq!(v, 7);
         assert!(p.is_none());
+    }
+
+    #[test]
+    fn metrics_flag_parses_with_and_without_path() {
+        let to_args = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            metrics_from_args(&to_args(&["--metrics", "m.json"])),
+            Some(PathBuf::from("m.json"))
+        );
+        assert_eq!(
+            metrics_from_args(&to_args(&["--metrics", "--csv"])),
+            Some(PathBuf::from("metrics.json"))
+        );
+        if std::env::var("ECL_METRICS").is_err() {
+            assert_eq!(metrics_from_args(&[]), None);
+        }
+        assert_eq!(
+            prom_path(Path::new("out/metrics.json")),
+            PathBuf::from("out/metrics.prom")
+        );
+    }
+
+    #[test]
+    fn unmetered_call_returns_no_snapshot() {
+        let (v, s) = with_optional_metrics(None, || 7);
+        assert_eq!(v, 7);
+        assert!(s.is_none());
     }
 
     #[test]

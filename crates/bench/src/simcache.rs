@@ -28,7 +28,135 @@ use ecl_graph::CsrGraph;
 use ecl_mst::MstError;
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+
+/// How one store lookup resolved.
+///
+/// Every lookup lands in the process-wide [`tally`] even when metrics are
+/// off, so drivers can always report cache effectiveness; with an active
+/// `ecl-metrics` session the same outcomes also feed the
+/// `ecl.simcache.*` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// A readable, parseable entry existed and was replayed.
+    Hit,
+    /// An entry existed but did not parse (truncated write, foreign file):
+    /// it is re-measured and overwritten, never trusted.
+    Stale,
+    /// No entry: the cell was measured live and stored.
+    Miss,
+    /// `ECL_SIM_CACHE` is unset; the cell was measured live, nothing stored.
+    Disabled,
+}
+
+// Always-on process tally: plain relaxed counters, no gate — outcome
+// reporting must work even when the metrics registry is inactive.
+static HITS: AtomicU64 = AtomicU64::new(0);
+static STALE: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static WRITES: AtomicU64 = AtomicU64::new(0);
+static DISABLED: AtomicU64 = AtomicU64::new(0);
+
+fn note(outcome: Outcome) {
+    match outcome {
+        Outcome::Hit => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            ecl_metrics::counter!(SIMCACHE_HIT);
+        }
+        Outcome::Stale => {
+            STALE.fetch_add(1, Ordering::Relaxed);
+            ecl_metrics::counter!(SIMCACHE_STALE);
+        }
+        Outcome::Miss => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            ecl_metrics::counter!(SIMCACHE_MISS);
+        }
+        Outcome::Disabled => {
+            DISABLED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn note_write() {
+    WRITES.fetch_add(1, Ordering::Relaxed);
+    ecl_metrics::counter!(SIMCACHE_WRITE);
+}
+
+/// Snapshot of the process-wide lookup tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Replayed entries.
+    pub hits: u64,
+    /// Unparseable entries that were re-measured.
+    pub stale: u64,
+    /// Absent entries that were measured and stored.
+    pub misses: u64,
+    /// Entries written (misses and stale re-measures that stored).
+    pub writes: u64,
+    /// Lookups taken with the store disabled.
+    pub disabled: u64,
+}
+
+/// Reads the process-wide tally (cheap; relaxed loads).
+pub fn tally() -> Tally {
+    Tally {
+        hits: HITS.load(Ordering::Relaxed),
+        stale: STALE.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        writes: WRITES.load(Ordering::Relaxed),
+        disabled: DISABLED.load(Ordering::Relaxed),
+    }
+}
+
+/// One-line cache effectiveness summary for driver footers.
+pub fn summary_line() -> String {
+    let t = tally();
+    if !enabled() {
+        return format!("sim-cache: disabled ({} live evaluations)", t.disabled);
+    }
+    let looked = t.hits + t.misses + t.stale;
+    let rate = if looked == 0 {
+        0.0
+    } else {
+        100.0 * t.hits as f64 / looked as f64
+    };
+    format!(
+        "sim-cache: {} hits / {} misses / {} stale ({rate:.1}% hit rate), {} cells written",
+        t.hits, t.misses, t.stale, t.writes
+    )
+}
+
+/// Prints [`summary_line`] to stderr when the store saw any traffic.
+/// Drivers call this at exit so a sweep's replay economy is visible even
+/// without metrics.
+pub fn log_summary() {
+    let t = tally();
+    if enabled() && t.hits + t.misses + t.stale + t.writes > 0 {
+        eprintln!("{}", summary_line());
+    }
+}
+
+/// Scans the store directory and publishes the `ecl.simcache.entries` /
+/// `ecl.simcache.bytes` gauges. A no-op unless both the store and a
+/// metrics session are active.
+pub fn publish_store_stats() {
+    if !ecl_metrics::active() {
+        return;
+    }
+    let Some(dir) = store_dir() else { return };
+    let (mut entries, mut bytes) = (0u64, 0u64);
+    if let Ok(rd) = std::fs::read_dir(dir) {
+        for e in rd.flatten() {
+            if e.path().extension().is_some_and(|x| x == "cell") {
+                entries += 1;
+                bytes += e.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+    }
+    ecl_metrics::gauge!(SIMCACHE_ENTRIES, entries);
+    ecl_metrics::gauge!(SIMCACHE_BYTES, bytes);
+}
 
 /// The store directory from `ECL_SIM_CACHE`, or `None` when disabled.
 pub fn store_dir() -> Option<&'static Path> {
@@ -82,15 +210,28 @@ fn cell_path(dir: &Path, kind: &str, fingerprint: &str, g: &CsrGraph) -> PathBuf
     ))
 }
 
-/// `Some(Some(s))` = stored seconds, `Some(None)` = stored "NC",
-/// `None` = no (readable) entry.
-fn load(path: &Path) -> Option<Option<f64>> {
-    let text = std::fs::read_to_string(path).ok()?;
+enum Load {
+    /// A parseable entry: stored seconds, or `None` for a stored "NC".
+    Value(Option<f64>),
+    /// No file at all — a first evaluation of this cell.
+    Absent,
+    /// A file that would not parse (torn write, foreign content): treated
+    /// as a miss but reported distinctly so corruption is visible.
+    Stale,
+}
+
+fn load(path: &Path) -> Load {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Load::Absent;
+    };
     let text = text.trim();
     if text == "NC" {
-        return Some(None);
+        return Load::Value(None);
     }
-    text.parse::<f64>().ok().filter(|s| s.is_finite()).map(Some)
+    match text.parse::<f64>() {
+        Ok(s) if s.is_finite() => Load::Value(Some(s)),
+        _ => Load::Stale,
+    }
 }
 
 /// Best-effort atomic store: concurrent binaries may race on the same cell,
@@ -118,13 +259,22 @@ fn cached(
     g: &CsrGraph,
     f: impl FnOnce() -> Option<f64>,
 ) -> Option<f64> {
-    let Some(dir) = dir else { return f() };
+    let Some(dir) = dir else {
+        note(Outcome::Disabled);
+        return f();
+    };
     let path = cell_path(dir, kind, fingerprint, g);
-    if let Some(v) = load(&path) {
-        return v;
+    match load(&path) {
+        Load::Value(v) => {
+            note(Outcome::Hit);
+            return v;
+        }
+        Load::Absent => note(Outcome::Miss),
+        Load::Stale => note(Outcome::Stale),
     }
     let v = f();
     store(&path, v);
+    note_write();
     v
 }
 
@@ -235,6 +385,38 @@ mod tests {
             });
         }
         assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn stale_entry_is_remeasured_and_overwritten() {
+        let dir = tmpdir("stale");
+        let g = grid2d(6, 1);
+        let before = tally();
+        // Seed a corrupt entry at the exact cell path.
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = cell_path(&dir, "t", "s", &g);
+        std::fs::write(&path, "not-a-number").unwrap();
+        assert_eq!(cached(Some(&dir), "t", "s", &g, || Some(7.0)), Some(7.0));
+        // The overwrite repairs the cell: the next lookup replays it.
+        assert_eq!(cached(Some(&dir), "t", "s", &g, || Some(9.0)), Some(7.0));
+        // The tally is process-global and other tests run concurrently, so
+        // assert deltas as lower bounds.
+        let after = tally();
+        assert!(after.stale > before.stale);
+        assert!(after.hits > before.hits);
+        assert!(after.writes > before.writes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_line_reports_without_metrics() {
+        // ECL_SIM_CACHE is unset under `cargo test`, so the disabled wording
+        // must surface — outcome reporting cannot depend on the metrics gate.
+        let g = grid2d(4, 1);
+        cached(None, "t", "sum", &g, || Some(1.0));
+        let line = summary_line();
+        assert!(line.starts_with("sim-cache: disabled"), "got: {line}");
+        assert!(tally().disabled >= 1);
     }
 
     #[test]

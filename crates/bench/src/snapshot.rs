@@ -23,13 +23,20 @@ pub struct PrevSnapshot {
     pub repeats: Option<u64>,
     /// `sanitize` field (absent in pre-chain snapshots = unsanitized).
     pub sanitize: bool,
+    /// `sim_cache` field (absent in pre-chain snapshots = uncached).
+    pub sim_cache: bool,
 }
 
 impl PrevSnapshot {
     /// True when this snapshot's workload matches the given one, making its
-    /// wall time an apples-to-apples baseline.
-    pub fn comparable_to(&self, scale: &str, repeats: u64) -> bool {
-        !self.sanitize && self.scale.as_deref() == Some(scale) && self.repeats == Some(repeats)
+    /// wall time an apples-to-apples baseline. A replayed (sim-cached) run
+    /// and a measured one are never comparable: replays skip the simulation
+    /// work the baseline paid for.
+    pub fn comparable_to(&self, scale: &str, repeats: u64, sim_cache: bool) -> bool {
+        !self.sanitize
+            && self.sim_cache == sim_cache
+            && self.scale.as_deref() == Some(scale)
+            && self.repeats == Some(repeats)
     }
 }
 
@@ -64,6 +71,7 @@ pub fn read_snapshot(dir: &Path, index: u32) -> Option<PrevSnapshot> {
         scale: json_string(&text, "scale"),
         repeats: json_number(&text, "repeats").map(|r| r as u64),
         sanitize: json_bool(&text, "sanitize").unwrap_or(false),
+        sim_cache: json_bool(&text, "sim_cache").unwrap_or(false),
     })
 }
 
@@ -130,9 +138,13 @@ mod tests {
         assert_eq!(s.scale.as_deref(), Some("Small"));
         assert_eq!(s.repeats, Some(3));
         assert!(!s.sanitize);
-        assert!(s.comparable_to("Small", 3));
-        assert!(!s.comparable_to("Small", 9));
-        assert!(!s.comparable_to("Tiny", 3));
+        assert!(s.comparable_to("Small", 3, false));
+        assert!(!s.comparable_to("Small", 9, false));
+        assert!(!s.comparable_to("Tiny", 3, false));
+        assert!(
+            !s.comparable_to("Small", 3, true),
+            "a cached run must not baseline against an uncached one"
+        );
         let _ = std::fs::remove_dir_all(&d);
     }
 
@@ -143,7 +155,19 @@ mod tests {
         std::fs::write(d.join("BENCH_4.json"), text).unwrap();
         let s = read_snapshot(&d, 4).unwrap();
         assert!(s.sanitize);
-        assert!(!s.comparable_to("Small", 3));
+        assert!(!s.comparable_to("Small", 3, false));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn cached_snapshots_baseline_only_cached_runs() {
+        let d = tmpdir("cached");
+        let text = SAMPLE.replace("\"repeats\": 3,", "\"repeats\": 3,\n  \"sim_cache\": true,");
+        std::fs::write(d.join("BENCH_5.json"), text).unwrap();
+        let s = read_snapshot(&d, 5).unwrap();
+        assert!(s.sim_cache);
+        assert!(!s.comparable_to("Small", 3, false));
+        assert!(s.comparable_to("Small", 3, true));
         let _ = std::fs::remove_dir_all(&d);
     }
 

@@ -118,7 +118,20 @@ impl AtomicDsu {
     ///
     /// Returns the root *and* the number of parent hops walked (the hop
     /// count feeds the GPU cost model: each hop is a dependent global load).
+    /// When an `ecl-metrics` session is active, every counted find also
+    /// feeds the `ecl.dsu.find` / `find_hop` / `compression_write`
+    /// counters; off, the telemetry costs one predictable branch.
     pub fn find_counted(&self, x: u32, policy: FindPolicy) -> (u32, u32) {
+        let (root, hops, writes) = self.find_impl(x, policy);
+        if ecl_metrics::active() {
+            record_find_metrics(hops, writes);
+        }
+        (root, hops)
+    }
+
+    /// The policy dispatch behind [`find_counted`](Self::find_counted):
+    /// returns `(root, hops, compression_writes)`.
+    fn find_impl(&self, x: u32, policy: FindPolicy) -> (u32, u32, u32) {
         match policy {
             FindPolicy::NoCompression => {
                 let mut cur = x;
@@ -126,7 +139,7 @@ impl AtomicDsu {
                 loop {
                     let p = self.load_parent(cur);
                     if p == cur {
-                        return (cur, hops);
+                        return (cur, hops, 0);
                     }
                     cur = p;
                     hops += 1;
@@ -135,16 +148,18 @@ impl AtomicDsu {
             FindPolicy::Halving => {
                 let mut cur = x;
                 let mut hops = 0;
+                let mut writes = 0;
                 loop {
                     let p = self.load_parent(cur);
                     if p == cur {
-                        return (cur, hops);
+                        return (cur, hops, writes);
                     }
                     let g = self.load_parent(p);
                     if g != p {
                         // Benign race: losing writers leave a still-valid
                         // (ancestor) parent in place.
                         self.parent[cur as usize].store(g, Ordering::Relaxed);
+                        writes += 1;
                     }
                     cur = g;
                     hops += 1;
@@ -153,17 +168,19 @@ impl AtomicDsu {
             FindPolicy::IntermediatePointerJumping => {
                 let mut cur = x;
                 let mut hops = 0;
+                let mut writes = 0;
                 loop {
                     let p = self.load_parent(cur);
                     if p == cur {
-                        return (cur, hops);
+                        return (cur, hops, writes);
                     }
                     let g = self.load_parent(p);
                     if g != p {
                         self.parent[cur as usize].store(g, Ordering::Relaxed);
+                        writes += 1;
                         cur = p; // advance one step, jumping intermediates
                     } else {
-                        return (p, hops + 1);
+                        return (p, hops + 1, writes);
                     }
                     hops += 1;
                 }
@@ -176,7 +193,7 @@ impl AtomicDsu {
                 loop {
                     let p = self.load_parent(cur);
                     if p == cur {
-                        return (cur, hops);
+                        return (cur, hops, writes);
                     }
                     let g = self.load_parent(p);
                     if g != p
@@ -212,6 +229,15 @@ impl AtomicDsu {
     /// root. Returns `true` when this call performed the merge and the
     /// number of CAS attempts (for the cost model).
     pub fn union_counted(&self, x: u32, y: u32, policy: FindPolicy) -> (bool, u32) {
+        let (merged, attempts) = self.union_impl(x, y, policy);
+        if ecl_metrics::active() {
+            record_union_metrics(attempts);
+        }
+        (merged, attempts)
+    }
+
+    /// The CAS loop behind [`union_counted`](Self::union_counted).
+    fn union_impl(&self, x: u32, y: u32, policy: FindPolicy) -> (bool, u32) {
         let mut rx = self.find(x, policy);
         let mut ry = self.find(y, policy);
         let mut attempts = 0;
@@ -284,6 +310,22 @@ impl AtomicDsu {
     }
 }
 
+/// Out-of-line metrics publication for counted finds, `#[cold]` so the
+/// metrics-off path compiles to a straight-line predictable branch.
+#[cold]
+fn record_find_metrics(hops: u32, writes: u32) {
+    ecl_metrics::counter!(DSU_FIND);
+    ecl_metrics::counter!(DSU_FIND_HOP, hops);
+    ecl_metrics::counter!(DSU_COMPRESSION_WRITE, writes);
+}
+
+/// Out-of-line metrics publication for counted unions.
+#[cold]
+fn record_union_metrics(attempts: u32) {
+    ecl_metrics::counter!(DSU_UNION);
+    ecl_metrics::counter!(DSU_CAS_RETRY, attempts.saturating_sub(1));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +348,33 @@ mod tests {
             }
         }
         assert_eq!(d.num_sets(), 4);
+    }
+
+    #[test]
+    fn metrics_session_counts_finds_unions_and_writes() {
+        let d = AtomicDsu::new(8);
+        let ((), snap) = ecl_metrics::with_metrics(|| {
+            // Build a chain 0→1→…→5 then compress with a halving find.
+            for x in 0..5 {
+                d.union(x, x + 1, FindPolicy::NoCompression);
+            }
+            d.find(0, FindPolicy::Halving);
+        });
+        // Each union runs at least two finds (roots) plus the union call.
+        assert_eq!(snap.counter("ecl.dsu.union"), 5);
+        assert!(snap.counter("ecl.dsu.find") >= 11);
+        assert!(snap.counter("ecl.dsu.find_hop") > 0);
+        assert!(
+            snap.counter("ecl.dsu.compression_write") > 0,
+            "the halving find over a chain must issue compression writes"
+        );
+        // Serial driver: no lost CAS races.
+        assert_eq!(snap.counter("ecl.dsu.cas_retry"), 0);
+
+        // Outside the session the gate is closed again and finds are free
+        // of side effects on the registry.
+        d.find(0, FindPolicy::Halving);
+        assert_eq!(ecl_metrics::Snapshot::collect().counter("ecl.dsu.find"), 0);
     }
 
     #[test]

@@ -235,12 +235,15 @@ pub fn run_campaign_with(
         let raw = gen::generate(cfg.seed, case_index);
         let instrumented = cfg.sample_every != 0 && case_index % cfg.sample_every == 0;
         instrumented_cases += instrumented as usize;
+        ecl_metrics::counter!(FUZZ_CASES);
         if let Err(failure) = run_case(&raw, &registry, instrumented) {
+            ecl_metrics::counter!(FUZZ_DIVERGENCES);
             let culprit = failure.backend.clone();
-            let minimized = shrink::shrink(
-                &raw,
-                |cand| matches!(run_case(cand, &registry, false), Err(f) if f.backend == culprit),
-            );
+            // Each candidate evaluation is one shrink step.
+            let minimized = shrink::shrink(&raw, |cand| {
+                ecl_metrics::counter!(FUZZ_SHRINK_STEPS);
+                matches!(run_case(cand, &registry, false), Err(f) if f.backend == culprit)
+            });
             failures.push(CaseFailure {
                 case_index,
                 raw,

@@ -65,6 +65,9 @@ fn main() -> ExitCode {
         }
     };
     let cfg = &args.cfg;
+    // `ECL_METRICS=1 ecl-fuzz …` prints a campaign telemetry snapshot in
+    // Prometheus text format after the summary line.
+    ecl_metrics::init();
     println!(
         "ecl-fuzz: {} cases, seed {}, sanitizer/tracer every {} cases",
         cfg.cases, cfg.seed, cfg.sample_every
@@ -84,6 +87,9 @@ fn main() -> ExitCode {
         report.instrumented_cases,
         report.failures.len()
     );
+    if let Some(snap) = ecl_metrics::take_ambient() {
+        print!("{}", ecl_metrics::prom::to_text(&snap));
+    }
     if report.is_clean() {
         return ExitCode::SUCCESS;
     }

@@ -123,12 +123,22 @@ impl GraphBuilder {
         // purely a cost choice.
         // Both paths are parity-tested bit-identical, so the thread budget
         // picks an implementation, never a result.
+        let t0 = ecl_metrics::active().then(|| {
+            // ecl-lint: allow(wall-clock-in-sim) host-side build-wall metric, gated on an active session; never feeds simulated numbers
+            std::time::Instant::now()
+        });
         // ecl-lint: allow(thread-count-dependence) dispatch only (see above)
-        if crate::par::max_threads() <= 1 {
+        let g = if crate::par::max_threads() <= 1 {
             self.build_serial()
         } else {
             self.build_chunked()
+        };
+        ecl_metrics::counter!(GRAPH_BUILDS);
+        ecl_metrics::histogram!(GRAPH_BUILD_ARCS, g.num_arcs() as f64);
+        if let Some(t0) = t0 {
+            ecl_metrics::histogram!(GRAPH_BUILD_SECONDS, t0.elapsed().as_secs_f64());
         }
+        g
     }
 
     /// The chunk-parallel CSR assembly behind [`build`](Self::build),
@@ -163,6 +173,7 @@ impl GraphBuilder {
                 .skip(1)
                 .map(|r| r.start)
                 .collect();
+            ecl_metrics::counter!(GRAPH_BUILD_CHUNKS, (cuts.len() + 1) as u64);
             let edges = &edges;
             par::par_split_mut(&mut rev, &cuts, |piece_idx, piece| {
                 let base = if piece_idx == 0 {
@@ -200,6 +211,7 @@ impl GraphBuilder {
         let mut arc_edge_ids = vec![0u32; 2 * m];
         {
             let vertex_chunks = par::chunk_ranges(n, 1 << 15);
+            ecl_metrics::counter!(GRAPH_BUILD_CHUNKS, vertex_chunks.len() as u64);
             struct MergeTask<'a> {
                 vertices: std::ops::Range<usize>,
                 adj: &'a mut [VertexId],

@@ -1,0 +1,23 @@
+//! Fixture: three violations — a kind-mismatched recording, an undeclared
+//! name, and a declared metric nothing ever records.
+
+pub struct Metric;
+
+impl Metric {
+    pub const fn counter(_n: &'static str, _s: u8, _h: &'static str) -> Metric {
+        Metric
+    }
+    pub const fn gauge(_n: &'static str, _s: u8, _h: &'static str) -> Metric {
+        Metric
+    }
+}
+
+pub static CACHE_HIT: Metric = Metric::counter("ecl.cache.hit", 0, "replayed entries");
+pub static ORPHAN_TOTAL: Metric = Metric::counter("ecl.orphan.total", 0, "never recorded");
+
+fn record() {
+    // Kind mismatch: CACHE_HIT is declared as a counter.
+    ecl_metrics::gauge!(CACHE_HIT, 2.0);
+    // Undeclared: no registry static of this name exists.
+    ecl_metrics::counter!(UNDECLARED_TOTAL);
+}

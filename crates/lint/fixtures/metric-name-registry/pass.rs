@@ -1,0 +1,38 @@
+//! Fixture: registry declarations and call sites in lockstep — every
+//! declared name recorded by its matching macro, nothing undeclared.
+
+pub struct Metric;
+
+impl Metric {
+    pub const fn counter(_n: &'static str, _s: u8, _h: &'static str) -> Metric {
+        Metric
+    }
+    pub const fn gauge(_n: &'static str, _s: u8, _h: &'static str) -> Metric {
+        Metric
+    }
+    pub const fn histogram(_n: &'static str, _s: u8, _b: &'static [f64]) -> Metric {
+        Metric
+    }
+}
+
+pub static BUCKETS: &[f64] = &[1.0, 10.0];
+pub static CACHE_HIT: Metric = Metric::counter("ecl.cache.hit", 0, "replayed entries");
+pub static QUEUE_DEPTH: Metric = Metric::gauge("ecl.queue.depth", 0, "live depth");
+pub static PHASE_SECONDS: Metric = Metric::histogram("ecl.phase.seconds", 0, &[1.0, 10.0]);
+
+pub static ALL: &[&Metric] = &[&CACHE_HIT, &QUEUE_DEPTH, &PHASE_SECONDS];
+
+fn record(depth: usize, secs: f64) {
+    ecl_metrics::counter!(CACHE_HIT);
+    ecl_metrics::gauge!(QUEUE_DEPTH, depth);
+    ecl_metrics::histogram!(PHASE_SECONDS, secs);
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only recording neither counts as a use nor gets checked.
+    #[test]
+    fn probes() {
+        ecl_metrics::counter!(CACHE_HIT, 2);
+    }
+}

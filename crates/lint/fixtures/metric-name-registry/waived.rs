@@ -1,0 +1,18 @@
+//! Fixture: a declared-but-unrecorded metric staged for upcoming
+//! instrumentation, waived on its declaration line.
+
+pub struct Metric;
+
+impl Metric {
+    pub const fn counter(_n: &'static str, _s: u8, _h: &'static str) -> Metric {
+        Metric
+    }
+}
+
+pub static CACHE_HIT: Metric = Metric::counter("ecl.cache.hit", 0, "replayed entries");
+// ecl-lint: allow(metric-name-registry) staged: the eviction path lands next PR
+pub static EVICT_TOTAL: Metric = Metric::counter("ecl.evict.total", 0, "evicted entries");
+
+fn record() {
+    ecl_metrics::counter!(CACHE_HIT);
+}

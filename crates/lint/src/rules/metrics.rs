@@ -1,0 +1,199 @@
+//! Telemetry-registry lockstep.
+//!
+//! `ecl-metrics` keys every metric by a static declared in
+//! `crates/metrics/src/names.rs`; the `counter!`/`gauge!`/`histogram!`
+//! macros resolve their first argument against those statics, so an
+//! *undeclared* name is already a compile error. This rule closes the gaps
+//! the compiler cannot see:
+//!
+//! 1. **Kind mismatch** — every `Metric` carries all three record methods,
+//!    so `counter!(SOME_GAUGE)` compiles and silently corrupts the gauge's
+//!    count; the recording macro must match the declared constructor.
+//! 2. **Dead declarations** — a name declared in the registry but never
+//!    recorded outside test code is dead telemetry that still exports
+//!    (skewing baselines toward permanent zeros). Names staged for a later
+//!    PR carry a waiver on the declaration line.
+//!
+//! Call sites are found by token shape (`ident ! (` with a non-`$` first
+//! argument), not by the AST call index — macro invocations are not calls.
+//! A `$`-first argument marks the macro *definitions* in `ecl-metrics`
+//! itself, which are not call sites.
+
+use crate::lexer::TokKind;
+use crate::{Ctx, LoadedFile, Rule, Workspace};
+
+/// The recording macros, named after the constructors they must match.
+const RECORDERS: &[&str] = &["counter", "gauge", "histogram"];
+
+/// Workspace-relative suffix of the central name registry.
+const REGISTRY_FILE: &str = "metrics/src/names.rs";
+
+/// One declared metric: `static IDENT: Metric = Metric::<ctor>(…)`.
+struct Decl {
+    ident: String,
+    ctor: String,
+    lo: usize,
+}
+
+fn declarations(file: &LoadedFile) -> Vec<Decl> {
+    let code = &file.sf.code;
+    let toks = &file.ix.toks;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident(code, "static") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // Scan the item (up to `;`) for the `Metric::<ctor>(` shape; a
+        // static without one (bucket tables, the `ALL` index) is not a
+        // metric declaration.
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct(b';') {
+            if toks[j].kind == TokKind::Ident
+                && RECORDERS.contains(&toks[j].text(code))
+                && j >= 3
+                && toks[j - 1].is_punct(b':')
+                && toks[j - 2].is_punct(b':')
+                && toks[j - 3].is_ident(code, "Metric")
+                && toks
+                    .get(j + 1)
+                    .is_some_and(|t| t.kind == TokKind::Open(b'('))
+            {
+                out.push(Decl {
+                    ident: name.text(code).to_string(),
+                    ctor: toks[j].text(code).to_string(),
+                    lo: name.lo,
+                });
+                break;
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    out
+}
+
+/// One recording-macro call site: `counter!(NAME, …)` and friends.
+struct UseSite {
+    recorder: String,
+    ident: String,
+    lo: usize,
+    in_test: bool,
+}
+
+fn use_sites(file: &LoadedFile) -> Vec<UseSite> {
+    let code = &file.sf.code;
+    let toks = &file.ix.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if t.kind != TokKind::Ident || !RECORDERS.contains(&t.text(code)) {
+            continue;
+        }
+        if !(toks.get(i + 1).is_some_and(|n| n.is_punct(b'!'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.kind == TokKind::Open(b'(')))
+        {
+            continue;
+        }
+        let Some(arg) = toks.get(i + 3) else { continue };
+        // `$name`/`$crate` first arguments are the macro definitions in
+        // ecl-metrics, not call sites.
+        if arg.is_punct(b'$') || arg.kind != TokKind::Ident {
+            continue;
+        }
+        out.push(UseSite {
+            recorder: t.text(code).to_string(),
+            ident: arg.text(code).to_string(),
+            lo: t.lo,
+            in_test: file.ix.in_test_mod(t.lo),
+        });
+    }
+    out
+}
+
+pub struct MetricNameRegistry;
+
+impl Rule for MetricNameRegistry {
+    fn name(&self) -> &'static str {
+        "metric-name-registry"
+    }
+    fn description(&self) -> &'static str {
+        "counter!/gauge!/histogram! call sites must name a registry metric declared with the \
+         matching constructor, and every declared name must be recorded outside test code \
+         (staged names carry a waiver on the declaration line)"
+    }
+    fn scope(&self) -> &'static [&'static str] {
+        &[
+            "crates/metrics/src",
+            "crates/dsu/src",
+            "crates/graph/src",
+            "crates/trace/src",
+            "crates/fuzz/src",
+            "crates/bench/src",
+        ]
+    }
+
+    fn run(&self, ws: &Workspace, ctx: &mut Ctx) {
+        let Some(registry) = ws
+            .in_scope(self.scope())
+            .find(|f| f.sf.rel.ends_with(REGISTRY_FILE))
+        else {
+            // No registry in this workspace (partial fixture): nothing to
+            // check call sites against.
+            return;
+        };
+        let decls = declarations(registry);
+        let mut used: Vec<String> = Vec::new();
+
+        for file in ws.in_scope(self.scope()) {
+            for u in use_sites(file) {
+                if u.in_test {
+                    continue;
+                }
+                match decls.iter().find(|d| d.ident == u.ident) {
+                    None => ctx.emit(
+                        self.name(),
+                        &file.sf,
+                        u.lo,
+                        format!(
+                            "`{}!({})` names a metric not declared in {REGISTRY_FILE}",
+                            u.recorder, u.ident
+                        ),
+                    ),
+                    Some(d) if d.ctor != u.recorder => ctx.emit(
+                        self.name(),
+                        &file.sf,
+                        u.lo,
+                        format!(
+                            "`{}!({})` records a metric declared as `Metric::{}` — use `{}!`",
+                            u.recorder, u.ident, d.ctor, d.ctor
+                        ),
+                    ),
+                    Some(_) => {}
+                }
+                used.push(u.ident);
+            }
+        }
+
+        for d in &decls {
+            if !used.contains(&d.ident) {
+                ctx.emit(
+                    self.name(),
+                    &registry.sf,
+                    d.lo,
+                    format!(
+                        "declared metric `{}` is never recorded by any {} call outside tests",
+                        d.ident, "counter!/gauge!/histogram!"
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! | `wall-clock-in-sim`        | no wall-clock reads inside simulated-time crates |
 //! | `metering-completeness`    | every launch reaches a metered accessor or explicit charge |
 //! | `unsafe-audit`             | unsafe code carries SAFETY comments + crate-level guards |
+//! | `metric-name-registry`     | metric macros match registry declarations; no dead names |
 //!
 //! Two meta rules are emitted by the engine itself: `unused-waiver` (a
 //! waiver that suppressed nothing) and `unknown-waiver` (a waiver naming a
@@ -21,6 +22,7 @@ pub mod builder;
 pub mod completeness;
 pub mod determinism;
 pub mod metering;
+pub mod metrics;
 pub mod swar;
 pub mod unsafety;
 
@@ -39,6 +41,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(determinism::WallClockInSim),
         Box::new(completeness::MeteringCompleteness),
         Box::new(unsafety::UnsafeAudit),
+        Box::new(metrics::MetricNameRegistry),
     ]
 }
 

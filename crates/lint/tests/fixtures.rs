@@ -19,6 +19,7 @@ const CASES: &[(&str, &str)] = &[
     ("wall-clock-in-sim", "crates/core/src/fixture.rs"),
     ("metering-completeness", "crates/core/src/fixture.rs"),
     ("unsafe-audit", "crates/dsu/src/helpers.rs"),
+    ("metric-name-registry", "crates/metrics/src/names.rs"),
 ];
 
 fn run_fixture(rule_name: &str, vpath: &str, variant: &str) -> Report {

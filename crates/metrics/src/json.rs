@@ -1,0 +1,545 @@
+//! The byte-stable `ecl-metrics/1` JSON snapshot and its drift gate.
+//!
+//! The export is the regression surface: **stable** metrics only (see
+//! [`Stability`](crate::Stability)), one metric per line, in registry
+//! order, integers as integers and floats in Rust's shortest round-trip
+//! form — so a snapshot of a deterministic run serializes to identical
+//! bytes on every run, exactly like the `ecl-trace-profile/1` export. The
+//! 5%-threshold [`diff`] mirrors the trace regression gate: it flags any
+//! stable metric that drifted beyond the threshold, appeared, or
+//! vanished, and `bench_snapshot --diff` turns that into an exit code.
+//!
+//! This crate sits below `ecl-trace` in the dependency graph, so it
+//! carries its own ~100-line parser (same offline-no-serde constraint as
+//! the rest of the workspace).
+
+use crate::{Kind, Snapshot, Stability};
+use std::fmt::Write as _;
+
+/// Schema tag of the snapshot format.
+pub const FORMAT: &str = "ecl-metrics/1";
+
+/// Serializes the stable surface of a snapshot as `ecl-metrics/1` JSON.
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"format\": \"{FORMAT}\",");
+    out.push_str("  \"metrics\": [\n");
+    let stable: Vec<_> = snap
+        .entries
+        .iter()
+        .filter(|e| e.stability == Stability::Stable)
+        .collect();
+    for (i, e) in stable.iter().enumerate() {
+        out.push_str("    {\"name\": ");
+        write_escaped(&mut out, e.name);
+        let _ = write!(out, ", \"kind\": \"{}\"", e.kind.label());
+        match e.kind {
+            Kind::Counter => {
+                let _ = write!(out, ", \"value\": {}", e.count);
+            }
+            Kind::Gauge => {
+                out.push_str(", \"value\": ");
+                write_f64(&mut out, e.gauge);
+            }
+            Kind::Histogram => {
+                let _ = write!(out, ", \"count\": {}, \"sum\": ", e.count);
+                write_f64(&mut out, e.sum);
+                out.push_str(", \"buckets\": [");
+                for (j, (bound, n)) in e.buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('[');
+                    write_f64(&mut out, *bound);
+                    let _ = write!(out, ", {n}]");
+                }
+                let _ = write!(out, "], \"overflow\": {}", e.overflow);
+            }
+        }
+        out.push('}');
+        if i + 1 < stable.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One metric parsed back from an `ecl-metrics/1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineMetric {
+    pub name: String,
+    pub kind: String,
+    /// Counter total or gauge value (`count` for histograms).
+    pub value: f64,
+    /// Histogram observation count.
+    pub count: u64,
+    /// Histogram sum.
+    pub sum: f64,
+}
+
+/// A parsed snapshot, used as the comparison side of [`diff`].
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub metrics: Vec<BaselineMetric>,
+}
+
+impl Baseline {
+    /// Looks up a parsed metric by name.
+    pub fn get(&self, name: &str) -> Option<&BaselineMetric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+/// Parses an `ecl-metrics/1` document (as produced by [`to_json`]).
+pub fn from_json(text: &str) -> Result<Baseline, String> {
+    let root = parse(text)?;
+    let format = root
+        .get("format")
+        .and_then(Value::as_str)
+        .ok_or("missing \"format\"")?;
+    if format != FORMAT {
+        return Err(format!("unsupported format `{format}` (want `{FORMAT}`)"));
+    }
+    let arr = root
+        .get("metrics")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"metrics\" array")?;
+    let mut metrics = Vec::with_capacity(arr.len());
+    for m in arr {
+        let name = m
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("metric missing \"name\"")?
+            .to_string();
+        let kind = m
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{name}: missing \"kind\""))?
+            .to_string();
+        let (value, count, sum) = if kind == "histogram" {
+            let count = m
+                .get("count")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{name}: missing \"count\""))?;
+            let sum = m.get("sum").and_then(Value::as_f64).unwrap_or(0.0);
+            (count, count as u64, sum)
+        } else {
+            let v = m
+                .get("value")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{name}: missing \"value\""))?;
+            (v, 0, 0.0)
+        };
+        metrics.push(BaselineMetric {
+            name,
+            kind,
+            value,
+            count,
+            sum,
+        });
+    }
+    Ok(Baseline { metrics })
+}
+
+/// The result of comparing two stable surfaces.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// One human-readable line per compared metric.
+    pub lines: Vec<String>,
+    /// Metrics that drifted past the threshold, appeared, or vanished.
+    pub drifted: usize,
+}
+
+impl DiffReport {
+    /// True when nothing drifted.
+    pub fn is_pass(&self) -> bool {
+        self.drifted == 0
+    }
+}
+
+/// Relative change of `now` against `base` (`inf` when appearing from 0).
+fn rel(now: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        if now == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ((now - base) / base).abs()
+    }
+}
+
+/// Compares the stable surface of `current` against a parsed `baseline`.
+/// Any stable metric whose value moved more than `threshold` (relative,
+/// either direction) counts as drift — the gate exists to catch *silent*
+/// behavior changes, not to judge their direction. New and vanished
+/// stable names drift too: names may not change without a baseline
+/// refresh.
+pub fn diff(current: &Snapshot, baseline: &Baseline, threshold: f64) -> DiffReport {
+    let mut lines = Vec::new();
+    let mut drifted = 0;
+    let stable: Vec<_> = current
+        .entries
+        .iter()
+        .filter(|e| e.stability == Stability::Stable)
+        .collect();
+    for e in &stable {
+        let now = match e.kind {
+            Kind::Gauge => e.gauge,
+            _ => e.count as f64,
+        };
+        match baseline.get(e.name) {
+            None => {
+                drifted += 1;
+                lines.push(format!(
+                    "{}: new metric (value {now}) — refresh the baseline",
+                    e.name
+                ));
+            }
+            Some(b) => {
+                let r = rel(now, b.value);
+                let verdict = if r > threshold {
+                    drifted += 1;
+                    "DRIFT"
+                } else {
+                    "ok"
+                };
+                lines.push(format!(
+                    "{}: {} -> {} ({:+.1}%) {}",
+                    e.name,
+                    b.value,
+                    now,
+                    if b.value == 0.0 {
+                        0.0
+                    } else {
+                        (now - b.value) / b.value * 100.0
+                    },
+                    verdict
+                ));
+            }
+        }
+    }
+    for b in &baseline.metrics {
+        if !stable.iter().any(|e| e.name == b.name) {
+            drifted += 1;
+            lines.push(format!(
+                "{}: present in baseline but no longer exported — refresh the baseline",
+                b.name
+            ));
+        }
+    }
+    DiffReport { lines, drifted }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal writer/parser (same offline-no-serde idiom as ecl-trace).
+
+/// Appends `s` as a JSON string literal (quotes included).
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` in Rust's shortest round-trip representation (valid
+/// JSON for all finite values; non-finite clamps to 0, which the schema
+/// never contains).
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number `{s}` at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                    }
+                }
+                Some(_) => {
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let ch = rest.chars().next().expect("nonempty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_metrics;
+
+    #[test]
+    fn export_parses_back_and_is_stable_only() {
+        let ((), snap) = with_metrics(|| {
+            crate::counter!(SIMCACHE_HIT, 12);
+            crate::counter!(DSU_CAS_RETRY, 99); // volatile: must not export
+            crate::histogram!(GRAPH_BUILD_ARCS, 5000.0);
+        });
+        let text = to_json(&snap);
+        assert!(text.starts_with("{\n  \"format\": \"ecl-metrics/1\""));
+        let base = from_json(&text).unwrap();
+        assert_eq!(base.get("ecl.simcache.hit").unwrap().value, 12.0);
+        assert!(
+            base.get("ecl.dsu.cas_retry").is_none(),
+            "volatile metrics must stay out of the byte-stable export"
+        );
+        let h = base.get("ecl.graph.build_arcs").unwrap();
+        assert_eq!(h.count, 1);
+        assert!((h.sum - 5000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_sessions_export_identical_bytes() {
+        let run = || {
+            with_metrics(|| {
+                crate::counter!(SIMCACHE_HIT, 7);
+                crate::counter!(SIMCACHE_MISS, 3);
+                crate::gauge!(SIMCACHE_ENTRIES, 10);
+                crate::histogram!(GRAPH_BUILD_ARCS, 123.0);
+            })
+            .1
+            .to_json()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn diff_flags_drift_and_name_changes() {
+        let ((), a) = with_metrics(|| crate::counter!(SIMCACHE_HIT, 100));
+        let base = from_json(&a.to_json()).unwrap();
+
+        // Identical run: clean.
+        let ((), b) = with_metrics(|| crate::counter!(SIMCACHE_HIT, 100));
+        assert!(diff(&b, &base, 0.05).is_pass());
+
+        // Within threshold: clean.
+        let ((), c) = with_metrics(|| crate::counter!(SIMCACHE_HIT, 104));
+        assert!(diff(&c, &base, 0.05).is_pass());
+
+        // Past threshold: drift.
+        let ((), d) = with_metrics(|| crate::counter!(SIMCACHE_HIT, 200));
+        let report = diff(&d, &base, 0.05);
+        assert!(!report.is_pass());
+        assert!(report.lines.iter().any(|l| l.contains("DRIFT")));
+
+        // A baseline name that vanished from the registry drifts too.
+        let mut renamed = base.clone();
+        renamed.metrics.push(BaselineMetric {
+            name: "ecl.simcache.hits_old".into(),
+            kind: "counter".into(),
+            value: 1.0,
+            count: 0,
+            sum: 0.0,
+        });
+        assert!(!diff(&b, &renamed, 0.05).is_pass());
+    }
+
+    #[test]
+    fn from_json_rejects_other_formats() {
+        assert!(from_json("{\"format\": \"ecl-trace-profile/1\", \"metrics\": []}").is_err());
+        assert!(from_json("not json").is_err());
+    }
+}

@@ -313,6 +313,17 @@ impl TraceState {
         while !self.open.is_empty() {
             self.close_top();
         }
+        // Bridge the session totals into ecl-metrics: a metrics session that
+        // wraps one or more trace sessions sees the same aggregates the
+        // trace profile exports, under stable `ecl.trace.*` names.
+        if ecl_metrics::active() {
+            ecl_metrics::counter!(TRACE_LAUNCHES, self.totals.launches);
+            ecl_metrics::counter!(TRACE_ATOMICS, self.totals.atomics);
+            ecl_metrics::counter!(TRACE_CAS_RETRIES, self.totals.cas_retries);
+            ecl_metrics::counter!(TRACE_FIND_CALLS, self.totals.find_calls);
+            ecl_metrics::counter!(TRACE_FIND_HOPS, self.totals.find_hops);
+            ecl_metrics::counter!(TRACE_SIM_US, self.sim_us.round().max(0.0) as u64);
+        }
         TraceSession {
             events: self.events,
             hops: self.hops,

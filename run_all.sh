@@ -39,4 +39,9 @@ run filter_c_sweep
 run warp_threshold_sweep
 run cpu_ladder
 
+# End-of-sweep cache summary: how many distinct cells this build measured
+# (every other evaluation was a replay — per-binary hit lines are on stderr).
+CELLS=$(find "$ECL_SIM_CACHE" -name '*.cell' 2>/dev/null | wc -l)
+echo "sim-cache: $CELLS cells measured once and shared across the sweep"
+
 echo "done — see results/"

@@ -1,0 +1,140 @@
+//! Golden-file and parity tests for the `ecl-metrics/1` stable export.
+//!
+//! Same determinism basis as `trace_golden.rs`: filtering disabled (no
+//! `plan_filter` wall span) and a pre-warmed upload cache, so the metered
+//! run records **stable, simulated-clock-derived values only** — the
+//! stable JSON surface serializes to identical bytes on every host.
+//! Volatile metrics (dsu.*, wall-second histograms, thread gauges) are
+//! excluded from the export by construction, which the lockstep test
+//! pins against the registry.
+//!
+//! To regenerate after an *intentional* registry or metering change:
+//!
+//! ```text
+//! GOLDEN_PRINT=1 cargo test --test metrics_golden -- --nocapture
+//! ```
+//!
+//! and paste the printed block over `tests/fixtures/metrics_golden_grid16.json`.
+
+use ecl_gpu_sim::GpuProfile;
+use ecl_graph::generators::grid2d;
+use ecl_metrics::Stability;
+use ecl_mst::{ecl_mst_gpu_with, GpuRun, OptConfig};
+use std::sync::Mutex;
+
+const GOLDEN: &str = include_str!("fixtures/metrics_golden_grid16.json");
+
+/// The metrics gate is process-global: an unmetered workload running in
+/// one test would record into a session opened concurrently by another.
+/// Every test in this binary serializes through this lock.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn fixed_config() -> OptConfig {
+    let mut cfg = OptConfig::full();
+    cfg.filtering = false;
+    cfg
+}
+
+/// One deterministic metered run: the CSR build and a traced GPU MST both
+/// happen inside the session, so `graph.*` records directly and `trace.*`
+/// publishes through the bridge when the trace session closes.
+fn metered_snapshot() -> ecl_metrics::Snapshot {
+    let cfg = fixed_config();
+    // Warm the upload cache outside the session (mirrors trace_golden).
+    let _ = ecl_mst_gpu_with(&grid2d(16, 3), &cfg, GpuProfile::TITAN_V);
+    let ((), snap) = ecl_metrics::with_metrics(|| {
+        let g = grid2d(16, 3);
+        let ((), _session) = ecl_trace::with_trace(|| {
+            let _ = ecl_mst_gpu_with(&g, &cfg, GpuProfile::TITAN_V);
+        });
+    });
+    snap
+}
+
+#[test]
+fn stable_export_matches_golden_and_is_byte_stable() {
+    let _x = lock();
+    let snap = metered_snapshot();
+
+    // The run actually recorded through every instrumented layer.
+    assert_eq!(snap.counter("ecl.graph.builds"), 1);
+    assert!(
+        snap.counter("ecl.trace.launches") > 0,
+        "trace bridge silent"
+    );
+    assert!(snap.counter("ecl.trace.sim_us") > 0, "no simulated time");
+
+    let text = snap.to_json();
+    if std::env::var_os("GOLDEN_PRINT").is_some() {
+        println!("----- golden metrics -----");
+        print!("{text}");
+        println!("----- end golden metrics -----");
+    }
+    assert_eq!(
+        text, GOLDEN,
+        "stable metrics export drifted from tests/fixtures/metrics_golden_grid16.json \
+         (GOLDEN_PRINT=1 to regenerate after an intentional change)"
+    );
+
+    // A second independent session of the same run: identical bytes.
+    assert_eq!(metered_snapshot().to_json(), text);
+}
+
+#[test]
+fn metrics_session_does_not_perturb_metering_or_msf() {
+    let _x = lock();
+    let cfg = fixed_config();
+    let g = grid2d(16, 3);
+    let fingerprint = |run: &GpuRun| {
+        (
+            run.result.in_mst.clone(),
+            run.result.total_weight,
+            run.result.num_edges,
+            run.iterations,
+            run.kernel_seconds.to_bits(),
+            run.memcpy_seconds.to_bits(),
+            run.records.len(),
+        )
+    };
+    let base = ecl_mst_gpu_with(&g, &cfg, GpuProfile::TITAN_V);
+    let (metered, _snap) =
+        ecl_metrics::with_metrics(|| ecl_mst_gpu_with(&g, &cfg, GpuProfile::TITAN_V));
+    assert_eq!(
+        fingerprint(&base),
+        fingerprint(&metered),
+        "an active metrics session must not change the MSF or the simulated clocks"
+    );
+}
+
+#[test]
+fn stable_export_lists_exactly_the_stable_registry_names() {
+    let _x = lock();
+    // Empty session: even never-recorded stable names export (at zero),
+    // and volatile names stay out regardless of value.
+    let ((), snap) = ecl_metrics::with_metrics(|| {});
+    let parsed = ecl_metrics::json::from_json(&snap.to_json()).expect("export parses back");
+    let exported: Vec<&str> = parsed.metrics.iter().map(|m| m.name.as_str()).collect();
+    let stable: Vec<&str> = snap
+        .entries
+        .iter()
+        .filter(|e| e.stability == Stability::Stable)
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(
+        exported, stable,
+        "export must list the registry's stable names, all of them, in registry order"
+    );
+    for e in &snap.entries {
+        if e.stability == Stability::Volatile {
+            assert!(
+                !exported.contains(&e.name),
+                "volatile metric {} leaked into the stable export",
+                e.name
+            );
+        }
+    }
+}
