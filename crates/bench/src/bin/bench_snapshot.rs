@@ -130,6 +130,12 @@ fn main() {
             r
         });
 
+    // Dynamic-updates column: incremental maintenance vs rebuild-per-batch,
+    // measured OUTSIDE the timed table3 window above so total_wall_seconds
+    // stays comparable to earlier chain links that predate this workload.
+    eprintln!("measuring dynamic updates ...");
+    let dyn_report = ecl_mst_bench::dynamic::measure_dynamic_updates(scale, 1);
+
     // Chain link: the previous snapshot (same directory, highest N) is the
     // baseline whenever it describes the same workload — same scale, same
     // repeats, neither run sanitized — so speedup_vs_baseline tracks the
@@ -238,6 +244,27 @@ fn main() {
         }
         let _ = writeln!(json, "  }},");
     }
+    // Dynamic-updates column. Unique keys, so `snapshot::read_snapshot`'s
+    // first-occurrence parser is unaffected.
+    let _ = writeln!(json, "  \"dynamic_updates\": {{");
+    let _ = writeln!(json, "    \"batches\": {},", dyn_report.batches);
+    let _ = writeln!(json, "    \"ops_per_batch\": {},", dyn_report.ops_per_batch);
+    let _ = writeln!(
+        json,
+        "    \"engine_wall_seconds\": {:.6},",
+        dyn_report.engine_wall_seconds
+    );
+    let _ = writeln!(
+        json,
+        "    \"rebuild_wall_seconds\": {:.6},",
+        dyn_report.rebuild_wall_seconds
+    );
+    let _ = writeln!(
+        json,
+        "    \"updates_speedup_vs_rebuild\": {:.3}",
+        dyn_report.speedup()
+    );
+    let _ = writeln!(json, "  }},");
     match &baseline {
         Some((base, source)) => {
             let _ = writeln!(json, "  \"baseline_wall_seconds\": {base:.4},");

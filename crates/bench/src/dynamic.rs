@@ -1,0 +1,181 @@
+//! Dynamic-updates workload: batched engine maintenance vs full rebuild.
+//!
+//! The comparison the dynamic MSF engine exists to win: apply a scripted
+//! stream of insert/delete batches to an RMAT graph once through
+//! [`DynamicMsf::apply_batch`] and once by rebuilding the CSR and rerunning
+//! serial Kruskal after every batch (what a static pipeline would do). Both
+//! sides run the same deterministic op stream, and the engine's forest is
+//! checked against the final rebuild so the speedup number can never come
+//! from diverging work.
+//!
+//! This workload is reported as the `dynamic_updates` block of the
+//! `bench_snapshot` chain; it runs *outside* the snapshot's timed table3
+//! window so `total_wall_seconds` stays comparable link to link.
+
+use ecl_graph::generators::rmat;
+use ecl_graph::{CsrGraph, GraphBuilder, SuiteScale};
+use ecl_mst::{serial_kruskal, DynamicMsf, UpdateOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Batches applied per run; enough to amortize one-off effects without
+/// making the rebuild side dominate snapshot time at Medium+.
+pub const BATCHES: usize = 8;
+/// Operations per batch, roughly 2:1 insert:delete.
+pub const OPS_PER_BATCH: usize = 32;
+
+/// Wall-clock results of one dynamic-updates run.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicUpdatesReport {
+    pub batches: usize,
+    pub ops_per_batch: usize,
+    /// Total seconds spent in `apply_batch` across all batches.
+    pub engine_wall_seconds: f64,
+    /// Total seconds spent rebuilding CSR + rerunning Kruskal per batch.
+    pub rebuild_wall_seconds: f64,
+}
+
+impl DynamicUpdatesReport {
+    /// How many times faster incremental maintenance was than rebuilding.
+    pub fn speedup(&self) -> f64 {
+        self.rebuild_wall_seconds / self.engine_wall_seconds.max(1e-12)
+    }
+}
+
+/// RMAT scale exponent for the workload graph at each suite scale.
+fn rmat_scale(scale: SuiteScale) -> u32 {
+    match scale {
+        SuiteScale::Tiny => 11,
+        SuiteScale::Small => 15,
+        SuiteScale::Medium => 17,
+        SuiteScale::Large => 20,
+    }
+}
+
+/// The deterministic op stream: every batch mixes fresh inserts with
+/// deletes of edges known live at generation time. The model map tracks
+/// liveness so deletes always name a real edge (misses would make the
+/// rebuild side artificially cheap).
+fn make_batches(g: &CsrGraph, seed: u64) -> Vec<Vec<UpdateOp>> {
+    let n = g.num_vertices() as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: BTreeMap<(u32, u32), u32> = g
+        .edges()
+        .map(|e| ((e.src.min(e.dst), e.src.max(e.dst)), e.weight))
+        .collect();
+    let mut batches = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let mut ops = Vec::with_capacity(OPS_PER_BATCH);
+        for k in 0..OPS_PER_BATCH {
+            if k % 3 == 2 && !live.is_empty() {
+                let idx = rng.gen_range(0..live.len());
+                let (&(u, v), _) = live.iter().nth(idx).unwrap();
+                live.remove(&(u, v));
+                ops.push(UpdateOp::Delete { u, v });
+            } else {
+                let u = rng.gen_range(0..n);
+                let mut v = rng.gen_range(0..n);
+                if v == u {
+                    v = (v + 1) % n;
+                }
+                let w = rng.gen_range(1..1_000_000u32);
+                let key = (u.min(v), u.max(v));
+                let slot = live.entry(key).or_insert(w);
+                *slot = (*slot).min(w);
+                ops.push(UpdateOp::Insert { u, v, w });
+            }
+        }
+        batches.push(ops);
+    }
+    batches
+}
+
+/// Rebuild path: CSR from the live edge set, then serial Kruskal.
+fn rebuild_weight(n: usize, live: &BTreeMap<(u32, u32), u32>) -> u64 {
+    let mut b = GraphBuilder::with_capacity(n, live.len());
+    for (&(u, v), &w) in live {
+        b.add_edge(u, v, w);
+    }
+    let g = b.build();
+    serial_kruskal(&g).total_weight
+}
+
+/// Runs the workload at `scale` with the given RNG seed and returns both
+/// sides' wall times. Panics if the engine's final forest weight disagrees
+/// with the final rebuild — a wrong answer must never report a speedup.
+pub fn measure_dynamic_updates(scale: SuiteScale, seed: u64) -> DynamicUpdatesReport {
+    let g = rmat(rmat_scale(scale), 8, seed);
+    let n = g.num_vertices();
+    let batches = make_batches(&g, seed ^ 0x9E37_79B9_7F4A_7C15);
+
+    // Engine side: seed once from the CSR, then incremental batches.
+    let mut engine = DynamicMsf::from_graph(&g);
+    let mut engine_wall = 0.0;
+    for ops in &batches {
+        engine_wall += crate::runner::wall(|| {
+            engine.apply_batch(ops);
+        });
+    }
+
+    // Rebuild side: replay the same ops into a live-edge map and pay a full
+    // CSR build + Kruskal after every batch, like a static pipeline would.
+    let mut live: BTreeMap<(u32, u32), u32> = g
+        .edges()
+        .map(|e| ((e.src.min(e.dst), e.src.max(e.dst)), e.weight))
+        .collect();
+    let mut rebuild_wall = 0.0;
+    let mut rebuilt_weight = 0;
+    for ops in &batches {
+        for op in ops {
+            match *op {
+                UpdateOp::Insert { u, v, w } => {
+                    if u != v {
+                        let key = (u.min(v), u.max(v));
+                        let slot = live.entry(key).or_insert(w);
+                        *slot = (*slot).min(w);
+                    }
+                }
+                UpdateOp::Delete { u, v } => {
+                    live.remove(&(u.min(v), u.max(v)));
+                }
+            }
+        }
+        rebuild_wall += crate::runner::wall(|| {
+            rebuilt_weight = rebuild_weight(n, &live);
+        });
+    }
+
+    assert_eq!(
+        engine.total_weight(),
+        rebuilt_weight,
+        "dynamic engine and rebuild disagree on the final forest weight"
+    );
+
+    DynamicUpdatesReport {
+        batches: batches.len(),
+        ops_per_batch: OPS_PER_BATCH,
+        engine_wall_seconds: engine_wall,
+        rebuild_wall_seconds: rebuild_wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_is_consistent_and_fast() {
+        let r = measure_dynamic_updates(SuiteScale::Tiny, 7);
+        assert_eq!(r.batches, BATCHES);
+        assert_eq!(r.ops_per_batch, OPS_PER_BATCH);
+        assert!(r.engine_wall_seconds >= 0.0 && r.rebuild_wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn op_stream_is_deterministic() {
+        let g = rmat(10, 8, 3);
+        assert_eq!(make_batches(&g, 5), make_batches(&g, 5));
+        assert_ne!(make_batches(&g, 5), make_batches(&g, 6));
+    }
+}

@@ -7,6 +7,7 @@
 //! inputs, and plain-text table/chart rendering.
 
 pub mod chart;
+pub mod dynamic;
 pub mod experiments;
 pub mod registry;
 pub mod runner;
@@ -14,6 +15,7 @@ pub mod simcache;
 pub mod snapshot;
 pub mod table;
 
+pub use dynamic::{measure_dynamic_updates, DynamicUpdatesReport};
 pub use experiments::{
     measure_matrix, run_system_table, run_throughput_figure, Matrix, SystemTableArgs,
 };

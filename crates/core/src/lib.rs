@@ -22,6 +22,7 @@
 
 pub mod config;
 pub mod cpu;
+pub mod dynamic;
 pub mod filter;
 pub mod gpu;
 pub mod result;
@@ -31,6 +32,7 @@ pub mod verify;
 
 pub use config::{deopt_ladder, OptConfig};
 pub use cpu::{ecl_mst_cpu, ecl_mst_cpu_with, CpuRun};
+pub use dynamic::{BatchStats, DynamicMsf, SlidingWindow, UpdateOp};
 pub use gpu::{ecl_mst_gpu, ecl_mst_gpu_sequential, ecl_mst_gpu_with, GpuRun};
 pub use result::{pack, unpack, MstError, MstResult, EMPTY};
 pub use serial::serial_kruskal;

@@ -299,6 +299,13 @@ impl AtomicDsu {
     /// written) lookup. Exactly equal to `labels(...)` but O(n) total
     /// instead of O(n · chain length) — the flat-DSU labeling pass the CPU
     /// codes run between their (barrier-separated) rounds.
+    ///
+    /// Debug builds assert the quiescence precondition as they go: every
+    /// produced label must itself be a root. A concurrent union moves a
+    /// root under us and trips the assertion (see the `ecl_model`
+    /// scenario `flat_labels_quiescence_guard_trips_mid_union`), so a
+    /// caller that streams labels mid-batch fails fast instead of
+    /// returning a silently torn partition.
     pub fn flat_labels_into(&self, out: &mut Vec<u32>) {
         let n = self.parent.len();
         out.clear();
@@ -306,6 +313,11 @@ impl AtomicDsu {
         for v in (0..n).rev() {
             let p = self.load_parent(v as u32);
             out[v] = if p as usize == v { p } else { out[p as usize] };
+            debug_assert!(
+                self.load_parent(out[v]) == out[v],
+                "flat_labels_into at a non-quiescent point: label {} of element {v} is not a root",
+                out[v],
+            );
         }
     }
 }

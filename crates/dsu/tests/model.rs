@@ -236,6 +236,62 @@ fn blocked_halving_races_stay_root_preserving() {
     assert_eq!(r.schedules, 9_712);
 }
 
+#[test]
+#[cfg(debug_assertions)]
+#[cfg_attr(
+    ecl_model_weak_union,
+    ignore = "weak-union build breaks orderings on purpose"
+)]
+fn flat_labels_quiescence_guard_trips_mid_union() {
+    // The quiescence guard in `flat_labels_into` must actually fire: one
+    // worker streams labels while the other unions a new root over the
+    // chain, and on at least one schedule the guard's re-load must catch
+    // the label it just produced no longer being a root. Debug builds
+    // only — the guard compiles out of release.
+    use std::panic::{self, AssertUnwindSafe};
+    let trips = AtomicUsize::new(0);
+    // The default hook would print a backtrace line for every tripping
+    // schedule; silence the guard's own panics and forward the rest.
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(|info| {
+        let ours = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("non-quiescent"));
+        if !ours {
+            eprintln!("{info}");
+        }
+    }));
+    let r = explore(
+        2,
+        || {
+            let d = AtomicDsu::new(3);
+            d.union(0, 1, FindPolicy::NoCompression); // parent[0] = 1
+            d
+        },
+        |tid, d: &AtomicDsu| {
+            if tid == 0 {
+                d.union(1, 2, FindPolicy::NoCompression); // re-roots 1 under 2
+            } else {
+                let mut labels = Vec::new();
+                if panic::catch_unwind(AssertUnwindSafe(|| d.flat_labels_into(&mut labels)))
+                    .is_err()
+                {
+                    trips.fetch_add(1, Relaxed);
+                }
+            }
+        },
+        |d, out| check_partition(d, 3, &[(0, 1), (1, 2)], out),
+    );
+    panic::set_hook(prev);
+    assert_eq!(r.violations, Vec::<String>::new());
+    assert!(
+        trips.load(Relaxed) > 0,
+        "no schedule tripped the quiescence guard across {} schedules",
+        r.schedules
+    );
+}
+
 /// Negative test: with the union CAS deliberately weakened to `Relaxed`
 /// (`--cfg ecl_model_weak_union`), the checker's ordering contract must
 /// flag every schedule that performs a merge.

@@ -20,8 +20,10 @@ pub mod backends;
 pub mod corpus;
 pub mod gen;
 pub mod shrink;
+pub mod updates;
 
 pub use gen::RawCase;
+pub use updates::UpdateScript;
 
 use backends::{Backend, Coverage};
 use ecl_graph::stats::connected_components;
@@ -45,14 +47,14 @@ impl std::fmt::Display for Failure {
     }
 }
 
-fn fail(backend: impl Into<String>, detail: impl Into<String>) -> Failure {
+pub(crate) fn fail(backend: impl Into<String>, detail: impl Into<String>) -> Failure {
     Failure {
         backend: backend.into(),
         detail: detail.into(),
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -1,30 +1,35 @@
 //! ecl-fuzz CLI: run a differential fuzzing campaign.
 //!
 //! ```text
-//! ecl-fuzz [--cases N] [--seed S] [--sample-every K] [--corpus DIR]
+//! ecl-fuzz [--updates] [--cases N] [--seed S] [--sample-every K] [--corpus DIR]
 //! ```
+//!
+//! `--updates` runs the dynamic-MSF update-script campaign (rebuild
+//! equivalence after every batch) instead of the static differential one.
 //!
 //! Exit status: 0 when every case agrees across every backend, 1 on any
 //! divergence (minimized reproductions are written into `--corpus` when
 //! given), 2 on bad usage.
 
-use ecl_fuzz::{corpus, run_campaign_with, CampaignConfig};
+use ecl_fuzz::{corpus, run_campaign_with, updates, CampaignConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     cfg: CampaignConfig,
     corpus_dir: Option<PathBuf>,
+    updates: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: ecl-fuzz [--cases N] [--seed S] [--sample-every K] [--corpus DIR]"
+    "usage: ecl-fuzz [--updates] [--cases N] [--seed S] [--sample-every K] [--corpus DIR]"
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         cfg: CampaignConfig::default(),
         corpus_dir: None,
+        updates: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -49,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--sample-every: {e}"))?
             }
             "--corpus" => args.corpus_dir = Some(PathBuf::from(value("--corpus")?)),
+            "--updates" => args.updates = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
@@ -68,6 +74,9 @@ fn main() -> ExitCode {
     // `ECL_METRICS=1 ecl-fuzz …` prints a campaign telemetry snapshot in
     // Prometheus text format after the summary line.
     ecl_metrics::init();
+    if args.updates {
+        return run_updates(&args);
+    }
     println!(
         "ecl-fuzz: {} cases, seed {}, sanitizer/tracer every {} cases",
         cfg.cases, cfg.seed, cfg.sample_every
@@ -116,6 +125,70 @@ fn main() -> ExitCode {
                 format!("failure: {}", f.failure),
             ];
             match corpus::write_case(dir, &stem, &f.minimized, &notes) {
+                Ok(path) => eprintln!("  wrote {}", path.display()),
+                Err(e) => eprintln!("  failed to write corpus entry: {e}"),
+            }
+        }
+    }
+    ExitCode::FAILURE
+}
+
+/// The `--updates` campaign: dynamic-MSF update scripts checked for
+/// rebuild equivalence after every batch, minimized failures written as
+/// `.ups` corpus entries.
+fn run_updates(args: &Args) -> ExitCode {
+    let cfg = &args.cfg;
+    println!(
+        "ecl-fuzz --updates: {} scripts, seed {}, every batch rebuild-checked",
+        cfg.cases, cfg.seed
+    );
+    let mut last_decile = 0;
+    let report = updates::run_update_campaign_with(cfg, |done, fails| {
+        let decile = 10 * done / cfg.cases.max(1);
+        if decile > last_decile {
+            last_decile = decile;
+            println!(
+                "  {done}/{} scripts replayed, {fails} divergences",
+                cfg.cases
+            );
+        }
+    });
+    println!(
+        "replayed {} scripts ({} batches rebuild-checked): {} divergences",
+        report.cases_run,
+        report.batches_checked,
+        report.failures.len()
+    );
+    if let Some(snap) = ecl_metrics::take_ambient() {
+        print!("{}", ecl_metrics::prom::to_text(&snap));
+    }
+    if report.is_clean() {
+        return ExitCode::SUCCESS;
+    }
+    for f in &report.failures {
+        eprintln!(
+            "DIVERGENCE script {} family {}: {} (minimized to {} vertices / {} initial edges / {} ops)",
+            f.case_index,
+            f.raw.family,
+            f.failure,
+            f.minimized.num_vertices,
+            f.minimized.initial_edges.len(),
+            f.minimized.num_ops()
+        );
+        if let Some(dir) = &args.corpus_dir {
+            let stem = format!(
+                "updates-{}-seed{}-case{}",
+                f.minimized.family, cfg.seed, f.case_index
+            );
+            let notes = vec![
+                format!(
+                    "found by: ecl-fuzz --updates --cases {} --seed {}",
+                    cfg.cases, cfg.seed
+                ),
+                format!("case index {}", f.case_index),
+                format!("failure: {}", f.failure),
+            ];
+            match updates::write_script(dir, &stem, &f.minimized, &notes) {
                 Ok(path) => eprintln!("  wrote {}", path.display()),
                 Err(e) => eprintln!("  failed to write corpus entry: {e}"),
             }

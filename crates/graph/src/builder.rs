@@ -374,6 +374,48 @@ mod tests {
     }
 
     #[test]
+    fn dedup_keeps_lightest_on_every_build_path() {
+        // Pins the io_dimacs module-doc promise ("collapse parallels
+        // keeping the lightest"): the tie handling lives in the shared
+        // sort+dedup, but each build path runs its own copy of it, so pin
+        // lightest-wins — not first-wins or last-wins — on all three, with
+        // the lightest duplicate arriving first, last, and mid-run, in
+        // both arc directions.
+        let edges: &[(VertexId, VertexId, Weight)] = &[
+            (0, 1, 4), // lightest first
+            (1, 0, 9),
+            (1, 2, 8),
+            (2, 1, 3), // lightest last
+            (0, 2, 7),
+            (2, 0, 5), // lightest mid-run
+            (0, 2, 6),
+        ];
+        let make = || {
+            let mut b = GraphBuilder::new(3);
+            b.extend_edges(edges.iter().copied());
+            b
+        };
+        let (g, gs, gc) = (
+            make().build(),
+            make().build_serial(),
+            make().build_chunked(),
+        );
+        assert_eq!(g, gs, "build must agree with build_serial");
+        assert_eq!(g, gc, "build must agree with build_chunked");
+        let weight_of = |u: VertexId, v: VertexId| {
+            g.neighbors(u)
+                .find(|e| e.dst == v)
+                .expect("edge present")
+                .weight
+        };
+        assert_eq!(weight_of(0, 1), 4);
+        assert_eq!(weight_of(1, 2), 3);
+        assert_eq!(weight_of(0, 2), 5);
+        assert_eq!(g.num_edges(), 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
     fn self_loops_dropped() {
         let mut b = GraphBuilder::new(3);
         b.add_edge(1, 1, 4);

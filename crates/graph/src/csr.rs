@@ -211,6 +211,16 @@ impl CsrGraph {
             .flat_map(move |v| self.neighbors(v).filter(move |e| e.src < e.dst))
     }
 
+    /// Materializes every undirected edge as a canonical `(u, v, w)`
+    /// triple with `u < v`, in vertex order — the mutation-friendly view
+    /// consumers that outlive the CSR (e.g. the dynamic MSF engine) seed
+    /// their own adjacency from, without borrowing the graph.
+    pub fn edge_list(&self) -> Vec<(VertexId, VertexId, Weight)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        out.extend(self.edges().map(|e| (e.src, e.dst, e.weight)));
+        out
+    }
+
     /// Iterates all vertices.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
         0..self.num_vertices() as VertexId

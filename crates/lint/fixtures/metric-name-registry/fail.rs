@@ -1,5 +1,6 @@
-//! Fixture: three violations — a kind-mismatched recording, an undeclared
-//! name, and a declared metric nothing ever records.
+//! Fixture: violations of every class — a kind-mismatched recording, an
+//! undeclared name, and declared metrics nothing ever records — including
+//! one from the `ecl.dynamic.*` namespace.
 
 pub struct Metric;
 
@@ -14,10 +15,16 @@ impl Metric {
 
 pub static CACHE_HIT: Metric = Metric::counter("ecl.cache.hit", 0, "replayed entries");
 pub static ORPHAN_TOTAL: Metric = Metric::counter("ecl.orphan.total", 0, "never recorded");
+// Dead dynamic-engine metric: declared, never recorded anywhere.
+pub static DYNAMIC_TREE_CHURN: Metric =
+    Metric::gauge("ecl.dynamic.tree_churn", 0, "never recorded");
+pub static DYNAMIC_BATCHES: Metric = Metric::counter("ecl.dynamic.batches", 0, "update batches");
 
 fn record() {
     // Kind mismatch: CACHE_HIT is declared as a counter.
     ecl_metrics::gauge!(CACHE_HIT, 2.0);
     // Undeclared: no registry static of this name exists.
     ecl_metrics::counter!(UNDECLARED_TOTAL);
+    // Kind mismatch in the dynamic namespace: batches is a counter.
+    ecl_metrics::histogram!(DYNAMIC_BATCHES, 3.0);
 }

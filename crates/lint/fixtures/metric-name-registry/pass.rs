@@ -20,12 +20,33 @@ pub static CACHE_HIT: Metric = Metric::counter("ecl.cache.hit", 0, "replayed ent
 pub static QUEUE_DEPTH: Metric = Metric::gauge("ecl.queue.depth", 0, "live depth");
 pub static PHASE_SECONDS: Metric = Metric::histogram("ecl.phase.seconds", 0, &[1.0, 10.0]);
 
-pub static ALL: &[&Metric] = &[&CACHE_HIT, &QUEUE_DEPTH, &PHASE_SECONDS];
+// The dynamic-MSF trio mirrors the real registry entries so the rule is
+// exercised against the `ecl.dynamic.*` namespace too.
+pub static DYNAMIC_BATCHES: Metric = Metric::counter("ecl.dynamic.batches", 0, "update batches");
+pub static DYNAMIC_REPLACEMENT_CANDIDATES: Metric =
+    Metric::histogram("ecl.dynamic.replacement_candidates", 0, &[1.0, 10.0]);
+pub static DYNAMIC_TREE_CHURN: Metric =
+    Metric::gauge("ecl.dynamic.tree_churn", 0, "tree edges swapped last batch");
+
+pub static ALL: &[&Metric] = &[
+    &CACHE_HIT,
+    &QUEUE_DEPTH,
+    &PHASE_SECONDS,
+    &DYNAMIC_BATCHES,
+    &DYNAMIC_REPLACEMENT_CANDIDATES,
+    &DYNAMIC_TREE_CHURN,
+];
 
 fn record(depth: usize, secs: f64) {
     ecl_metrics::counter!(CACHE_HIT);
     ecl_metrics::gauge!(QUEUE_DEPTH, depth);
     ecl_metrics::histogram!(PHASE_SECONDS, secs);
+}
+
+fn record_batch(candidates: usize, churn: usize) {
+    ecl_metrics::counter!(DYNAMIC_BATCHES);
+    ecl_metrics::histogram!(DYNAMIC_REPLACEMENT_CANDIDATES, candidates);
+    ecl_metrics::gauge!(DYNAMIC_TREE_CHURN, churn);
 }
 
 #[cfg(test)]

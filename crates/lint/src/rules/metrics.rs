@@ -132,6 +132,7 @@ impl Rule for MetricNameRegistry {
     fn scope(&self) -> &'static [&'static str] {
         &[
             "crates/metrics/src",
+            "crates/core/src",
             "crates/dsu/src",
             "crates/graph/src",
             "crates/trace/src",

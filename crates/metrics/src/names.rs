@@ -152,6 +152,25 @@ pub static FUZZ_SHRINK_STEPS: Metric = Metric::counter(
     "shrink candidates evaluated while minimizing failures",
 );
 
+// --- dynamic MSF engine ----------------------------------------------------
+
+pub static DYNAMIC_BATCHES: Metric = Metric::counter(
+    "ecl.dynamic.batches",
+    Stable,
+    "update batches applied by the dynamic MSF engine",
+);
+pub static DYNAMIC_REPLACEMENT_CANDIDATES: Metric = Metric::histogram(
+    "ecl.dynamic.replacement_candidates",
+    Stable,
+    SIZE_BUCKETS,
+    "crossing-edge candidates scanned per replacement search after a tree-edge delete",
+);
+pub static DYNAMIC_TREE_CHURN: Metric = Metric::gauge(
+    "ecl.dynamic.tree_churn",
+    Stable,
+    "tree edges added or removed by the most recent update batch",
+);
+
 // --- ecl-trace bridge (published when a trace session closes) -------------
 
 pub static TRACE_LAUNCHES: Metric = Metric::counter(
@@ -209,6 +228,9 @@ pub static ALL: &[&Metric] = &[
     &FUZZ_CASES,
     &FUZZ_DIVERGENCES,
     &FUZZ_SHRINK_STEPS,
+    &DYNAMIC_BATCHES,
+    &DYNAMIC_REPLACEMENT_CANDIDATES,
+    &DYNAMIC_TREE_CHURN,
     &TRACE_LAUNCHES,
     &TRACE_ATOMICS,
     &TRACE_FIND_CALLS,
@@ -231,7 +253,7 @@ mod tests {
         // `ALL` is the export order; a declaration missing from it would
         // silently never export. The registry test in lib.rs checks name
         // hygiene; this one pins the count so additions update both.
-        assert_eq!(ALL.len(), 28, "update ALL (and this count) together");
+        assert_eq!(ALL.len(), 31, "update ALL (and this count) together");
         assert!(by_name("ecl.simcache.hit").is_some());
         assert!(by_name("ecl.nope").is_none());
     }

@@ -65,10 +65,12 @@ fn usage() {
          \u{20}                 the blessed SWAR kernels"
     );
     eprintln!(
-        "  fuzz [--cases N] [--seed S] [--sample-every K] [--force-scalar]\n\
+        "  fuzz [--updates] [--cases N] [--seed S] [--sample-every K] [--force-scalar]\n\
          \u{20}                 run the ecl-fuzz differential campaign (release build);\n\
          \u{20}                 minimized failures land in tests/corpus/; --force-scalar\n\
-         \u{20}                 rebuilds the solvers on the scalar oracle paths first"
+         \u{20}                 rebuilds the solvers on the scalar oracle paths first;\n\
+         \u{20}                 --updates runs the dynamic-MSF update-script campaign\n\
+         \u{20}                 (rebuild equivalence after every batch) instead"
     );
     eprintln!(
         "\nexit codes: 0 success, 1 task failure (findings, fuzz mismatch),\n\

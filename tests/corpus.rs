@@ -6,8 +6,13 @@
 //! on each entry, so once a divergence lands in the corpus it can never
 //! silently return. New entries are added by `cargo xtask fuzz` when a
 //! campaign finds and shrinks a failure.
+//!
+//! `.ups` entries are dynamic-MSF update scripts: replay drives each one
+//! through `ecl_mst::DynamicMsf` and demands rebuild equivalence after
+//! every batch. They come from `cargo xtask fuzz --updates` (or are
+//! hand-seeded to pin a specific replacement/swap/split behavior).
 
-use ecl_fuzz::{backends, check_backends, check_instrumented, check_io, corpus};
+use ecl_fuzz::{backends, check_backends, check_instrumented, check_io, corpus, updates};
 use std::path::Path;
 
 fn corpus_dir() -> std::path::PathBuf {
@@ -42,12 +47,32 @@ fn corpus_replays_clean_under_instrumentation() {
 fn corpus_entries_state_their_provenance() {
     // Each entry must carry at least one comment line explaining what it
     // pins — the corpus is documentation as much as it is a test.
-    for (path, _) in corpus::load_dir(&corpus_dir()).expect("load tests/corpus") {
-        let text = std::fs::read_to_string(&path).unwrap();
+    let statics = corpus::load_dir(&corpus_dir()).expect("load tests/corpus");
+    let scripts = updates::load_scripts(&corpus_dir()).expect("load tests/corpus scripts");
+    let paths = statics
+        .iter()
+        .map(|(p, _)| p)
+        .chain(scripts.iter().map(|(p, _)| p));
+    for path in paths {
+        let text = std::fs::read_to_string(path).unwrap();
         assert!(
             text.lines().any(|l| l.starts_with("c ")),
             "{} has no provenance comment",
             path.display()
         );
+    }
+}
+
+#[test]
+fn update_corpus_replays_rebuild_equivalent() {
+    let entries = updates::load_scripts(&corpus_dir()).expect("load tests/corpus scripts");
+    assert!(
+        entries.len() >= 5,
+        "the update corpus must keep at least its 5 seed entries, found {}",
+        entries.len()
+    );
+    for (path, script) in &entries {
+        updates::check_script(script)
+            .unwrap_or_else(|f| panic!("{} diverged: {f}", path.display()));
     }
 }

@@ -1,0 +1,79 @@
+//! Golden-file test for the dynamic-MSF engine's stable metrics export.
+//!
+//! One scripted run — the `updates-replacement.ups` corpus entry replayed
+//! through [`ecl_mst::DynamicMsf`] inside a metrics session — must export
+//! identical JSON bytes on every host. The engine's instrumentation is all
+//! simulated-clock-free (a batch counter, a candidate-count histogram, a
+//! churn gauge), so the stable surface is deterministic by construction;
+//! this test pins that, and pins the registry section the `ecl.dynamic.*`
+//! names land in.
+//!
+//! To regenerate after an *intentional* registry or engine change:
+//!
+//! ```text
+//! GOLDEN_PRINT=1 cargo test --test dynamic_metrics_golden -- --nocapture
+//! ```
+//!
+//! and paste the printed block over
+//! `tests/fixtures/dynamic_metrics_golden.json`.
+
+use ecl_fuzz::updates;
+use ecl_mst::{DynamicMsf, UpdateOp};
+use std::path::Path;
+
+const GOLDEN: &str = include_str!("fixtures/dynamic_metrics_golden.json");
+
+fn scripted_snapshot() -> (DynamicMsf, ecl_metrics::Snapshot) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/updates-replacement.ups");
+    let text = std::fs::read_to_string(&path).expect("read updates-replacement.ups");
+    let script = updates::parse_script(&text).expect("corpus entry parses");
+    ecl_metrics::with_metrics(|| {
+        let mut engine = DynamicMsf::new(script.num_vertices);
+        // Seeding is itself a batch, so it records like any other update.
+        let seed: Vec<UpdateOp> = script
+            .initial_edges
+            .iter()
+            .map(|&(u, v, w)| UpdateOp::Insert { u, v, w })
+            .collect();
+        engine.apply_batch(&seed);
+        for batch in &script.batches {
+            engine.apply_batch(batch);
+        }
+        engine
+    })
+}
+
+#[test]
+fn dynamic_export_matches_golden_and_is_byte_stable() {
+    let (engine, snap) = scripted_snapshot();
+
+    // The scripted run exercised the paths the metrics instrument: every
+    // batch counted, and the tree delete forced a replacement search.
+    assert_eq!(snap.counter("ecl.dynamic.batches"), 2);
+    let hist = snap
+        .entries
+        .iter()
+        .find(|e| e.name == "ecl.dynamic.replacement_candidates")
+        .expect("replacement histogram registered");
+    assert!(hist.count > 0, "no replacement search recorded");
+    assert_eq!(
+        engine.num_tree_edges(),
+        3,
+        "replacement kept the tree spanning"
+    );
+
+    let text = snap.to_json();
+    if std::env::var_os("GOLDEN_PRINT").is_some() {
+        println!("----- golden metrics -----");
+        print!("{text}");
+        println!("----- end golden metrics -----");
+    }
+    assert_eq!(
+        text, GOLDEN,
+        "dynamic metrics export drifted from tests/fixtures/dynamic_metrics_golden.json \
+         (GOLDEN_PRINT=1 to regenerate after an intentional change)"
+    );
+
+    // A second independent session of the same run: identical bytes.
+    assert_eq!(scripted_snapshot().1.to_json(), text);
+}
