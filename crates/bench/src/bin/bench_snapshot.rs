@@ -27,6 +27,14 @@
 //! against a checked-in baseline and exits with status 5 when any stable
 //! metric drifted more than 5% in either direction (the CI metrics gate —
 //! distinct from the trace gate's exit 4).
+//!
+//! `--sharded SCALE[,SCALE...]` (e.g. `--sharded large,huge`) additionally
+//! measures the out-of-core sharded MSF pipeline on the r4 twin at each
+//! listed scale — outside the timed table3 window, like the dynamic
+//! column — embeds the cells in a `sharded` block, and exits with status 6
+//! when any cell's measured peak RSS exceeds its declared budget (the CI
+//! out-of-core gate). This is the only mode expected to reach
+//! `--sharded huge` (2^24 vertices); the in-core workloads stop at large.
 
 use ecl_gpu_sim::{scratch_footprint, GpuProfile};
 use ecl_graph::suite;
@@ -35,6 +43,7 @@ use ecl_mst_bench::runner::{
     metrics_from_args, peak_rss_bytes, sanitize_from_args, scale_from_args, trace_from_args, wall,
     with_optional_metrics, with_optional_sanitizer, with_optional_trace_breakdown, Repeats,
 };
+use ecl_mst_bench::sharded::{measure_sharded, sharded_scales_from_args};
 use ecl_mst_bench::{simcache, snapshot};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -135,6 +144,34 @@ fn main() {
     // stays comparable to earlier chain links that predate this workload.
     eprintln!("measuring dynamic updates ...");
     let dyn_report = ecl_mst_bench::dynamic::measure_dynamic_updates(scale, 1);
+
+    // Legacy process-lifetime peak, captured BEFORE the sharded cells: each
+    // cell resets the kernel high-water mark to scope its own measurement,
+    // which would otherwise erase the table3 window's peak from this key.
+    let process_peak_rss = peak_rss_bytes().unwrap_or(0);
+
+    // Sharded out-of-core cells, also outside the timed window.
+    let sharded_scales = sharded_scales_from_args(&args);
+    let sharded_cells: Vec<_> = sharded_scales
+        .iter()
+        .map(|&s| {
+            eprintln!("measuring sharded msf at {} ...", s.name());
+            let cell = measure_sharded(s);
+            eprintln!(
+                "  {}: {:.2}s, peak rss {} MiB (budget {} MiB){}",
+                s.name(),
+                cell.wall_seconds,
+                cell.peak_rss_bytes >> 20,
+                cell.rss_budget_bytes >> 20,
+                match cell.parity {
+                    Some(true) => ", parity ok",
+                    Some(false) => ", PARITY FAILED",
+                    None => "",
+                }
+            );
+            cell
+        })
+        .collect();
 
     // Chain link: the previous snapshot (same directory, highest N) is the
     // baseline whenever it describes the same workload — same scale, same
@@ -265,6 +302,51 @@ fn main() {
         dyn_report.speedup()
     );
     let _ = writeln!(json, "  }},");
+    // Sharded out-of-core cells (absent without --sharded). Unique keys
+    // again, and nested "scale" strings are lowercase names so they cannot
+    // shadow the top-level Debug-spelled "scale" for the chain parser
+    // (which reads first occurrence anyway).
+    if !sharded_cells.is_empty() {
+        let _ = writeln!(json, "  \"sharded\": [");
+        for (i, cell) in sharded_cells.iter().enumerate() {
+            let comma = if i + 1 < sharded_cells.len() { "," } else { "" };
+            let _ = writeln!(json, "    {{");
+            let _ = writeln!(json, "      \"scale\": \"{}\",", cell.scale.name());
+            let _ = writeln!(json, "      \"shards\": {},", cell.shards);
+            let _ = writeln!(json, "      \"wall_seconds\": {:.4},", cell.wall_seconds);
+            match cell.monolith_wall_seconds {
+                Some(m) => {
+                    let _ = writeln!(json, "      \"monolith_wall_seconds\": {m:.4},");
+                    let _ = writeln!(
+                        json,
+                        "      \"slowdown_vs_monolith\": {:.3},",
+                        cell.slowdown_vs_monolith().unwrap_or(f64::NAN)
+                    );
+                }
+                None => {
+                    let _ = writeln!(json, "      \"monolith_wall_seconds\": null,");
+                    let _ = writeln!(json, "      \"slowdown_vs_monolith\": null,");
+                }
+            }
+            let _ = match cell.parity {
+                Some(p) => writeln!(json, "      \"parity\": {p},"),
+                None => writeln!(json, "      \"parity\": null,"),
+            };
+            let _ = writeln!(json, "      \"forest_edges\": {},", cell.forest_edges);
+            let _ = writeln!(json, "      \"survivor_edges\": {},", cell.survivor_edges);
+            let _ = writeln!(json, "      \"merge_rounds\": {},", cell.merge_rounds);
+            let _ = writeln!(json, "      \"spill_bytes\": {},", cell.spill_bytes);
+            let _ = writeln!(json, "      \"peak_rss_bytes\": {},", cell.peak_rss_bytes);
+            let _ = writeln!(
+                json,
+                "      \"rss_budget_bytes\": {},",
+                cell.rss_budget_bytes
+            );
+            let _ = writeln!(json, "      \"within_budget\": {}", cell.within_budget());
+            let _ = writeln!(json, "    }}{comma}");
+        }
+        let _ = writeln!(json, "  ],");
+    }
     match &baseline {
         Some((base, source)) => {
             let _ = writeln!(json, "  \"baseline_wall_seconds\": {base:.4},");
@@ -277,11 +359,7 @@ fn main() {
             let _ = writeln!(json, "  \"speedup_vs_baseline\": null,");
         }
     }
-    let _ = writeln!(
-        json,
-        "  \"peak_rss_bytes\": {},",
-        peak_rss_bytes().unwrap_or(0)
-    );
+    let _ = writeln!(json, "  \"peak_rss_bytes\": {process_peak_rss},");
     let _ = writeln!(json, "  \"scratch_const_bytes\": {const_bytes},");
     let _ = writeln!(json, "  \"scratch_pooled_bytes\": {pooled_bytes}");
     json.push_str("}\n");
@@ -290,6 +368,36 @@ fn main() {
     print!("{json}");
     eprintln!("wrote {out}");
     simcache::log_summary();
+
+    // CI out-of-core gate: every sharded cell must hold its peak-RSS
+    // budget and (where a monolith comparison ran) bit-exact parity.
+    // Exit 6, next to the trace gate's 4 and the metrics gate's 5. The
+    // snapshot is written first so a violating run still leaves evidence.
+    let rss_violations: Vec<_> = sharded_cells
+        .iter()
+        .filter(|c| !c.within_budget())
+        .collect();
+    for c in &rss_violations {
+        eprintln!(
+            "--sharded: RSS BUDGET EXCEEDED at {}: peak {} bytes > budget {} bytes",
+            c.scale.name(),
+            c.peak_rss_bytes,
+            c.rss_budget_bytes
+        );
+    }
+    let parity_failures: Vec<_> = sharded_cells
+        .iter()
+        .filter(|c| c.parity == Some(false))
+        .collect();
+    for c in &parity_failures {
+        eprintln!(
+            "--sharded: PARITY FAILURE at {}: sharded forest != monolithic serial_kruskal",
+            c.scale.name()
+        );
+    }
+    if !rss_violations.is_empty() || !parity_failures.is_empty() {
+        std::process::exit(6);
+    }
 
     // CI metrics gate: compare the fresh stable export against a
     // checked-in baseline. Exit 5 (the trace gate below uses 4).

@@ -43,14 +43,12 @@ impl DynamicUpdatesReport {
     }
 }
 
-/// RMAT scale exponent for the workload graph at each suite scale.
+/// RMAT scale exponent for the workload graph at each suite scale: the
+/// suite's own base exponent, which keeps this total over new scales such
+/// as `Huge` (the previous hand-written table had drifted into a copy of
+/// `log2_base`).
 fn rmat_scale(scale: SuiteScale) -> u32 {
-    match scale {
-        SuiteScale::Tiny => 11,
-        SuiteScale::Small => 15,
-        SuiteScale::Medium => 17,
-        SuiteScale::Large => 20,
-    }
+    scale.log2_base()
 }
 
 /// The deterministic op stream: every batch mixes fresh inserts with

@@ -11,6 +11,7 @@ pub mod dynamic;
 pub mod experiments;
 pub mod registry;
 pub mod runner;
+pub mod sharded;
 pub mod simcache;
 pub mod snapshot;
 pub mod table;
@@ -24,3 +25,4 @@ pub use runner::{
     geomean, median_time, profile_path, trace_from_args, wall, with_optional_trace,
     with_optional_trace_profile, Repeats,
 };
+pub use sharded::{measure_sharded, sharded_scales_from_args, ShardedCell};

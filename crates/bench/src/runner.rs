@@ -26,9 +26,10 @@ impl Repeats {
     }
 }
 
-/// Parses `--scale tiny|small|medium|large` (default small) from arguments.
-/// Unknown values — including a trailing `--scale` with no value — are a
-/// hard error naming the valid scales, never a silent default.
+/// Parses `--scale tiny|small|medium|large|huge` (default small) from
+/// arguments. Unknown values — including a trailing `--scale` with no
+/// value — are a hard error naming the valid scales, never a silent
+/// default.
 pub fn scale_from_args(args: &[String]) -> ecl_graph::SuiteScale {
     use ecl_graph::SuiteScale::*;
     match args.iter().position(|a| a == "--scale") {
@@ -38,9 +39,10 @@ pub fn scale_from_args(args: &[String]) -> ecl_graph::SuiteScale {
             Some("small") => Small,
             Some("medium") => Medium,
             Some("large") => Large,
+            Some("huge") => Huge,
             other => {
                 eprintln!(
-                    "error: unknown --scale '{}' (valid scales: tiny|small|medium|large)",
+                    "error: unknown --scale '{}' (valid scales: tiny|small|medium|large|huge)",
                     other.unwrap_or("<missing>")
                 );
                 std::process::exit(2);
@@ -212,6 +214,15 @@ pub fn peak_rss_bytes() -> Option<u64> {
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kb * 1024)
+}
+
+/// Resets the kernel's `VmHWM` high-water mark (writes `5` to
+/// `/proc/self/clear_refs`), so a following [`peak_rss_bytes`] read
+/// reflects only work done after this call. Returns `false` where the
+/// kernel interface is unavailable — callers must then treat the next
+/// peak reading as process-lifetime, not per-measurement.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
 }
 
 /// Geometric mean of positive values; `None` when empty.

@@ -172,6 +172,28 @@ mod tests {
     }
 
     #[test]
+    fn huge_scale_snapshots_key_on_scale_like_any_other() {
+        // The sharded mode made `--scale huge` reachable; its snapshots
+        // must baseline only against other Huge runs, and a Huge run with
+        // embedded `sharded` cells stays keyed on the in-core window's
+        // scale (the cells are measured outside `total_wall_seconds`).
+        let d = tmpdir("huge");
+        let text = SAMPLE
+            .replace("\"scale\": \"Small\"", "\"scale\": \"Huge\"")
+            .replace(
+                "\"peak_rss_bytes\": 123",
+                "\"sharded\": [\n    {\"scale\": \"huge\", \"wall_seconds\": 53.0}\n  ],\n  \"peak_rss_bytes\": 123",
+            );
+        std::fs::write(d.join("BENCH_7.json"), text).unwrap();
+        let s = read_snapshot(&d, 7).unwrap();
+        assert_eq!(s.scale.as_deref(), Some("Huge"));
+        assert!(s.comparable_to("Huge", 3, false));
+        assert!(!s.comparable_to("Small", 3, false));
+        assert!(!s.comparable_to("Large", 3, false));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
     fn latest_index_scans_the_chain() {
         let d = tmpdir("latest");
         assert_eq!(latest_index(&d), 0);

@@ -13,8 +13,8 @@ use ecl_baselines::{
 use ecl_gpu_sim::GpuProfile;
 use ecl_graph::CsrGraph;
 use ecl_mst::{
-    deopt_ladder, ecl_mst_cpu_with, ecl_mst_gpu_with, serial_kruskal, MstError, MstResult,
-    OptConfig,
+    deopt_ladder, ecl_mst_cpu_with, ecl_mst_gpu_with, serial_kruskal, sharded_msf, MstError,
+    MstResult, OptConfig, ShardBackend, ShardedConfig,
 };
 
 /// What a backend promises on multi-component inputs.
@@ -120,6 +120,25 @@ pub fn registry() -> Vec<Backend> {
     v.push(Backend::mst_only("baseline/gunrock", |g| {
         gunrock_gpu(g, GpuProfile::TITAN_V).map(|r| r.result)
     }));
+    // The sharded out-of-core pipeline, fed the fuzz graph's own edge list
+    // re-sharded: in-memory with the CPU backend, and spilling survivor
+    // files with the Kruskal merge kernel — both must be bit-identical to
+    // every in-core code on every generated case.
+    v.push(Backend::msf("cpu/sharded", |g| {
+        let src = ecl_graph::InMemoryShards::new(g.num_vertices(), g.edge_list());
+        let mut cfg = ShardedConfig::in_memory(4);
+        cfg.backend = ShardBackend::EclCpu;
+        sharded_msf(&src, &cfg).forest.to_mst_result(g)
+    }));
+    v.push(Backend::msf("cpu/sharded-spill", |g| {
+        let src = ecl_graph::InMemoryShards::new(g.num_vertices(), g.edge_list());
+        let dir = std::env::temp_dir().join(format!("ecl-fuzz-shard-{}", std::process::id()));
+        let mut cfg = ShardedConfig::spilling(3, &dir);
+        cfg.backend = ShardBackend::Kruskal;
+        let r = sharded_msf(&src, &cfg).forest.to_mst_result(g);
+        std::fs::remove_dir_all(&dir).ok();
+        r
+    }));
     v
 }
 
@@ -133,8 +152,8 @@ mod tests {
         let reg = registry();
         // 1 reference + 9 CPU rungs + 9 GPU rungs + 1 second profile
         // + 1 locality-order-off CPU variant + 7 CPU baselines
-        // + 2 GPU baselines + 2 MST-only codes.
-        assert_eq!(reg.len(), 1 + 9 + 9 + 1 + 1 + 7 + 2 + 2);
+        // + 2 GPU baselines + 2 MST-only codes + 2 sharded pipelines.
+        assert_eq!(reg.len(), 1 + 9 + 9 + 1 + 1 + 7 + 2 + 2 + 2);
         let names: std::collections::HashSet<_> = reg.iter().map(|b| b.name.clone()).collect();
         assert_eq!(names.len(), reg.len(), "backend names must be unique");
         assert_eq!(

@@ -44,6 +44,45 @@ pub fn grid2d(side: usize, seed: u64) -> CsrGraph {
     GraphBuilder::from_normalized(n, triples).build()
 }
 
+/// Sharded twin of [`grid2d`]: emits shard `k` of `of` without touching the
+/// rest of the grid. The union over `k in 0..of` is the exact emission
+/// multiset `grid2d` feeds its builder.
+///
+/// The grid generator is already chunked by row ranges with closed-form
+/// weight offsets (`r · (2·side − 1)`), so sharding is free: shard `k`
+/// simply takes every row chunk with index ≡ `k` (mod `of`).
+pub fn grid2d_shard(
+    side: usize,
+    seed: u64,
+    k: usize,
+    of: usize,
+) -> Vec<(VertexId, VertexId, crate::Weight)> {
+    assert!(side >= 1, "grid needs at least one vertex per side");
+    assert!(of >= 1, "need at least one shard");
+    assert!(k < of, "shard index {k} out of range for {of} shards");
+    let at = |r: usize, c: usize| (r * side + c) as VertexId;
+    let rows_per_chunk = (super::EMIT_CHUNK / (2 * side)).max(1);
+    let chunks = par::chunk_ranges(side, rows_per_chunk);
+    let mine: Vec<usize> = (k..chunks.len()).step_by(of).collect();
+    par::par_map(&mine, |_, &c| {
+        let rows = chunks[c].clone();
+        let mut wg = WeightGen::at(seed, (rows.start * (2 * side - 1)) as u64);
+        let mut out = Vec::with_capacity(rows.len() * 2 * side);
+        for r in rows {
+            for c in 0..side {
+                if c + 1 < side {
+                    out.push((at(r, c), at(r, c + 1), wg.next()));
+                }
+                if r + 1 < side {
+                    out.push((at(r, c), at(r + 1, c), wg.next()));
+                }
+            }
+        }
+        out
+    })
+    .concat()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,11 +44,11 @@ pub mod smallworld;
 
 pub use communities::{citation, copapers, webcrawl};
 pub use geometric::geometric;
-pub use grid::grid2d;
+pub use grid::{grid2d, grid2d_shard};
 pub use internet::internet_topo;
 pub use planar::delaunay_like;
 pub use preferential::preferential_attachment;
-pub use random::uniform_random;
+pub use random::{uniform_random, UniformRandomShards};
 pub use rmat::{kronecker, rmat};
 pub use road::road_map;
 pub use smallworld::small_world;

@@ -2,7 +2,7 @@
 //! average degree 8, tight maximum degree, single connected component).
 
 use crate::par;
-use crate::{CsrGraph, GraphBuilder, VertexId};
+use crate::{CsrGraph, GraphBuilder, VertexId, Weight};
 use rand::{Rng, SeedableRng};
 
 /// Generates an Erdős–Rényi-style graph with `n` vertices and approximately
@@ -57,6 +57,127 @@ pub fn uniform_random(n: usize, avg_degree: f64, seed: u64) -> CsrGraph {
     let mut triples = super::weighted(wseed, 0, &backbone);
     triples.extend(super::weighted(wseed, (n - 1) as u64, &extra));
     GraphBuilder::from_normalized(n, triples).build()
+}
+
+/// Sharded twin of [`uniform_random`]: the identical emission multiset, cut
+/// into `K` shards whose union rebuilds the exact monolithic graph.
+///
+/// Construction runs one cheap pair-only pass over the attempt stream to
+/// learn each chunk's kept-pair count (self-loops consume no weight draw, so
+/// a chunk's weight-stream offset is the number of pairs *kept* before it —
+/// a value no closed form predicts). After that, [`generate_shard`]
+/// materializes only its own chunks: O(total/K) triples per call, never the
+/// whole edge list.
+///
+/// The cached shuffle order (`4·n` bytes) and per-chunk offsets are the
+/// source's entire resident footprint; DESIGN.md §19 counts them against the
+/// out-of-core RSS budget.
+///
+/// [`generate_shard`]: UniformRandomShards::generate_shard
+pub struct UniformRandomShards {
+    n: usize,
+    seed: u64,
+    /// The monolith's Fisher–Yates backbone order.
+    order: Vec<VertexId>,
+    /// Canonical extra-attempt chunking (same `chunk_ranges` call as
+    /// [`uniform_random`], so stream offsets line up token for token).
+    chunks: Vec<std::ops::Range<usize>>,
+    /// `kept_before[c]`: non-self-loop pairs kept by every chunk before `c`,
+    /// i.e. chunk `c`'s weight-stream offset past the backbone draws.
+    kept_before: Vec<u64>,
+}
+
+impl UniformRandomShards {
+    /// Plans the shard decomposition of `uniform_random(n, avg_degree, seed)`.
+    pub fn new(n: usize, avg_degree: f64, seed: u64) -> Self {
+        assert!(n >= 2, "need at least two vertices");
+        assert!(
+            avg_degree >= 2.0,
+            "connected backbone already uses degree 2"
+        );
+        let target_edges = ((n as f64) * avg_degree / 2.0) as usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+        for i in (1..n).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+
+        let remaining = target_edges.saturating_sub(n - 1);
+        let overshoot = remaining + remaining / 64;
+        let chunks = par::chunk_ranges(overshoot, super::EMIT_CHUNK / 2);
+        let kept: Vec<u64> = par::par_map(&chunks, |_, r| {
+            let mut rng = rand::rngs::StdRng::seed_at(seed, (n - 1 + 2 * r.start) as u64);
+            let mut kept = 0u64;
+            for _ in r.clone() {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                kept += u64::from(u != v);
+            }
+            kept
+        });
+        let mut kept_before = Vec::with_capacity(kept.len());
+        let mut acc = 0u64;
+        for k in &kept {
+            kept_before.push(acc);
+            acc += k;
+        }
+        Self {
+            n,
+            seed,
+            order,
+            chunks,
+            kept_before,
+        }
+    }
+
+    /// Number of vertices of the (never materialized) monolithic graph.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Upper bound on the total emission count across all shards.
+    pub fn approx_edges(&self) -> usize {
+        self.n - 1 + self.chunks.last().map_or(0, |r| r.end)
+    }
+
+    /// Emits shard `k` of `of`: a disjoint slice of the monolithic emission
+    /// multiset. The union over `k in 0..of` is byte-identical to what
+    /// [`uniform_random`] feeds its builder, for any `of ≥ 1`.
+    ///
+    /// Each shard takes a balanced contiguous slice of the backbone (weight
+    /// draw for backbone pair `i` is simply `i`) plus every extra-attempt
+    /// chunk with index ≡ `k` (mod `of`), whose weight stream opens at the
+    /// precomputed kept-pair offset.
+    pub fn generate_shard(&self, k: usize, of: usize) -> Vec<(VertexId, VertexId, Weight)> {
+        assert!(of >= 1, "need at least one shard");
+        assert!(k < of, "shard index {k} out of range for {of} shards");
+        let n = self.n;
+        let wseed = self.seed ^ 0xDEAD_BEEF;
+
+        let (lo, hi) = (k * (n - 1) / of, (k + 1) * (n - 1) / of);
+        let backbone: Vec<(VertexId, VertexId)> = self.order[lo..=hi.max(lo)]
+            .windows(2)
+            .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+            .collect();
+        let mut triples = super::weighted(wseed, lo as u64, &backbone);
+
+        let mine: Vec<usize> = (k..self.chunks.len()).step_by(of).collect();
+        let extra = par::par_map(&mine, |_, &c| {
+            let r = self.chunks[c].clone();
+            let mut rng = rand::rngs::StdRng::seed_at(self.seed, (n - 1 + 2 * r.start) as u64);
+            let mut pairs = Vec::with_capacity(r.len());
+            for _ in r {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                if u != v {
+                    pairs.push((u.min(v), u.max(v)));
+                }
+            }
+            super::weighted(wseed, (n - 1) as u64 + self.kept_before[c], &pairs)
+        });
+        triples.extend(extra.into_iter().flatten());
+        triples
+    }
 }
 
 #[cfg(test)]

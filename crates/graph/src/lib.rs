@@ -34,6 +34,7 @@ pub mod generators;
 pub mod io;
 pub mod io_dimacs;
 pub mod par;
+pub mod shard;
 pub mod simd;
 pub mod stats;
 pub mod suite;
@@ -41,6 +42,7 @@ pub mod weights;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeRef};
+pub use shard::{BinaryFileShards, EdgeShards, GridShards, InMemoryShards, ShardTriple};
 pub use stats::GraphStats;
 pub use suite::{suite, suite_specs, SuiteEntry, SuiteScale, SuiteSpec};
 

@@ -1,0 +1,387 @@
+//! Out-of-core shard sources.
+//!
+//! The sharded MSF pipeline (`ecl_mst::sharded`) never holds a whole edge
+//! list: it pulls the emission multiset one *shard* at a time through the
+//! [`EdgeShards`] trait and keeps only per-shard MSF survivors. A source
+//! must satisfy exactly one invariant, the **partition law**:
+//!
+//! > for any `of ≥ 1`, the multiset union of `shard(0, of) … shard(of−1, of)`
+//! > equals the full emission multiset — every emission lands in exactly one
+//! > shard, none is duplicated, none is dropped.
+//!
+//! Order within and across shards is irrelevant: [`crate::GraphBuilder`]
+//! canonicalizes by sorting, and the MSF merge re-sorts survivors anyway.
+//!
+//! Three source families are provided:
+//!
+//! * [`InMemoryShards`] — wraps an explicit triple list (tests, fuzzing,
+//!   re-sharding a built graph's `edge_list()`).
+//! * The deterministic chunked-RNG generators — they already emit by chunk
+//!   at closed-form RNG offsets (DESIGN.md §14), so sharding is free:
+//!   [`UniformRandomShards`] and [`GridShards`] route chunk `c` to shard
+//!   `c mod of` and re-open the streams mid-way.
+//! * [`BinaryFileShards`] — streams the ECL binary CSR format through a
+//!   bounded-memory reader with the same header distrust as
+//!   [`crate::io::from_binary`], for inputs that exist only on disk.
+
+use crate::generators::random::UniformRandomShards;
+use crate::generators::{grid, EMIT_CHUNK};
+use crate::io::MAGIC;
+use crate::par;
+use crate::{VertexId, Weight};
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::{Path, PathBuf};
+
+/// One emitted edge: normalized endpoints (`u ≤ v` for generator sources)
+/// plus weight, exactly what [`crate::GraphBuilder::add_edge`] consumes.
+pub type ShardTriple = (VertexId, VertexId, Weight);
+
+/// A partitioned edge stream (see the module docs for the partition law).
+pub trait EdgeShards: Sync {
+    /// Vertex count of the full (never necessarily materialized) graph.
+    fn num_vertices(&self) -> usize;
+
+    /// Emits shard `k` of `of`. Panics when `of == 0` or `k >= of`.
+    fn shard(&self, k: usize, of: usize) -> Vec<ShardTriple>;
+
+    /// Upper bound on the total emission count across all shards (used for
+    /// shard-count heuristics and logging, never for correctness).
+    fn approx_edges(&self) -> usize;
+}
+
+/// An explicit triple list cut into [`EMIT_CHUNK`]-sized blocks dealt
+/// round-robin: block `b` goes to shard `b mod of`, mirroring how the
+/// generator sources deal their RNG chunks.
+pub struct InMemoryShards {
+    num_vertices: usize,
+    edges: Vec<ShardTriple>,
+}
+
+impl InMemoryShards {
+    /// Wraps an edge list. Self-loops and duplicates are passed through
+    /// untouched — the per-shard builder and the merge handle both.
+    pub fn new(num_vertices: usize, edges: Vec<ShardTriple>) -> Self {
+        Self {
+            num_vertices,
+            edges,
+        }
+    }
+}
+
+impl EdgeShards for InMemoryShards {
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn shard(&self, k: usize, of: usize) -> Vec<ShardTriple> {
+        check_shard_index(k, of);
+        let chunks = par::chunk_ranges(self.edges.len(), EMIT_CHUNK);
+        let mut out = Vec::new();
+        for c in (k..chunks.len()).step_by(of) {
+            if chunks[c].is_empty() {
+                continue;
+            }
+            out.extend_from_slice(&self.edges[chunks[c].clone()]);
+        }
+        out
+    }
+
+    fn approx_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+impl EdgeShards for UniformRandomShards {
+    fn num_vertices(&self) -> usize {
+        self.num_vertices()
+    }
+
+    fn shard(&self, k: usize, of: usize) -> Vec<ShardTriple> {
+        self.generate_shard(k, of)
+    }
+
+    fn approx_edges(&self) -> usize {
+        self.approx_edges()
+    }
+}
+
+/// The [`grid::grid2d`] emission as a shard source (stateless: row chunks
+/// have closed-form weight offsets, so there is nothing to precompute).
+pub struct GridShards {
+    side: usize,
+    seed: u64,
+}
+
+impl GridShards {
+    /// Shard source for `grid2d(side, seed)`.
+    pub fn new(side: usize, seed: u64) -> Self {
+        assert!(side >= 1, "grid needs at least one vertex per side");
+        Self { side, seed }
+    }
+}
+
+impl EdgeShards for GridShards {
+    fn num_vertices(&self) -> usize {
+        self.side * self.side
+    }
+
+    fn shard(&self, k: usize, of: usize) -> Vec<ShardTriple> {
+        grid::grid2d_shard(self.side, self.seed, k, of)
+    }
+
+    fn approx_edges(&self) -> usize {
+        2 * self.side * (self.side - 1)
+    }
+}
+
+fn check_shard_index(k: usize, of: usize) {
+    assert!(of >= 1, "need at least one shard");
+    assert!(k < of, "shard index {k} out of range for {of} shards");
+}
+
+/// Streams the ECL binary CSR format (`crate::io`) as a shard source with
+/// bounded memory: three cursors walk `row_starts`, `adjacency`, and
+/// `arc_weights` in lockstep, emitting each undirected edge once (on its
+/// `u < v` arc) and dealing emissions to shards in [`EMIT_CHUNK`] blocks.
+///
+/// The header is distrusted exactly like [`crate::io::from_binary`]: magic,
+/// version, arc-count parity, and the payload length implied by the counts
+/// are all checked against the file, and a full validation pass at
+/// construction verifies `row_starts` monotonicity and adjacency range —
+/// so a later [`EdgeShards::shard`] call only re-checks what it streams.
+/// Unlike the in-memory reader this never holds an `O(n)` array.
+pub struct BinaryFileShards {
+    path: PathBuf,
+    num_vertices: usize,
+    arcs: usize,
+    emissions: usize,
+}
+
+impl BinaryFileShards {
+    /// Opens and validates `path`, streaming the whole file once.
+    pub fn open(path: &Path) -> Result<Self, crate::io::BinaryError> {
+        let mut src = Self {
+            path: path.to_path_buf(),
+            num_vertices: 0,
+            arcs: 0,
+            emissions: 0,
+        };
+        let (n, arcs) = src.read_header()?;
+        src.num_vertices = n;
+        src.arcs = arcs;
+        // Validation pass: also counts the u < v emissions so
+        // `approx_edges` is exact (a malformed file could hold mirrorless
+        // arcs; the count must come from the stream, not `arcs / 2`).
+        src.emissions = src.stream(0, 1, |_| {})?;
+        Ok(src)
+    }
+
+    /// Reads and cross-checks the 16-byte header against the file length.
+    fn read_header(&self) -> Result<(usize, usize), crate::io::BinaryError> {
+        let mut r = self.reader(0)?;
+        let (magic, version) = (read_u32(&mut r)?, read_u32(&mut r)?);
+        if magic != MAGIC {
+            return Err(format!("bad magic {magic:#x}, expected {MAGIC:#x}").into());
+        }
+        if version != crate::io::VERSION {
+            return Err(format!("unsupported version {version}").into());
+        }
+        let n = read_u32(&mut r)? as u64;
+        let arcs = read_u32(&mut r)? as u64;
+        if !arcs.is_multiple_of(2) {
+            return Err(format!(
+                "header arc count {arcs} is odd (undirected graphs store mirror arc pairs)"
+            )
+            .into());
+        }
+        let len = std::fs::metadata(&self.path)
+            .map_err(|e| format!("stat {}: {e}", self.path.display()))?
+            .len();
+        let need = 16 + 4u64 * ((n + 1) + 3 * arcs);
+        if len != need {
+            return Err(format!(
+                "file length {len} disagrees with header counts (n={n}, arcs={arcs}): \
+                 expected {need}"
+            )
+            .into());
+        }
+        Ok((n as usize, arcs as usize))
+    }
+
+    fn reader(&self, offset: u64) -> Result<BufReader<File>, crate::io::BinaryError> {
+        let mut f =
+            File::open(&self.path).map_err(|e| format!("open {}: {e}", self.path.display()))?;
+        std::io::Seek::seek(&mut f, std::io::SeekFrom::Start(offset))
+            .map_err(|e| format!("seek {}: {e}", self.path.display()))?;
+        Ok(BufReader::new(f))
+    }
+
+    /// Streams the file once, invoking `emit` for every `u < v` arc whose
+    /// emission block is dealt to shard `k` of `of`, validating structure
+    /// along the way. Returns the total emission count.
+    fn stream(
+        &self,
+        k: usize,
+        of: usize,
+        mut emit: impl FnMut(ShardTriple),
+    ) -> Result<usize, crate::io::BinaryError> {
+        let (n, arcs) = (self.num_vertices, self.arcs);
+        let mut rows = self.reader(16)?;
+        let mut adj = self.reader(16 + 4 * (n as u64 + 1))?;
+        let mut wts = self.reader(16 + 4 * (n as u64 + 1 + arcs as u64))?;
+
+        let mut row_end_prev = read_u32(&mut rows)?;
+        if row_end_prev != 0 {
+            return Err(format!("row_starts[0] = {row_end_prev}, expected 0").into());
+        }
+        let mut emitted = 0usize;
+        for u in 0..n {
+            let row_end = read_u32(&mut rows)?;
+            if row_end < row_end_prev || row_end as usize > arcs {
+                return Err(format!(
+                    "row_starts not monotone within bounds at vertex {u}: \
+                     {row_end_prev} -> {row_end} (arcs {arcs})"
+                )
+                .into());
+            }
+            for _ in row_end_prev..row_end {
+                let v = read_u32(&mut adj)?;
+                let w = read_u32(&mut wts)?;
+                if v as usize >= n {
+                    return Err(format!("adjacency target {v} out of range (n {n})").into());
+                }
+                if (u as u32) < v {
+                    if (emitted / EMIT_CHUNK) % of == k {
+                        emit((u as u32, v, w));
+                    }
+                    emitted += 1;
+                }
+            }
+            row_end_prev = row_end;
+        }
+        if row_end_prev as usize != arcs {
+            return Err(
+                format!("row_starts ends at {row_end_prev}, expected arc count {arcs}").into(),
+            );
+        }
+        Ok(emitted)
+    }
+}
+
+impl EdgeShards for BinaryFileShards {
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn shard(&self, k: usize, of: usize) -> Vec<ShardTriple> {
+        check_shard_index(k, of);
+        let mut out = Vec::new();
+        self.stream(k, of, |t| out.push(t))
+            .expect("validated at open; file changed underneath the shard stream");
+        out
+    }
+
+    fn approx_edges(&self) -> usize {
+        self.emissions
+    }
+}
+
+fn read_u32(r: &mut BufReader<File>) -> Result<u32, crate::io::BinaryError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)
+        .map_err(|e| crate::io::BinaryError::Format(format!("short read: {e}")))?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid2d, uniform_random};
+    use crate::GraphBuilder;
+
+    /// Rebuilds a graph from the union of all shards and checks it equals
+    /// the monolith — the partition law, end to end.
+    fn union_rebuilds(src: &dyn EdgeShards, of: usize, monolith: &crate::CsrGraph) {
+        let mut all = Vec::new();
+        for k in 0..of {
+            all.extend(src.shard(k, of));
+        }
+        let mut b = GraphBuilder::new(src.num_vertices());
+        for (u, v, w) in all {
+            b.add_edge(u, v, w);
+        }
+        assert_eq!(&b.build(), monolith, "shard union diverged at K={of}");
+    }
+
+    #[test]
+    fn uniform_random_shards_partition_law() {
+        let mono = uniform_random(2000, 8.0, 5);
+        let src = UniformRandomShards::new(2000, 8.0, 5);
+        for of in [1, 2, 3, 7, 64] {
+            union_rebuilds(&src, of, &mono);
+        }
+    }
+
+    #[test]
+    fn grid_shards_partition_law() {
+        let mono = grid2d(40, 9);
+        let src = GridShards::new(40, 9);
+        for of in [1, 2, 5, 100] {
+            union_rebuilds(&src, of, &mono);
+        }
+    }
+
+    #[test]
+    fn in_memory_shards_partition_law() {
+        let mono = uniform_random(500, 6.0, 3);
+        let src = InMemoryShards::new(mono.num_vertices(), mono.edge_list());
+        for of in [1, 2, 4, 9] {
+            union_rebuilds(&src, of, &mono);
+        }
+        assert_eq!(src.approx_edges(), mono.num_edges());
+    }
+
+    #[test]
+    fn shards_are_disjoint_slices() {
+        // Partition, not cover: total size must match exactly.
+        let src = UniformRandomShards::new(1000, 8.0, 11);
+        let full: usize = (0..4).map(|k| src.shard(k, 4).len()).sum();
+        assert_eq!(full, src.shard(0, 1).len());
+    }
+
+    #[test]
+    fn file_shards_roundtrip_and_validate() {
+        let g = uniform_random(600, 8.0, 13);
+        let dir = std::env::temp_dir().join(format!("ecl-shard-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        crate::io::write_binary(&g, &path).unwrap();
+
+        let src = BinaryFileShards::open(&path).unwrap();
+        assert_eq!(src.num_vertices(), 600);
+        assert_eq!(src.approx_edges(), g.num_edges());
+        for of in [1, 3] {
+            union_rebuilds(&src, of, &g);
+        }
+
+        // Header distrust: flip the magic and the arc count.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(dir.join("badmagic.bin"), &bytes).unwrap();
+        assert!(BinaryFileShards::open(&dir.join("badmagic.bin")).is_err());
+        bytes[0] ^= 0xFF;
+        bytes[12] ^= 0x01; // arc count: odd and length-mismatched
+        std::fs::write(dir.join("badarcs.bin"), &bytes).unwrap();
+        assert!(BinaryFileShards::open(&dir.join("badarcs.bin")).is_err());
+        std::fs::write(dir.join("trunc.bin"), &bytes[..bytes.len() / 2]).unwrap();
+        assert!(BinaryFileShards::open(&dir.join("trunc.bin")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_bounds_checked() {
+        InMemoryShards::new(1, Vec::new()).shard(2, 2);
+    }
+}

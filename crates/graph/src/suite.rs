@@ -29,26 +29,33 @@ pub enum SuiteScale {
     /// parallel input pipeline makes practical (tens of millions of edges
     /// on the densest entries).
     Large,
+    /// 2^24 vertices: production-scale runs. Only the sharded out-of-core
+    /// pipeline (`ecl_graph::shard` + `ecl_mst::sharded`) is expected to
+    /// touch this scale — materializing the full suite monolithically at
+    /// 2^24 per-graph multiples is deliberately out of budget.
+    Huge,
 }
 
 impl SuiteScale {
     /// Base vertex count n₀; individual graphs use a per-graph multiple.
-    fn base(self) -> usize {
+    pub fn base(self) -> usize {
         match self {
             SuiteScale::Tiny => 1 << 11,
             SuiteScale::Small => 1 << 15,
             SuiteScale::Medium => 1 << 17,
             SuiteScale::Large => 1 << 20,
+            SuiteScale::Huge => 1 << 24,
         }
     }
 
     /// RMAT/Kronecker scale exponent corresponding to [`Self::base`].
-    fn log2_base(self) -> u32 {
+    pub fn log2_base(self) -> u32 {
         match self {
             SuiteScale::Tiny => 11,
             SuiteScale::Small => 15,
             SuiteScale::Medium => 17,
             SuiteScale::Large => 20,
+            SuiteScale::Huge => 24,
         }
     }
 
@@ -59,6 +66,7 @@ impl SuiteScale {
             SuiteScale::Small => "small",
             SuiteScale::Medium => "medium",
             SuiteScale::Large => "large",
+            SuiteScale::Huge => "huge",
         }
     }
 }
@@ -373,6 +381,24 @@ pub fn suite_specs(scale: SuiteScale) -> Vec<SuiteSpec> {
             },
         },
     ]
+}
+
+/// Shard source for the `r4-2e23.sym` twin at `scale` — the identical
+/// `uniform_random` recipe [`suite`] builds for that row, exposed through
+/// [`crate::shard::EdgeShards`] so the out-of-core pipeline can reach
+/// [`SuiteScale::Huge`] without ever materializing the monolithic edge
+/// list. At scales where the monolith still fits, the sharded result is
+/// bit-identical to solving `suite(scale)`'s r4 entry directly.
+pub fn r4_shard_source(scale: SuiteScale) -> crate::generators::UniformRandomShards {
+    crate::generators::UniformRandomShards::new(scale.base(), 8.0, SUITE_SEED ^ 12)
+}
+
+/// The monolithic build of the same `r4-2e23.sym` twin —
+/// [`r4_shard_source`]'s ground truth for parity checks and in-core
+/// wall-clock comparisons. Materializes the whole graph; callers should
+/// stay at [`SuiteScale::Large`] or below.
+pub fn r4_monolith(scale: SuiteScale) -> crate::CsrGraph {
+    crate::generators::uniform_random(scale.base(), 8.0, SUITE_SEED ^ 12)
 }
 
 #[cfg(test)]

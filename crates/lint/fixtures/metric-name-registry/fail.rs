@@ -19,6 +19,11 @@ pub static ORPHAN_TOTAL: Metric = Metric::counter("ecl.orphan.total", 0, "never 
 pub static DYNAMIC_TREE_CHURN: Metric =
     Metric::gauge("ecl.dynamic.tree_churn", 0, "never recorded");
 pub static DYNAMIC_BATCHES: Metric = Metric::counter("ecl.dynamic.batches", 0, "update batches");
+// Dead shard metric: declared, never recorded anywhere.
+pub static SHARD_MERGE_ROUNDS: Metric =
+    Metric::counter("ecl.shard.merge_rounds", 0, "never recorded");
+pub static SHARD_PEAK_RSS_BYTES: Metric =
+    Metric::gauge("ecl.shard.peak_rss_bytes", 0, "cell peak VmHWM");
 
 fn record() {
     // Kind mismatch: CACHE_HIT is declared as a counter.
@@ -27,4 +32,6 @@ fn record() {
     ecl_metrics::counter!(UNDECLARED_TOTAL);
     // Kind mismatch in the dynamic namespace: batches is a counter.
     ecl_metrics::histogram!(DYNAMIC_BATCHES, 3.0);
+    // Kind mismatch in the shard namespace: peak RSS is a gauge.
+    ecl_metrics::counter!(SHARD_PEAK_RSS_BYTES);
 }

@@ -28,6 +28,13 @@ pub static DYNAMIC_REPLACEMENT_CANDIDATES: Metric =
 pub static DYNAMIC_TREE_CHURN: Metric =
     Metric::gauge("ecl.dynamic.tree_churn", 0, "tree edges swapped last batch");
 
+// The sharded out-of-core pair mirrors the `ecl.shard.*` namespace:
+// a counter recorded with an explicit increment and a gauge.
+pub static SHARD_SPILL_BYTES: Metric =
+    Metric::counter("ecl.shard.spill_bytes", 0, "survivor spill bytes");
+pub static SHARD_PEAK_RSS_BYTES: Metric =
+    Metric::gauge("ecl.shard.peak_rss_bytes", 0, "cell peak VmHWM");
+
 pub static ALL: &[&Metric] = &[
     &CACHE_HIT,
     &QUEUE_DEPTH,
@@ -35,6 +42,8 @@ pub static ALL: &[&Metric] = &[
     &DYNAMIC_BATCHES,
     &DYNAMIC_REPLACEMENT_CANDIDATES,
     &DYNAMIC_TREE_CHURN,
+    &SHARD_SPILL_BYTES,
+    &SHARD_PEAK_RSS_BYTES,
 ];
 
 fn record(depth: usize, secs: f64) {
@@ -47,6 +56,11 @@ fn record_batch(candidates: usize, churn: usize) {
     ecl_metrics::counter!(DYNAMIC_BATCHES);
     ecl_metrics::histogram!(DYNAMIC_REPLACEMENT_CANDIDATES, candidates);
     ecl_metrics::gauge!(DYNAMIC_TREE_CHURN, churn);
+}
+
+fn record_shard_cell(bytes: u64, peak: u64) {
+    ecl_metrics::counter!(SHARD_SPILL_BYTES, bytes);
+    ecl_metrics::gauge!(SHARD_PEAK_RSS_BYTES, peak as f64);
 }
 
 #[cfg(test)]

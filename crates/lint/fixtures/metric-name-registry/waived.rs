@@ -12,6 +12,9 @@ impl Metric {
 pub static CACHE_HIT: Metric = Metric::counter("ecl.cache.hit", 0, "replayed entries");
 // ecl-lint: allow(metric-name-registry) staged: the eviction path lands next PR
 pub static EVICT_TOTAL: Metric = Metric::counter("ecl.evict.total", 0, "evicted entries");
+// ecl-lint: allow(metric-name-registry) staged: shard compaction lands with the next out-of-core PR
+pub static SHARD_COMPACTIONS: Metric =
+    Metric::counter("ecl.shard.compactions", 0, "survivor-file compactions");
 
 fn record() {
     ecl_metrics::counter!(CACHE_HIT);

@@ -3,10 +3,30 @@
 # the analogue of the artifact's run_all_compare.sh / run_all_deoptimize.sh.
 # Outputs land in results/.
 #
-# Usage: ./run_all.sh [--scale tiny|small|medium|large] [--repeats N]
+# Usage: ./run_all.sh [--scale tiny|small|medium|large|huge] [--repeats N]
+#
+# Scale values (including huge, 2^24 vertices) are validated up front and
+# passed through to every binary; huge is practical only for the sharded
+# out-of-core cells (`bench_snapshot --sharded huge`), so expect very long
+# in-core sweeps if you pass it here.
 set -euo pipefail
 cd "$(dirname "$0")"
 ARGS=("$@")
+
+# Fail fast on an unknown --scale instead of letting the first binary die
+# mid-sweep with results/ half-written.
+for ((i = 0; i < ${#ARGS[@]}; i++)); do
+    if [[ "${ARGS[$i]}" == "--scale" ]]; then
+        next="${ARGS[$((i + 1))]:-}"
+        case "$next" in
+        tiny | small | medium | large | huge) ;;
+        *)
+            echo "run_all.sh: unknown --scale '${next:-<missing>}' (valid: tiny|small|medium|large|huge)" >&2
+            exit 2
+            ;;
+        esac
+    fi
+done
 mkdir -p results
 
 # One measurement store per sweep: deterministic simulated cells (and CPU

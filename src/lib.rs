@@ -58,10 +58,11 @@ pub mod prelude {
     pub use ecl_dsu::{AtomicDsu, Compression, FindPolicy, SeqDsu, UnionPolicy};
     pub use ecl_gpu_sim::{Device, GpuProfile};
     pub use ecl_graph::{
-        generators, io, stats::GraphStats, suite, CsrGraph, GraphBuilder, SuiteEntry, SuiteScale,
+        generators, io, stats::GraphStats, suite, CsrGraph, EdgeShards, GraphBuilder,
+        InMemoryShards, SuiteEntry, SuiteScale,
     };
     pub use ecl_mst::{
         deopt_ladder, ecl_mst_cpu, ecl_mst_cpu_with, ecl_mst_gpu, ecl_mst_gpu_with, serial_kruskal,
-        verify_msf, MstError, MstResult, OptConfig,
+        sharded_msf, verify_msf, MstError, MstResult, OptConfig, ShardBackend, ShardedConfig,
     };
 }
